@@ -1,0 +1,21 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once (the experiments are
+deterministic end-to-end sweeps, not microbenchmarks), prints the
+paper-style table, and asserts the reproduction's *shape* criteria —
+who wins, by roughly what factor, where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, runner, **kwargs):
+    """Execute one experiment under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.table())
+    if result.summary:
+        print("summary:", result.summary)
+    return result

@@ -1,0 +1,30 @@
+"""Figure 5: logical plan cost vs. query latency (Section 6.1).
+
+Paper's findings: a strong power-law correlation between a plan's
+projected cost and its measured duration (r² ≈ 0.9), and — for every one
+of the five selectivities — the minimum-cost plan is also the fastest.
+The nested loop join is never a profitable plan.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import run_fig5_fig6
+
+
+def test_fig5_logical_cost_vs_latency(benchmark):
+    result = run_once(benchmark, run_fig5_fig6)
+
+    # Power-law correlation between plan cost and latency.
+    assert result.summary["power_law_r2"] >= 0.75
+
+    # The min-cost plan is the fastest at every selectivity.
+    assert result.summary["min_cost_is_fastest"] == result.summary[
+        "n_selectivities"
+    ]
+
+    # The nested loop join is never profitable.
+    for selectivity in (0.01, 0.1, 1.0, 10.0, 100.0):
+        nl = result.value("execute_s", algo="nested_loop", selectivity=selectivity)
+        hash_time = result.value("execute_s", algo="hash", selectivity=selectivity)
+        merge_time = result.value("execute_s", algo="merge", selectivity=selectivity)
+        assert nl > hash_time
+        assert nl > merge_time

@@ -1,0 +1,33 @@
+"""Figure 6: logical plan performance across selectivities (Section 6.1).
+
+Paper's findings: the hash join is fastest at low selectivity (its
+expensive sort runs on the small output); the merge join narrowly edges
+it out at selectivity 1 and wins decisively as output cardinality grows
+(35× at the largest output), because it front-loads the reordering.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import run_fig5_fig6
+
+
+def test_fig6_selectivity_crossover(benchmark):
+    result = run_once(benchmark, run_fig5_fig6)
+
+    def time_of(algo, selectivity):
+        return result.value("execute_s", algo=algo, selectivity=selectivity)
+
+    # Hash wins at low selectivity.
+    for selectivity in (0.01, 0.1):
+        assert time_of("hash", selectivity) < time_of("merge", selectivity)
+
+    # Merge edges out hash from selectivity 1 upward.
+    for selectivity in (1.0, 10.0, 100.0):
+        assert time_of("merge", selectivity) <= time_of("hash", selectivity)
+
+    # The gap at the largest output cardinality is an order of magnitude+
+    # (the paper reports 35x).
+    assert time_of("hash", 100.0) / time_of("merge", 100.0) >= 10.0
+
+    # All plans see latency rise with output cardinality.
+    for algo in ("hash", "merge", "nested_loop"):
+        assert time_of(algo, 100.0) > time_of(algo, 0.01)

@@ -1,0 +1,48 @@
+"""Figure 7: merge join with varying skew and physical planners (§6.2.1).
+
+Paper's findings: at α = 0 all optimizers produce plans of similar
+quality (with the ILP wasting its time budget); as skew increases the
+skew-aware planners exploit it while the baseline degrades; the simple
+Minimum Bandwidth Heuristic performs best — chunk-grained plans leave at
+most two sensible homes per join unit, so bringing sparse chunks to
+their denser counterparts is all it takes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import run_fig7_merge_skew
+
+
+def test_fig7_merge_skew(benchmark):
+    result = run_once(benchmark, run_fig7_merge_skew, ilp_budget_s=2.0)
+
+    def execute(planner, alpha):
+        return result.value("execute_s", planner=planner, alpha=alpha)
+
+    # Uniform data: every planner's execution is comparable (within 40%).
+    uniform = [execute(p, 0.0) for p in ("baseline", "mbh", "tabu", "ilp")]
+    assert max(uniform) / min(uniform) < 1.4
+
+    # Under skew the baseline loses big to every skew-aware planner.
+    for alpha in (1.5, 2.0):
+        for planner in ("mbh", "tabu", "ilp", "ilp_coarse"):
+            assert execute("baseline", alpha) > 1.5 * execute(planner, alpha)
+
+    # MBH is the best (or tied-best) end-to-end choice at every skew level:
+    # near-zero planning time on top of competitive execution.
+    for alpha in (0.0, 0.5, 1.0, 1.5, 2.0):
+        totals = {
+            p: result.value("total_s", planner=p, alpha=alpha)
+            for p in ("baseline", "ilp", "ilp_coarse", "mbh", "tabu")
+        }
+        assert totals["mbh"] <= min(totals.values()) * 1.1
+
+    # The ILP solvers' planning time dominates their end-to-end latency.
+    for alpha in (0.0, 1.0, 2.0):
+        plan_time = result.value("plan_s", planner="ilp", alpha=alpha)
+        assert plan_time > execute("ilp", alpha)
+
+    # Skew-aware planners move an order of magnitude fewer cells under
+    # high skew than under uniform data.
+    assert result.value("cells_moved", planner="mbh", alpha=2.0) < (
+        0.1 * result.value("cells_moved", planner="mbh", alpha=0.0)
+    )

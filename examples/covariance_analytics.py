@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Complex analytics on joined arrays — the paper's second future-work item.
+
+Section 8 asks about "generalizing this two-step optimization model to
+complex analytics that combine arrays, such as covariance matrix
+queries". This example composes the reproduced framework's pieces to
+answer one such query: the per-latitude-band covariance between two
+MODIS reflectance bands.
+
+    cov(X, Y) = E[XY] - E[X]·E[Y]
+
+Pipeline: skew-aware D:D shuffle join (pairs the bands cell by cell) →
+APPLY (compute the XY product) → AGGREGATE ... GROUP BY (moment sums per
+latitude band) → a final vectorised pass for the covariance itself.
+"""
+
+import numpy as np
+
+from repro import Session
+from repro.workloads import modis_pair
+
+
+def main() -> None:
+    session = Session(n_nodes=4, selectivity_hint=0.5)
+
+    print("loading two MODIS bands ...")
+    band1, band2 = modis_pair(cells=80_000, seed=5)
+    session.cluster.load_array(band1)
+    session.cluster.load_array(band2, placement="block")
+
+    print("joining bands cell by cell (skew-aware merge join) ...")
+    joined = session.execute(
+        "SELECT Band1.reflectance AS x, Band2.reflectance AS y "
+        "FROM Band1, Band2 "
+        "WHERE Band1.time = Band2.time AND Band1.lon = Band2.lon "
+        "AND Band1.lat = Band2.lat",
+        planner="mbh",
+    )
+    print(joined.report.describe())
+    session.cluster.load_array(joined.array)
+
+    print("\ncomputing per-latitude moments (APPLY + AGGREGATE) ...")
+    name = joined.array.schema.name
+    moments = session.afl(
+        f"aggregate(apply({name}, xy, x * y), "
+        f"sum(xy) AS sxy, sum(x) AS sx, sum(y) AS sy, count(*) AS n, lat)"
+    )
+    cells = moments.cells()
+    n = cells.attrs["n"].astype(np.float64)
+    covariance = cells.attrs["sxy"] / n - (
+        (cells.attrs["sx"] / n) * (cells.attrs["sy"] / n)
+    )
+
+    print(f"\n{'lat band':>9} {'pairs':>7} {'cov(X,Y)':>10}")
+    order = np.argsort(cells.coords[:, 0])
+    for index in order[:: max(len(order) // 12, 1)]:
+        lat = int(cells.coords[index, 0])
+        print(f"{lat:>9} {int(n[index]):>7} {covariance[index]:>10.5f}")
+
+    # The bands are independent uniforms in this simulacrum, so the
+    # covariances hover near zero — the point here is the *pipeline*.
+    weighted = float(np.average(covariance, weights=n))
+    print(f"\ncell-weighted mean covariance: {weighted:+.5f} "
+          f"(independent bands → ≈ 0)")
+
+
+if __name__ == "__main__":
+    main()

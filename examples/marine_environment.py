@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Beneficial skew on (simulated) real-world data — Section 6.3.1.
+
+Marine scientists study the environmental impact of shipping by joining
+satellite reflectance measurements (MODIS) against vessel location
+broadcasts (AIS) on the geospatial dimensions alone. The AIS data is
+severely skewed — most broadcasts cluster around major ports — while the
+satellite coverage is near-uniform, which makes the join a showcase for
+*beneficial* skew: a skew-aware planner moves the sparse satellite slices
+to the dense ship-track hotspots instead of the other way around.
+"""
+
+from repro.bench.experiments import AIS_MODIS_QUERY, make_cluster
+from repro.cluster import NetworkParams
+from repro.engine import ShuffleJoinExecutor
+from repro.workloads import ais_tracks, modis_pair
+
+
+def main() -> None:
+    print("generating workloads ...")
+    band1, _ = modis_pair(cells=120_000, seed=0)
+    broadcasts = ais_tracks(cells=80_000, seed=1)
+
+    print(f"MODIS band:   {band1.n_cells} cells over {band1.n_chunks} chunks; "
+          f"top 5% of chunks hold "
+          f"{band1.skew_summary(0.05)['top_share']:.0%} of the data")
+    print(f"AIS tracks:   {broadcasts.n_cells} cells over "
+          f"{broadcasts.n_chunks} chunks; top 5% hold "
+          f"{broadcasts.skew_summary(0.05)['top_share']:.0%} of the data")
+    print()
+    print("query:", AIS_MODIS_QUERY)
+    print()
+
+    print(f"{'planner':<12}{'plan(s)':>9}{'align(s)':>10}"
+          f"{'compare(s)':>12}{'total(s)':>10}{'cells moved':>13}")
+    results = {}
+    for planner in ("baseline", "mbh", "tabu"):
+        cluster = make_cluster(
+            [band1, broadcasts], n_nodes=4, seed=2,
+            placement=["random", "balanced"],
+            network=NetworkParams(bandwidth_cells_per_s=50_000.0),
+        )
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        report = executor.execute(
+            AIS_MODIS_QUERY, planner=planner, join_algo="merge"
+        ).report
+        results[planner] = report
+        print(
+            f"{planner:<12}{report.plan_seconds:>9.3f}"
+            f"{report.align_seconds:>10.3f}{report.compare_seconds:>12.3f}"
+            f"{report.total_seconds:>10.3f}{report.cells_moved:>13}"
+        )
+
+    base = results["baseline"]
+    best = min(results.values(), key=lambda r: r.execute_seconds)
+    print()
+    print(f"skew-aware speedup over the baseline: "
+          f"{base.execute_seconds / best.execute_seconds:.2f}x "
+          f"(paper reports nearly 2.5x)")
+    print(f"data-alignment reduction: "
+          f"{base.align_seconds / best.align_seconds:.1f}x "
+          f"(the planners move sparse satellite slices to the ports, "
+          f"not the ports to the satellite)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A full database session: DDL, incremental loads, AQL, AFL, EXPLAIN.
+
+Shows the high-level :class:`repro.Session` facade end to end, the way a
+SciDB user would work: declare arrays, load observations in batches, ask
+the optimizer to EXPLAIN its plan choices, and run the same analysis
+through both query surfaces (declarative AQL and composable AFL).
+"""
+
+import numpy as np
+
+from repro import CellSet, Session
+
+
+def nightly_batch(night: int, n: int, rng) -> CellSet:
+    """One night of telescope observations: sky coordinates + magnitude."""
+    coords = np.unique(rng.integers(1, 257, size=(n, 2)), axis=0)
+    return CellSet(
+        coords,
+        {
+            "magnitude": rng.uniform(8.0, 22.0, len(coords)),
+            "object_id": rng.integers(0, 4000, len(coords)),
+        },
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    session = Session(n_nodes=4, selectivity_hint=0.2)
+
+    print("=== DDL: declare two survey arrays ===")
+    session.execute(
+        "CREATE ARRAY Night1<magnitude:float64, object_id:int64>"
+        "[ra=1,256,32, dec=1,256,32]"
+    )
+    session.execute(
+        "CREATE ARRAY Night2<magnitude:float64, object_id:int64>"
+        "[ra=1,256,32, dec=1,256,32]"
+    )
+    print("arrays:", session.arrays())
+
+    print("\n=== Incremental loads (two batches per night) ===")
+    for name in ("Night1", "Night2"):
+        total = 0
+        for batch in range(2):
+            total += session.load(name, nightly_batch(batch, 3000, rng))
+        print(f"{name}: {total} observations over "
+              f"{session.array(name).n_chunks} chunks")
+
+    print("\n=== EXPLAIN before running ===")
+    query = (
+        "SELECT Night1.magnitude - Night2.magnitude AS delta "
+        "FROM Night1, Night2 "
+        "WHERE Night1.ra = Night2.ra AND Night1.dec = Night2.dec"
+    )
+    report = session.explain(query, planner="tabu")
+    print(report.describe())
+
+    print("\n=== Execute the variability query (AQL) ===")
+    result = session.execute(query, planner="tabu")
+    delta = result.cells.attrs["delta"]
+    print(result.report.describe())
+    print(f"positions observed both nights: {len(delta)}; "
+          f"largest brightening: {delta.min():+.2f} mag")
+
+    print("\n=== The same filter through AFL ===")
+    bright = session.afl("filter(Night1, magnitude < 10)")
+    print(f"bright objects on night 1: {bright.n_cells}")
+    variable = session.afl(
+        "hashJoin(hash(Night1, object_id), hash(Night2, object_id))"
+    )
+    print(f"object-id matches across nights (A:A join): {variable.n_cells}")
+
+    print("\n=== Cleanup ===")
+    session.execute("DROP ARRAY Night1")
+    session.execute("DROP ARRAY Night2")
+    print("arrays:", session.arrays())
+
+
+if __name__ == "__main__":
+    main()

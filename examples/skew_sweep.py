@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Planner behaviour across the skew spectrum — Sections 6.2.1/6.2.2.
+
+Sweeps Zipfian skew from uniform (alpha = 0) to extreme (alpha = 2) and
+races the physical planners on a distributed merge join, printing the
+same plan/align/compare breakdown as the paper's Figures 7 and 8. A
+second pass demonstrates the cost model's view of each plan next to the
+simulated outcome.
+"""
+
+from repro.bench.experiments import MERGE_QUERY, make_cluster
+from repro.engine import ShuffleJoinExecutor
+from repro.workloads import skewed_merge_pair
+
+PLANNERS = ("baseline", "mbh", "tabu")
+ALPHAS = (0.0, 1.0, 2.0)
+
+
+def main() -> None:
+    print(f"query: {MERGE_QUERY}")
+    print(f"{'alpha':<7}{'planner':<10}{'plan(s)':>9}{'align(s)':>10}"
+          f"{'compare(s)':>12}{'moved':>9}{'model(s)':>10}")
+    for alpha in ALPHAS:
+        array_a, array_b = skewed_merge_pair(
+            alpha, cells_per_array=80_000, seed=11
+        )
+        for planner in PLANNERS:
+            cluster = make_cluster([array_a, array_b], n_nodes=8, seed=11)
+            executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.25)
+            report = executor.execute(MERGE_QUERY, planner=planner).report
+            model = (
+                f"{report.analytic_cost.total_seconds:.3f}"
+                if report.analytic_cost
+                else "-"
+            )
+            print(
+                f"{alpha:<7}{planner:<10}{report.plan_seconds:>9.3f}"
+                f"{report.align_seconds:>10.3f}"
+                f"{report.compare_seconds:>12.3f}"
+                f"{report.cells_moved:>9}{model:>10}"
+            )
+        print()
+
+    print("Reading the table:")
+    print(" - at alpha=0 every planner behaves alike: nothing to exploit;")
+    print(" - as skew grows, the baseline keeps shipping big chunks while")
+    print("   MBH/Tabu move the sparse counterparts instead (cells moved")
+    print("   collapses by an order of magnitude);")
+    print(" - the model(s) column is the analytical cost (Equations 4-8)")
+    print("   that the cost-based planners minimised — compare it with the")
+    print("   simulated align+compare columns.")
+
+
+if __name__ == "__main__":
+    main()

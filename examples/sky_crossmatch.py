@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Astronomy cross-match — the paper's opening motivation.
+
+The introduction motivates the framework with sky surveys: nightly
+catalogs of stars "not uniformly distributed in the sky", cross-matched
+between epochs to find variable objects. This example runs that workflow:
+
+1. two epoch catalogs with galactic-plane density hotspots;
+2. a skew-aware D:D join cross-matching detections by sky position,
+   with a pushed-down brightness filter;
+3. APPLY + REGRID to map where the strongest variables live.
+"""
+
+import numpy as np
+
+from repro import Session
+from repro.workloads import epoch_pair
+
+
+def main() -> None:
+    session = Session(n_nodes=4, selectivity_hint=0.6)
+
+    print("generating two survey epochs ...")
+    epoch1, epoch2 = epoch_pair(objects=40_000, seed=11)
+    session.cluster.load_array(epoch1)
+    session.cluster.load_array(epoch2, placement="block")
+    share = epoch1.skew_summary(0.05)["top_share"]
+    print(f"Epoch1: {epoch1.n_cells} detections over {epoch1.n_chunks} sky "
+          f"chunks; top 5% of chunks hold {share:.0%} (galactic plane)")
+
+    print("\ncross-matching epochs: same sky cell AND same object id — a "
+          "mixed D:D + A:A predicate — with a pushed-down brightness "
+          "filter ...")
+    query = (
+        "SELECT Epoch1.mag AS m1, Epoch2.mag AS m2 "
+        "FROM Epoch1, Epoch2 "
+        "WHERE Epoch1.ra = Epoch2.ra AND Epoch1.dec = Epoch2.dec "
+        "AND Epoch1.obj_id = Epoch2.obj_id "
+        "AND Epoch1.mag < 21 AND Epoch2.mag < 21"
+    )
+    explain = session.explain(query)
+    print(f"join kind: {explain.join_kind}; chosen plan: {explain.chosen_afl}")
+    result = session.execute(query, planner="tabu")
+    print(result.report.describe())
+    matches = result.cells
+    print(f"re-detected bright objects: {len(matches)}")
+
+    print("\nvariability across epochs:")
+    delta = np.abs(matches.attrs["m1"] - matches.attrs["m2"])
+    print(f"median |Δmag| = {np.median(delta):.3f} "
+          f"(measurement scatter ≈ 0.05·√2 ≈ 0.07)")
+    strong = int((delta > 0.2).sum())
+    print(f"candidate variables (|Δmag| > 0.2): {strong} "
+          f"({strong / max(len(delta), 1):.1%} of re-detections)")
+
+    print("\ndensity map of the survey itself (REGRID):")
+    tiles = session.afl("regrid(Epoch1, 12, 12, count(*) AS n)")
+    dense = tiles.to_dense("n", fill_value=0)
+    scale = dense.max() / 8 if dense.max() else 1
+    for dec_band in range(dense.shape[1] - 1, -1, -3):
+        row = "".join(
+            " .:-=+*#%@"[min(int(dense[ra, dec_band] / scale), 9)]
+            for ra in range(0, dense.shape[0], 1)
+        )
+        print("   " + row)
+    print("   (each column ≈ 12° of right ascension; bright band = "
+          "galactic plane)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: enables legacy editable installs on offline hosts
+(no `wheel` package available), where PEP 660 editable builds fail.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,111 @@
+"""Skew-aware shuffle join optimization for array databases.
+
+A from-scratch reproduction of "Skew-Aware Join Optimization for Array
+Databases" (Duggan, Papaemmanouil, Battle, Stonebraker — SIGMOD 2015):
+the SciDB-style Array Data Model, a shared-nothing cluster simulator, the
+AQL/AFL query layer, the logical dynamic-programming join planner
+(Algorithm 1), the analytical physical cost model (Equations 4-8), five
+physical planners (Baseline, MBH, Tabu, ILP, Coarse ILP), and the
+shuffle execution engine with the greedy write-lock transfer schedule.
+
+Quickstart::
+
+    import numpy as np
+    from repro import CellSet, Cluster, ShuffleJoinExecutor
+
+    cluster = Cluster(n_nodes=4)
+    coords = np.array([[1, 1], [2, 3], [5, 6]])
+    cluster.create_array(
+        "A<v:int64>[i=1,8,4, j=1,8,4]",
+        CellSet(coords, {"v": np.array([10, 20, 30])}),
+    )
+    cluster.create_array(
+        "B<w:int64>[i=1,8,4, j=1,8,4]",
+        CellSet(coords, {"w": np.array([1, 2, 3])}),
+    )
+    executor = ShuffleJoinExecutor(cluster)
+    result = executor.execute(
+        "SELECT A.v, B.w FROM A JOIN B WHERE A.i = B.i AND A.j = B.j",
+        planner="tabu",
+    )
+    print(result.report.describe())
+"""
+
+from repro.adm import (
+    ArraySchema,
+    Attribute,
+    CellSet,
+    Chunk,
+    Dimension,
+    LocalArray,
+    parse_schema,
+)
+from repro.cluster import Cluster, NetworkParams
+from repro.core import (
+    AnalyticalCostModel,
+    CostParams,
+    LogicalPlan,
+    LogicalPlanner,
+    PLANNER_NAMES,
+    SliceStats,
+    get_planner,
+    infer_join_schema,
+)
+from repro.engine import (
+    ExecutionReport,
+    ExplainReport,
+    redimension,
+    JoinResult,
+    PreparedJoin,
+    ShuffleJoinExecutor,
+    SimulationParams,
+)
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    SolverError,
+)
+from repro.query import parse_aql
+from repro.session import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalCostModel",
+    "ArraySchema",
+    "Attribute",
+    "CatalogError",
+    "CellSet",
+    "Chunk",
+    "Cluster",
+    "CostParams",
+    "Dimension",
+    "ExecutionError",
+    "ExecutionReport",
+    "ExplainReport",
+    "JoinResult",
+    "LocalArray",
+    "LogicalPlan",
+    "LogicalPlanner",
+    "NetworkParams",
+    "PLANNER_NAMES",
+    "ParseError",
+    "PlanningError",
+    "PreparedJoin",
+    "ReproError",
+    "SchemaError",
+    "Session",
+    "ShuffleJoinExecutor",
+    "SimulationParams",
+    "SliceStats",
+    "SolverError",
+    "get_planner",
+    "infer_join_schema",
+    "parse_aql",
+    "redimension",
+    "parse_schema",
+]

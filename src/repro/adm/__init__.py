@@ -1,0 +1,26 @@
+"""Array Data Model (ADM) substrate.
+
+This subpackage implements the storage model of Section 2.1 of the paper:
+schemas with integer dimensions and typed attributes, sparse cells clustered
+into C-ordered multidimensional chunks, and vertically partitioned attribute
+storage.
+"""
+
+from repro.adm.cells import CellSet
+from repro.adm.chunk import Chunk
+from repro.adm.array import LocalArray
+from repro.adm.parser import parse_schema
+from repro.adm.schema import ArraySchema, Attribute, Dimension
+from repro.adm.stats import Histogram, infer_dimension
+
+__all__ = [
+    "ArraySchema",
+    "Attribute",
+    "CellSet",
+    "Chunk",
+    "Dimension",
+    "Histogram",
+    "LocalArray",
+    "infer_dimension",
+    "parse_schema",
+]

@@ -1,0 +1,252 @@
+"""Sparse cell sets: the in-memory unit of array data.
+
+A :class:`CellSet` is a structure-of-arrays: an ``(n, ndims)`` int64
+coordinate matrix plus one numpy column per attribute (the vertical
+partitioning of Section 2.1). All engine operators — slicing, shuffling,
+redimensioning, and the join algorithms — work on cell sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class CellSet:
+    """An immutable-by-convention collection of occupied array cells."""
+
+    __slots__ = ("coords", "attrs")
+
+    def __init__(self, coords: np.ndarray, attrs: Mapping[str, np.ndarray]):
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim == 1:
+            coords = coords.reshape(-1, 1)
+        if coords.ndim != 2:
+            raise SchemaError(f"coords must be 2-D, got shape {coords.shape}")
+        self.coords = coords
+        self.attrs: dict[str, np.ndarray] = {}
+        for name, column in attrs.items():
+            column = np.asarray(column)
+            if len(column) != len(coords):
+                raise SchemaError(
+                    f"attribute {name!r} has {len(column)} values for "
+                    f"{len(coords)} cells"
+                )
+            self.attrs[name] = column
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def empty(cls, ndims: int, attr_dtypes: Mapping[str, np.dtype]) -> "CellSet":
+        """An empty cell set with the given shape."""
+        return cls(
+            np.empty((0, ndims), dtype=np.int64),
+            {name: np.empty(0, dtype=dtype) for name, dtype in attr_dtypes.items()},
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["CellSet"]) -> "CellSet":
+        """Concatenate cell sets that share shape and attribute columns."""
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            raise SchemaError("cannot concatenate zero cell sets")
+        if len(parts) == 1:
+            return parts[0]
+        first = parts[0]
+        for other in parts[1:]:
+            if other.ndims != first.ndims:
+                raise SchemaError(
+                    f"cannot concatenate cell sets of {first.ndims} and "
+                    f"{other.ndims} dimensions"
+                )
+            if set(other.attrs) != set(first.attrs):
+                raise SchemaError(
+                    f"cannot concatenate cell sets with attribute columns "
+                    f"{sorted(first.attrs)} and {sorted(other.attrs)}"
+                )
+        coords = np.concatenate([p.coords for p in parts])
+        attrs = {
+            name: np.concatenate([p.attrs[name] for p in parts])
+            for name in first.attrs
+        }
+        return cls(coords, attrs)
+
+    # -------------------------------------------------------------- protocol
+
+    @property
+    def ndims(self) -> int:
+        return self.coords.shape[1]
+
+    @property
+    def attr_names(self) -> tuple[str, ...]:
+        return tuple(self.attrs)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CellSet(n={len(self)}, ndims={self.ndims}, "
+            f"attrs={list(self.attrs)})"
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate stored size (coordinates plus attribute columns)."""
+        return self.coords.nbytes + sum(col.nbytes for col in self.attrs.values())
+
+    # --------------------------------------------------------------- columns
+
+    def column(self, name: str) -> np.ndarray:
+        """Fetch a field column: a named attribute or a coordinate axis.
+
+        Coordinate axes are addressed by position via :meth:`dim_column`;
+        this method resolves attribute names only.
+        """
+        try:
+            return self.attrs[name]
+        except KeyError:
+            raise SchemaError(f"cell set has no attribute {name!r}") from None
+
+    def dim_column(self, axis: int) -> np.ndarray:
+        """Fetch one coordinate axis as a column."""
+        if not 0 <= axis < self.ndims:
+            raise SchemaError(f"axis {axis} out of range for {self.ndims}-D cells")
+        return self.coords[:, axis]
+
+    def with_attrs(self, names: Iterable[str]) -> "CellSet":
+        """Project to a subset of attribute columns (vertical partitioning)."""
+        names = list(names)
+        missing = [n for n in names if n not in self.attrs]
+        if missing:
+            raise SchemaError(f"cell set has no attributes {missing}")
+        return CellSet(self.coords, {n: self.attrs[n] for n in names})
+
+    def rename_attrs(self, mapping: Mapping[str, str]) -> "CellSet":
+        """Rename attribute columns; names absent from ``mapping`` are kept."""
+        return CellSet(
+            self.coords,
+            {mapping.get(name, name): col for name, col in self.attrs.items()},
+        )
+
+    # ------------------------------------------------------------- selection
+
+    def take(self, index: np.ndarray) -> "CellSet":
+        """Select cells by integer index or boolean mask."""
+        index = np.asarray(index)
+        return CellSet(
+            self.coords[index],
+            {name: col[index] for name, col in self.attrs.items()},
+        )
+
+    def partition(self, keys: np.ndarray, n_parts: int) -> list["CellSet"]:
+        """Split into ``n_parts`` cell sets grouped by an integer key column.
+
+        ``keys[i]`` in ``[0, n_parts)`` names the part receiving cell ``i``.
+        Empty parts are returned as empty cell sets with matching columns.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(keys) != len(self):
+            raise SchemaError(
+                f"partition keys ({len(keys)}) do not match cell count ({len(self)})"
+            )
+        if len(keys) and (keys.min() < 0 or keys.max() >= n_parts):
+            raise SchemaError(
+                f"partition keys outside [0, {n_parts}): "
+                f"min={keys.min()}, max={keys.max()}"
+            )
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.searchsorted(sorted_keys, np.arange(n_parts + 1))
+        sorted_cells = self.take(order)
+        return [
+            sorted_cells.take(np.arange(boundaries[p], boundaries[p + 1]))
+            for p in range(n_parts)
+        ]
+
+    # --------------------------------------------------------------- sorting
+
+    def c_order(self) -> np.ndarray:
+        """Stable argsort in C-style order: outermost dimension first."""
+        if self.ndims == 0:
+            return np.arange(len(self))
+        # np.lexsort sorts by the *last* key first, so feed axes reversed.
+        keys = tuple(self.coords[:, axis] for axis in range(self.ndims - 1, -1, -1))
+        return np.lexsort(keys)
+
+    def sorted_c_order(self) -> "CellSet":
+        """Return a copy sorted in C-style dimension order (Section 2.1)."""
+        return self.take(self.c_order())
+
+    def is_c_ordered(self) -> bool:
+        """True when cells are already in C-style dimension order."""
+        if len(self) <= 1 or self.ndims == 0:
+            return True
+        prev, cur = self.coords[:-1], self.coords[1:]
+        # Vectorised lexicographic check: find first axis where rows differ.
+        diff = prev != cur
+        first_diff = np.where(diff.any(axis=1), diff.argmax(axis=1), -1)
+        rows = np.arange(len(prev))
+        differing = first_diff >= 0
+        if not differing.any():
+            return True
+        axis_vals_prev = prev[rows[differing], first_diff[differing]]
+        axis_vals_cur = cur[rows[differing], first_diff[differing]]
+        return bool((axis_vals_prev <= axis_vals_cur).all())
+
+    # ------------------------------------------------------------ comparison
+
+    def to_structured(self, fields: Sequence[str] | None = None) -> np.ndarray:
+        """Pack coordinates and attributes into one structured array.
+
+        Used for multiset comparison in tests and for hashing composite keys.
+        ``fields`` may select a subset of attribute names; coordinates are
+        always included, as ``__dim0``, ``__dim1``, ...
+        """
+        names = list(fields) if fields is not None else list(self.attrs)
+        dtype = [(f"__dim{i}", np.int64) for i in range(self.ndims)]
+        dtype += [(name, self.attrs[name].dtype) for name in names]
+        out = np.empty(len(self), dtype=dtype)
+        for i in range(self.ndims):
+            out[f"__dim{i}"] = self.coords[:, i]
+        for name in names:
+            out[name] = self.attrs[name]
+        return out
+
+    def same_cells(self, other: "CellSet") -> bool:
+        """Multiset equality on coordinates plus all attribute columns."""
+        if len(self) != len(other) or self.ndims != other.ndims:
+            return False
+        if set(self.attrs) != set(other.attrs):
+            return False
+        mine = np.sort(self.to_structured(sorted(self.attrs)))
+        theirs = np.sort(other.to_structured(sorted(other.attrs)))
+        return bool(np.array_equal(mine, theirs))
+
+
+def composite_key(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Collapse several columns into a single comparable key column.
+
+    Float columns participate via their bit patterns, which preserves
+    equality for the equi-join predicates this library supports. Returns a
+    1-D structured array usable with ``np.unique`` and ``np.searchsorted``.
+    """
+    if not columns:
+        raise SchemaError("composite key needs at least one column")
+    dtype = []
+    converted = []
+    for i, col in enumerate(columns):
+        col = np.asarray(col)
+        if col.dtype.kind == "f":
+            col = col.view(np.int64) if col.dtype.itemsize == 8 else col.astype(
+                np.float64
+            ).view(np.int64)
+        dtype.append((f"k{i}", col.dtype))
+        converted.append(col)
+    out = np.empty(len(converted[0]), dtype=dtype)
+    for i, col in enumerate(converted):
+        out[f"k{i}"] = col
+    return out

@@ -1,0 +1,101 @@
+"""Chunks: the unit of storage, memory, I/O, and network transmission.
+
+Each chunk covers a fixed rectangle of the array's dimension space
+(Section 2.1). Only occupied cells are stored, so a chunk's physical size
+is proportional to its occupied-cell count; with storage skew this varies
+widely between chunks of the same array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema
+from repro.errors import SchemaError
+
+
+@dataclass
+class Chunk:
+    """One stored chunk: its grid position plus its occupied cells.
+
+    ``chunk_id`` is the flat C-order index into the schema's chunk grid and
+    ``corner`` is the lowest coordinate the chunk covers. ``sorted_cells``
+    records whether ``cells`` are in C-style dimension order; the merge join
+    requires sorted chunks, while rechunked or hashed data is unordered.
+    """
+
+    chunk_id: int
+    corner: tuple[int, ...]
+    cells: CellSet
+    sorted_cells: bool = field(default=True)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def nbytes(self) -> int:
+        return self.cells.nbytes
+
+    def sort(self) -> "Chunk":
+        """Return this chunk with cells in C-style order."""
+        if self.sorted_cells:
+            return self
+        return Chunk(
+            chunk_id=self.chunk_id,
+            corner=self.corner,
+            cells=self.cells.sorted_c_order(),
+            sorted_cells=True,
+        )
+
+    def validate_against(self, schema: ArraySchema) -> None:
+        """Check that every cell falls inside this chunk's rectangle."""
+        if schema.is_dimensionless():
+            return
+        ids = schema.chunk_ids(self.cells.coords)
+        if len(ids) and not (ids == self.chunk_id).all():
+            stray = self.cells.coords[ids != self.chunk_id][0]
+            raise SchemaError(
+                f"cell {tuple(int(v) for v in stray)} does not belong to "
+                f"chunk {self.chunk_id} of schema {schema.name!r}"
+            )
+
+
+def build_chunks(
+    schema: ArraySchema,
+    cells: CellSet,
+    sort: bool = True,
+) -> dict[int, Chunk]:
+    """Partition a cell set into the schema's chunk grid.
+
+    Empty chunks are not materialised (the engine only stores occupied
+    cells). With ``sort=True`` each chunk's cells are placed in C-style
+    order, matching the on-disk layout of Figure 1.
+    """
+    schema.validate_coords(cells.coords)
+    if schema.is_dimensionless():
+        chunk = Chunk(chunk_id=0, corner=(), cells=cells, sorted_cells=True)
+        return {0: chunk} if len(cells) else {}
+    if not len(cells):
+        return {}
+
+    ids = schema.chunk_ids(cells.coords)
+    chunks: dict[int, Chunk] = {}
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    boundaries = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1], True])
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        chunk_id = int(sorted_ids[lo])
+        part = cells.take(order[lo:hi])
+        if sort:
+            part = part.sorted_c_order()
+        chunks[chunk_id] = Chunk(
+            chunk_id=chunk_id,
+            corner=schema.chunk_corner(chunk_id),
+            cells=part,
+            sorted_cells=sort,
+        )
+    return chunks

@@ -1,0 +1,89 @@
+"""Parser for SciDB-style schema literals.
+
+Grammar (whitespace-insensitive)::
+
+    schema  := NAME '<' attrs '>' '[' dims? ']'
+    attrs   := attr (',' attr)*
+    attr    := NAME ':' TYPE
+    dims    := dim (',' dim)*
+    dim     := NAME '=' INT ',' INT ',' INT
+
+Examples::
+
+    A<v1:int64, v2:float64>[i=1,6,3, j=1,6,3]
+    T<i:int64, j:int64>[]            # dimensionless (unordered) output
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.adm.schema import ArraySchema, Attribute, Dimension, TYPE_ALIASES
+from repro.errors import ParseError
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_.]*"
+_SCHEMA_RE = re.compile(
+    rf"^\s*(?P<name>{_NAME})\s*<(?P<attrs>[^>]*)>\s*\[(?P<dims>[^\]]*)\]\s*;?\s*$"
+)
+_ATTR_RE = re.compile(rf"^\s*(?P<name>{_NAME})\s*:\s*(?P<type>[A-Za-z0-9_]+)\s*$")
+_DIM_RE = re.compile(
+    rf"^\s*(?P<name>{_NAME})\s*=\s*(?P<start>-?\d+)\s*,\s*(?P<end>-?\d+)"
+    r"\s*,\s*(?P<interval>\d+)\s*$"
+)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split a comma-separated field list, ignoring empty parts."""
+    return [part for part in (p.strip() for p in text.split(",")) if part]
+
+
+def parse_attribute(text: str) -> Attribute:
+    """Parse a single ``name:type`` attribute declaration."""
+    match = _ATTR_RE.match(text)
+    if not match:
+        raise ParseError(f"malformed attribute declaration: {text!r}")
+    type_name = match.group("type").lower()
+    if type_name not in TYPE_ALIASES:
+        raise ParseError(
+            f"unknown attribute type {type_name!r} in {text!r}; "
+            f"expected one of {sorted(set(TYPE_ALIASES))}"
+        )
+    return Attribute(name=match.group("name"), type_name=TYPE_ALIASES[type_name])
+
+
+def parse_dimension(text: str) -> Dimension:
+    """Parse a single ``name=start,end,interval`` dimension declaration."""
+    match = _DIM_RE.match(text)
+    if not match:
+        raise ParseError(f"malformed dimension declaration: {text!r}")
+    return Dimension(
+        name=match.group("name"),
+        start=int(match.group("start")),
+        end=int(match.group("end")),
+        chunk_interval=int(match.group("interval")),
+    )
+
+
+def parse_schema(literal: str) -> ArraySchema:
+    """Parse a full schema literal into an :class:`ArraySchema`.
+
+    >>> parse_schema("A<v:int64>[i=1,6,3]").dim_names
+    ('i',)
+    """
+    match = _SCHEMA_RE.match(literal)
+    if not match:
+        raise ParseError(f"malformed schema literal: {literal!r}")
+    attrs_text = match.group("attrs").strip()
+    if not attrs_text:
+        raise ParseError(f"schema {match.group('name')!r} declares no attributes")
+    attrs = tuple(parse_attribute(part) for part in _split_top_level(attrs_text))
+
+    # Dimension lists must be split on the commas that *separate* dimensions,
+    # not the ones inside each dimension's start,end,interval triple.
+    dims_text = match.group("dims").strip()
+    dims: tuple[Dimension, ...] = ()
+    if dims_text:
+        dim_parts = re.split(rf"\s*,\s*(?={_NAME}\s*=)", dims_text)
+        dims = tuple(parse_dimension(part) for part in dim_parts)
+
+    return ArraySchema(name=match.group("name"), dims=dims, attrs=attrs)

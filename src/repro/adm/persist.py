@@ -1,0 +1,77 @@
+"""Whole-array persistence on top of the chunk codec.
+
+File format::
+
+    magic u32 | version u16
+    | schema_len u32 | schema literal (utf-8)
+    | n_chunks u32
+    | (block_len u32 | chunk block) per stored chunk
+
+Chunk blocks are the :mod:`repro.adm.storage` format, so attributes stay
+vertically partitioned and RLE-compressed on disk.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.adm.array import LocalArray
+from repro.adm.parser import parse_schema
+from repro.adm.storage import deserialize_chunk, serialize_chunk
+from repro.errors import SchemaError
+
+_MAGIC = 0x41444D46  # "ADMF"
+_VERSION = 1
+
+
+def save_array(array: LocalArray, path: str | Path) -> int:
+    """Write an array to ``path``; returns the bytes written."""
+    path = Path(path)
+    blocks = [
+        serialize_chunk(array.chunks[chunk_id].sort())
+        for chunk_id in sorted(array.chunks)
+    ]
+    schema_bytes = array.schema.to_literal().encode("utf-8")
+    with path.open("wb") as handle:
+        handle.write(struct.pack("<IH", _MAGIC, _VERSION))
+        handle.write(struct.pack("<I", len(schema_bytes)))
+        handle.write(schema_bytes)
+        handle.write(struct.pack("<I", len(blocks)))
+        for block in blocks:
+            handle.write(struct.pack("<I", len(block)))
+            handle.write(block)
+    return path.stat().st_size
+
+
+def load_array(path: str | Path) -> LocalArray:
+    """Read an array previously written by :func:`save_array`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < 10:
+        raise SchemaError(f"{path} is not an ADM array file (truncated)")
+    magic, version = struct.unpack_from("<IH", data)
+    if magic != _MAGIC:
+        raise SchemaError(f"{path} is not an ADM array file (bad magic)")
+    if version != _VERSION:
+        raise SchemaError(
+            f"{path} uses format version {version}; this build reads "
+            f"{_VERSION}"
+        )
+    offset = struct.calcsize("<IH")
+    (schema_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    schema = parse_schema(data[offset : offset + schema_len].decode("utf-8"))
+    offset += schema_len
+    (n_chunks,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+
+    chunks = {}
+    for _ in range(n_chunks):
+        (block_len,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        chunk = deserialize_chunk(data[offset : offset + block_len], schema)
+        chunk.sorted_cells = True  # written sorted by save_array
+        chunks[chunk.chunk_id] = chunk
+        offset += block_len
+    return LocalArray(schema, chunks)

@@ -1,0 +1,88 @@
+"""Array statistics for schema inference.
+
+When an A:A or A:D predicate forces an attribute to become a dimension of
+the join schema, the logical planner "infers the dimension shape by
+referencing statistics in the database engine about the source data"
+(Section 4). This module provides those statistics: simple equi-width
+histograms over attribute values, plus the dimension-inference rule that
+translates them into a range and chunking interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adm.schema import Dimension
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-width histogram over integer-valued attribute data."""
+
+    low: int
+    high: int
+    counts: tuple[int, ...]
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, bins: int = 64) -> "Histogram":
+        values = np.asarray(values)
+        if len(values) == 0:
+            raise SchemaError("cannot build a histogram over zero values")
+        low = int(np.floor(values.min()))
+        high = int(np.ceil(values.max()))
+        counts, _ = np.histogram(values, bins=bins, range=(low, max(high, low + 1)))
+        return cls(low=low, high=high, counts=tuple(int(c) for c in counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.counts)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine value ranges of two histograms (bin detail is rebuilt).
+
+        Only the range matters for dimension inference, so the merged
+        histogram keeps the union range and sums totals into a single bin
+        layout proportional to the wider input.
+        """
+        low = min(self.low, other.low)
+        high = max(self.high, other.high)
+        bins = max(self.n_bins, other.n_bins)
+        counts = [0] * bins
+        for hist in (self, other):
+            span = max(hist.high - hist.low, 1)
+            for i, c in enumerate(hist.counts):
+                center = hist.low + (i + 0.5) * span / hist.n_bins
+                target = int((center - low) / max(high - low, 1) * bins)
+                counts[min(target, bins - 1)] += c
+        return Histogram(low=low, high=high, counts=tuple(counts))
+
+
+def infer_dimension(
+    name: str,
+    histogram: Histogram,
+    target_chunks: int = 32,
+) -> Dimension:
+    """Translate a value histogram into a dimension declaration.
+
+    The inferred dimension covers the observed value range and divides it
+    into roughly ``target_chunks`` chunks, mirroring how the paper turns "a
+    histogram of the source data's value distribution into a set of ranges
+    and chunking intervals".
+    """
+    if target_chunks <= 0:
+        raise SchemaError(f"target_chunks must be positive, got {target_chunks}")
+    extent = histogram.high - histogram.low + 1
+    interval = max(1, -(-extent // target_chunks))
+    return Dimension(
+        name=name,
+        start=histogram.low,
+        end=histogram.high,
+        chunk_interval=interval,
+    )

@@ -1,0 +1,78 @@
+"""Shared benchmark plumbing: records, fits, and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ExperimentRow:
+    """One measured configuration of an experiment."""
+
+    labels: dict[str, object]
+    values: dict[str, float]
+    meta: dict = field(default_factory=dict)
+
+    def get(self, key: str):
+        if key in self.labels:
+            return self.labels[key]
+        return self.values[key]
+
+
+def fit_power_law(x: np.ndarray, y: np.ndarray) -> tuple[float, float, float]:
+    """Least-squares power-law fit ``y = a·x^b`` via log-log regression.
+
+    Returns (a, b, r²). Used for the Figure-5 plan-cost-vs-latency
+    correlation, which the paper reports as a strong power law (r² ≈ 0.9).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    keep = (x > 0) & (y > 0)
+    log_x, log_y = np.log(x[keep]), np.log(y[keep])
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = np.sum((log_y - predicted) ** 2)
+    total = np.sum((log_y - log_y.mean()) ** 2)
+    r2 = 1.0 - residual / total if total > 0 else 1.0
+    return float(np.exp(intercept)), float(slope), float(r2)
+
+
+def fit_linear_r2(x: np.ndarray, y: np.ndarray) -> float:
+    """r² of a linear fit, for the Table-2 model-vs-time verification."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    residual = np.sum((y - predicted) ** 2)
+    total = np.sum((y - y.mean()) ** 2)
+    return float(1.0 - residual / total) if total > 0 else 1.0
+
+
+def format_table(
+    rows: list[ExperimentRow],
+    label_keys: list[str],
+    value_keys: list[str],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table (the bench output format)."""
+    headers = label_keys + value_keys
+    table: list[list[str]] = [headers]
+    for row in rows:
+        rendered = [str(row.labels.get(key, "")) for key in label_keys]
+        for key in value_keys:
+            value = row.values.get(key)
+            rendered.append("" if value is None else f"{value:.4g}")
+        table.append(rendered)
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, line in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo`` — a self-contained end-to-end walkthrough on a small cluster;
+- ``experiments [ids...]`` — print the paper-figure tables (all by
+  default; see ``repro.bench.report.EXPERIMENT_RUNNERS`` for ids);
+- ``report --out FILE [ids...]`` — regenerate a markdown results report;
+- ``query`` — run ad-hoc statements against a fresh session seeded with
+  two demo arrays (reads statements from the arguments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.adm.cells import CellSet
+from repro.session import Session
+
+
+def _demo_session(n_nodes: int = 4, seed: int = 0) -> Session:
+    """A session pre-loaded with two joinable demo arrays A and B."""
+    rng = np.random.default_rng(seed)
+    session = Session(n_nodes=n_nodes)
+    for name in ("A", "B"):
+        coords = np.unique(rng.integers(1, 65, size=(2500, 2)), axis=0)
+        session.create_and_load(
+            f"{name}<v:int64, w:float64>[i=1,64,8, j=1,64,8]",
+            CellSet(
+                coords,
+                {
+                    "v": rng.integers(0, 50, len(coords)),
+                    "w": rng.uniform(0, 1, len(coords)),
+                },
+            ),
+        )
+    return session
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    session = _demo_session(n_nodes=args.nodes)
+    query = "SELECT A.v, B.v FROM A JOIN B ON A.i = B.i AND A.j = B.j"
+    print("arrays:", ", ".join(session.arrays()))
+    print()
+    print(session.explain(query, planner="tabu").describe())
+    print()
+    result = session.execute(query, planner="tabu")
+    print(result.report.describe())
+    print(f"output: {result.array.n_cells} joined cells")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.report import EXPERIMENT_RUNNERS
+
+    names = args.ids or list(EXPERIMENT_RUNNERS)
+    for name in names:
+        if name not in EXPERIMENT_RUNNERS:
+            print(f"unknown experiment {name!r}; choose from "
+                  f"{sorted(EXPERIMENT_RUNNERS)}", file=sys.stderr)
+            return 2
+        runner, kwargs = EXPERIMENT_RUNNERS[name]
+        result = runner(**kwargs)
+        print(result.table())
+        if result.summary:
+            print("summary:", result.summary)
+        print()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import generate_report
+
+    report = generate_report(args.ids or None, stream=sys.stderr)
+    if args.out == "-":
+        print(report)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    session = _demo_session(n_nodes=args.nodes)
+    for statement in args.statements:
+        print(f">>> {statement}")
+        result = session.execute(statement, planner=args.planner)
+        if result is None:
+            print("ok")
+        elif hasattr(result, "report"):
+            print(result.report.describe())
+            print(f"output cells: {result.array.n_cells}")
+        elif hasattr(result, "n_cells"):
+            print(f"{result.n_cells} cells")
+        else:
+            print(result)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Skew-aware shuffle join framework (SIGMOD 2015 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end walkthrough")
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.set_defaults(func=cmd_demo)
+
+    experiments = sub.add_parser(
+        "experiments", help="print paper-figure tables"
+    )
+    experiments.add_argument("ids", nargs="*")
+    experiments.set_defaults(func=cmd_experiments)
+
+    report = sub.add_parser("report", help="write a markdown results report")
+    report.add_argument("--out", default="-")
+    report.add_argument("ids", nargs="*")
+    report.set_defaults(func=cmd_report)
+
+    query = sub.add_parser(
+        "query", help="run statements against a demo session"
+    )
+    query.add_argument("statements", nargs="+")
+    query.add_argument("--nodes", type=int, default=4)
+    query.add_argument("--planner", default="tabu")
+    query.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,256 @@
+"""Discrete-event model of the shuffle's network schedule.
+
+Section 3.4: hosts exchange slices over a fully switched network. Each
+destination has a coordinator-managed *write lock* so only one node writes
+to it at a time; a sender that cannot acquire the lock for the next slice
+greedily tries its other queued slices, and polls when it runs out of
+startable destinations. A node sends at most one slice at a time, and can
+send and receive simultaneously.
+
+This module simulates that protocol exactly, yielding the data-alignment
+phase duration plus per-node traffic totals. The simulation is
+deterministic: ties break by ascending sender id and queue order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Link characteristics of the switched network.
+
+    ``bandwidth_cells_per_s`` is the per-link throughput expressed in array
+    cells (the engine's unit of transfer accounting); ``latency_s`` is the
+    fixed per-slice setup cost (connection + lock acquisition round trip).
+    """
+
+    bandwidth_cells_per_s: float = 200_000.0
+    latency_s: float = 0.00002
+
+    def transfer_time(self, n_cells: int) -> float:
+        """Wall time to move one slice of ``n_cells`` over one link."""
+        return self.latency_s + n_cells / self.bandwidth_cells_per_s
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One slice movement: ``n_cells`` from node ``src`` to node ``dst``."""
+
+    src: int
+    dst: int
+    n_cells: int
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("local slice assembly is not a network transfer")
+        if self.n_cells < 0:
+            raise ValueError(f"negative transfer size {self.n_cells}")
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """A scheduled transfer with its simulated start and end times."""
+
+    transfer: Transfer
+    start: float
+    end: float
+
+
+@dataclass
+class ShuffleSchedule:
+    """The simulated outcome of one data-alignment phase."""
+
+    total_time: float
+    events: list[TransferEvent] = field(default_factory=list)
+    cells_sent: dict[int, int] = field(default_factory=dict)
+    cells_received: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_transfers(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_cells_moved(self) -> int:
+        return sum(e.transfer.n_cells for e in self.events)
+
+
+#: Shuffle scheduling policies, for the Section-3.4 ablation:
+#: - ``greedy_lock`` — the paper's protocol: per-destination write locks
+#:   with the greedy skip-and-poll rule;
+#: - ``head_of_line`` — write locks but no skipping: a sender waits for
+#:   its queue head's destination (head-of-line blocking);
+#: - ``uncoordinated`` — no locks: every receiver accepts concurrent
+#:   streams which fair-share its ingress link (congestion).
+SCHEDULE_POLICIES = ("greedy_lock", "head_of_line", "uncoordinated")
+
+
+def schedule_shuffle(
+    transfers: list[Transfer],
+    params: NetworkParams,
+    policy: str = "greedy_lock",
+) -> ShuffleSchedule:
+    """Simulate a data-alignment shuffle under the chosen policy.
+
+    Invariants enforced by construction (and asserted in tests) for the
+    lock-based policies:
+
+    - a sender has at most one outgoing transfer in flight;
+    - a destination has at most one incoming transfer in flight
+      (the write lock);
+    - under ``greedy_lock``, transfers from one sender start in an order
+      consistent with the greedy skip-and-poll rule.
+    """
+    if policy == "uncoordinated":
+        return _schedule_uncoordinated(transfers, params)
+    if policy not in ("greedy_lock", "head_of_line"):
+        raise ValueError(
+            f"unknown shuffle policy {policy!r}; expected one of "
+            f"{SCHEDULE_POLICIES}"
+        )
+    greedy = policy == "greedy_lock"
+
+    queues: dict[int, deque[Transfer]] = {}
+    for transfer in transfers:
+        queues.setdefault(transfer.src, deque()).append(transfer)
+
+    sender_free: dict[int, float] = {src: 0.0 for src in queues}
+    lock_free: dict[int, float] = {}
+    events: list[TransferEvent] = []
+    cells_sent: dict[int, int] = {}
+    cells_received: dict[int, int] = {}
+
+    now = 0.0
+    remaining = sum(len(q) for q in queues.values())
+    while remaining:
+        progressed = False
+        for src in sorted(queues):
+            queue = queues[src]
+            if not queue or sender_free[src] > now:
+                continue
+            # Greedy rule: first queued slice whose destination lock is
+            # free; without greediness, only the queue head is eligible.
+            candidates = enumerate(queue) if greedy else [(0, queue[0])]
+            for position, transfer in candidates:
+                if lock_free.get(transfer.dst, 0.0) <= now:
+                    del queue[position]
+                    end = now + params.transfer_time(transfer.n_cells)
+                    sender_free[src] = end
+                    lock_free[transfer.dst] = end
+                    events.append(TransferEvent(transfer, start=now, end=end))
+                    cells_sent[src] = cells_sent.get(src, 0) + transfer.n_cells
+                    cells_received[transfer.dst] = (
+                        cells_received.get(transfer.dst, 0) + transfer.n_cells
+                    )
+                    remaining -= 1
+                    progressed = True
+                    break
+        if remaining and not progressed:
+            # Every ready sender is blocked on write locks (or busy):
+            # advance to the next moment a sender or a lock frees up.
+            horizon = [
+                sender_free[src] for src, q in queues.items() if q
+            ] + [
+                lock_free.get(t.dst, 0.0)
+                for q in queues.values()
+                for t in q
+            ]
+            upcoming = [time for time in horizon if time > now]
+            if not upcoming:  # pragma: no cover - defensive
+                raise RuntimeError("shuffle schedule deadlocked")
+            now = min(upcoming)
+
+    total = max((e.end for e in events), default=0.0)
+    return ShuffleSchedule(
+        total_time=total,
+        events=events,
+        cells_sent=cells_sent,
+        cells_received=cells_received,
+    )
+
+
+def _schedule_uncoordinated(
+    transfers: list[Transfer],
+    params: NetworkParams,
+) -> ShuffleSchedule:
+    """Fluid simulation of lock-free shuffling.
+
+    Senders still serialise their own outgoing slices (one NIC), but
+    receivers accept every incoming stream at once; concurrent streams
+    into one receiver fair-share its ingress bandwidth. Transfer rates
+    are piecewise constant between events, recomputed whenever a
+    transfer completes — the congestion picture the write lock exists to
+    avoid (Section 3.4).
+    """
+    queues: dict[int, deque[Transfer]] = {}
+    for transfer in transfers:
+        queues.setdefault(transfer.src, deque()).append(transfer)
+
+    active: list[list] = []  # [transfer, remaining_cells, start]
+    events: list[TransferEvent] = []
+    cells_sent: dict[int, int] = {}
+    cells_received: dict[int, int] = {}
+    now = 0.0
+
+    def launch_ready() -> None:
+        for src in sorted(queues):
+            queue = queues[src]
+            busy = any(entry[0].src == src for entry in active)
+            if queue and not busy:
+                transfer = queue.popleft()
+                active.append(
+                    [transfer, float(transfer.n_cells), now + params.latency_s]
+                )
+
+    launch_ready()
+    while active or any(queues.values()):
+        if not active:  # pragma: no cover - defensive
+            launch_ready()
+            continue
+        # Fair-share rates per receiver.
+        fan_in: dict[int, int] = {}
+        for transfer, _, _ in active:
+            fan_in[transfer.dst] = fan_in.get(transfer.dst, 0) + 1
+        rates = [
+            params.bandwidth_cells_per_s / fan_in[transfer.dst]
+            for transfer, _, _ in active
+        ]
+        # Next completion time (latency counts as zero-rate lead-in).
+        completions = []
+        for (transfer, remaining, start), rate in zip(active, rates):
+            lead_in = max(start - now, 0.0)
+            completions.append(lead_in + remaining / rate)
+        step = min(completions)
+        now += step
+        still_active = []
+        for index, ((transfer, remaining, start), rate) in enumerate(
+            zip(active, rates)
+        ):
+            lead_in = max(start - (now - step), 0.0)
+            effective = max(step - lead_in, 0.0)
+            remaining -= effective * rate
+            if remaining <= 1e-9:
+                events.append(
+                    TransferEvent(transfer, start=start, end=now)
+                )
+                cells_sent[transfer.src] = (
+                    cells_sent.get(transfer.src, 0) + transfer.n_cells
+                )
+                cells_received[transfer.dst] = (
+                    cells_received.get(transfer.dst, 0) + transfer.n_cells
+                )
+            else:
+                still_active.append([transfer, remaining, start])
+        active[:] = still_active
+        launch_ready()
+
+    total = max((e.end for e in events), default=0.0)
+    return ShuffleSchedule(
+        total_time=total,
+        events=events,
+        cells_sent=cells_sent,
+        cells_received=cells_received,
+    )

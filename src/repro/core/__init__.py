@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the shuffle join optimization framework.
+
+- :mod:`repro.core.join_schema` — join schema inference (Section 4)
+- :mod:`repro.core.logical` — dynamic-programming logical planner (Algorithm 1)
+- :mod:`repro.core.logical_cost` — operator cost formulas (Table 1)
+- :mod:`repro.core.slices` — join units, slice functions, slice statistics
+- :mod:`repro.core.cost_model` — the analytical physical cost model (Eqs 4-8)
+- :mod:`repro.core.planners` — Baseline, MBH, Tabu, ILP, and Coarse-ILP
+  physical planners (Section 5.2)
+"""
+
+from repro.core.cost_model import AnalyticalCostModel, CostParams, PlanCost
+from repro.core.join_schema import JoinField, JoinSchema, infer_join_schema
+from repro.core.logical import LogicalPlan, LogicalPlanner
+from repro.core.multijoin import MultiJoinPlan, MultiJoinPlanner
+from repro.core.planners import get_planner, PLANNER_NAMES
+from repro.core.slices import SliceStats
+
+__all__ = [
+    "AnalyticalCostModel",
+    "CostParams",
+    "JoinField",
+    "JoinSchema",
+    "LogicalPlan",
+    "LogicalPlanner",
+    "MultiJoinPlan",
+    "MultiJoinPlanner",
+    "PLANNER_NAMES",
+    "PlanCost",
+    "SliceStats",
+    "get_planner",
+    "infer_join_schema",
+]

@@ -1,0 +1,391 @@
+"""Join schema inference (Section 4, "Join Schema Definition").
+
+For a join τ = α ⋈ β the engine derives an intermediate schema
+``J = {D_J, A_J}`` that (a) groups matching cells deterministically into
+join units and (b) carries exactly the fields needed to evaluate the
+predicate and populate the destination schema τ:
+
+- every dimension of J appears in a join predicate;
+- J has at least one dimension (or, for hash-bucketed plans, at least one
+  key field);
+- ``A_J = D_τ ∪ A_τ ∪ P − D_J`` — the vertically partitioned store only
+  ships necessary attributes;
+- dimension shapes are copied *lazily* from α, β, or τ where the field is
+  already a dimension, and inferred from value histograms otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adm.schema import ArraySchema, Dimension
+from repro.adm.stats import Histogram, infer_dimension
+from repro.errors import PlanningError
+from repro.query.aql import JoinQuery
+from repro.query.predicates import JoinPredicate, PredicateKind, classify_predicates
+
+
+#: Upper bound on the join schema's total chunk count: join units stay
+#: "of moderate size ... without overwhelming the physical planner"
+#: (Section 3.3). Copied dimensions (already materialised grids) are
+#: honoured as-is; only histogram-inferred dimensions share the budget.
+MAX_CHUNK_UNITS = 4096
+
+
+@dataclass(frozen=True)
+class JoinField:
+    """One predicate pair, promoted to a potential dimension of J."""
+
+    name: str
+    left_field: str
+    right_field: str
+    kind: PredicateKind
+    #: The inferred dimension shape, or None when the key is float-typed
+    #: and therefore cannot become an integer dimension (hash units only).
+    dim: Dimension | None
+
+
+@dataclass
+class JoinSchema:
+    """The inferred join schema J plus its provenance.
+
+    ``fields`` lists one entry per predicate, in predicate order. The
+    entries with a non-None ``dim`` form ``D_J`` and define the chunk grid
+    for chunk-grained join units; all entries together form the composite
+    key for hash-bucketed join units.
+    """
+
+    fields: list[JoinField]
+    left_schema: ArraySchema
+    right_schema: ArraySchema
+    destination: ArraySchema
+    #: attribute columns that must be shipped from each side (A_J split by
+    #: source), excluding fields recoverable from the join coordinates
+    left_carry: tuple[str, ...] = ()
+    right_carry: tuple[str, ...] = ()
+
+    @property
+    def dims(self) -> tuple[Dimension, ...]:
+        return tuple(f.dim for f in self.fields if f.dim is not None)
+
+    @property
+    def dim_fields(self) -> tuple[JoinField, ...]:
+        return tuple(f for f in self.fields if f.dim is not None)
+
+    @property
+    def chunkable(self) -> bool:
+        """True when J has at least one integer dimension, i.e. chunk-based
+        join units (and therefore redim/rechunk alignment) are possible."""
+        return bool(self.dims)
+
+    @property
+    def chunk_grid(self) -> tuple[int, ...]:
+        return tuple(d.chunk_count for d in self.dims)
+
+    @property
+    def n_chunks(self) -> int:
+        grid = self.chunk_grid
+        return int(np.prod(grid, dtype=np.int64)) if grid else 1
+
+    @property
+    def kind(self) -> PredicateKind:
+        """The join's overall character: D:D only when every pair is D:D."""
+        kinds = {f.kind for f in self.fields}
+        if kinds == {PredicateKind.DIM_DIM}:
+            return PredicateKind.DIM_DIM
+        if PredicateKind.ATTR_ATTR in kinds:
+            return PredicateKind.ATTR_ATTR
+        return PredicateKind.ATTR_DIM
+
+    def conforms(self, side: str) -> bool:
+        """Does a source array already match J's chunk grid and order?
+
+        True when the side's dimensions are exactly the J-dimension source
+        fields, in order, with identical ranges and chunk intervals — the
+        precondition for using ``scan`` (no reorganisation) on that side.
+        """
+        schema = self.left_schema if side == "left" else self.right_schema
+        dim_fields = self.dim_fields
+        if len(dim_fields) != len(self.fields):
+            return False  # some key fields cannot be dimensions at all
+        if len(schema.dims) != len(dim_fields):
+            return False
+        for schema_dim, jfield in zip(schema.dims, dim_fields):
+            source = jfield.left_field if side == "left" else jfield.right_field
+            if schema_dim.name != source:
+                return False
+            if not schema_dim.same_shape(jfield.dim):
+                return False
+        return True
+
+    def grid_matches_destination(self) -> bool:
+        """Does J's chunk grid coincide with the destination schema's?
+
+        When it does, join output lands in the right chunks already and at
+        most a sort is needed; otherwise a redimension must follow the join.
+        """
+        dest = self.destination
+        if dest.is_dimensionless():
+            return True
+        dims = self.dims
+        if len(dims) != len(self.fields):
+            return False
+        if len(dest.dims) != len(dims):
+            return False
+        return all(a.same_shape(b) for a, b in zip(dims, dest.dims))
+
+
+# --------------------------------------------------------------- inference
+
+
+def _union_range(*dims: Dimension) -> tuple[int, int]:
+    return min(d.start for d in dims), max(d.end for d in dims)
+
+
+def _infer_field_dimension(
+    name: str,
+    pred: JoinPredicate,
+    kind: PredicateKind,
+    alpha: ArraySchema,
+    beta: ArraySchema,
+    destination: ArraySchema | None,
+    histograms: dict[str, Histogram],
+    target_chunks: int,
+) -> Dimension | None:
+    """Apply the paper's lazy dimension-shape rule for one predicate field."""
+    donor_dims: list[Dimension] = []
+    if alpha.has_dim(pred.left.field):
+        donor_dims.append(alpha.dim(pred.left.field))
+    if beta.has_dim(pred.right.field):
+        donor_dims.append(beta.dim(pred.right.field))
+    dest_dim = None
+    if destination is not None and destination.has_dim(name):
+        dest_dim = destination.dim(name)
+
+    if donor_dims:
+        # Copy the chunk interval from the largest donor; take the union of
+        # the source ranges (extended to the destination's if present).
+        candidates = donor_dims + ([dest_dim] if dest_dim else [])
+        interval = max(d.chunk_interval for d in candidates)
+        start, end = _union_range(*donor_dims)
+        if dest_dim:
+            start, end = min(start, dest_dim.start), max(end, dest_dim.end)
+        return Dimension(name=name, start=start, end=end, chunk_interval=interval)
+
+    if dest_dim:
+        return dest_dim
+
+    # Both sides store the key as an attribute: float keys cannot become
+    # integer dimensions, integer keys get a histogram-inferred shape.
+    for side_schema, field_name in ((alpha, pred.left.field), (beta, pred.right.field)):
+        if side_schema.attr(field_name).type_name == "float64":
+            return None
+    merged: Histogram | None = None
+    for key in (f"{alpha.name}.{pred.left.field}", f"{beta.name}.{pred.right.field}"):
+        hist = histograms.get(key)
+        if hist is not None:
+            merged = hist if merged is None else merged.merge(hist)
+    if merged is None:
+        return None  # no statistics: fall back to hash-bucketed units
+    return infer_dimension(name, merged, target_chunks=target_chunks)
+
+
+def default_destination(
+    query: JoinQuery,
+    alpha: ArraySchema,
+    beta: ArraySchema,
+) -> ArraySchema:
+    """The Equation-3 default output schema for τ = α ⋈ β.
+
+    ``D_τ = D_α ∪ D_β − (D_β ∩ D_P)`` and
+    ``A_τ = A_α ∪ A_β − (A_β ∩ A_P)``: the natural-join convention where
+    the right side's predicate fields collapse into the left side's.
+    Attribute name collisions are resolved by prefixing the array name.
+    """
+    pred_right_dims = {
+        p.right.field for p in query.predicates if beta.has_dim(p.right.field)
+    }
+    pred_right_attrs = {
+        p.right.field for p in query.predicates if beta.has_attr(p.right.field)
+    }
+    dims = list(alpha.dims) + [
+        d for d in beta.dims
+        if d.name not in pred_right_dims and not alpha.has_dim(d.name)
+    ]
+    attrs = list(alpha.attrs)
+    taken = {a.name for a in attrs} | {d.name for d in dims}
+    for attr in beta.attrs:
+        if attr.name in pred_right_attrs:
+            continue
+        name = attr.name
+        if name in taken:
+            name = f"{beta.name}_{attr.name}"
+        attrs.append(attr.__class__(name=name, type_name=attr.type_name))
+        taken.add(name)
+    return ArraySchema(name=query.output_name, dims=tuple(dims), attrs=tuple(attrs))
+
+
+def infer_join_schema(
+    query: JoinQuery,
+    alpha: ArraySchema,
+    beta: ArraySchema,
+    histograms: dict[str, Histogram] | None = None,
+    target_chunks_per_dim: int = 32,
+    destination: ArraySchema | None = None,
+) -> JoinSchema:
+    """Derive the join schema J for a parsed join query.
+
+    ``histograms`` maps qualified field names (``"A.v"``) to value
+    histograms, used when an attribute key must become a dimension.
+    ``destination`` overrides the output schema; by default the query's
+    INTO schema or the Equation-3 natural-join default is used.
+    """
+    histograms = histograms or {}
+    kinds = classify_predicates(query.predicates, alpha, beta)
+    if destination is None:
+        destination = query.into_schema or default_destination(query, alpha, beta)
+
+    # First pass: resolve names and dimension shapes that are *copied*
+    # (from source or destination dimensions — the lazy rule).
+    pending: list[tuple] = []
+    used_names: set[str] = set()
+    for pred, kind in kinds.items():
+        name = pred.left.field
+        # Prefer the destination's name for this key if the destination
+        # declares it as a dimension under the right-side name instead.
+        if destination.has_dim(pred.right.field) and not destination.has_dim(name):
+            name = pred.right.field
+        if name in used_names:
+            name = f"{name}_{len(pending)}"
+        used_names.add(name)
+        dim = _infer_field_dimension(
+            name, pred, kind, alpha, beta, destination, {},
+            target_chunks=target_chunks_per_dim,
+        )
+        pending.append((name, pred, kind, dim))
+
+    # Second pass: histogram-inferred dimensions share the remaining grid
+    # budget, keeping the total join-unit count moderate ("without
+    # overwhelming the physical planner", Section 3.3). MAX_CHUNK_UNITS
+    # bounds the product of all chunk counts.
+    copied_grid = 1
+    n_inferred = 0
+    for _, _, _, dim in pending:
+        if dim is not None:
+            copied_grid *= dim.chunk_count
+        else:
+            n_inferred += 1
+    if n_inferred:
+        budget = max(MAX_CHUNK_UNITS / max(copied_grid, 1), 1.0)
+        per_dim_target = max(1, int(budget ** (1.0 / n_inferred)))
+        per_dim_target = min(per_dim_target, target_chunks_per_dim)
+    else:
+        per_dim_target = target_chunks_per_dim
+
+    fields: list[JoinField] = []
+    for name, pred, kind, dim in pending:
+        if dim is None:
+            dim = _infer_field_dimension(
+                name, pred, kind, alpha, beta, destination, histograms,
+                target_chunks=per_dim_target,
+            )
+        fields.append(
+            JoinField(
+                name=name,
+                left_field=pred.left.field,
+                right_field=pred.right.field,
+                kind=kind,
+                dim=dim,
+            )
+        )
+
+    if not fields:
+        raise PlanningError("join schema inference needs at least one predicate")
+
+    schema = JoinSchema(
+        fields=fields,
+        left_schema=alpha,
+        right_schema=beta,
+        destination=destination,
+    )
+    schema.left_carry, schema.right_carry = _carried_fields(
+        query, schema, alpha, beta
+    )
+    return schema
+
+
+def _carried_fields(
+    query: JoinQuery,
+    schema: JoinSchema,
+    alpha: ArraySchema,
+    beta: ArraySchema,
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Compute A_J split by source: fields needed downstream of the join.
+
+    A field is needed if it is referenced by a select expression or by the
+    destination schema; key fields are excluded (recoverable from the join
+    coordinates). Source *dimensions* may be carried too — they materialise
+    as attributes of the join cells (e.g. ``SELECT A.i ... WHERE A.v=B.w``).
+    """
+    needed: set[tuple[str, str]] = set()  # (side, field)
+
+    def note(array_name: str | None, field_name: str) -> None:
+        resolved = _resolve_side(array_name, field_name, alpha, beta)
+        if resolved is not None:
+            needed.add(resolved)
+
+    if query.select_star:
+        for field_name in schema.destination.field_names:
+            note(None, field_name)
+    else:
+        for item in query.select:
+            for ref in item.expr.field_refs():
+                parts = ref.rsplit(".", 1)
+                if len(parts) == 2:
+                    note(parts[0], parts[1])
+                else:
+                    note(None, parts[0])
+        for field_name in schema.destination.dim_names:
+            note(None, field_name)
+
+    key_left = {f.left_field for f in schema.fields}
+    key_right = {f.right_field for f in schema.fields}
+    left = tuple(sorted(f for s, f in needed if s == "left" and f not in key_left))
+    right = tuple(sorted(f for s, f in needed if s == "right" and f not in key_right))
+    return left, right
+
+
+def _resolve_side(
+    array_name: str | None,
+    field_name: str,
+    alpha: ArraySchema,
+    beta: ArraySchema,
+) -> tuple[str, str] | None:
+    """Locate a referenced field on one side of the join, if it exists.
+
+    Destination-only names (e.g. computed output attributes) resolve to
+    None. Qualified references must name one of the two sources.
+    """
+    if array_name == alpha.name:
+        return ("left", field_name)
+    if array_name == beta.name:
+        return ("right", field_name)
+    if array_name is not None:
+        raise PlanningError(
+            f"field reference {array_name}.{field_name} names neither "
+            f"{alpha.name!r} nor {beta.name!r}"
+        )
+    if alpha.has_dim(field_name) or alpha.has_attr(field_name):
+        return ("left", field_name)
+    if beta.has_dim(field_name) or beta.has_attr(field_name):
+        return ("right", field_name)
+    # Collision-renamed fields ("B_v1") point back at their source.
+    for side, schema in (("left", alpha), ("right", beta)):
+        prefix = f"{schema.name}_"
+        if field_name.startswith(prefix):
+            bare = field_name[len(prefix):]
+            if schema.has_dim(bare) or schema.has_attr(bare):
+                return (side, bare)
+    return None

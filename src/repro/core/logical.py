@@ -1,0 +1,285 @@
+"""The dynamic-programming logical join planner (Section 4, Algorithm 1).
+
+The planner enumerates plans of the form::
+
+    (α-align, β-align, joinAlgo, out-align)
+
+where each align step is one of ``scan | redim | rechunk | hash``, the
+join algorithm is ``hash | merge | nested_loop``, and the output step is
+``scan | redim | sort``. Invalid combinations are pruned by
+:func:`validate_plan`; surviving plans are costed with the Table-1
+formulas and the cheapest wins.
+
+The two properties that make good plans (Section 4): reorganise *lazily*
+(only pay redim/rechunk/hash when the layout demands it) and put the
+expensive sort on the side of the join with the lowest cardinality —
+before the join when the output is large, after when it is small.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core import logical_cost as lc
+from repro.core.join_schema import JoinSchema
+from repro.errors import PlanningError
+from repro.query import afl
+
+ALIGN_OPS = ("scan", "redim", "rechunk", "hash")
+JOIN_ALGOS = ("hash", "merge", "nested_loop")
+OUT_OPS = ("scan", "redim", "sort")
+
+#: Data form produced by each align operator.
+_ALIGN_OUTPUT = {
+    "scan": "ordered_chunks",
+    "redim": "ordered_chunks",
+    "rechunk": "unordered_chunks",
+    "hash": "hash_buckets",
+}
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """One candidate logical plan with its analytic cost."""
+
+    alpha_align: str
+    beta_align: str
+    join_algo: str
+    out_align: str
+    cost: float
+    #: "chunk" when join units are J-grid chunks, "bucket" for hash buckets
+    join_unit_kind: str
+    #: True when join units arrive sorted (merge join requirement)
+    units_ordered: bool
+
+    def describe(self) -> str:
+        return (
+            f"{self.join_algo}-join[α:{self.alpha_align}, β:{self.beta_align}, "
+            f"out:{self.out_align}] cost={self.cost:.3g}"
+        )
+
+    def afl(self, schema: JoinSchema) -> str:
+        """Render this plan as an AFL expression."""
+        join_dims = ", ".join(d.to_literal() for d in schema.dims)
+        j_literal = f"<...>[{join_dims}]" if join_dims else "<...>[]"
+        preds = ", ".join(f.name for f in schema.fields)
+
+        def align(op: str, name: str) -> afl.AflNode:
+            if op == "scan":
+                return afl.scan(name)
+            if op == "hash":
+                return afl.AflNode("hash", (afl.scan(name), preds))
+            return afl.AflNode(op, (afl.scan(name), j_literal))
+
+        joiners = {
+            "hash": afl.hash_join,
+            "merge": afl.merge_join,
+            "nested_loop": afl.nested_loop_join,
+        }
+        tree = joiners[self.join_algo](
+            align(self.alpha_align, schema.left_schema.name),
+            align(self.beta_align, schema.right_schema.name),
+        )
+        if self.out_align == "redim":
+            tree = afl.AflNode("redim", (tree, schema.destination.name))
+        elif self.out_align == "sort":
+            tree = afl.AflNode("sort", (tree,))
+        return tree.render()
+
+
+@dataclass(frozen=True)
+class PlanInputs:
+    """Cardinalities and chunk counts feeding the cost formulas."""
+
+    n_alpha: int
+    n_beta: int
+    c_alpha: int
+    c_beta: int
+    selectivity: float = 1.0
+    n_nodes: int = 1
+
+    @property
+    def n_output(self) -> float:
+        return lc.estimate_output_cells(self.n_alpha, self.n_beta, self.selectivity)
+
+
+def validate_plan(
+    alpha_align: str,
+    beta_align: str,
+    join_algo: str,
+    out_align: str,
+    schema: JoinSchema,
+) -> bool:
+    """Plan validation rules (Section 4, "validatePlan").
+
+    - both sides must produce the *same* join-unit space: chunk-grained
+      aligns (scan/redim/rechunk) cannot pair with hash buckets;
+    - ``scan`` on a source requires that it already conforms to J;
+    - ``redim``/``rechunk`` require J to be chunkable (integer key space);
+    - a merge join requires sorted chunks on both inputs;
+    - the output step must actually deliver τ: a bare ``scan`` after a
+      hash or nested-loop join is precluded for destinations with
+      dimensions; ``sort`` only applies when J's grid already matches τ's.
+    """
+    alpha_form = _ALIGN_OUTPUT[alpha_align]
+    beta_form = _ALIGN_OUTPUT[beta_align]
+
+    alpha_is_bucket = alpha_form == "hash_buckets"
+    beta_is_bucket = beta_form == "hash_buckets"
+    if alpha_is_bucket != beta_is_bucket:
+        return False
+
+    for side, op in (("left", alpha_align), ("right", beta_align)):
+        if op == "scan" and not schema.conforms(side):
+            return False
+        if op in ("redim", "rechunk") and not schema.chunkable:
+            return False
+
+    if join_algo == "merge":
+        if alpha_form != "ordered_chunks" or beta_form != "ordered_chunks":
+            return False
+
+    dest = schema.destination
+    grid_ok = schema.grid_matches_destination()
+    join_output_ordered = join_algo == "merge" and not alpha_is_bucket
+
+    if out_align == "scan":
+        if dest.is_dimensionless():
+            return True
+        # Output chunks must already be τ's chunks, in sorted order.
+        return grid_ok and join_output_ordered and not alpha_is_bucket
+    if out_align == "sort":
+        if dest.is_dimensionless():
+            return False  # nothing to sort into
+        # Cells are already in τ's chunks but unordered.
+        return grid_ok and not alpha_is_bucket and not join_output_ordered
+    if out_align == "redim":
+        if dest.is_dimensionless():
+            return False  # a redim to a dimensionless target is a no-op
+        # Always applicable otherwise; wasteful duplicates of cheaper valid
+        # options are allowed — costing will rank them down.
+        return True
+    raise PlanningError(f"unknown output align step {out_align!r}")
+
+
+def plan_cost(
+    alpha_align: str,
+    beta_align: str,
+    join_algo: str,
+    out_align: str,
+    schema: JoinSchema,
+    inputs: PlanInputs,
+) -> float:
+    """Sum the Table-1 costs of a validated plan."""
+    k = max(inputs.n_nodes, 1)
+    j_chunks = schema.n_chunks
+
+    def align_cost(op: str, n_cells: int) -> float:
+        if op == "scan":
+            return lc.cost_scan(n_cells)
+        if op == "redim":
+            return lc.cost_redim(n_cells, j_chunks)
+        if op == "rechunk":
+            return lc.cost_rechunk(n_cells)
+        if op == "hash":
+            return lc.cost_hash(n_cells)
+        raise PlanningError(f"unknown align step {op!r}")
+
+    total = align_cost(alpha_align, inputs.n_alpha)
+    total += align_cost(beta_align, inputs.n_beta)
+    total += lc.cost_compare(join_algo, inputs.n_alpha, inputs.n_beta)
+
+    n_out = inputs.n_output
+    dest_chunks = schema.destination.n_chunks
+    if out_align == "redim":
+        total += lc.cost_redim(n_out, dest_chunks)
+    elif out_align == "sort":
+        total += lc.cost_sort(n_out, dest_chunks)
+    return total / k
+
+
+class LogicalPlanner:
+    """Enumerates, validates, costs, and ranks logical join plans."""
+
+    def __init__(self, schema: JoinSchema, inputs: PlanInputs):
+        self.schema = schema
+        self.inputs = inputs
+
+    def enumerate_plans(self, include_nested_loop: bool = True) -> list[LogicalPlan]:
+        """All valid plans, cheapest first (the full Algorithm-1 lattice)."""
+        plans: list[LogicalPlan] = []
+        algos = JOIN_ALGOS if include_nested_loop else ("hash", "merge")
+        for alpha_align, beta_align, join_algo, out_align in itertools.product(
+            ALIGN_OPS, ALIGN_OPS, algos, OUT_OPS
+        ):
+            if not validate_plan(
+                alpha_align, beta_align, join_algo, out_align, self.schema
+            ):
+                continue
+            cost = plan_cost(
+                alpha_align, beta_align, join_algo, out_align,
+                self.schema, self.inputs,
+            )
+            unit_kind = (
+                "bucket" if _ALIGN_OUTPUT[alpha_align] == "hash_buckets" else "chunk"
+            )
+            plans.append(
+                LogicalPlan(
+                    alpha_align=alpha_align,
+                    beta_align=beta_align,
+                    join_algo=join_algo,
+                    out_align=out_align,
+                    cost=cost,
+                    join_unit_kind=unit_kind,
+                    units_ordered=join_algo == "merge",
+                )
+            )
+        if not plans:
+            raise PlanningError(
+                "no valid logical plan; the default cross join would be "
+                "required (not modelled by the optimizer)"
+            )
+        plans.sort(key=lambda p: (p.cost, p.describe()))
+        return plans
+
+    #: Relative cost tolerance within which the planner prefers
+    #: hash-bucketed join units: bucket slices are sourced from more
+    #: chunks (and nodes), giving the physical planner a finer-grained
+    #: search space (Section 4, the ``hash`` operator discussion).
+    BUCKET_PREFERENCE_TOLERANCE = 0.01
+
+    @classmethod
+    def _prefer_buckets(cls, plans: list[LogicalPlan]) -> LogicalPlan:
+        """Among near-tied cheapest plans, pick a bucket-unit hash plan.
+
+        The flexibility argument only applies to hash joins — they are
+        the plans the physical planner fine-tunes; merge joins need
+        ordered chunks and the nested loop is never physically planned.
+        """
+        cheapest = plans[0]
+        threshold = cheapest.cost * (1.0 + cls.BUCKET_PREFERENCE_TOLERANCE)
+        for plan in plans:
+            if plan.cost > threshold:
+                break
+            if plan.join_unit_kind == "bucket" and plan.join_algo == "hash":
+                return plan
+        return cheapest
+
+    def best_plan(self, include_nested_loop: bool = True) -> LogicalPlan:
+        """The minimum-cost plan, the output of Algorithm 1."""
+        plans = self.enumerate_plans(include_nested_loop=include_nested_loop)
+        return self._prefer_buckets(plans)
+
+    def plan_named(self, join_algo: str) -> LogicalPlan:
+        """Cheapest valid plan using a specific join algorithm.
+
+        Used by the Figure-5/6 experiments, which compare the best hash,
+        merge, and nested-loop plans against each other.
+        """
+        candidates = [
+            p for p in self.enumerate_plans() if p.join_algo == join_algo
+        ]
+        if not candidates:
+            raise PlanningError(f"no valid plan uses the {join_algo} join")
+        return self._prefer_buckets(candidates)

@@ -1,0 +1,278 @@
+"""Multi-join ordering (the paper's first future-work item).
+
+"Identifying the most efficient order of several joins within a single
+query is one such question" (Section 8). This module answers it with the
+classic Selinger-style dynamic program over connected subsets, driving
+the same machinery as the 2-way planner:
+
+- pairwise join selectivities come from the sampling estimator
+  (:mod:`repro.engine.estimate`);
+- intermediate cardinalities follow the paper's output convention
+  ``|S ⋈ X| = sel × (n_S + n_X)``, with multi-predicate selectivities
+  combined under an independence assumption;
+- each candidate step is costed with the Table-1 formulas for a
+  reorganise-both-sides hash plan (the shape every intermediate join
+  takes: intermediates are dimensionless, so both sides hash);
+- only *connected* extensions are enumerated — a join with no linking
+  predicate would be a cross join, which the framework (like the paper)
+  treats as a non-plan.
+
+The search is left-deep: each step joins the running intermediate with
+one base array, which is exactly what the chained shuffle-join executor
+(:mod:`repro.engine.multijoin`) can run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core import logical_cost as lc
+from repro.errors import PlanningError
+from repro.query.aql import MultiJoinQuery
+from repro.query.predicates import JoinPredicate
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One 2-way join in the ordered plan: ``placed ⋈ array``."""
+
+    placed: tuple[str, ...]
+    array: str
+    predicates: tuple[JoinPredicate, ...]
+    estimated_output: float
+    step_cost: float
+
+
+@dataclass
+class MultiJoinPlan:
+    """An ordered sequence of 2-way joins plus its analytic cost."""
+
+    order: list[str]
+    steps: list[JoinStep] = field(default_factory=list)
+    total_cost: float = 0.0
+
+    def describe(self) -> str:
+        lines = [f"join order: {' ⋈ '.join(self.order)} "
+                 f"(total cost {self.total_cost:.3g})"]
+        for step in self.steps:
+            preds = " AND ".join(str(p) for p in step.predicates)
+            lines.append(
+                f"  ({' ⋈ '.join(step.placed)}) ⋈ {step.array} on {preds} "
+                f"→ ~{step.estimated_output:.3g} cells, "
+                f"cost {step.step_cost:.3g}"
+            )
+        return "\n".join(lines)
+
+
+def predicates_between(
+    query: MultiJoinQuery, left: set[str], right: str
+) -> tuple[JoinPredicate, ...]:
+    """Predicates linking any placed array to the candidate array, oriented
+    so the placed side is on the left."""
+    linking = []
+    for pred in query.predicates:
+        la, ra = pred.left.array, pred.right.array
+        if la in left and ra == right:
+            linking.append(pred)
+        elif ra in left and la == right:
+            linking.append(JoinPredicate(pred.right, pred.left))
+    return tuple(linking)
+
+
+def _pair_key(pred: JoinPredicate) -> frozenset:
+    return frozenset((pred.left.array, pred.right.array))
+
+
+class MultiJoinPlanner:
+    """Orders the 2-way joins of a multi-join query.
+
+    ``sizes`` maps array name → cell count; ``pair_selectivities`` maps
+    ``frozenset({P, Q})`` → the estimated selectivity of joining P and Q
+    on *all* predicates linking them (see
+    :func:`repro.engine.multijoin.estimate_pair_selectivities`).
+    """
+
+    def __init__(
+        self,
+        sizes: dict[str, int],
+        pair_selectivities: dict[frozenset, float],
+    ):
+        self.sizes = sizes
+        self.pair_selectivities = pair_selectivities
+
+    # ------------------------------------------------------------ estimates
+
+    def _extension_selectivity(
+        self, placed: set[str], candidate: str
+    ) -> float:
+        """Combined selectivity of all pairs linking ``candidate`` into
+        ``placed`` (independence assumption across pairs)."""
+        selectivity = 1.0
+        found = False
+        for pair, pair_sel in self.pair_selectivities.items():
+            if candidate in pair and (pair - {candidate}) <= placed:
+                found = True
+                selectivity *= pair_sel
+        if not found:
+            raise PlanningError(
+                f"no selectivity estimate links {candidate!r} to "
+                f"{sorted(placed)}"
+            )
+        return selectivity
+
+    @staticmethod
+    def _step_cost(n_left: float, n_right: float, n_out: float) -> float:
+        """Table-1 cost of one intermediate join: hash both sides, linear
+        comparison, one pass to materialise the output."""
+        return (
+            lc.cost_hash(n_left)
+            + lc.cost_hash(n_right)
+            + lc.cost_compare("hash", n_left, n_right)
+            + n_out
+        )
+
+    # --------------------------------------------------------------- search
+
+    @staticmethod
+    def _insert_frontier(frontier: list, entry: tuple) -> None:
+        """Keep only (cost, cells)-Pareto-optimal entries per subset.
+
+        Under the paper's cardinality convention
+        ``|S ⋈ X| = sel × (n_S + n_X)`` an intermediate's size depends on
+        the *order* within S, not just the subset — so min-cost-per-subset
+        does not have optimal substructure (a pricier prefix with a
+        smaller intermediate can win later). Dominance pruning restores
+        exactness: an entry survives unless another is at least as good
+        on both cost and cells.
+        """
+        cost, cells = entry[0], entry[1]
+        for other in frontier:
+            if other[0] <= cost and other[1] <= cells:
+                return  # dominated
+        frontier[:] = [
+            other for other in frontier
+            if not (cost <= other[0] and cells <= other[1])
+        ]
+        frontier.append(entry)
+
+    def plan(self, query: MultiJoinQuery) -> MultiJoinPlan:
+        """Dynamic program over connected subsets; exact among left-deep
+        orders (Pareto frontiers per subset, see :meth:`_insert_frontier`).
+        """
+        arrays = list(query.arrays)
+        if len(arrays) < 3:
+            raise PlanningError("multi-join planning needs at least 3 arrays")
+        missing = [name for name in arrays if name not in self.sizes]
+        if missing:
+            raise PlanningError(f"no size estimates for arrays {missing}")
+
+        # state: frozenset of placed arrays ->
+        #        Pareto list of (cost, est_cells, order, steps)
+        best: dict[frozenset, list] = {}
+        for first, second in combinations(arrays, 2):
+            preds = predicates_between(query, {first}, second)
+            if not preds:
+                continue
+            sel = self._extension_selectivity({first}, second)
+            n_left = float(self.sizes[first])
+            n_right = float(self.sizes[second])
+            n_out = lc.estimate_output_cells(n_left, n_right, sel)
+            cost = self._step_cost(n_left, n_right, n_out)
+            step = JoinStep(
+                placed=(first,),
+                array=second,
+                predicates=preds,
+                estimated_output=n_out,
+                step_cost=cost,
+            )
+            state = frozenset((first, second))
+            self._insert_frontier(
+                best.setdefault(state, []),
+                (cost, n_out, [first, second], [step]),
+            )
+
+        for size in range(2, len(arrays)):
+            for state in [s for s in best if len(s) == size]:
+                for cost, cells, order, steps in list(best[state]):
+                    for candidate in arrays:
+                        if candidate in state:
+                            continue
+                        preds = predicates_between(
+                            query, set(state), candidate
+                        )
+                        if not preds:
+                            continue
+                        sel = self._extension_selectivity(
+                            set(state), candidate
+                        )
+                        n_right = float(self.sizes[candidate])
+                        n_out = lc.estimate_output_cells(cells, n_right, sel)
+                        step_cost = self._step_cost(cells, n_right, n_out)
+                        step = JoinStep(
+                            placed=tuple(order),
+                            array=candidate,
+                            predicates=preds,
+                            estimated_output=n_out,
+                            step_cost=step_cost,
+                        )
+                        new_state = state | {candidate}
+                        self._insert_frontier(
+                            best.setdefault(new_state, []),
+                            (
+                                cost + step_cost,
+                                n_out,
+                                order + [candidate],
+                                steps + [step],
+                            ),
+                        )
+
+        goal = frozenset(arrays)
+        if not best.get(goal):
+            raise PlanningError(
+                "the join graph is disconnected: some arrays share no "
+                "predicate with the rest (a cross join is required, which "
+                "the optimizer does not plan)"
+            )
+        cost, _, order, steps = min(best[goal], key=lambda e: e[0])
+        return MultiJoinPlan(order=order, steps=steps, total_cost=cost)
+
+    def plan_fixed_order(
+        self, query: MultiJoinQuery, order: list[str]
+    ) -> MultiJoinPlan:
+        """Cost a *given* left-deep order (for ordering comparisons).
+
+        Every extension must still be connected by a predicate.
+        """
+        if sorted(order) != sorted(query.arrays):
+            raise PlanningError(
+                f"order {order} does not cover the query's arrays"
+            )
+        placed = [order[0]]
+        cells = float(self.sizes[order[0]])
+        steps: list[JoinStep] = []
+        total = 0.0
+        for candidate in order[1:]:
+            preds = predicates_between(query, set(placed), candidate)
+            if not preds:
+                raise PlanningError(
+                    f"order {order}: no predicate links {candidate!r} to "
+                    f"{placed} (cross join required)"
+                )
+            sel = self._extension_selectivity(set(placed), candidate)
+            n_right = float(self.sizes[candidate])
+            n_out = lc.estimate_output_cells(cells, n_right, sel)
+            step_cost = self._step_cost(cells, n_right, n_out)
+            steps.append(
+                JoinStep(
+                    placed=tuple(placed),
+                    array=candidate,
+                    predicates=preds,
+                    estimated_output=n_out,
+                    step_cost=step_cost,
+                )
+            )
+            total += step_cost
+            cells = n_out
+            placed.append(candidate)
+        return MultiJoinPlan(order=list(order), steps=steps, total_cost=total)

@@ -1,0 +1,56 @@
+"""Common physical-planner interface."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import AnalyticalCostModel, PlanCost
+
+
+@dataclass
+class PhysicalPlan:
+    """A join-unit-to-node assignment plus planning metadata."""
+
+    assignment: np.ndarray
+    planner: str
+    cost: PlanCost
+    plan_seconds: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.assignment)
+
+    def describe(self) -> str:
+        return (
+            f"{self.planner}: cost={self.cost.total_seconds:.3f}s "
+            f"(align={self.cost.align_seconds:.3f}s, "
+            f"compare={self.cost.compare_seconds:.3f}s), "
+            f"planned in {self.plan_seconds:.3f}s"
+        )
+
+
+class PhysicalPlanner:
+    """Base class: subclasses implement :meth:`assign`."""
+
+    name = "abstract"
+
+    def assign(self, model: AnalyticalCostModel) -> tuple[np.ndarray, dict]:
+        """Produce (assignment, metadata) for the model's slice stats."""
+        raise NotImplementedError
+
+    def plan(self, model: AnalyticalCostModel) -> PhysicalPlan:
+        """Run the planner, timing it and costing the result."""
+        start = time.perf_counter()
+        assignment, meta = self.assign(model)
+        elapsed = time.perf_counter() - start
+        return PhysicalPlan(
+            assignment=np.asarray(assignment, dtype=np.int64),
+            planner=self.name,
+            cost=model.plan_cost(assignment),
+            plan_seconds=elapsed,
+            meta=meta,
+        )

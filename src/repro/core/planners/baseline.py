@@ -1,0 +1,51 @@
+"""The skew-agnostic baseline planner (Section 6.2, "Baseline").
+
+It decides at the level of entire arrays, the approach taken from
+relational optimizers:
+
+- **merge joins**: move the smaller array to the larger one — every join
+  unit is processed where the larger array already stores its slice;
+- **hash joins**: with ``b`` buckets over ``k`` nodes, the first
+  ``ceil(b/k)`` buckets go to node 0, the next block to node 1, and so
+  on, regardless of where the cells actually live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_model import AnalyticalCostModel
+from repro.core.planners.base import PhysicalPlanner
+
+
+class BaselinePlanner(PhysicalPlanner):
+    name = "baseline"
+
+    def assign(self, model: AnalyticalCostModel) -> tuple[np.ndarray, dict]:
+        stats = model.stats
+        if model.algorithm == "merge":
+            return self._merge_assignment(stats)
+        return self._hash_assignment(stats)
+
+    def _merge_assignment(self, stats) -> tuple[np.ndarray, dict]:
+        left_total = int(stats.left_unit_totals.sum())
+        right_total = int(stats.right_unit_totals.sum())
+        # The *larger* array stays put: each unit joins wherever the larger
+        # array's slice of it lives (its per-unit argmax — whole chunks
+        # live on one node in the base layout).
+        anchor = stats.s_left if left_total >= right_total else stats.s_right
+        assignment = np.argmax(anchor, axis=1).astype(np.int64)
+        # Units absent from the anchor array fall back to wherever the
+        # other side stores them.
+        other = stats.s_right if left_total >= right_total else stats.s_left
+        missing = anchor.sum(axis=1) == 0
+        assignment[missing] = np.argmax(other[missing], axis=1)
+        meta = {"anchor_side": "left" if left_total >= right_total else "right"}
+        return assignment, meta
+
+    def _hash_assignment(self, stats) -> tuple[np.ndarray, dict]:
+        block = -(-stats.n_units // stats.n_nodes)
+        assignment = np.minimum(
+            np.arange(stats.n_units) // block, stats.n_nodes - 1
+        ).astype(np.int64)
+        return assignment, {"block_size": block}

@@ -1,0 +1,137 @@
+"""Tabu search physical planner (Section 5.2, Algorithm 2).
+
+A locally optimal search seeded by the Minimum Bandwidth Heuristic. Each
+round it visits every node whose per-node analytical cost exceeds the
+cluster mean and tries to move that node's join units, one at a time, to
+any other node, accepting a move only if it lowers the *global* plan cost
+(Equation 8). The tabu list caches data-to-node assignments that have
+ever held — not whole plans — which keeps the search polynomial
+(O(n × k) reassignments total), prevents ping-pong loops between
+non-bottleneck nodes, and reflects that re-placing a unit where it
+already was is unlikely to be profitable.
+
+Implementation note: a what-if evaluation only changes two entries of the
+per-node send/recv/compare vectors, so each candidate is scored in O(1)
+scalar work against precomputed top-3 maxima instead of rebuilding the
+whole cost (the planner evaluates up to n × k candidates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_model import AnalyticalCostModel
+from repro.core.planners.base import PhysicalPlanner
+from repro.core.planners.mbh import MinimumBandwidthPlanner
+
+
+def _top3(values: np.ndarray) -> list[tuple[float, int]]:
+    """The three largest (value, index) pairs, descending."""
+    order = np.argsort(values)[::-1][:3]
+    return [(float(values[i]), int(i)) for i in order]
+
+
+def _max_excluding(top3: list[tuple[float, int]], skip_a: int, skip_b: int) -> float:
+    """Max of a vector excluding two indices, given its top-3 entries."""
+    for value, index in top3:
+        if index != skip_a and index != skip_b:
+            return value
+    return 0.0
+
+
+class TabuPlanner(PhysicalPlanner):
+    name = "tabu"
+
+    def __init__(self, max_rounds: int = 64, use_tabu_list: bool = True):
+        """``use_tabu_list=False`` disables the assignment cache (for the
+        ablation study): the search may then revisit placements, so it is
+        additionally bounded by ``max_rounds`` to preclude ping-pong
+        loops — the failure mode the list exists to prevent."""
+        self.max_rounds = max_rounds
+        self.use_tabu_list = use_tabu_list
+
+    def assign(self, model: AnalyticalCostModel) -> tuple[np.ndarray, dict]:
+        stats = model.stats
+        n_units, n_nodes = stats.n_units, stats.n_nodes
+        s_total = stats.s_total
+        unit_totals = stats.unit_totals
+        unit_costs = model.unit_costs
+        t = model.params.t
+
+        assignment, _ = MinimumBandwidthPlanner().assign(model)
+        assignment = assignment.copy()
+        tabu = np.zeros((n_units, n_nodes), dtype=bool)
+        if self.use_tabu_list:
+            tabu[np.arange(n_units), assignment] = True
+
+        send, recv, compare = model.node_totals(assignment)
+        send = send.astype(np.float64)
+        recv = recv.astype(np.float64)
+        best_cost = model.cost_from_totals(send, recv, compare)
+        moves = 0
+        evaluations = 0
+
+        for _ in range(self.max_rounds):
+            changed = False
+            per_node = np.maximum(send, recv) * t + compare
+            mean_cost = float(per_node.mean())
+            for node in range(n_nodes):
+                if per_node[node] <= mean_cost:
+                    continue
+                top_send = _top3(send)
+                top_recv = _top3(recv)
+                top_comp = _top3(compare)
+                for unit in np.flatnonzero(assignment == node):
+                    source = int(assignment[unit])
+                    if source != node:
+                        continue
+                    total_i = float(unit_totals[unit])
+                    cost_i = float(unit_costs[unit])
+                    send_src = send[source] + s_total[unit, source]
+                    recv_src = recv[source] - (total_i - s_total[unit, source])
+                    comp_src = compare[source] - cost_i
+                    for target in range(n_nodes):
+                        if target == source or tabu[unit, target]:
+                            continue
+                        evaluations += 1
+                        send_tgt = send[target] - s_total[unit, target]
+                        recv_tgt = recv[target] + (total_i - s_total[unit, target])
+                        comp_tgt = compare[target] + cost_i
+                        align = max(
+                            _max_excluding(top_send, source, target),
+                            send_src,
+                            send_tgt,
+                            _max_excluding(top_recv, source, target),
+                            recv_src,
+                            recv_tgt,
+                        )
+                        candidate = align * t + max(
+                            _max_excluding(top_comp, source, target),
+                            comp_src,
+                            comp_tgt,
+                        )
+                        if candidate < best_cost:
+                            assignment[unit] = target
+                            if self.use_tabu_list:
+                                tabu[unit, target] = True
+                            send[source], send[target] = send_src, send_tgt
+                            recv[source], recv[target] = recv_src, recv_tgt
+                            compare[source], compare[target] = comp_src, comp_tgt
+                            best_cost = candidate
+                            top_send = _top3(send)
+                            top_recv = _top3(recv)
+                            top_comp = _top3(compare)
+                            moves += 1
+                            changed = True
+                            break  # unit moved; continue with the next unit
+            if not changed:
+                break
+            send, recv, compare = model.node_totals(assignment)
+            send = send.astype(np.float64)
+            recv = recv.astype(np.float64)
+
+        return assignment, {
+            "moves": moves,
+            "evaluations": evaluations,
+            "final_cost": best_cost,
+        }

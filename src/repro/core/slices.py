@@ -1,0 +1,237 @@
+"""Join units, slice functions, and slice statistics (Section 3.1).
+
+A *join unit* is a non-overlapping set of cells responsible for a fraction
+of the predicate space: cells that must be compared for possible matches.
+Units are either chunks of J's grid (range partitioning by the join
+dimensions) or hash buckets over the composite key. A *slice* is the part
+of one join unit stored on one node in one source array — the unit of
+network transfer. Each node applies the *slice function* to its local
+cells in parallel and reports slice sizes to the coordinator; those sizes
+form the :class:`SliceStats` matrices that physical planners consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema
+from repro.core.join_schema import JoinSchema
+from repro.errors import PlanningError
+
+
+@dataclass
+class SliceStats:
+    """Per-unit, per-node slice sizes for both sides of the join.
+
+    ``s_left[i, j]`` is the number of cells of the left array belonging to
+    join unit ``i`` that are stored on node ``j`` (the paper's s_{i,j},
+    kept per side so hash-join build/probe costs can be modelled).
+    """
+
+    s_left: np.ndarray
+    s_right: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.s_left = np.asarray(self.s_left, dtype=np.int64)
+        self.s_right = np.asarray(self.s_right, dtype=np.int64)
+        if self.s_left.shape != self.s_right.shape:
+            raise PlanningError(
+                f"slice matrices disagree: {self.s_left.shape} vs "
+                f"{self.s_right.shape}"
+            )
+        if self.s_left.ndim != 2:
+            raise PlanningError("slice statistics must be (n_units, n_nodes)")
+
+    @property
+    def n_units(self) -> int:
+        return self.s_left.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.s_left.shape[1]
+
+    @property
+    def s_total(self) -> np.ndarray:
+        """Combined slice sizes, both sides: (n_units, n_nodes)."""
+        return self.s_left + self.s_right
+
+    @property
+    def unit_totals(self) -> np.ndarray:
+        """S_i: total cells of each join unit across all nodes and sides."""
+        return self.s_total.sum(axis=1)
+
+    @property
+    def left_unit_totals(self) -> np.ndarray:
+        return self.s_left.sum(axis=1)
+
+    @property
+    def right_unit_totals(self) -> np.ndarray:
+        return self.s_right.sum(axis=1)
+
+    @property
+    def total_cells(self) -> int:
+        return int(self.unit_totals.sum())
+
+    def center_of_gravity(self) -> np.ndarray:
+        """The node holding the largest share of each unit (Equation 9).
+
+        Ties rotate deterministically by unit id rather than collapsing
+        onto the lowest node id: with near-identical chunk sizes
+        (adversarial skew) or empty units, an argmax convention would
+        pile every tied unit onto node 0.
+        """
+        s_total = self.s_total
+        max_values = s_total.max(axis=1, keepdims=True)
+        tied = s_total == max_values
+        units = np.arange(self.n_units)
+        # Preference 0 goes to node (unit mod k), 1 to the next node, ...
+        preference = (np.arange(self.n_nodes)[None, :] - units[:, None]) % self.n_nodes
+        score = np.where(tied, preference, self.n_nodes)
+        return np.argmin(score, axis=1).astype(np.int64)
+
+    def merged(self, groups: np.ndarray, n_groups: int) -> "SliceStats":
+        """Aggregate units into coarser groups (for the Coarse ILP solver)."""
+        groups = np.asarray(groups, dtype=np.int64)
+        if groups.shape != (self.n_units,):
+            raise PlanningError("group labels must cover every join unit")
+        merged_left = np.zeros((n_groups, self.n_nodes), dtype=np.int64)
+        merged_right = np.zeros((n_groups, self.n_nodes), dtype=np.int64)
+        np.add.at(merged_left, groups, self.s_left)
+        np.add.at(merged_right, groups, self.s_right)
+        return SliceStats(merged_left, merged_right)
+
+
+# ----------------------------------------------------------- slice functions
+
+
+def key_columns(
+    schema: JoinSchema,
+    side: str,
+    cells: CellSet,
+    source_schema: ArraySchema,
+) -> list[np.ndarray]:
+    """Extract the predicate key columns for one side, type-normalised.
+
+    When either side of a predicate pair stores the key as a float
+    attribute, both sides are promoted to float64 so equal values compare
+    and hash identically across the join.
+    """
+    columns: list[np.ndarray] = []
+    for jfield in schema.fields:
+        field_name = jfield.left_field if side == "left" else jfield.right_field
+        if source_schema.has_dim(field_name):
+            axis = source_schema.dim_names.index(field_name)
+            column = cells.dim_column(axis)
+        else:
+            column = cells.column(field_name)
+        columns.append(column)
+    # Promote pairwise: a column is float if either side's field is float.
+    promoted = []
+    for jfield, column in zip(schema.fields, columns):
+        if _field_is_float(schema, jfield):
+            column = column.astype(np.float64)
+        else:
+            column = column.astype(np.int64)
+        promoted.append(column)
+    return promoted
+
+
+def _field_is_float(schema: JoinSchema, jfield) -> bool:
+    for side_schema, name in (
+        (schema.left_schema, jfield.left_field),
+        (schema.right_schema, jfield.right_field),
+    ):
+        if side_schema.has_attr(name) and side_schema.attr(name).type_name == "float64":
+            return True
+    return False
+
+
+def chunk_unit_ids(
+    schema: JoinSchema,
+    side: str,
+    cells: CellSet,
+    source_schema: ArraySchema,
+) -> np.ndarray:
+    """Slice function for chunk-grained join units: J's chunk grid.
+
+    Key values outside J's dimension ranges are clamped into the border
+    chunks — they can still only match cells clamped to the same border.
+    """
+    if not schema.chunkable:
+        raise PlanningError("join schema has no dimensions; use hash units")
+    columns = key_columns(schema, side, cells, source_schema)
+    dim_fields = schema.dim_fields
+    if len(dim_fields) != len(schema.fields):
+        raise PlanningError(
+            "chunk-grained units require every predicate field to be a "
+            "dimension of J"
+        )
+    flat = np.zeros(len(cells), dtype=np.int64)
+    for jfield, column in zip(schema.fields, columns):
+        dim = jfield.dim
+        clamped = np.clip(column.astype(np.int64), dim.start, dim.end)
+        flat = flat * dim.chunk_count + dim.chunk_index_of(clamped)
+    return flat
+
+
+_HASH_MULT = np.uint64(0xBF58476D1CE4E5B9)
+_HASH_SEED = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _mix(values: np.ndarray) -> np.ndarray:
+    """SplitMix64-style avalanche over a uint64 vector."""
+    with np.errstate(over="ignore"):
+        h = values * _HASH_MULT
+        h ^= h >> np.uint64(31)
+        h *= np.uint64(0x94D049BB133111EB)
+        h ^= h >> np.uint64(29)
+    return h
+
+
+def hash_unit_ids(
+    schema: JoinSchema,
+    side: str,
+    cells: CellSet,
+    source_schema: ArraySchema,
+    n_buckets: int,
+) -> np.ndarray:
+    """Slice function for hash-bucketed join units.
+
+    Hashes the full composite predicate key, so every cell pair that can
+    match lands in the same bucket on both sides.
+    """
+    if n_buckets <= 0:
+        raise PlanningError(f"bucket count must be positive, got {n_buckets}")
+    columns = key_columns(schema, side, cells, source_schema)
+    combined = np.full(len(cells), _HASH_SEED, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for column in columns:
+            bits = (
+                column.view(np.uint64)
+                if column.dtype == np.float64
+                else column.astype(np.int64).view(np.uint64)
+            )
+            combined ^= _mix(bits)
+            combined *= _HASH_MULT
+    return (combined % np.uint64(n_buckets)).astype(np.int64)
+
+
+def unit_ids_for(
+    schema: JoinSchema,
+    side: str,
+    cells: CellSet,
+    source_schema: ArraySchema,
+    unit_kind: str,
+    n_buckets: int | None = None,
+) -> np.ndarray:
+    """Dispatch to the slice function matching the logical plan's units."""
+    if unit_kind == "chunk":
+        return chunk_unit_ids(schema, side, cells, source_schema)
+    if unit_kind == "bucket":
+        if n_buckets is None:
+            raise PlanningError("bucket units require an explicit bucket count")
+        return hash_unit_ids(schema, side, cells, source_schema, n_buckets)
+    raise PlanningError(f"unknown join unit kind {unit_kind!r}")

@@ -1,0 +1,43 @@
+"""Shuffle join execution engine.
+
+Performs the two-phase execution of Section 3.4 against the cluster
+simulator: data alignment (slice shuffling under the greedy write-lock
+schedule) followed by per-unit cell comparison with the selected join
+algorithm. The executor really computes the join (numpy cell matching)
+and *derives* phase durations from the simulated network schedule plus
+calibrated per-cell CPU rates.
+"""
+
+from repro.engine.executor import (
+    ExecutionReport,
+    ExplainReport,
+    JoinResult,
+    PreparedJoin,
+    ShuffleJoinExecutor,
+)
+from repro.engine.operators import between, redimension, regrid, subarray
+from repro.engine.aggregate import aggregate, apply_expression, window
+from repro.engine.multijoin import MultiJoinResult, execute_multi_join
+from repro.engine.joins import hash_join_match, merge_join_match, nested_loop_match
+from repro.engine.simulation import SimulationParams
+
+__all__ = [
+    "ExecutionReport",
+    "ExplainReport",
+    "redimension",
+    "between",
+    "subarray",
+    "regrid",
+    "aggregate",
+    "apply_expression",
+    "window",
+    "MultiJoinResult",
+    "execute_multi_join",
+    "JoinResult",
+    "PreparedJoin",
+    "ShuffleJoinExecutor",
+    "SimulationParams",
+    "hash_join_match",
+    "merge_join_match",
+    "nested_loop_match",
+]

@@ -1,0 +1,297 @@
+"""Execution of AFL operator trees (Section 2.2's second query surface).
+
+AQL queries are rewritten internally as AFL in SciDB; this runner closes
+the loop for the reproduction by *executing* AFL trees — the composable
+form users write when operator order matters — against a cluster:
+
+- single-array operators (``scan``, ``filter``, ``project``, ``redim``,
+  ``rechunk``, ``sort``) evaluate directly;
+- ``mergeJoin``/``hashJoin`` evaluate their subtrees, register the
+  intermediates as temporary arrays, and run the shuffle join executor;
+- ``cross`` computes the guarded Cartesian product — the ADM's default
+  (and deliberately worst) plan that the optimizer improves upon.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema, Attribute
+from repro.engine.executor import ShuffleJoinExecutor
+from repro.engine.operators import redimension
+from repro.errors import ExecutionError
+from repro.query.afl import AflNode, apply_filter, parse_afl
+from repro.query.expressions import Expression
+
+#: Guard for the cross join's output size.
+MAX_CROSS_CELLS = 5_000_000
+
+
+class AflRunner:
+    """Evaluates AFL trees against the executor's cluster."""
+
+    def __init__(self, executor: ShuffleJoinExecutor):
+        self.executor = executor
+        self._temp_counter = itertools.count()
+
+    def run(self, tree: AflNode | str) -> LocalArray:
+        """Evaluate an AFL expression, returning the result array."""
+        node = parse_afl(tree) if isinstance(tree, str) else tree
+        return self._evaluate(node)
+
+    # ------------------------------------------------------------- dispatch
+
+    def _evaluate(self, node: AflNode) -> LocalArray:
+        handler = getattr(self, f"_op_{node.op}", None)
+        if handler is None:
+            raise ExecutionError(f"AFL operator {node.op!r} is not executable")
+        return handler(node)
+
+    def _child(self, node: AflNode, index: int = 0) -> LocalArray:
+        arg = node.args[index]
+        if isinstance(arg, AflNode):
+            return self._evaluate(arg)
+        if isinstance(arg, str):
+            return self.executor.cluster.gather_array(arg)
+        raise ExecutionError(
+            f"AFL operator {node.op!r}: operand {index} must be an array"
+        )
+
+    # ---------------------------------------------------------- unary ops
+
+    def _op_scan(self, node: AflNode) -> LocalArray:
+        name = node.args[0]
+        if not isinstance(name, str):
+            raise ExecutionError("scan expects an array name")
+        return self.executor.cluster.gather_array(name)
+
+    def _op_filter(self, node: AflNode) -> LocalArray:
+        predicate = node.args[1]
+        if not isinstance(predicate, Expression):
+            raise ExecutionError("filter expects a boolean expression")
+        return apply_filter(self._child(node), predicate)
+
+    def _op_project(self, node: AflNode) -> LocalArray:
+        array = self._child(node)
+        names = [arg for arg in node.args[1:] if isinstance(arg, str)]
+        missing = [n for n in names if not array.schema.has_attr(n)]
+        if missing:
+            raise ExecutionError(f"project: unknown attributes {missing}")
+        schema = array.schema.with_attrs(
+            [array.schema.attr(n) for n in names]
+        )
+        return LocalArray.from_cells(schema, array.cells().with_attrs(names))
+
+    def _op_redim(self, node: AflNode) -> LocalArray:
+        target = node.args[1]
+        if not isinstance(target, ArraySchema):
+            raise ExecutionError("redim expects a schema literal")
+        name = f"_afl_redim_{next(self._temp_counter)}"
+        return redimension(self._child(node), target.with_name(name))
+
+    # rechunk shares redim's cell movement; the sortedness distinction is
+    # a planner-internal cost matter, not a semantic one.
+    _op_rechunk = _op_redim
+
+    def _op_sort(self, node: AflNode) -> LocalArray:
+        array = self._child(node)
+        return LocalArray.from_cells(array.schema, array.cells(), sort=True)
+
+    def _op_hash(self, node: AflNode) -> LocalArray:
+        # Bucketing is a planner-internal reorganisation; as a standalone
+        # operator it is the identity on the array's contents.
+        return self._child(node)
+
+    def _op_aggregate(self, node: AflNode) -> LocalArray:
+        from repro.engine.aggregate import aggregate
+        from repro.query.aql import AggregateItem
+
+        child = self._child(node)
+        items = [a for a in node.args[1:] if isinstance(a, AggregateItem)]
+        groups = [a for a in node.args[1:] if isinstance(a, str)]
+        if not items:
+            raise ExecutionError(
+                "aggregate expects at least one aggregate item, e.g. "
+                "aggregate(A, sum(v), i)"
+            )
+        return aggregate(child, items, group_by=groups)
+
+    def _op_apply(self, node: AflNode) -> LocalArray:
+        from repro.engine.aggregate import apply_expression
+        from repro.query.expressions import Field
+
+        if len(node.args) != 3:
+            raise ExecutionError("apply expects (array, name, expression)")
+        name = node.args[1]
+        if not isinstance(name, str):
+            raise ExecutionError("apply: the new attribute name must be bare")
+        expr = node.args[2]
+        if isinstance(expr, str):
+            expr = Field(expr)
+        if not isinstance(expr, Expression):
+            raise ExecutionError("apply: third operand must be an expression")
+        return apply_expression(self._child(node), name, expr)
+
+    def _window_bounds(self, node: AflNode, ndims: int):
+        from repro.query.expressions import Const
+
+        values = []
+        for arg in node.args[1:]:
+            if not isinstance(arg, Const):
+                raise ExecutionError(
+                    f"{node.op} expects integer bounds, got {arg!r}"
+                )
+            values.append(int(arg.value))
+        if len(values) != 2 * ndims:
+            raise ExecutionError(
+                f"{node.op} over a {ndims}-D array needs {2 * ndims} bounds, "
+                f"got {len(values)}"
+            )
+        return values[:ndims], values[ndims:]
+
+    def _op_between(self, node: AflNode) -> LocalArray:
+        from repro.engine.operators import between
+
+        child = self._child(node)
+        low, high = self._window_bounds(node, child.schema.ndims)
+        return between(child, low, high)
+
+    def _op_subarray(self, node: AflNode) -> LocalArray:
+        from repro.engine.operators import subarray
+
+        child = self._child(node)
+        low, high = self._window_bounds(node, child.schema.ndims)
+        return subarray(child, low, high)
+
+    def _op_regrid(self, node: AflNode) -> LocalArray:
+        from repro.engine.operators import regrid
+        from repro.query.aql import AggregateItem
+        from repro.query.expressions import Const
+
+        child = self._child(node)
+        blocks = [
+            int(arg.value) for arg in node.args[1:] if isinstance(arg, Const)
+        ]
+        items = [a for a in node.args[1:] if isinstance(a, AggregateItem)]
+        if not items:
+            raise ExecutionError(
+                "regrid expects block sizes plus at least one aggregate, "
+                "e.g. regrid(A, 4, 4, avg(v))"
+            )
+        return regrid(child, blocks, items)
+
+    def _op_window(self, node: AflNode) -> LocalArray:
+        from repro.engine.aggregate import window
+        from repro.query.aql import AggregateItem
+        from repro.query.expressions import Const
+
+        child = self._child(node)
+        radii = [
+            int(arg.value) for arg in node.args[1:] if isinstance(arg, Const)
+        ]
+        items = [a for a in node.args[1:] if isinstance(a, AggregateItem)]
+        if not items:
+            raise ExecutionError(
+                "window expects radii plus at least one aggregate, e.g. "
+                "window(A, 1, 1, avg(v))"
+            )
+        return window(child, radii, items)
+
+    # ----------------------------------------------------------- join ops
+
+    def _op_mergeJoin(self, node: AflNode) -> LocalArray:
+        return self._join(node, "merge")
+
+    def _op_hashJoin(self, node: AflNode) -> LocalArray:
+        return self._join(node, "hash")
+
+    def _op_nestedLoopJoin(self, node: AflNode) -> LocalArray:
+        return self._join(node, "nested_loop")
+
+    def _join_fields(self, arg, array: LocalArray) -> list[str]:
+        """Join key fields for one side: a hash node's explicit field
+        list, or the side's dimensions by default (the merge convention)."""
+        if isinstance(arg, AflNode) and arg.op == "hash":
+            fields = [a for a in arg.args[1:] if isinstance(a, str)]
+            if fields:
+                return fields
+        return list(array.schema.dim_names)
+
+    def _join(self, node: AflNode, algo: str) -> LocalArray:
+        if len(node.args) != 2:
+            raise ExecutionError(f"{node.op} expects exactly two operands")
+        left = self._child(node, 0)
+        right = self._child(node, 1)
+        left_fields = self._join_fields(node.args[0], left)
+        right_fields = self._join_fields(node.args[1], right)
+        if len(left_fields) != len(right_fields) or not left_fields:
+            raise ExecutionError(
+                f"{node.op}: operands expose {len(left_fields)} and "
+                f"{len(right_fields)} join fields"
+            )
+
+        cluster = self.executor.cluster
+        temp_left = f"_afl_l{next(self._temp_counter)}"
+        temp_right = f"_afl_r{next(self._temp_counter)}"
+        cluster.load_array(
+            LocalArray(left.schema.with_name(temp_left), dict(left.chunks))
+        )
+        cluster.load_array(
+            LocalArray(right.schema.with_name(temp_right), dict(right.chunks))
+        )
+        try:
+            predicates = " AND ".join(
+                f"{temp_left}.{lf} = {temp_right}.{rf}"
+                for lf, rf in zip(left_fields, right_fields)
+            )
+            query = (
+                f"SELECT * FROM {temp_left}, {temp_right} WHERE {predicates}"
+            )
+            result = self.executor.execute(query, join_algo=algo)
+        finally:
+            cluster.drop_array(temp_left)
+            cluster.drop_array(temp_right)
+        return result.array
+
+    def _op_cross(self, node: AflNode) -> LocalArray:
+        """The ADM's default plan: an exhaustive Cartesian product."""
+        left = self._child(node, 0)
+        right = self._child(node, 1)
+        n_out = left.n_cells * right.n_cells
+        if n_out > MAX_CROSS_CELLS:
+            raise ExecutionError(
+                f"cross join would produce {n_out} cells "
+                f"(guard: {MAX_CROSS_CELLS}); use an optimized join"
+            )
+        left_cells = left.cells()
+        right_cells = right.cells()
+        li = np.repeat(np.arange(left.n_cells), right.n_cells)
+        ri = np.tile(np.arange(right.n_cells), left.n_cells)
+
+        attrs: dict[str, np.ndarray] = {}
+        fields: list[Attribute] = []
+
+        def add_side(prefix, cells, schema, index):
+            for axis, dim in enumerate(schema.dims):
+                name = f"{prefix}_{dim.name}"
+                attrs[name] = cells.dim_column(axis)[index]
+                fields.append(Attribute(name, "int64"))
+            for attr in schema.attrs:
+                name = f"{prefix}_{attr.name}"
+                attrs[name] = cells.column(attr.name)[index]
+                fields.append(Attribute(name, attr.type_name))
+
+        add_side(left.schema.name, left_cells, left.schema, li)
+        add_side(right.schema.name, right_cells, right.schema, ri)
+        schema = ArraySchema(
+            name=f"{left.schema.name}_cross_{right.schema.name}",
+            dims=(),
+            attrs=tuple(fields),
+        )
+        return LocalArray.from_cells(
+            schema, CellSet(np.empty((n_out, 0), dtype=np.int64), attrs)
+        )

@@ -1,0 +1,267 @@
+"""Aggregation over arrays: SUM / COUNT / AVG / MIN / MAX with GROUP BY.
+
+SciDB's ``aggregate`` operator, reproduced for the ADM: grouping is by a
+subset of the array's *dimensions* (the natural array grouping — each
+group is a line/plane of the dimension space), and the output is a new
+array over exactly those dimensions. With no group-by dimensions the
+result is a single dimensionless cell.
+
+This is the substrate the paper's second future-work item (complex
+analytics such as covariance-matrix queries, Section 8) builds on — see
+``examples/covariance_analytics.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema, Attribute
+from repro.errors import ExecutionError
+from repro.query.afl import environment_for
+from repro.query.aql import AGGREGATE_FUNCTIONS, AggregateItem
+from repro.query.expressions import Expression
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateItem",
+    "aggregate",
+    "apply_expression",
+]
+
+
+def _group_layout(array: LocalArray, group_by: list[str]):
+    """Group index per cell plus the distinct group coordinates."""
+    cells = array.cells()
+    if not group_by:
+        return cells, np.zeros(len(cells), dtype=np.int64), np.empty(
+            (1, 0), dtype=np.int64
+        )
+    axes = []
+    for name in group_by:
+        if not array.schema.has_dim(name):
+            raise ExecutionError(
+                f"GROUP BY field {name!r} is not a dimension of "
+                f"{array.schema.name!r}"
+            )
+        axes.append(array.schema.dim_names.index(name))
+    key_matrix = cells.coords[:, axes]
+    dtype = [(f"g{i}", np.int64) for i in range(len(axes))]
+    packed = np.empty(len(cells), dtype=dtype)
+    for i in range(len(axes)):
+        packed[f"g{i}"] = key_matrix[:, i]
+    groups, inverse = np.unique(packed, return_inverse=True)
+    group_coords = np.empty((len(groups), len(axes)), dtype=np.int64)
+    for i in range(len(axes)):
+        group_coords[:, i] = groups[f"g{i}"]
+    return cells, inverse.astype(np.int64), group_coords
+
+
+def _reduce(fn: str, values: np.ndarray | None, inverse: np.ndarray,
+            n_groups: int) -> np.ndarray:
+    if fn == "count":
+        return np.bincount(inverse, minlength=n_groups).astype(np.int64)
+    assert values is not None
+    values = np.asarray(values, dtype=np.float64)
+    if fn == "sum":
+        return np.bincount(inverse, weights=values, minlength=n_groups)
+    if fn == "avg":
+        sums = np.bincount(inverse, weights=values, minlength=n_groups)
+        counts = np.bincount(inverse, minlength=n_groups)
+        return sums / np.maximum(counts, 1)
+    out = np.full(
+        n_groups, np.inf if fn == "min" else -np.inf, dtype=np.float64
+    )
+    if fn == "min":
+        np.minimum.at(out, inverse, values)
+    else:
+        np.maximum.at(out, inverse, values)
+    return out
+
+
+def aggregate(
+    array: LocalArray,
+    items: list[AggregateItem],
+    group_by: list[str] | None = None,
+    output_name: str | None = None,
+) -> LocalArray:
+    """Aggregate an array, optionally grouped by dimensions.
+
+    >>> aggregate(a, [AggregateItem("sum", parse_expression("v"), "total")],
+    ...           group_by=["i"])
+    """
+    group_by = list(group_by or [])
+    if not items:
+        raise ExecutionError("aggregation needs at least one aggregate item")
+    aliases = [item.alias for item in items]
+    if len(set(aliases)) != len(aliases):
+        raise ExecutionError(f"duplicate aggregate aliases in {aliases}")
+
+    cells, inverse, group_coords = _group_layout(array, group_by)
+    n_groups = len(group_coords)
+    if len(cells) == 0:
+        n_groups = 0
+        group_coords = np.empty((0, len(group_by)), dtype=np.int64)
+
+    env = environment_for(array)
+    attrs: dict[str, np.ndarray] = {}
+    attr_types: list[Attribute] = []
+    for item in items:
+        values = (
+            None
+            if item.expr is None
+            else np.broadcast_to(
+                np.asarray(item.expr.evaluate(env), dtype=np.float64),
+                (len(cells),),
+            )
+        )
+        if n_groups:
+            column = _reduce(item.fn, values, inverse, n_groups)
+        else:
+            column = np.empty(0, dtype=np.float64)
+        if item.fn == "count":
+            attrs[item.alias] = column.astype(np.int64)
+            attr_types.append(Attribute(item.alias, "int64"))
+        else:
+            attrs[item.alias] = column.astype(np.float64)
+            attr_types.append(Attribute(item.alias, "float64"))
+
+    dims = tuple(array.schema.dim(name) for name in group_by)
+    schema = ArraySchema(
+        name=output_name or f"{array.schema.name}_agg",
+        dims=dims,
+        attrs=tuple(attr_types),
+    )
+    return LocalArray.from_cells(schema, CellSet(group_coords, attrs))
+
+
+def window(
+    array: LocalArray,
+    radii: list[int],
+    items: list[AggregateItem],
+    output_name: str | None = None,
+) -> LocalArray:
+    """Moving-window aggregation (SciDB's ``window``).
+
+    Every occupied cell aggregates the occupied cells within ``radii`` of
+    it along each dimension (a ``(2r+1)^d`` neighbourhood). Sparse-aware:
+    the implementation walks the window's offsets and joins shifted
+    coordinates, so cost is O(cells × window volume × log cells) with no
+    dense materialisation.
+    """
+    import itertools as _itertools
+
+    from repro.adm.cells import composite_key
+
+    schema = array.schema
+    if len(radii) != schema.ndims:
+        raise ExecutionError(
+            f"window needs one radius per dimension ({schema.ndims}), "
+            f"got {len(radii)}"
+        )
+    if any(r < 0 for r in radii):
+        raise ExecutionError(f"window radii must be non-negative: {radii}")
+    if not items:
+        raise ExecutionError("window needs at least one aggregate item")
+
+    cells = array.cells()
+    n = len(cells)
+    env = environment_for(array)
+    value_columns = {}
+    for item in items:
+        if item.expr is not None:
+            value_columns[item.alias] = np.broadcast_to(
+                np.asarray(item.expr.evaluate(env), dtype=np.float64), (n,)
+            )
+
+    # Sorted coordinate index for shifted lookups.
+    keys = composite_key([cells.coords[:, axis] for axis in range(schema.ndims)])
+    order = np.argsort(keys)
+    sorted_keys = keys[order]
+
+    sums = {alias: np.zeros(n) for alias in value_columns}
+    counts = np.zeros(n, dtype=np.int64)
+    minima = {
+        item.alias: np.full(n, np.inf) for item in items if item.fn == "min"
+    }
+    maxima = {
+        item.alias: np.full(n, -np.inf) for item in items if item.fn == "max"
+    }
+
+    offsets = _itertools.product(*[range(-r, r + 1) for r in radii])
+    for offset in offsets:
+        shifted = cells.coords + np.asarray(offset, dtype=np.int64)
+        shifted_keys = composite_key(
+            [shifted[:, axis] for axis in range(schema.ndims)]
+        )
+        positions = np.searchsorted(sorted_keys, shifted_keys)
+        positions = np.clip(positions, 0, len(sorted_keys) - 1)
+        hit = sorted_keys[positions] == shifted_keys
+        if not hit.any():
+            continue
+        neighbour = order[positions[hit]]
+        counts[hit] += 1
+        for alias, values in value_columns.items():
+            if alias in sums:
+                sums[alias][hit] += values[neighbour]
+            if alias in minima:
+                np.minimum.at(minima[alias], np.flatnonzero(hit), values[neighbour])
+            if alias in maxima:
+                np.maximum.at(maxima[alias], np.flatnonzero(hit), values[neighbour])
+
+    attrs: dict[str, np.ndarray] = {}
+    attr_types: list[Attribute] = []
+    for item in items:
+        if item.fn == "count":
+            attrs[item.alias] = counts.copy()
+            attr_types.append(Attribute(item.alias, "int64"))
+        elif item.fn == "sum":
+            attrs[item.alias] = sums[item.alias]
+            attr_types.append(Attribute(item.alias, "float64"))
+        elif item.fn == "avg":
+            attrs[item.alias] = sums[item.alias] / np.maximum(counts, 1)
+            attr_types.append(Attribute(item.alias, "float64"))
+        elif item.fn == "min":
+            attrs[item.alias] = minima[item.alias]
+            attr_types.append(Attribute(item.alias, "float64"))
+        else:
+            attrs[item.alias] = maxima[item.alias]
+            attr_types.append(Attribute(item.alias, "float64"))
+
+    out_schema = ArraySchema(
+        name=output_name or f"{schema.name}_window",
+        dims=schema.dims,
+        attrs=tuple(attr_types),
+    )
+    return LocalArray.from_cells(out_schema, CellSet(cells.coords, attrs))
+
+
+def apply_expression(
+    array: LocalArray,
+    name: str,
+    expr: Expression,
+    output_name: str | None = None,
+) -> LocalArray:
+    """SciDB's ``apply``: add a computed attribute to every cell."""
+    if array.schema.has_dim(name) or array.schema.has_attr(name):
+        raise ExecutionError(
+            f"apply: field {name!r} already exists in {array.schema.name!r}"
+        )
+    cells = array.cells()
+    env = environment_for(array)
+    if len(cells):
+        column = np.broadcast_to(
+            np.asarray(expr.evaluate(env)), (len(cells),)
+        ).copy()
+    else:
+        column = np.empty(0, dtype=np.float64)
+    type_name = "int64" if np.issubdtype(column.dtype, np.integer) else "float64"
+    schema = ArraySchema(
+        name=output_name or array.schema.name,
+        dims=array.schema.dims,
+        attrs=array.schema.attrs + (Attribute(name, type_name),),
+    )
+    new_attrs = dict(cells.attrs)
+    new_attrs[name] = column.astype(np.int64 if type_name == "int64" else np.float64)
+    return LocalArray.from_cells(schema, CellSet(cells.coords, new_attrs))

@@ -1,0 +1,805 @@
+"""The shuffle join executor (Sections 3.3-3.4 end to end).
+
+Pipeline: parse AQL → infer the join schema → logical planning
+(Algorithm 1) → slice mapping on every node → physical planning →
+data alignment over the simulated write-lock network schedule → per-unit
+cell comparison → output construction in the destination schema.
+
+The join is *really computed* (numpy cell matching, validated against a
+brute-force cross join in the test suite); the phase durations are
+*derived* from the simulated network schedule plus calibrated per-cell
+CPU rates, while planning time is genuine wall-clock time of the planner
+implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet, composite_key
+from repro.adm.schema import ArraySchema
+from repro.adm.stats import Histogram
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import Transfer, schedule_shuffle
+from repro.core.cost_model import AnalyticalCostModel, CostParams, PlanCost
+from repro.core.join_schema import JoinSchema, infer_join_schema
+from repro.core.logical import LogicalPlan, LogicalPlanner, PlanInputs
+from repro.core.planners import PhysicalPlan, get_planner
+from repro.core.slices import SliceStats, key_columns, unit_ids_for
+from repro.engine.joins import hash_join_match, match_pairs
+from repro.engine.output import OutputBuilder, derive_destination
+from repro.engine.simulation import SimulationParams
+from repro.errors import ExecutionError, PlanningError
+from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery, parse_aql
+from repro.query.afl import apply_filter
+
+
+@dataclass
+class ExecutionReport:
+    """Timing and traffic breakdown of one shuffle join execution.
+
+    ``plan_seconds`` is measured wall-clock planning time (logical +
+    physical); ``align_seconds`` and ``compare_seconds`` are simulated
+    phase durations.
+    """
+
+    planner: str
+    join_algo: str
+    unit_kind: str
+    n_units: int
+    logical_afl: str
+    plan_seconds: float
+    align_seconds: float
+    compare_seconds: float
+    cells_moved: int
+    n_transfers: int
+    output_cells: int
+    #: bytes actually shipped (coordinates + only the attributes the query
+    #: needs — the vertical-partitioning payoff of Section 2.1) and the
+    #: bytes a row-store would have shipped (all attributes)
+    bytes_moved: int = 0
+    bytes_moved_full_width: int = 0
+    analytic_cost: PlanCost | None = None
+    per_node_compare: np.ndarray | None = None
+    cells_sent: dict[int, int] = field(default_factory=dict)
+    cells_received: dict[int, int] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def execute_seconds(self) -> float:
+        """Simulated execution time: data alignment + cell comparison."""
+        return self.align_seconds + self.compare_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency: planning + alignment + comparison."""
+        return self.plan_seconds + self.execute_seconds
+
+    def describe(self) -> str:
+        return (
+            f"[{self.planner}/{self.join_algo}] total={self.total_seconds:.3f}s "
+            f"(plan={self.plan_seconds:.3f}s, align={self.align_seconds:.3f}s, "
+            f"compare={self.compare_seconds:.3f}s) "
+            f"moved={self.cells_moved} cells, out={self.output_cells} cells"
+        )
+
+
+@dataclass
+class JoinResult:
+    """A completed join: the output array plus its execution report."""
+
+    array: LocalArray
+    report: ExecutionReport
+    logical_plan: LogicalPlan
+    physical_plan: PhysicalPlan | None
+    join_schema: JoinSchema
+
+    @property
+    def cells(self) -> CellSet:
+        return self.array.cells()
+
+
+@dataclass
+class ExplainReport:
+    """Planning-only view of a join query (no execution).
+
+    Lists every valid logical plan with its Algorithm-1 cost, the chosen
+    plan, and — when a physical planner was requested — the join-unit
+    assignment summary and its analytic cost.
+    """
+
+    query: str
+    destination: str
+    join_kind: str
+    chosen_afl: str
+    chosen: LogicalPlan
+    candidates: list[tuple[str, float]]
+    physical: PhysicalPlan | None = None
+    n_units: int | None = None
+
+    def describe(self) -> str:
+        lines = [
+            f"query:       {self.query}",
+            f"destination: {self.destination}",
+            f"join kind:   {self.join_kind}",
+            f"chosen plan: {self.chosen_afl}",
+            "candidate logical plans (cost ascending):",
+        ]
+        for description, cost in self.candidates:
+            marker = "  *" if description == self.chosen.describe() else "   "
+            lines.append(f"{marker} {description}")
+        if self.physical is not None:
+            lines.append(
+                f"physical:    {self.physical.describe()} "
+                f"over {self.n_units} join units"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _SliceTable:
+    """Slice mapping output: per-(side, unit, node) cell sets + statistics."""
+
+    stats: SliceStats
+    left: list[list[CellSet | None]]
+    right: list[list[CellSet | None]]
+
+    def assembled(self, side: str, unit: int) -> CellSet | None:
+        table = self.left if side == "left" else self.right
+        parts = [cells for cells in table[unit] if cells is not None and len(cells)]
+        if not parts:
+            return None
+        return CellSet.concat(parts)
+
+
+class ShuffleJoinExecutor:
+    """Plans and executes shuffle joins against a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_params: CostParams | None = None,
+        sim_params: SimulationParams | None = None,
+        n_buckets: int | None = None,
+        selectivity_hint: float | None = None,
+        ilp_time_budget_s: float = 5.0,
+        tabu_max_rounds: int = 64,
+        shuffle_policy: str = "greedy_lock",
+    ):
+        self.cluster = cluster
+        self.shuffle_policy = shuffle_policy
+        self.cost = (
+            cost_params
+            if cost_params is not None
+            else CostParams().with_bandwidth(cluster.network.bandwidth_cells_per_s)
+        )
+        self.sim = sim_params or SimulationParams()
+        self.n_buckets = n_buckets
+        self.selectivity_hint = selectivity_hint
+        self.ilp_time_budget_s = ilp_time_budget_s
+        self.tabu_max_rounds = tabu_max_rounds
+
+    # ------------------------------------------------------------ public API
+
+    def execute(
+        self,
+        query: str | JoinQuery,
+        planner: str = "tabu",
+        join_algo: str | None = None,
+        store_result: bool = False,
+    ) -> JoinResult:
+        """Run a join query end to end.
+
+        ``planner`` selects the physical planner (baseline, mbh, tabu,
+        ilp, ilp_coarse). ``join_algo`` optionally pins the logical plan
+        to one join algorithm (as the Figure 5/6 experiments do);
+        otherwise Algorithm 1 picks the cheapest.
+        """
+        if isinstance(query, str):
+            parsed = parse_aql(query)
+        else:
+            parsed = query
+        if isinstance(parsed, FilterQuery):
+            raise ExecutionError(
+                "ShuffleJoinExecutor.execute handles join queries; use "
+                "execute_filter for single-array queries"
+            )
+        if isinstance(parsed, MultiJoinQuery):
+            from repro.engine.multijoin import execute_multi_join
+
+            if join_algo is not None:
+                raise ExecutionError(
+                    "multi-join stages choose their own join algorithms; "
+                    "join_algo cannot be pinned"
+                )
+            result = execute_multi_join(self, parsed, planner=planner)
+            if store_result and not self.cluster.catalog.exists(
+                result.array.schema.name
+            ):
+                self.cluster.load_array(result.array)
+            return result
+        result = self._execute_join(parsed, planner, join_algo)
+        if store_result and not self.cluster.catalog.exists(result.array.schema.name):
+            self.cluster.load_array(result.array)
+        return result
+
+    def explain(
+        self,
+        query: str | JoinQuery,
+        planner: str | None = None,
+        join_algo: str | None = None,
+    ) -> ExplainReport:
+        """Plan a join query without executing it.
+
+        With ``planner`` given, slice mapping and physical planning run
+        too (they read only statistics and never move data), so the
+        report includes the join-unit-to-node assignment summary.
+        """
+        parsed = parse_aql(query) if isinstance(query, str) else query
+        if isinstance(parsed, FilterQuery):
+            raise ExecutionError("explain covers join queries")
+        alpha = self.cluster.schema(parsed.left)
+        beta = self.cluster.schema(parsed.right)
+        destination = derive_destination(parsed, alpha, beta)
+        join_schema = infer_join_schema(
+            parsed, alpha, beta,
+            histograms=self._histograms_for(parsed, alpha, beta),
+            destination=destination,
+        )
+        inputs = PlanInputs(
+            n_alpha=self.cluster.array_cell_count(parsed.left),
+            n_beta=self.cluster.array_cell_count(parsed.right),
+            c_alpha=max(self.cluster.catalog.entry(parsed.left).n_chunks, 1),
+            c_beta=max(self.cluster.catalog.entry(parsed.right).n_chunks, 1),
+            selectivity=self._selectivity(parsed, join_schema),
+            n_nodes=self.cluster.n_nodes,
+        )
+        logical_planner = LogicalPlanner(join_schema, inputs)
+        candidates = [
+            (plan.describe(), plan.cost)
+            for plan in logical_planner.enumerate_plans(include_nested_loop=False)
+        ]
+        if join_algo is None:
+            chosen = logical_planner.best_plan(include_nested_loop=False)
+        else:
+            chosen = logical_planner.plan_named(join_algo)
+
+        physical_plan = None
+        n_units = None
+        if planner is not None and self.cluster.n_nodes > 1:
+            n_units, slice_table = self._slice_mapping(
+                parsed, join_schema, chosen
+            )
+            _, physical_plan, _ = self._physical_plan(
+                slice_table.stats, chosen, planner
+            )
+        return ExplainReport(
+            query=query if isinstance(query, str) else str(query),
+            destination=destination.to_literal(),
+            join_kind=str(join_schema.kind),
+            chosen_afl=chosen.afl(join_schema),
+            chosen=chosen,
+            candidates=candidates,
+            physical=physical_plan,
+            n_units=n_units,
+        )
+
+    def execute_filter(self, query: str | FilterQuery) -> LocalArray:
+        """Run a single-array query: scan → filter → aggregate/project."""
+        parsed = parse_aql(query) if isinstance(query, str) else query
+        if not isinstance(parsed, FilterQuery):
+            raise ExecutionError("execute_filter expects a single-array query")
+        array = self.cluster.gather_array(parsed.array)
+        if parsed.predicate is not None:
+            array = apply_filter(array, parsed.predicate)
+        if parsed.has_aggregates:
+            from repro.engine.aggregate import aggregate
+
+            output_name = (
+                parsed.into_schema.name
+                if parsed.into_schema is not None
+                else parsed.into_name
+            )
+            return aggregate(
+                array,
+                parsed.select,
+                group_by=parsed.group_by,
+                output_name=output_name,
+            )
+        return array
+
+    # ------------------------------------------------------------- internals
+
+    def prepare(
+        self, query: str | JoinQuery, join_algo: str | None = None
+    ) -> "PreparedJoin":
+        """Run the planner-independent phases once and keep the result.
+
+        Logical planning and slice mapping do not depend on the physical
+        planner, so a prepared join can be executed under several
+        planners (:meth:`PreparedJoin.execute`,
+        :meth:`PreparedJoin.compare`) without repeating them — the shape
+        planner-comparison studies take.
+        """
+        parsed = parse_aql(query) if isinstance(query, str) else query
+        if not isinstance(parsed, JoinQuery):
+            raise ExecutionError("prepare expects a two-array join query")
+        plan_started = time.perf_counter()
+        join_schema, logical_plan = self._logical_phase(parsed, join_algo)
+        logical_seconds = time.perf_counter() - plan_started
+        n_units, slice_table = self._slice_mapping(
+            parsed, join_schema, logical_plan
+        )
+        return PreparedJoin(
+            executor=self,
+            query=parsed,
+            join_schema=join_schema,
+            logical_plan=logical_plan,
+            logical_seconds=logical_seconds,
+            n_units=n_units,
+            slice_table=slice_table,
+        )
+
+    def _logical_phase(
+        self, query: JoinQuery, join_algo: str | None
+    ) -> tuple[JoinSchema, LogicalPlan]:
+        cluster = self.cluster
+        alpha = cluster.schema(query.left)
+        beta = cluster.schema(query.right)
+        destination = derive_destination(query, alpha, beta)
+        histograms = self._histograms_for(query, alpha, beta)
+        join_schema = infer_join_schema(
+            query, alpha, beta, histograms=histograms, destination=destination
+        )
+        inputs = PlanInputs(
+            n_alpha=self._filtered_count(query, query.left),
+            n_beta=self._filtered_count(query, query.right),
+            c_alpha=max(cluster.catalog.entry(query.left).n_chunks, 1),
+            c_beta=max(cluster.catalog.entry(query.right).n_chunks, 1),
+            selectivity=self._selectivity(query, join_schema),
+            n_nodes=cluster.n_nodes,
+        )
+        logical_planner = LogicalPlanner(join_schema, inputs)
+        if join_algo is None:
+            logical_plan = logical_planner.best_plan(include_nested_loop=False)
+        else:
+            logical_plan = logical_planner.plan_named(join_algo)
+        return join_schema, logical_plan
+
+    def _execute_join(
+        self, query: JoinQuery, planner_name: str, join_algo: str | None
+    ) -> JoinResult:
+        # ---- logical planning (timed) ----
+        plan_started = time.perf_counter()
+        join_schema, logical_plan = self._logical_phase(query, join_algo)
+        logical_seconds = time.perf_counter() - plan_started
+
+        # ---- slice mapping ----
+        n_units, slice_table = self._slice_mapping(query, join_schema, logical_plan)
+
+        return self._run_physical(
+            query, join_schema, logical_plan, n_units, slice_table,
+            planner_name, logical_seconds,
+        )
+
+    def _run_physical(
+        self,
+        query: JoinQuery,
+        join_schema: JoinSchema,
+        logical_plan: LogicalPlan,
+        n_units: int,
+        slice_table: "_SliceTable",
+        planner_name: str,
+        logical_seconds: float,
+    ) -> JoinResult:
+        # ---- physical planning (timed) ----
+        physical_started = time.perf_counter()
+        assignment, physical_plan, model = self._physical_plan(
+            slice_table.stats, logical_plan, planner_name
+        )
+        physical_seconds = time.perf_counter() - physical_started
+
+        # ---- data alignment (simulated) ----
+        align_seconds, shuffle = self._data_alignment(
+            query, slice_table.stats, assignment
+        )
+        bytes_moved, bytes_full_width = self._traffic_bytes(
+            query, slice_table, assignment
+        )
+
+        # ---- cell comparison (real matching, simulated timing) ----
+        compare_seconds, per_node_compare, output_cells, meta = (
+            self._cell_comparison(
+                query, join_schema, logical_plan, slice_table, assignment
+            )
+        )
+
+        report = ExecutionReport(
+            planner=physical_plan.planner if physical_plan else "single-node",
+            join_algo=logical_plan.join_algo,
+            unit_kind=logical_plan.join_unit_kind,
+            n_units=n_units,
+            logical_afl=logical_plan.afl(join_schema),
+            plan_seconds=logical_seconds + physical_seconds,
+            align_seconds=align_seconds,
+            compare_seconds=compare_seconds,
+            cells_moved=shuffle.total_cells_moved,
+            n_transfers=shuffle.n_transfers,
+            output_cells=len(output_cells),
+            bytes_moved=bytes_moved,
+            bytes_moved_full_width=bytes_full_width,
+            analytic_cost=physical_plan.cost if physical_plan else None,
+            per_node_compare=per_node_compare,
+            cells_sent=shuffle.cells_sent,
+            cells_received=shuffle.cells_received,
+            meta=meta,
+        )
+        output_array = LocalArray.from_cells(join_schema.destination, output_cells)
+        return JoinResult(
+            array=output_array,
+            report=report,
+            logical_plan=logical_plan,
+            physical_plan=physical_plan,
+            join_schema=join_schema,
+        )
+
+    # ---------------------------------------------------------------- pieces
+
+    def _histograms_for(
+        self, query: JoinQuery, alpha: ArraySchema, beta: ArraySchema
+    ) -> dict[str, Histogram]:
+        """Histograms over attribute join keys, for dimension inference.
+
+        Served from the catalog's cached ANALYZE statistics (computed on
+        demand, invalidated by loads) — the statistics the paper assumes
+        the engine keeps in its catalog.
+        """
+        histograms: dict[str, Histogram] = {}
+        for pred in query.predicates:
+            for array_name, schema, field_name in (
+                (query.left, alpha, pred.left.field),
+                (query.right, beta, pred.right.field),
+            ):
+                if not schema.has_attr(field_name):
+                    continue
+                key = f"{schema.name}.{field_name}"
+                if key in histograms:
+                    continue
+                stats = self.cluster.statistics(array_name)
+                if field_name in stats.histograms:
+                    histograms[key] = stats.histograms[field_name]
+        return histograms
+
+    def _selectivity(self, query: JoinQuery, join_schema: JoinSchema) -> float:
+        """The output-cardinality knob for the logical cost model.
+
+        An explicit hint wins; otherwise a sampling estimate is taken
+        (see :mod:`repro.engine.estimate`). The planner only needs the
+        estimate's order of magnitude — it decides whether the output or
+        the inputs are cheaper to sort.
+        """
+        if self.selectivity_hint is not None:
+            return self.selectivity_hint
+        from repro.engine.estimate import estimate_selectivity
+
+        return estimate_selectivity(
+            self.cluster, query.left, query.right, join_schema
+        )
+
+    def _node_cells(self, query: JoinQuery, array_name: str, node):
+        """One node's local cells with the query's pushdown filter applied.
+
+        Filtering happens *before* slice mapping, so filtered-out cells
+        are never shipped or compared — classic predicate pushdown.
+        """
+        if not node.has_array(array_name):
+            return None
+        cells = node.store(array_name).cells()
+        if not len(cells):
+            return None
+        predicate = query.filters.get(array_name)
+        if predicate is not None:
+            from repro.query.afl import cells_environment
+
+            schema = self.cluster.schema(array_name)
+            mask = np.asarray(
+                predicate.evaluate(cells_environment(schema, cells)),
+                dtype=bool,
+            )
+            cells = cells.take(mask)
+            if not len(cells):
+                return None
+        return cells
+
+    def _filtered_count(self, query: JoinQuery, array_name: str) -> int:
+        """Post-pushdown cell count (feeds the logical cost model)."""
+        if array_name not in query.filters:
+            return self.cluster.array_cell_count(array_name)
+        total = 0
+        for node in self.cluster.nodes:
+            cells = self._node_cells(query, array_name, node)
+            total += len(cells) if cells is not None else 0
+        return total
+
+    def _ship_fields(self, join_schema: JoinSchema, side: str) -> list[str]:
+        """Attribute columns one side must ship: carried fields plus any
+        join keys stored as attributes (coordinates always travel)."""
+        schema = (
+            join_schema.left_schema if side == "left" else join_schema.right_schema
+        )
+        carry = (
+            join_schema.left_carry if side == "left" else join_schema.right_carry
+        )
+        fields = [name for name in carry if schema.has_attr(name)]
+        for jfield in join_schema.fields:
+            name = jfield.left_field if side == "left" else jfield.right_field
+            if schema.has_attr(name) and name not in fields:
+                fields.append(name)
+        return fields
+
+    def _slice_mapping(
+        self,
+        query: JoinQuery,
+        join_schema: JoinSchema,
+        logical_plan: LogicalPlan,
+    ) -> tuple[int, _SliceTable]:
+        """Apply the slice function to every node's local cells."""
+        if logical_plan.join_unit_kind == "chunk":
+            n_units = join_schema.n_chunks
+            n_buckets = None
+        else:
+            n_units = self.n_buckets or max(join_schema.n_chunks, 64)
+            n_buckets = n_units
+
+        k = self.cluster.n_nodes
+        s_left = np.zeros((n_units, k), dtype=np.int64)
+        s_right = np.zeros((n_units, k), dtype=np.int64)
+        left_table: list[list[CellSet | None]] = [[None] * k for _ in range(n_units)]
+        right_table: list[list[CellSet | None]] = [[None] * k for _ in range(n_units)]
+
+        for side, array_name, matrix, table in (
+            ("left", query.left, s_left, left_table),
+            ("right", query.right, s_right, right_table),
+        ):
+            source_schema = (
+                join_schema.left_schema if side == "left" else join_schema.right_schema
+            )
+            ship = self._ship_fields(join_schema, side)
+            for node in self.cluster.nodes:
+                cells = self._node_cells(query, array_name, node)
+                if cells is None:
+                    continue
+                cells = cells.with_attrs(ship)
+                unit_ids = unit_ids_for(
+                    join_schema, side, cells, source_schema,
+                    logical_plan.join_unit_kind, n_buckets=n_buckets,
+                )
+                parts = cells.partition(unit_ids, n_units)
+                for unit, part in enumerate(parts):
+                    if len(part):
+                        table[unit][node.node_id] = part
+                        matrix[unit, node.node_id] = len(part)
+
+        return n_units, _SliceTable(
+            stats=SliceStats(s_left, s_right), left=left_table, right=right_table
+        )
+
+    def _physical_plan(
+        self,
+        stats: SliceStats,
+        logical_plan: LogicalPlan,
+        planner_name: str,
+    ) -> tuple[np.ndarray, PhysicalPlan | None, AnalyticalCostModel | None]:
+        if self.cluster.n_nodes == 1:
+            assignment = np.zeros(stats.n_units, dtype=np.int64)
+            return assignment, None, None
+        if logical_plan.join_algo == "nested_loop":
+            raise PlanningError(
+                "the nested loop join is never profitable and is not "
+                "modelled by the physical planners; pin hash or merge, or "
+                "run on a single node"
+            )
+        model = AnalyticalCostModel(stats, logical_plan.join_algo, self.cost)
+        planner = self._make_planner(planner_name)
+        plan = planner.plan(model)
+        return plan.assignment, plan, model
+
+    def _make_planner(self, name: str):
+        if name in ("ilp", "ilp_coarse"):
+            return get_planner(name, time_budget_s=self.ilp_time_budget_s)
+        if name == "tabu":
+            return get_planner(name, max_rounds=self.tabu_max_rounds)
+        return get_planner(name)
+
+    def _traffic_bytes(
+        self,
+        query: JoinQuery,
+        slice_table: "_SliceTable",
+        assignment: np.ndarray,
+    ) -> tuple[int, int]:
+        """Bytes shipped vs the bytes a full-width (row-store) shuffle
+        would ship — slices are already projected to the needed columns,
+        so the difference is the vertical-partitioning saving."""
+        full_row_bytes = {}
+        for side, name in (("left", query.left), ("right", query.right)):
+            schema = self.cluster.schema(name)
+            full_row_bytes[side] = 8 * (schema.ndims + len(schema.attrs))
+        moved = 0
+        full = 0
+        for unit in range(slice_table.stats.n_units):
+            dest = int(assignment[unit])
+            for side, table in (("left", slice_table.left),
+                                ("right", slice_table.right)):
+                for node, piece in enumerate(table[unit]):
+                    if node == dest or piece is None or not len(piece):
+                        continue
+                    moved += piece.nbytes
+                    full += len(piece) * full_row_bytes[side]
+        return moved, full
+
+    def _data_alignment(
+        self,
+        query: JoinQuery,
+        stats: SliceStats,
+        assignment: np.ndarray,
+    ):
+        """Simulate slice mapping CPU plus the write-lock shuffle."""
+        transfers = []
+        s_total = stats.s_total
+        for unit in range(stats.n_units):
+            dest = int(assignment[unit])
+            for node in range(stats.n_nodes):
+                if node != dest and s_total[unit, node]:
+                    transfers.append(
+                        Transfer(
+                            src=node,
+                            dst=dest,
+                            n_cells=int(s_total[unit, node]),
+                            tag=unit,
+                        )
+                    )
+        shuffle = schedule_shuffle(
+            transfers, self.cluster.network, policy=self.shuffle_policy
+        )
+        map_times = [
+            self.sim.slice_map_per_cell
+            * (
+                node.local_cell_count(query.left)
+                + node.local_cell_count(query.right)
+            )
+            for node in self.cluster.nodes
+        ]
+        align_seconds = max(map_times, default=0.0) + shuffle.total_time
+        return align_seconds, shuffle
+
+    def _cell_comparison(
+        self,
+        query: JoinQuery,
+        join_schema: JoinSchema,
+        logical_plan: LogicalPlan,
+        slice_table: _SliceTable,
+        assignment: np.ndarray,
+    ):
+        """Per-unit matching on each node, with simulated timing."""
+        k = self.cluster.n_nodes
+        stats = slice_table.stats
+        builder = OutputBuilder(query, join_schema)
+        node_seconds = np.zeros(k, dtype=np.float64)
+        node_output = np.zeros(k, dtype=np.int64)
+        meta: dict = {}
+        algo = logical_plan.join_algo
+        sort_inputs = logical_plan.join_algo == "merge" and (
+            logical_plan.alpha_align == "redim" or logical_plan.beta_align == "redim"
+        )
+
+        for unit in range(stats.n_units):
+            node = int(assignment[unit])
+            left_cells = slice_table.assembled("left", unit)
+            right_cells = slice_table.assembled("right", unit)
+            n_left = len(left_cells) if left_cells is not None else 0
+            n_right = len(right_cells) if right_cells is not None else 0
+            if n_left == 0 and n_right == 0:
+                continue
+
+            node_seconds[node] += self.sim.per_unit_overhead_s
+            node_seconds[node] += self.sim.local_read_per_cell * int(
+                stats.s_total[unit, node]
+            )
+            if sort_inputs:
+                node_seconds[node] += self.sim.sort_time(n_left)
+                node_seconds[node] += self.sim.sort_time(n_right)
+            node_seconds[node] += self.sim.compare_time(
+                algo, n_left, n_right, self.cost
+            )
+            if n_left == 0 or n_right == 0:
+                continue
+
+            left_key_cols = key_columns(
+                join_schema, "left", left_cells, join_schema.left_schema
+            )
+            right_key_cols = key_columns(
+                join_schema, "right", right_cells, join_schema.right_schema
+            )
+            left_keys = composite_key(left_key_cols)
+            right_keys = composite_key(right_key_cols)
+            if algo == "merge":
+                left_order = np.argsort(left_keys, kind="stable")
+                right_order = np.argsort(right_keys, kind="stable")
+                li, ri = match_pairs(
+                    "merge", left_keys[left_order], right_keys[right_order]
+                )
+                li, ri = left_order[li], right_order[ri]
+            elif algo == "nested_loop":
+                try:
+                    li, ri = match_pairs("nested_loop", left_keys, right_keys)
+                except ExecutionError:
+                    li, ri = hash_join_match(left_keys, right_keys)
+                    meta["nested_loop_simulated"] = True
+            else:
+                li, ri = match_pairs("hash", left_keys, right_keys)
+
+            produced = builder.add_matches(
+                left_cells, right_cells, li, ri, left_key_cols
+            )
+            node_output[node] += produced
+
+        # Output alignment and chunk management, per producing node.
+        dest_chunks = join_schema.destination.n_chunks
+        for node in range(k):
+            n_out = int(node_output[node])
+            if not n_out:
+                continue
+            if logical_plan.out_align == "sort":
+                node_seconds[node] += self.sim.sort_time(n_out, dest_chunks)
+            elif logical_plan.out_align == "redim":
+                node_seconds[node] += self.sim.slice_map_per_cell * n_out
+                node_seconds[node] += self.sim.sort_time(n_out, dest_chunks)
+            node_seconds[node] += self.sim.output_time(n_out, dest_chunks)
+
+        output_cells = builder.finish()
+        compare_seconds = float(node_seconds.max(initial=0.0))
+        return compare_seconds, node_seconds, output_cells, meta
+
+
+@dataclass
+class PreparedJoin:
+    """A join with its planner-independent phases already done.
+
+    Produced by :meth:`ShuffleJoinExecutor.prepare`; execute it under any
+    number of physical planners without re-running logical planning or
+    slice mapping. Each execution is independent (the join really runs
+    each time), only the preparation is shared.
+    """
+
+    executor: ShuffleJoinExecutor
+    query: JoinQuery
+    join_schema: JoinSchema
+    logical_plan: LogicalPlan
+    logical_seconds: float
+    n_units: int
+    slice_table: _SliceTable
+
+    @property
+    def stats(self) -> SliceStats:
+        """The slice statistics every physical planner consumes."""
+        return self.slice_table.stats
+
+    def execute(self, planner: str = "tabu") -> JoinResult:
+        """Run the physical phases under one planner."""
+        return self.executor._run_physical(
+            self.query,
+            self.join_schema,
+            self.logical_plan,
+            self.n_units,
+            self.slice_table,
+            planner,
+            self.logical_seconds,
+        )
+
+    def compare(self, planners) -> dict[str, JoinResult]:
+        """Execute under each planner; returns results keyed by name."""
+        return {name: self.execute(planner=name) for name in planners}

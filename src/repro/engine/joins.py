@@ -1,0 +1,206 @@
+"""Join algorithms over join units (Section 3.2).
+
+Each algorithm consumes the two sides of one join unit as composite key
+columns and returns the matching index pairs ``(left_idx, right_idx)``.
+All three produce identical matches; they differ in input requirements
+and asymptotic cost:
+
+- **hash join**: builds a hash map over the smaller side, probes with the
+  larger; linear, order-agnostic;
+- **merge join**: advances two cursors over key-sorted inputs; linear,
+  requires sorted join units;
+- **nested loop join**: compares every pair in blocks; polynomial,
+  order-agnostic, never profitable — included as the paper's baseline.
+
+Keys are 1-D structured arrays (see :func:`repro.adm.cells.composite_key`)
+so multi-field equi-join predicates compare as single values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+#: Guard for the blocked nested loop: refuse absurd comparison counts.
+MAX_NESTED_LOOP_COMPARISONS = 1_000_000_000
+
+
+def _group_layout(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort keys and describe their equal-value runs.
+
+    Returns (order, unique_keys, run_starts, run_counts) where
+    ``order`` sorts ``keys`` and run ``g`` spans
+    ``order[run_starts[g] : run_starts[g] + run_counts[g]]``.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    if len(sorted_keys) == 0:
+        empty = np.array([], dtype=np.int64)
+        return order, sorted_keys, empty, empty
+    new_run = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
+    run_starts = np.flatnonzero(new_run)
+    run_counts = np.diff(np.r_[run_starts, len(sorted_keys)])
+    return order, sorted_keys[run_starts], run_starts, run_counts
+
+
+def _expand_matches(
+    left_order: np.ndarray,
+    left_starts: np.ndarray,
+    left_counts: np.ndarray,
+    right_order: np.ndarray,
+    right_starts: np.ndarray,
+    right_counts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cartesian-expand matched key groups into index pairs, vectorised."""
+    pair_counts = left_counts * right_counts
+    total = int(pair_counts.sum())
+    if total == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    group_of_pair = np.repeat(np.arange(len(pair_counts)), pair_counts)
+    pair_offsets = np.arange(total) - np.repeat(
+        np.r_[0, np.cumsum(pair_counts)[:-1]], pair_counts
+    )
+    nr = right_counts[group_of_pair]
+    left_local = pair_offsets // nr
+    right_local = pair_offsets % nr
+    left_idx = left_order[left_starts[group_of_pair] + left_local]
+    right_idx = right_order[right_starts[group_of_pair] + right_local]
+    return left_idx, right_idx
+
+
+def hash_join_match(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hash join: hash-map build over the smaller side, probe the larger.
+
+    The map is realised as a sorted unique-key index (numpy's idiom for a
+    hash table); the build/probe asymmetry matters for *cost modelling*,
+    not for the matches produced.
+    """
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    l_order, l_uniques, l_starts, l_counts = _group_layout(left_keys)
+    r_order, r_uniques, r_starts, r_counts = _group_layout(right_keys)
+    # Probe: locate each unique left key among the unique right keys.
+    positions = np.searchsorted(r_uniques, l_uniques)
+    positions = np.clip(positions, 0, len(r_uniques) - 1)
+    hit = r_uniques[positions] == l_uniques
+    l_groups = np.flatnonzero(hit)
+    r_groups = positions[hit]
+    return _expand_matches(
+        l_order, l_starts[l_groups], l_counts[l_groups],
+        r_order, r_starts[r_groups], r_counts[r_groups],
+    )
+
+
+def _is_key_sorted(keys: np.ndarray) -> bool:
+    """Lexicographic non-decreasing check for structured key arrays.
+
+    Structured dtypes support ``==`` but not ordering ufuncs, so the
+    comparison walks the fields in significance order.
+    """
+    if len(keys) <= 1:
+        return True
+    prev, cur = keys[:-1], keys[1:]
+    strictly_less = np.zeros(len(prev), dtype=bool)
+    tied = np.ones(len(prev), dtype=bool)
+    for name in keys.dtype.names:
+        strictly_less |= tied & (prev[name] < cur[name])
+        tied &= prev[name] == cur[name]
+    return bool((strictly_less | tied).all())
+
+
+def merge_join_match(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge join: two cursors over key-sorted inputs.
+
+    Raises :class:`ExecutionError` when either input is not sorted — the
+    logical planner must have arranged sorted join units (scan of
+    conforming chunks, or redim) before selecting this algorithm.
+    """
+    for side, keys in (("left", left_keys), ("right", right_keys)):
+        if not _is_key_sorted(keys):
+            raise ExecutionError(
+                f"merge join requires sorted join units; {side} side is unsorted"
+            )
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    # Runs of equal keys on each (already sorted) side.
+    l_new = np.r_[True, left_keys[1:] != left_keys[:-1]]
+    l_starts = np.flatnonzero(l_new)
+    l_counts = np.diff(np.r_[l_starts, len(left_keys)])
+    l_uniques = left_keys[l_starts]
+    r_new = np.r_[True, right_keys[1:] != right_keys[:-1]]
+    r_starts = np.flatnonzero(r_new)
+    r_counts = np.diff(np.r_[r_starts, len(right_keys)])
+    r_uniques = right_keys[r_starts]
+    # Advance the "cursor" on the right for every left run (vectorised
+    # two-cursor merge: searchsorted is the batched cursor increment).
+    positions = np.searchsorted(r_uniques, l_uniques)
+    positions = np.clip(positions, 0, len(r_uniques) - 1)
+    hit = r_uniques[positions] == l_uniques
+    l_groups = np.flatnonzero(hit)
+    r_groups = positions[hit]
+    identity_left = np.arange(len(left_keys), dtype=np.int64)
+    identity_right = np.arange(len(right_keys), dtype=np.int64)
+    return _expand_matches(
+        identity_left, l_starts[l_groups], l_counts[l_groups],
+        identity_right, r_starts[r_groups], r_counts[r_groups],
+    )
+
+
+def nested_loop_match(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    block_rows: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Nested loop join: exhaustive pairwise comparison, in blocks.
+
+    The outer loop is blocked so memory stays bounded at
+    ``block_rows × len(right)`` comparisons per step. Refuses inputs
+    whose comparison count exceeds :data:`MAX_NESTED_LOOP_COMPARISONS`.
+    """
+    n_left, n_right = len(left_keys), len(right_keys)
+    if n_left == 0 or n_right == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    if n_left * n_right > MAX_NESTED_LOOP_COMPARISONS:
+        raise ExecutionError(
+            f"nested loop join over {n_left}×{n_right} cells exceeds the "
+            f"comparison guard ({MAX_NESTED_LOOP_COMPARISONS:.0e})"
+        )
+    left_parts: list[np.ndarray] = []
+    right_parts: list[np.ndarray] = []
+    for start in range(0, n_left, block_rows):
+        block = left_keys[start : start + block_rows]
+        hits = block[:, None] == right_keys[None, :]
+        li, ri = np.nonzero(hits)
+        left_parts.append(li + start)
+        right_parts.append(ri)
+    return (
+        np.concatenate(left_parts).astype(np.int64),
+        np.concatenate(right_parts).astype(np.int64),
+    )
+
+
+MATCHERS = {
+    "hash": hash_join_match,
+    "merge": merge_join_match,
+    "nested_loop": nested_loop_match,
+}
+
+
+def match_pairs(
+    algorithm: str, left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dispatch to the matcher implementing ``algorithm``."""
+    try:
+        matcher = MATCHERS[algorithm]
+    except KeyError:
+        raise ExecutionError(f"unknown join algorithm {algorithm!r}") from None
+    return matcher(left_keys, right_keys)

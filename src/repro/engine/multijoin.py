@@ -1,0 +1,339 @@
+"""Chained execution of ordered multi-joins.
+
+Runs a :class:`MultiJoinPlan` as a sequence of 2-way shuffle joins:
+every intermediate result is materialised as a temporary dimensionless
+array whose attributes carry the qualified source fields (``A_x``), so
+later predicates and the final SELECT can be rewritten against it. Each
+stage goes through the full shuffle-join pipeline — logical planning,
+slice mapping, physical planning, alignment, comparison — and its
+report is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adm.schema import ArraySchema, Attribute
+from repro.core.join_schema import infer_join_schema
+from repro.core.multijoin import MultiJoinPlan, MultiJoinPlanner, _pair_key
+from repro.engine.estimate import estimate_selectivity
+from repro.errors import PlanningError
+from repro.query.aql import JoinQuery, MultiJoinQuery, SelectItem
+from repro.query.expressions import BinOp, Const, Expression, Field, Neg
+from repro.query.predicates import FieldRef, JoinPredicate
+
+
+@dataclass
+class MultiJoinResult:
+    """The final join output plus per-stage execution reports."""
+
+    array: object  # LocalArray
+    plan: MultiJoinPlan
+    stage_results: list = field(default_factory=list)
+
+    @property
+    def cells(self):
+        return self.array.cells()
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.report.total_seconds for r in self.stage_results)
+
+    def describe(self) -> str:
+        lines = [self.plan.describe()]
+        for index, stage in enumerate(self.stage_results):
+            lines.append(f"stage {index}: {stage.report.describe()}")
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------- estimation
+
+
+def estimate_pair_selectivities(executor, query: MultiJoinQuery) -> dict:
+    """Sampling-based selectivity for every linked array pair."""
+    cluster = executor.cluster
+    by_pair: dict[frozenset, list[JoinPredicate]] = {}
+    for pred in query.predicates:
+        by_pair.setdefault(_pair_key(pred), []).append(pred)
+
+    selectivities: dict[frozenset, float] = {}
+    for pair, preds in by_pair.items():
+        left, right = sorted(pair)
+        oriented = [
+            p if p.left.array == left else JoinPredicate(p.right, p.left)
+            for p in preds
+        ]
+        pair_query = JoinQuery(
+            left=left, right=right, predicates=oriented, select_star=True
+        )
+        schema = infer_join_schema(
+            pair_query, cluster.schema(left), cluster.schema(right)
+        )
+        selectivities[pair] = estimate_selectivity(
+            cluster, left, right, schema
+        )
+    return selectivities
+
+
+# -------------------------------------------------------------- rewriting
+
+
+def _rewrite(expr: Expression, mapping: dict[str, str]) -> Expression:
+    """Replace qualified field references per ``mapping`` (old → new)."""
+    if isinstance(expr, Field):
+        return Field(mapping.get(expr.name, expr.name))
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, _rewrite(expr.left, mapping), _rewrite(expr.right, mapping)
+        )
+    if isinstance(expr, Neg):
+        return Neg(_rewrite(expr.operand, mapping))
+    if isinstance(expr, Const):
+        return expr
+    raise PlanningError(f"cannot rewrite expression node {expr!r}")
+
+
+def _field_type(schema: ArraySchema, name: str) -> str:
+    if schema.has_dim(name):
+        return "int64"
+    return schema.attr(name).type_name
+
+
+class _StageState:
+    """Tracks the intermediate array and the qualified-name mapping."""
+
+    def __init__(self, cluster, query: MultiJoinQuery):
+        self.cluster = cluster
+        self.query = query
+        self.current: str | None = None  # temp array name
+        #: original qualified name "A.x" -> attribute name on `current`
+        self.mapping: dict[str, str] = {}
+        self.placed: set[str] = set()
+
+    def needed_fields(self) -> list[str]:
+        """Qualified fields any predicate or the final SELECT touches."""
+        needed: set[str] = set()
+        for pred in self.query.predicates:
+            needed.add(pred.left.qualified())
+            needed.add(pred.right.qualified())
+        if self.query.select_star:
+            for name in self.query.arrays:
+                schema = self.cluster.schema(name)
+                needed.update(f"{name}.{f}" for f in schema.field_names)
+        else:
+            for item in self.query.select:
+                for ref in item.expr.field_refs():
+                    if "." not in ref:
+                        raise PlanningError(
+                            "multi-join SELECT items must be qualified, "
+                            f"got {ref!r}"
+                        )
+                    needed.add(ref)
+        return sorted(needed)
+
+    def source_expression(self, qualified: str, right: str) -> str:
+        """Where a qualified field lives at this stage."""
+        array, _, fname = qualified.partition(".")
+        if array == right:
+            return qualified
+        if array in self.placed:
+            if self.current is None:
+                return qualified  # first stage: still the base array
+            return f"{self.current}.{self.mapping[qualified]}"
+        raise PlanningError(
+            f"field {qualified!r} references an array not yet joined"
+        )
+
+    def field_type(self, qualified: str) -> str:
+        array, _, fname = qualified.partition(".")
+        return _field_type(self.cluster.schema(array), fname)
+
+    def rewrite_map(self, right: str) -> dict[str, str]:
+        """Expression-rewrite map for fields visible at this stage."""
+        rewritten = {}
+        for qualified in self.needed_fields():
+            array = qualified.partition(".")[0]
+            if array == right or array in self.placed:
+                rewritten[qualified] = self.source_expression(qualified, right)
+        return rewritten
+
+    def stage_predicates(self, step) -> list[JoinPredicate]:
+        """Rewrite the step's predicates against the current intermediate."""
+        predicates = []
+        for pred in step.predicates:
+            if self.current is None:
+                predicates.append(pred)
+            else:
+                left_q = pred.left.qualified()
+                predicates.append(
+                    JoinPredicate(
+                        FieldRef(self.current, self.mapping[left_q]),
+                        pred.right,
+                    )
+                )
+        return predicates
+
+
+def execute_multi_join(
+    executor,
+    query: MultiJoinQuery,
+    planner: str = "tabu",
+    plan: MultiJoinPlan | None = None,
+) -> MultiJoinResult:
+    """Plan and run a multi-join query end to end.
+
+    ``plan`` overrides the DP-chosen order (used by the ordering
+    ablation and by callers that have already planned).
+    """
+    if query.into_schema is not None and not query.into_schema.is_dimensionless():
+        raise PlanningError(
+            "multi-join INTO schemas must be dimensionless; redimension "
+            "the result separately"
+        )
+    cluster = executor.cluster
+    if plan is None:
+        sizes = {name: cluster.array_cell_count(name) for name in query.arrays}
+        selectivities = estimate_pair_selectivities(executor, query)
+        plan = MultiJoinPlanner(sizes, selectivities).plan(query)
+
+    state = _StageState(cluster, query)
+    needed = state.needed_fields()
+    temp_names: list[str] = []
+    stage_results = []
+    try:
+        for stage_index, step in enumerate(plan.steps):
+            is_last = stage_index == len(plan.steps) - 1
+            right = step.array
+            state.placed = set(step.placed)
+            left_name = state.current or step.placed[0]
+            predicates = state.stage_predicates(step)
+
+            if is_last:
+                stage_query = _final_stage_query(
+                    query, state, left_name, right, predicates
+                )
+            else:
+                stage_query, carried = _intermediate_stage_query(
+                    query, state, left_name, right, predicates,
+                    needed, stage_index,
+                )
+
+            # Push single-array filters down to the stage that first scans
+            # each base array.
+            if state.current is None and step.placed[0] in query.filters:
+                stage_query.filters[step.placed[0]] = query.filters[
+                    step.placed[0]
+                ]
+            if right in query.filters:
+                stage_query.filters[right] = query.filters[right]
+
+            result = executor.execute(
+                stage_query, planner=planner, store_result=not is_last
+            )
+            stage_results.append(result)
+
+            if not is_last:
+                temp = stage_query.into_schema.name
+                temp_names.append(temp)
+                state.current = temp
+                state.mapping = {source: alias for source, alias, _ in carried}
+    finally:
+        for name in temp_names:
+            if cluster.catalog.exists(name):
+                cluster.drop_array(name)
+
+    return MultiJoinResult(
+        array=stage_results[-1].array,
+        plan=plan,
+        stage_results=stage_results,
+    )
+
+
+def _intermediate_stage_query(
+    query: MultiJoinQuery,
+    state: _StageState,
+    left_name: str,
+    right: str,
+    predicates: list[JoinPredicate],
+    needed: list[str],
+    stage_index: int,
+):
+    """Build the SELECT ... INTO temp query for a non-final stage.
+
+    Returns the query plus the carried fields as
+    ``(original qualified name, alias, type)`` triples — the mapping the
+    next stage rewrites against.
+    """
+    visible = state.placed | {right}
+    carried = []  # (qualified, source expression, alias, type)
+    for qualified in needed:
+        array = qualified.partition(".")[0]
+        if array not in visible:
+            continue
+        carried.append(
+            (
+                qualified,
+                state.source_expression(qualified, right),
+                qualified.replace(".", "_"),
+                state.field_type(qualified),
+            )
+        )
+    if not carried:
+        raise PlanningError("an intermediate join would carry no fields")
+
+    temp_name = f"_mj{stage_index}_{left_name}_{right}"
+    stage_query = JoinQuery(
+        left=left_name,
+        right=right,
+        predicates=predicates,
+        select=[
+            SelectItem(Field(source), alias)
+            for _, source, alias, _ in carried
+        ],
+        select_star=False,
+        into_schema=ArraySchema(
+            name=temp_name,
+            dims=(),
+            attrs=tuple(
+                Attribute(alias, type_name)
+                for _, _, alias, type_name in carried
+            ),
+        ),
+    )
+    mapping_triples = [
+        (qualified, alias, type_name)
+        for qualified, _, alias, type_name in carried
+    ]
+    return stage_query, mapping_triples
+
+
+def _final_stage_query(
+    query: MultiJoinQuery,
+    state: _StageState,
+    left_name: str,
+    right: str,
+    predicates: list[JoinPredicate],
+) -> JoinQuery:
+    """Build the last stage, producing the user's requested output."""
+    rewrite_map = state.rewrite_map(right)
+    if query.select_star:
+        select_items = [
+            SelectItem(Field(rewrite_map[qualified]), qualified.replace(".", "_"))
+            for qualified in state.needed_fields()
+        ]
+    else:
+        select_items = [
+            SelectItem(_rewrite(item.expr, rewrite_map), item.output_name)
+            for item in query.select
+        ]
+    into_schema = query.into_schema
+    into_name = None if into_schema is not None else query.output_name
+    return JoinQuery(
+        left=left_name,
+        right=right,
+        predicates=predicates,
+        select=select_items,
+        select_star=False,
+        into_schema=into_schema,
+        into_name=into_name,
+    )

@@ -1,0 +1,181 @@
+"""Standalone array reorganisation operators.
+
+- ``redimension`` (Section 2.3.1): convert attributes to dimensions or
+  vice versa — the executor uses the same conversion implicitly during
+  slice mapping, but workflows like the paper's
+  ``merge(A, redim(B, <...>))`` example need it standalone;
+- ``between`` / ``subarray``: spatial windowing (SciDB staples — science
+  workflows carve out regions before joining);
+- ``regrid``: block-aggregate an array onto a coarser grid (e.g.
+  downsample MODIS 1° cells to 4° averages).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema, Dimension
+from repro.errors import SchemaError
+
+
+def redimension(array: LocalArray, target: ArraySchema) -> LocalArray:
+    """Reorganise ``array`` into ``target``'s schema.
+
+    Every field of the target schema (dimension or attribute) must exist
+    in the source as either a dimension or an attribute of the same
+    name; values are carried across the role change. Cells whose new
+    coordinates fall outside the target's dimension ranges are rejected
+    — the target schema must cover the data, as in SciDB.
+
+    >>> redimension(a, parse_schema("B<v1:int64, i:int64>[j=1,6,3]"))
+    """
+    cells = array.cells()
+    source = array.schema
+
+    def column_for(name: str) -> np.ndarray:
+        if source.has_dim(name):
+            return cells.dim_column(source.dim_names.index(name))
+        if source.has_attr(name):
+            return cells.column(name)
+        raise SchemaError(
+            f"redimension target field {name!r} does not exist in "
+            f"source schema {source.name!r}"
+        )
+
+    if not len(cells):
+        return LocalArray.empty(target)
+
+    coords = np.empty((len(cells), target.ndims), dtype=np.int64)
+    for axis, dim in enumerate(target.dims):
+        column = column_for(dim.name)
+        if np.issubdtype(column.dtype, np.floating):
+            rounded = np.rint(column)
+            if not np.allclose(column, rounded):
+                raise SchemaError(
+                    f"attribute {dim.name!r} holds non-integer values and "
+                    f"cannot become a dimension"
+                )
+            column = rounded.astype(np.int64)
+        coords[:, axis] = column
+
+    attrs = {}
+    for attr in target.attrs:
+        column = column_for(attr.name)
+        attrs[attr.name] = np.asarray(column).astype(attr.dtype)
+
+    return LocalArray.from_cells(target, CellSet(coords, attrs))
+
+
+def _validate_box(
+    array: LocalArray, low: Sequence[int], high: Sequence[int]
+) -> None:
+    if len(low) != array.schema.ndims or len(high) != array.schema.ndims:
+        raise SchemaError(
+            f"window needs {array.schema.ndims} bounds per corner, got "
+            f"{len(low)} and {len(high)}"
+        )
+    for lo, hi, dim in zip(low, high, array.schema.dims):
+        if lo > hi:
+            raise SchemaError(
+                f"window is empty along {dim.name!r}: {lo} > {hi}"
+            )
+
+
+def between(
+    array: LocalArray, low: Sequence[int], high: Sequence[int]
+) -> LocalArray:
+    """Keep only the cells inside the closed box [low, high].
+
+    The schema is unchanged (SciDB's ``between``): the result still
+    lives in the original coordinate space and chunk grid.
+    """
+    _validate_box(array, low, high)
+    cells = array.cells()
+    mask = np.ones(len(cells), dtype=bool)
+    for axis, (lo, hi) in enumerate(zip(low, high)):
+        column = cells.dim_column(axis)
+        mask &= (column >= lo) & (column <= hi)
+    return LocalArray.from_cells(array.schema, cells.take(mask))
+
+
+def subarray(
+    array: LocalArray, low: Sequence[int], high: Sequence[int]
+) -> LocalArray:
+    """Extract the box [low, high] and shift it to start at each
+    dimension's origin (SciDB's ``subarray``): the result's schema covers
+    exactly the window."""
+    windowed = between(array, low, high)
+    cells = windowed.cells()
+    dims = []
+    shifted = cells.coords.copy()
+    for axis, (lo, hi, dim) in enumerate(zip(low, high, array.schema.dims)):
+        shifted[:, axis] = cells.coords[:, axis] - lo + dim.start
+        dims.append(
+            Dimension(
+                name=dim.name,
+                start=dim.start,
+                end=dim.start + (hi - lo),
+                chunk_interval=min(dim.chunk_interval, hi - lo + 1),
+            )
+        )
+    schema = ArraySchema(
+        name=f"{array.schema.name}_sub",
+        dims=tuple(dims),
+        attrs=array.schema.attrs,
+    )
+    return LocalArray.from_cells(schema, CellSet(shifted, cells.attrs))
+
+
+def regrid(
+    array: LocalArray,
+    block_sizes: Sequence[int],
+    items,
+    output_name: str | None = None,
+) -> LocalArray:
+    """Block-aggregate onto a coarser grid (SciDB's ``regrid``).
+
+    Each output cell at coordinate ``c`` aggregates the input cells in
+    the block ``[start + (c-1)·b, start + c·b - 1]`` along every
+    dimension; ``items`` are :class:`repro.query.aql.AggregateItem`.
+    """
+    from repro.engine.aggregate import aggregate as _aggregate
+
+    schema = array.schema
+    if len(block_sizes) != schema.ndims:
+        raise SchemaError(
+            f"regrid needs one block size per dimension "
+            f"({schema.ndims}), got {len(block_sizes)}"
+        )
+    if any(b <= 0 for b in block_sizes):
+        raise SchemaError(f"block sizes must be positive, got {block_sizes}")
+
+    cells = array.cells()
+    coarse = np.empty_like(cells.coords)
+    dims = []
+    for axis, (block, dim) in enumerate(zip(block_sizes, schema.dims)):
+        coarse[:, axis] = (cells.coords[:, axis] - dim.start) // block + 1
+        n_blocks = -(-dim.extent // block)
+        dims.append(
+            Dimension(
+                name=dim.name,
+                start=1,
+                end=n_blocks,
+                chunk_interval=max(1, -(-dim.chunk_interval // block)),
+            )
+        )
+    coarse_schema = ArraySchema(
+        name=f"{schema.name}_grid", dims=tuple(dims), attrs=schema.attrs
+    )
+    coarse_array = LocalArray.from_cells(
+        coarse_schema, CellSet(coarse, cells.attrs)
+    )
+    return _aggregate(
+        coarse_array,
+        items,
+        group_by=list(coarse_schema.dim_names),
+        output_name=output_name or f"{schema.name}_regrid",
+    )

@@ -1,0 +1,270 @@
+"""Destination-schema derivation and output-cell construction.
+
+Maps the join's matched cell pairs onto the destination schema τ:
+each τ dimension draws its value from a join key or a source field, and
+each τ attribute from a SELECT expression (positional) or, for
+``SELECT *``, from the same name-resolution rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema, Attribute
+from repro.core.join_schema import JoinSchema, default_destination
+from repro.errors import PlanningError
+from repro.query.aql import JoinQuery
+from repro.query.expressions import BinOp, Expression, Field
+from repro.query.predicates import PredicateKind
+
+
+@dataclass(frozen=True)
+class OutputField:
+    """How one destination field is populated.
+
+    ``source`` is one of:
+
+    - ``("key", field_index)`` — the join key of predicate ``field_index``;
+    - ``("left" | "right", field_name)`` — a source dimension/attribute;
+    - ``("expr", position)`` — the SELECT item at ``position``.
+    """
+
+    name: str
+    role: str  # "dim" | "attr"
+    source: tuple
+
+
+def infer_expression_type(
+    expr: Expression, alpha: ArraySchema, beta: ArraySchema
+) -> str:
+    """Static result type of a SELECT expression: float64 when division or
+    any float field is involved, int64 otherwise."""
+
+    def walk(node: Expression) -> str:
+        if isinstance(node, Field):
+            name = node.name.rsplit(".", 1)[-1]
+            for schema in (alpha, beta):
+                if schema.has_attr(name) and schema.attr(name).type_name == "float64":
+                    return "float64"
+            return "int64"
+        if isinstance(node, BinOp):
+            if node.op == "/":
+                return "float64"
+            if walk(node.left) == "float64" or walk(node.right) == "float64":
+                return "float64"
+            return "int64"
+        if hasattr(node, "operand"):
+            return walk(node.operand)
+        if hasattr(node, "value"):
+            return "float64" if not float(node.value).is_integer() else "int64"
+        return "int64"
+
+    return walk(expr)
+
+
+def derive_destination(
+    query: JoinQuery, alpha: ArraySchema, beta: ArraySchema
+) -> ArraySchema:
+    """The destination schema τ for a join query.
+
+    Explicit ``INTO`` schemas win; ``SELECT *`` without INTO gets the
+    Equation-3 natural-join default; an explicit select list without INTO
+    keeps the source shape for pure D:D joins (the output "matches the
+    shape of its inputs") and is dimensionless otherwise.
+    """
+    if query.into_schema is not None:
+        return query.into_schema
+    if query.select_star:
+        return default_destination(query, alpha, beta)
+    kinds = {p.kind(alpha, beta) for p in query.predicates}
+    attrs = tuple(
+        Attribute(
+            name=_unique_name(item.output_name, idx, query),
+            type_name=infer_expression_type(item.expr, alpha, beta),
+        )
+        for idx, item in enumerate(query.select)
+    )
+    # Pure D:D joins whose predicates cover the left source's dimensions
+    # keep the source shape ("the output matches the shape of its inputs");
+    # partial-dimension joins (e.g. geospatial-only) produce multiple
+    # matches per coordinate and therefore a dimensionless output.
+    covered = {p.left.field for p in query.predicates} == set(alpha.dim_names)
+    dims = alpha.dims if kinds == {PredicateKind.DIM_DIM} and covered else ()
+    return ArraySchema(name=query.output_name, dims=tuple(dims), attrs=attrs)
+
+
+def _unique_name(name: str, idx: int, query: JoinQuery) -> str:
+    taken = [item.output_name for item in query.select]
+    if taken.count(name) > 1 or name == "expr":
+        return f"{name}_{idx}" if name != "expr" else f"expr_{idx}"
+    return name
+
+
+def build_output_spec(query: JoinQuery, schema: JoinSchema) -> list[OutputField]:
+    """Resolve every destination field to its value source."""
+    dest = schema.destination
+    alpha, beta = schema.left_schema, schema.right_schema
+    spec: list[OutputField] = []
+
+    for dim in dest.dims:
+        spec.append(OutputField(dim.name, "dim", _resolve_name(dim.name, schema)))
+
+    if query.select_star:
+        for attr in dest.attrs:
+            spec.append(
+                OutputField(attr.name, "attr", _resolve_name(attr.name, schema))
+            )
+        return spec
+
+    if len(query.select) != len(dest.attrs):
+        raise PlanningError(
+            f"SELECT list has {len(query.select)} items but destination "
+            f"{dest.name!r} declares {len(dest.attrs)} attributes"
+        )
+    for position, attr in enumerate(dest.attrs):
+        spec.append(OutputField(attr.name, "attr", ("expr", position)))
+    return spec
+
+
+def _resolve_name(name: str, schema: JoinSchema) -> tuple:
+    """Locate a destination field's value by name (Section 4's schema
+    alignment): join keys first, then source fields, allowing the
+    ``Array_field`` spelling that collision renaming produces."""
+    for idx, jfield in enumerate(schema.fields):
+        if name in (jfield.name, jfield.left_field, jfield.right_field):
+            return ("key", idx)
+    alpha, beta = schema.left_schema, schema.right_schema
+    candidates = []
+    for side, source in (("left", alpha), ("right", beta)):
+        if source.has_dim(name) or source.has_attr(name):
+            candidates.append((side, name))
+        prefixed = f"{source.name}_"
+        if name.startswith(prefixed):
+            bare = name[len(prefixed):]
+            if source.has_dim(bare) or source.has_attr(bare):
+                candidates.append((side, bare))
+    if not candidates:
+        raise PlanningError(
+            f"destination field {name!r} matches no join key or source field"
+        )
+    return candidates[0]
+
+
+class OutputBuilder:
+    """Accumulates output cells from per-unit match batches."""
+
+    def __init__(self, query: JoinQuery, schema: JoinSchema):
+        self.query = query
+        self.schema = schema
+        self.spec = build_output_spec(query, schema)
+        self.dest = schema.destination
+        self._coord_parts: list[np.ndarray] = []
+        self._attr_parts: dict[str, list[np.ndarray]] = {
+            f.name: [] for f in self.spec if f.role == "attr"
+        }
+
+    def add_matches(
+        self,
+        left_cells: CellSet,
+        right_cells: CellSet,
+        left_idx: np.ndarray,
+        right_idx: np.ndarray,
+        left_keys: list[np.ndarray],
+    ) -> int:
+        """Materialise one unit's matches; returns the output cell count."""
+        n = len(left_idx)
+        if n == 0:
+            return 0
+        env = self._environment(left_cells, right_cells, left_idx, right_idx)
+
+        def column_for(source: tuple) -> np.ndarray:
+            kind = source[0]
+            if kind == "key":
+                return left_keys[source[1]][left_idx]
+            if kind == "expr":
+                item = self.query.select[source[1]]
+                return np.broadcast_to(
+                    np.asarray(item.expr.evaluate(env)), (n,)
+                ).copy()
+            side, field_name = source
+            cells = left_cells if side == "left" else right_cells
+            source_schema = (
+                self.schema.left_schema if side == "left" else self.schema.right_schema
+            )
+            index = left_idx if side == "left" else right_idx
+            if source_schema.has_dim(field_name):
+                axis = source_schema.dim_names.index(field_name)
+                return cells.dim_column(axis)[index]
+            return cells.column(field_name)[index]
+
+        coords = np.empty((n, len(self.dest.dims)), dtype=np.int64)
+        attr_values: dict[str, np.ndarray] = {}
+        for field in self.spec:
+            column = column_for(field.source)
+            if field.role == "dim":
+                axis = self.dest.dim_names.index(field.name)
+                coords[:, axis] = np.asarray(column, dtype=np.int64)
+            else:
+                dtype = self.dest.attr(field.name).dtype
+                attr_values[field.name] = np.asarray(column).astype(dtype)
+        self._coord_parts.append(coords)
+        for name, column in attr_values.items():
+            self._attr_parts[name].append(column)
+        return n
+
+    def _environment(
+        self,
+        left_cells: CellSet,
+        right_cells: CellSet,
+        left_idx: np.ndarray,
+        right_idx: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        env: dict[str, np.ndarray] = {}
+        ambiguous: set[str] = set()
+        for side, cells, index in (
+            ("left", left_cells, left_idx),
+            ("right", right_cells, right_idx),
+        ):
+            source = (
+                self.schema.left_schema if side == "left" else self.schema.right_schema
+            )
+            for axis, dim in enumerate(source.dims):
+                column = cells.dim_column(axis)[index]
+                env[f"{source.name}.{dim.name}"] = column
+                _set_bare(env, ambiguous, dim.name, column)
+            for name in cells.attr_names:
+                column = cells.column(name)[index]
+                env[f"{source.name}.{name}"] = column
+                _set_bare(env, ambiguous, name, column)
+        for name in ambiguous:
+            env.pop(name, None)
+        return env
+
+    def finish(self) -> CellSet:
+        """Concatenate accumulated parts into the final output cell set."""
+        if not self._coord_parts:
+            return CellSet.empty(
+                len(self.dest.dims), {a.name: a.dtype for a in self.dest.attrs}
+            )
+        coords = np.concatenate(self._coord_parts)
+        attrs = {
+            name: np.concatenate(parts) for name, parts in self._attr_parts.items()
+        }
+        return CellSet(coords, attrs)
+
+
+def _set_bare(
+    env: dict[str, np.ndarray],
+    ambiguous: set[str],
+    name: str,
+    column: np.ndarray,
+) -> None:
+    if name in ambiguous:
+        return
+    if name in env:
+        ambiguous.add(name)
+    else:
+        env[name] = column

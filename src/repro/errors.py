@@ -1,0 +1,33 @@
+"""Exception hierarchy for the shuffle join framework.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single type at API boundaries while tests can assert on specific failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An array schema is malformed or two schemas are incompatible."""
+
+
+class ParseError(ReproError):
+    """A schema literal, AQL query, or AFL expression failed to parse."""
+
+
+class CatalogError(ReproError):
+    """A system-catalog lookup or registration failed."""
+
+
+class PlanningError(ReproError):
+    """The logical or physical planner could not produce a valid plan."""
+
+
+class ExecutionError(ReproError):
+    """Shuffle join execution failed."""
+
+
+class SolverError(ReproError):
+    """The MILP solver substrate hit an unrecoverable condition."""

@@ -1,0 +1,24 @@
+"""Query front end: AQL parsing, predicates, expressions, and AFL plans.
+
+AQL (Array Query Language) is the declarative, SQL-like surface of the
+Array Data Model; AFL (Array Functional Language) is the operator algebra
+that execution plans are written in (Section 2.2). The library parses AQL
+join and filter queries, classifies their predicates, and renders chosen
+plans as AFL expressions.
+"""
+
+from repro.query.aql import FilterQuery, JoinQuery, parse_aql
+from repro.query.expressions import Expression, parse_expression
+from repro.query.predicates import FieldRef, JoinPredicate, PredicateKind, classify_predicates
+
+__all__ = [
+    "Expression",
+    "FieldRef",
+    "FilterQuery",
+    "JoinPredicate",
+    "JoinQuery",
+    "PredicateKind",
+    "classify_predicates",
+    "parse_aql",
+    "parse_expression",
+]

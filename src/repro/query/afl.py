@@ -1,0 +1,250 @@
+"""AFL (Array Functional Language) operator trees.
+
+Execution plans are written in AFL, the composable operator algebra of the
+ADM (Section 2.2): ``merge(A, redim(B, <v1:int64>[i=1,6,3]))``. The logical
+planner builds these trees and renders them so users can inspect the chosen
+plan; a small evaluator covers the single-array operators (scan/filter/
+project) used by filter queries and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import re
+
+import numpy as np
+
+from repro.adm.array import LocalArray
+from repro.adm.schema import ArraySchema
+from repro.errors import ParseError
+from repro.query.expressions import Expression
+
+
+@dataclass(frozen=True)
+class AflNode:
+    """One AFL operator application; args are child nodes or literals."""
+
+    op: str
+    args: tuple = ()
+
+    def render(self) -> str:
+        parts = []
+        for arg in self.args:
+            if isinstance(arg, AflNode):
+                parts.append(arg.render())
+            elif isinstance(arg, ArraySchema):
+                attrs = ", ".join(a.to_literal() for a in arg.attrs)
+                dims = ", ".join(d.to_literal() for d in arg.dims)
+                parts.append(f"<{attrs}>[{dims}]")
+            elif isinstance(arg, Expression):
+                parts.append(arg.render())
+            else:
+                parts.append(str(arg))
+        return f"{self.op}({', '.join(parts)})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+# ------------------------------------------------------------- constructors
+
+
+def scan(array_name: str) -> AflNode:
+    return AflNode("scan", (array_name,))
+
+
+def redim(child: AflNode | str, schema: ArraySchema) -> AflNode:
+    return AflNode("redim", (_as_node(child), schema))
+
+
+def rechunk(child: AflNode | str, schema: ArraySchema) -> AflNode:
+    return AflNode("rechunk", (_as_node(child), schema))
+
+
+def hash_(child: AflNode | str, predicate_fields: str) -> AflNode:
+    return AflNode("hash", (_as_node(child), predicate_fields))
+
+
+def sort(child: AflNode | str) -> AflNode:
+    return AflNode("sort", (_as_node(child),))
+
+
+def filter_(child: AflNode | str, predicate: Expression) -> AflNode:
+    return AflNode("filter", (_as_node(child), predicate))
+
+
+def merge_join(left: AflNode, right: AflNode) -> AflNode:
+    return AflNode("mergeJoin", (left, right))
+
+
+def hash_join(left: AflNode, right: AflNode) -> AflNode:
+    return AflNode("hashJoin", (left, right))
+
+
+def nested_loop_join(left: AflNode, right: AflNode) -> AflNode:
+    return AflNode("nestedLoopJoin", (left, right))
+
+
+def cross(left: AflNode | str, right: AflNode | str) -> AflNode:
+    return AflNode("cross", (_as_node(left), _as_node(right)))
+
+
+def _as_node(value: AflNode | str) -> AflNode:
+    return value if isinstance(value, AflNode) else scan(value)
+
+
+# ----------------------------------------------------------------- parsing
+
+_CALL_RE = re.compile(r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\(")
+_NAME_ONLY_RE = re.compile(r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*$")
+
+#: Operators the parser recognises, mapped to their canonical names.
+KNOWN_OPERATORS = {
+    "scan": "scan",
+    "filter": "filter",
+    "redim": "redim",
+    "redimension": "redim",
+    "rechunk": "rechunk",
+    "hash": "hash",
+    "sort": "sort",
+    "project": "project",
+    "merge": "mergeJoin",
+    "mergejoin": "mergeJoin",
+    "hashjoin": "hashJoin",
+    "nestedloopjoin": "nestedLoopJoin",
+    "cross": "cross",
+    "aggregate": "aggregate",
+    "apply": "apply",
+    "between": "between",
+    "subarray": "subarray",
+    "regrid": "regrid",
+    "window": "window",
+}
+
+
+#: A schema literal region: ``<attrs>[dims]`` (dims possibly empty).
+_SCHEMA_REGION_RE = re.compile(r"<[^<>]*>\s*\[[^\[\]]*\]")
+
+
+def _mask_schemas(text: str) -> str:
+    """Blank out schema-literal regions so structural scanning is not
+    confused by the ``<``/``>``/``,`` characters inside them (comparison
+    operators in filter expressions share those characters)."""
+    return _SCHEMA_REGION_RE.sub(lambda m: "#" * len(m.group(0)), text)
+
+
+def _split_args(text: str) -> list[str]:
+    """Split an argument list on top-level commas (parenthesis-aware,
+    schema literals treated as opaque)."""
+    masked = _mask_schemas(text)
+    parts: list[str] = []
+    depth = 0
+    start = 0
+    for index, char in enumerate(masked):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            part = text[start:index].strip()
+            if part:
+                parts.append(part)
+            start = index + 1
+    tail = text[start:].strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_argument(text: str):
+    """Classify one AFL argument: nested call, aggregate call, schema
+    literal, bare array name, or scalar expression."""
+    text = text.strip()
+    if text.startswith("<"):
+        # Anonymous schema literal: give it a placeholder name.
+        from repro.adm.parser import parse_schema
+
+        return parse_schema(f"__afl{text}")
+    from repro.query.aql import parse_aggregate_item
+
+    aggregate_item = parse_aggregate_item(text)
+    if aggregate_item is not None:
+        return aggregate_item
+    if _CALL_RE.match(text):
+        return parse_afl(text)
+    if _NAME_ONLY_RE.match(text):
+        return text
+    from repro.query.expressions import parse_expression
+
+    return parse_expression(text)
+
+
+def parse_afl(text: str) -> AflNode:
+    """Parse an AFL expression like ``merge(A, redim(B, <v:int64>[i=1,6,3]))``.
+
+    Bare names become ``scan`` operands of their parent; operator names
+    are case-insensitive and ``merge``/``redimension`` aliases resolve to
+    their canonical forms.
+    """
+    text = text.strip().rstrip(";")
+    match = _CALL_RE.match(text)
+    if not match:
+        name_match = _NAME_ONLY_RE.match(text)
+        if name_match:
+            return scan(name_match.group("name"))
+        raise ParseError(f"malformed AFL expression: {text!r}")
+    name = match.group("name")
+    canonical = KNOWN_OPERATORS.get(name.lower())
+    if canonical is None:
+        raise ParseError(f"unknown AFL operator {name!r}")
+    body = text[match.end():]
+    if not body.endswith(")"):
+        raise ParseError(f"unbalanced parentheses in AFL expression: {text!r}")
+    inner = body[:-1]
+    depth = 0
+    for char in _mask_schemas(inner):  # the trailing ')' must close *this* call
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if depth < 0:
+            raise ParseError(f"unbalanced parentheses in AFL expression: {text!r}")
+    if depth != 0:
+        raise ParseError(f"unbalanced parentheses in AFL expression: {text!r}")
+    args = tuple(_parse_argument(part) for part in _split_args(inner))
+    return AflNode(canonical, args)
+
+
+# ----------------------------------------------------- single-array evaluator
+
+
+def cells_environment(schema: ArraySchema, cells) -> dict[str, np.ndarray]:
+    """Column environment (qualified and bare names) over raw cells."""
+    env: dict[str, np.ndarray] = {}
+    for axis, dim in enumerate(schema.dims):
+        env[dim.name] = cells.dim_column(axis)
+        env[f"{schema.name}.{dim.name}"] = cells.dim_column(axis)
+    for attr in schema.attrs:
+        if attr.name in cells.attrs:
+            env[attr.name] = cells.column(attr.name)
+            env[f"{schema.name}.{attr.name}"] = cells.column(attr.name)
+    return env
+
+
+def environment_for(array: LocalArray) -> dict[str, np.ndarray]:
+    """Column environment for expression evaluation over one array."""
+    return cells_environment(array.schema, array.cells())
+
+
+def apply_filter(array: LocalArray, predicate: Expression) -> LocalArray:
+    """Evaluate ``filter(array, predicate)``, keeping the array's schema."""
+    cells = array.cells()
+    if not len(cells):
+        return LocalArray.empty(array.schema)
+    mask = np.asarray(predicate.evaluate(environment_for(array)), dtype=bool)
+    if mask.shape != (len(cells),):
+        raise ParseError(
+            f"filter predicate {predicate.render()} did not produce a "
+            f"boolean column over {len(cells)} cells"
+        )
+    return LocalArray.from_cells(array.schema, cells.take(mask))

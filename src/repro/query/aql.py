@@ -1,0 +1,420 @@
+"""AQL parser for the query shapes used throughout the paper.
+
+Supported grammar::
+
+    SELECT <item> [, <item>]*          -- item := * | expr [AS name]
+    [INTO <schema-literal> | <name>]
+    FROM <array> [JOIN <array> | , <array>]
+    [ON <equi-preds> | WHERE <equi-preds or filter-expr>]
+
+Two-array queries become :class:`JoinQuery` with conjunctive equi-join
+predicates; single-array queries become :class:`FilterQuery` with an
+arbitrary boolean filter expression.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.adm.parser import parse_schema
+from repro.adm.schema import ArraySchema
+from repro.errors import ParseError
+from repro.query.expressions import BinOp, Expression, Field, parse_expression
+from repro.query.predicates import FieldRef, JoinPredicate
+
+
+#: Aggregate functions accepted in SELECT lists and AFL ``aggregate``.
+AGGREGATE_FUNCTIONS = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """One aggregate output: ``fn(expr) AS alias`` (``expr`` None = ``*``)."""
+
+    fn: str
+    expr: Expression | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.fn not in AGGREGATE_FUNCTIONS:
+            raise ParseError(
+                f"unknown aggregate {self.fn!r}; expected one of "
+                f"{AGGREGATE_FUNCTIONS}"
+            )
+        if self.expr is None and self.fn != "count":
+            raise ParseError(f"{self.fn}(*) is not defined; use count(*)")
+
+    @property
+    def output_name(self) -> str:
+        return self.alias
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = "*" if self.expr is None else self.expr.render()
+        return f"{self.fn}({inner}) AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projected output: an expression plus an optional alias."""
+
+    expr: Expression
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Field):
+            return self.expr.name.rsplit(".", 1)[-1]
+        return "expr"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = self.expr.render()
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+
+@dataclass
+class JoinQuery:
+    """A parsed two-array equi-join query.
+
+    ``filters`` holds single-array conjuncts split off the WHERE clause
+    (e.g. ``A.v > 5``), keyed by array name — the executor pushes them
+    below the join, filtering each node's local cells before slice
+    mapping (classic predicate pushdown).
+    """
+
+    left: str
+    right: str
+    predicates: list[JoinPredicate]
+    select: list[SelectItem] = field(default_factory=list)
+    select_star: bool = False
+    into_schema: ArraySchema | None = None
+    into_name: str | None = None
+    filters: dict[str, Expression] = field(default_factory=dict)
+
+    @property
+    def output_name(self) -> str:
+        if self.into_schema is not None:
+            return self.into_schema.name
+        return self.into_name or f"{self.left}_join_{self.right}"
+
+
+@dataclass
+class FilterQuery:
+    """A parsed single-array scan/filter query."""
+
+    array: str
+    predicate: Expression | None
+    select: list = field(default_factory=list)  # SelectItem | AggregateItem
+    select_star: bool = False
+    into_schema: ArraySchema | None = None
+    into_name: str | None = None
+    group_by: list[str] = field(default_factory=list)
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, AggregateItem) for item in self.select)
+
+
+@dataclass
+class MultiJoinQuery:
+    """A parsed equi-join over three or more arrays.
+
+    Every predicate side must be qualified (``B.j``, not ``j``) so each
+    pair can be attributed to its arrays; the multi-join planner
+    (:mod:`repro.core.multijoin`) orders the 2-way joins.
+    """
+
+    arrays: list[str]
+    predicates: list[JoinPredicate]
+    select: list[SelectItem] = field(default_factory=list)
+    select_star: bool = False
+    into_schema: ArraySchema | None = None
+    into_name: str | None = None
+    filters: dict[str, Expression] = field(default_factory=dict)
+
+    @property
+    def output_name(self) -> str:
+        if self.into_schema is not None:
+            return self.into_schema.name
+        return self.into_name or "_".join(self.arrays) + "_join"
+
+
+_CLAUSE_RE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)"
+    r"(?:\s+INTO\s+(?P<into>.+?))?"
+    r"\s+FROM\s+(?P<from>.+?)"
+    r"(?:\s+(?:ON|WHERE)\s+(?P<pred>.+?))?"
+    r"(?:\s+GROUP\s+BY\s+(?P<group>.+?))?"
+    r"\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_AGGREGATE_RE = re.compile(
+    r"^(?P<fn>sum|count|avg|min|max)\s*\((?P<arg>.+?|\*)\)"
+    r"(?:\s+AS\s+(?P<alias>[A-Za-z_][A-Za-z0-9_]*))?$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _split_commas(text: str) -> list[str]:
+    """Split on commas that are not nested inside (), <>, or []."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for char in text:
+        if char in "(<[":
+            depth += 1
+        elif char in ")>]":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [p for p in parts if p]
+
+
+def parse_aggregate_item(text: str) -> AggregateItem | None:
+    """Parse ``fn(expr) [AS alias]`` if ``text`` is an aggregate call."""
+    match = _AGGREGATE_RE.match(text.strip())
+    if not match:
+        return None
+    fn = match.group("fn").lower()
+    arg = match.group("arg").strip()
+    expr = None if arg == "*" else parse_expression(arg)
+    alias = match.group("alias")
+    if alias is None:
+        suffix = "all" if expr is None else arg.replace(".", "_")
+        alias = re.sub(r"[^A-Za-z0-9_]", "", f"{fn}_{suffix}") or fn
+    return AggregateItem(fn=fn, expr=expr, alias=alias)
+
+
+def _parse_select(text: str) -> tuple[list, bool]:
+    text = text.strip()
+    if text in ("*", "%"):  # the paper writes `SELECT %` in one query
+        return [], True
+    items: list = []
+    for part in _split_commas(text):
+        aggregate_item = parse_aggregate_item(part)
+        if aggregate_item is not None:
+            items.append(aggregate_item)
+            continue
+        match = re.match(r"^(?P<expr>.+?)\s+AS\s+(?P<alias>[A-Za-z_][A-Za-z0-9_]*)$",
+                         part, re.IGNORECASE)
+        if match:
+            items.append(
+                SelectItem(parse_expression(match.group("expr")), match.group("alias"))
+            )
+        else:
+            items.append(SelectItem(parse_expression(part)))
+    if not items:
+        raise ParseError(f"empty SELECT list in {text!r}")
+    return items, False
+
+
+def _parse_into(text: str) -> tuple[ArraySchema | None, str | None]:
+    text = text.strip()
+    if "<" in text:
+        return parse_schema(text), None
+    if not _NAME_RE.match(text):
+        raise ParseError(f"malformed INTO target {text!r}")
+    return None, text
+
+
+def _parse_from(text: str) -> list[str]:
+    join_split = re.split(r"\s+JOIN\s+", text.strip(), flags=re.IGNORECASE)
+    if len(join_split) > 1:
+        names = [part.strip() for part in join_split]
+    else:
+        names = _split_commas(text)
+    if not names:
+        raise ParseError(f"empty FROM clause: {text!r}")
+    for name in names:
+        if not _NAME_RE.match(name):
+            raise ParseError(f"malformed array name {name!r} in FROM clause")
+    if len(set(names)) != len(names):
+        raise ParseError(f"FROM clause repeats an array name: {text!r}")
+    return names
+
+
+def _flatten_and(expr: Expression) -> list[Expression]:
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _array_of_ref(ref: str, names: list[str]) -> str | None:
+    """The FROM array a field reference belongs to (None if bare)."""
+    prefix = ref.split(".", 1)[0] if "." in ref else None
+    if prefix is not None and prefix not in names:
+        raise ParseError(
+            f"field reference {ref!r} names {prefix!r}, which is not in "
+            f"the FROM clause"
+        )
+    return prefix
+
+
+def _partition_where(
+    expr: Expression, names: list[str]
+) -> tuple[list[JoinPredicate], dict[str, Expression]]:
+    """Split a WHERE conjunction into join predicates and pushdown filters.
+
+    Field = field across two arrays → join predicate; a conjunct whose
+    references all belong to one array → that array's pushdown filter
+    (combined with AND); anything else is rejected.
+    """
+    predicates: list[JoinPredicate] = []
+    filters: dict[str, Expression] = {}
+    for conjunct in _flatten_and(expr):
+        ref_arrays = {
+            _array_of_ref(ref, names) for ref in conjunct.field_refs()
+        }
+        is_field_equality = (
+            isinstance(conjunct, BinOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, Field)
+            and isinstance(conjunct.right, Field)
+        )
+        if is_field_equality:
+            left_array = _array_of_ref(conjunct.left.name, names)
+            right_array = _array_of_ref(conjunct.right.name, names)
+            if left_array != right_array or (
+                left_array is None and right_array is None
+            ):
+                predicates.append(
+                    JoinPredicate(
+                        FieldRef.parse(conjunct.left.name),
+                        FieldRef.parse(conjunct.right.name),
+                    )
+                )
+                continue
+            # Same-array equality: a pushdown filter.
+        if None in ref_arrays:
+            raise ParseError(
+                f"cannot attribute {conjunct.render()} to one array; "
+                f"qualify its field references"
+            )
+        if len(ref_arrays) != 1:
+            raise ParseError(
+                f"conjunct {conjunct.render()} spans multiple arrays but "
+                f"is not an equi-join pair"
+            )
+        (array_name,) = ref_arrays
+        existing = filters.get(array_name)
+        filters[array_name] = (
+            conjunct if existing is None else BinOp("AND", existing, conjunct)
+        )
+    if not predicates:
+        raise ParseError(
+            "join queries require at least one field = field join predicate"
+        )
+    return predicates, filters
+
+
+def parse_aql(text: str) -> "JoinQuery | FilterQuery | MultiJoinQuery":
+    """Parse an AQL query string.
+
+    One array in FROM yields a :class:`FilterQuery`, two a
+    :class:`JoinQuery`, three or more a :class:`MultiJoinQuery`.
+
+    >>> q = parse_aql("SELECT * FROM A JOIN B WHERE A.i = B.j")
+    >>> (q.left, q.right, str(q.predicates[0]))
+    ('A', 'B', 'A.i = B.j')
+    """
+    match = _CLAUSE_RE.match(text)
+    if not match:
+        raise ParseError(f"malformed AQL query: {text!r}")
+    select_items, star = _parse_select(match.group("select"))
+    into_schema, into_name = (None, None)
+    if match.group("into"):
+        into_schema, into_name = _parse_into(match.group("into"))
+    names = _parse_from(match.group("from"))
+
+    group_by: list[str] = []
+    if match.group("group"):
+        group_by = _split_commas(match.group("group"))
+        for name in group_by:
+            if not _NAME_RE.match(name):
+                raise ParseError(f"malformed GROUP BY field {name!r}")
+
+    if len(names) == 1:
+        predicate = (
+            parse_expression(match.group("pred")) if match.group("pred") else None
+        )
+        has_aggregates = any(
+            isinstance(item, AggregateItem) for item in select_items
+        )
+        if select_items and has_aggregates and not all(
+            isinstance(item, AggregateItem) for item in select_items
+        ):
+            raise ParseError(
+                "aggregated SELECT lists may contain only aggregate items; "
+                "grouping fields belong in GROUP BY"
+            )
+        if group_by and not has_aggregates:
+            raise ParseError("GROUP BY requires aggregate SELECT items")
+        return FilterQuery(
+            array=names[0],
+            predicate=predicate,
+            select=select_items,
+            select_star=star,
+            into_schema=into_schema,
+            into_name=into_name,
+            group_by=group_by,
+        )
+
+    if group_by:
+        raise ParseError(
+            "GROUP BY is supported on single-array queries; aggregate the "
+            "join's result separately"
+        )
+    if any(isinstance(item, AggregateItem) for item in select_items):
+        raise ParseError(
+            "aggregates are supported on single-array queries; aggregate "
+            "the join's result separately"
+        )
+    if not match.group("pred"):
+        raise ParseError("join queries require an ON or WHERE predicate clause")
+    predicates, filters = _partition_where(
+        parse_expression(match.group("pred")), names
+    )
+    if len(names) == 2:
+        return JoinQuery(
+            left=names[0],
+            right=names[1],
+            predicates=predicates,
+            select=select_items,
+            select_star=star,
+            into_schema=into_schema,
+            into_name=into_name,
+            filters=filters,
+        )
+
+    for pred in predicates:
+        for side in (pred.left, pred.right):
+            if side.array is None:
+                raise ParseError(
+                    f"multi-join predicates must be fully qualified, "
+                    f"got bare field {side.field!r}"
+                )
+            if side.array not in names:
+                raise ParseError(
+                    f"predicate references {side.array!r}, which is not in "
+                    f"the FROM clause"
+                )
+    return MultiJoinQuery(
+        arrays=names,
+        predicates=predicates,
+        select=select_items,
+        select_star=star,
+        into_schema=into_schema,
+        into_name=into_name,
+        filters=filters,
+    )

@@ -1,0 +1,68 @@
+"""DDL statements: CREATE ARRAY and DROP ARRAY.
+
+SciDB arrays are declared before loading; :func:`parse_statement`
+dispatches between DDL and the AQL query forms so a session can accept
+any statement string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.adm.parser import parse_schema
+from repro.adm.schema import ArraySchema
+from repro.errors import ParseError
+from repro.query.aql import FilterQuery, JoinQuery, parse_aql
+
+_CREATE_RE = re.compile(r"^\s*CREATE\s+ARRAY\s+(?P<schema>.+?)\s*;?\s*$",
+                        re.IGNORECASE | re.DOTALL)
+_DROP_RE = re.compile(
+    r"^\s*DROP\s+ARRAY\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+_ANALYZE_RE = re.compile(
+    r"^\s*ANALYZE\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class CreateArray:
+    """``CREATE ARRAY A<v:int64>[i=1,6,3]``"""
+
+    schema: ArraySchema
+
+
+@dataclass(frozen=True)
+class DropArray:
+    """``DROP ARRAY A``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AnalyzeArray:
+    """``ANALYZE A`` — refresh the catalog's statistics for one array."""
+
+    name: str
+
+
+Statement = "CreateArray | DropArray | JoinQuery | FilterQuery"
+
+
+def parse_statement(text: str):
+    """Parse any supported statement: DDL or an AQL query."""
+    match = _CREATE_RE.match(text)
+    if match:
+        return CreateArray(schema=parse_schema(match.group("schema")))
+    match = _DROP_RE.match(text)
+    if match:
+        return DropArray(name=match.group("name"))
+    match = _ANALYZE_RE.match(text)
+    if match:
+        return AnalyzeArray(name=match.group("name"))
+    stripped = text.strip()
+    if re.match(r"^(CREATE|DROP|ANALYZE)\b", stripped, re.IGNORECASE):
+        raise ParseError(f"malformed DDL statement: {text!r}")
+    return parse_aql(text)

@@ -1,0 +1,261 @@
+"""Scalar expressions over array fields.
+
+Supports the arithmetic and comparison expressions that appear in the
+paper's queries, e.g. the NDVI computation of Section 6.3.2::
+
+    (Band2.reflectance - Band1.reflectance)
+        / (Band2.reflectance + Band1.reflectance)
+
+Expressions evaluate vectorised over a column environment mapping
+qualified field names (``"Band1.reflectance"``) and bare names to numpy
+columns.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ParseError
+
+
+class Expression:
+    """Base class for expression AST nodes."""
+
+    def evaluate(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def field_refs(self) -> list[str]:
+        """All field names referenced, qualified where written qualified."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Field(Expression):
+    """A (possibly qualified) field reference like ``A.v`` or ``v``."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        if self.name in env:
+            return env[self.name]
+        # Fall back to the unqualified suffix: `A.v` resolves to `v` when
+        # the environment was built from a single array's columns.
+        suffix = self.name.rsplit(".", 1)[-1]
+        if suffix in env:
+            return env[suffix]
+        raise ParseError(f"unknown field {self.name!r} in expression")
+
+    def field_refs(self) -> list[str]:
+        return [self.name]
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expression):
+    """A numeric literal."""
+
+    value: float
+
+    def evaluate(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def field_refs(self) -> list[str]:
+        return []
+
+    def render(self) -> str:
+        if float(self.value).is_integer():
+            return str(int(self.value))
+        return repr(self.value)
+
+
+_BINARY_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "AND": np.logical_and,
+    "OR": np.logical_or,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expression):
+    """A binary arithmetic, comparison, or boolean operation."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        func = _BINARY_OPS[self.op]
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.op == "/":
+            left = np.asarray(left, dtype=np.float64)
+        return func(left, right)
+
+    def field_refs(self) -> list[str]:
+        return self.left.field_refs() + self.right.field_refs()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Neg(Expression):
+    """Unary negation."""
+
+    operand: Expression
+
+    def evaluate(self, env: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.negative(self.operand.evaluate(env))
+
+    def field_refs(self) -> list[str]:
+        return self.operand.field_refs()
+
+    def render(self) -> str:
+        return f"(-{self.operand.render()})"
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)"
+    r"|(?P<op><=|>=|!=|<>|[-+*/=<>()])"
+    r")"
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split an expression into tokens; raises on junk."""
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize expression at: {remainder!r}")
+        token = match.group("number") or match.group("name") or match.group("op")
+        if token == "<>":
+            token = "!="
+        tokens.append(token)
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser with conventional precedence:
+    OR < AND < comparison < additive < multiplicative < unary.
+    """
+
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+    def parse(self) -> Expression:
+        expr = self.parse_or()
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens after expression: {self.tokens[self.pos:]}")
+        return expr
+
+    def parse_or(self) -> Expression:
+        expr = self.parse_and()
+        while self.peek() is not None and self.peek().upper() == "OR":
+            self.next()
+            expr = BinOp("OR", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> Expression:
+        expr = self.parse_comparison()
+        while self.peek() is not None and self.peek().upper() == "AND":
+            self.next()
+            expr = BinOp("AND", expr, self.parse_comparison())
+        return expr
+
+    def parse_comparison(self) -> Expression:
+        expr = self.parse_additive()
+        if self.peek() in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.next()
+            expr = BinOp(op, expr, self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> Expression:
+        expr = self.parse_multiplicative()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            expr = BinOp(op, expr, self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> Expression:
+        expr = self.parse_unary()
+        while self.peek() in ("*", "/"):
+            op = self.next()
+            expr = BinOp(op, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> Expression:
+        if self.peek() == "-":
+            self.next()
+            return Neg(self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expression:
+        token = self.next()
+        if token == "(":
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        if re.fullmatch(r"\d+\.\d*|\.\d+|\d+", token):
+            return Const(float(token))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", token):
+            if token.upper() in ("AND", "OR"):
+                raise ParseError(f"unexpected keyword {token!r}")
+            return Field(token)
+        raise ParseError(f"unexpected token {token!r}")
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a scalar expression string into an AST.
+
+    >>> parse_expression("(a - b) / (a + b)").field_refs()
+    ['a', 'b', 'a', 'b']
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise ParseError("empty expression")
+    return _Parser(tokens).parse()

@@ -1,0 +1,161 @@
+"""The high-level session facade: statements in, arrays and results out.
+
+A :class:`Session` bundles a cluster and an executor behind one
+SciDB-flavoured entry point::
+
+    session = Session(n_nodes=4)
+    session.execute("CREATE ARRAY A<v:int64>[i=1,64,8, j=1,64,8]")
+    session.load("A", cells)
+    result = session.execute(
+        "SELECT A.v, B.w FROM A JOIN B ON A.i = B.i AND A.j = B.j",
+        planner="tabu",
+    )
+    session.afl("filter(A, v > 5)")         # AFL surface
+    print(session.explain("SELECT ...").describe())
+"""
+
+from __future__ import annotations
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet
+from repro.adm.schema import ArraySchema
+from repro.cluster.cluster import Cluster, PlacementPolicy
+from repro.cluster.network import NetworkParams
+from repro.engine.afl_runner import AflRunner
+from repro.engine.executor import ExplainReport, JoinResult, ShuffleJoinExecutor
+from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery
+from repro.query.ddl import (
+    AnalyzeArray,
+    CreateArray,
+    DropArray,
+    parse_statement,
+)
+
+
+class Session:
+    """One user's connection to a (simulated) array database cluster."""
+
+    def __init__(
+        self,
+        n_nodes: int = 4,
+        network: NetworkParams | None = None,
+        **executor_options,
+    ):
+        self.cluster = Cluster(n_nodes=n_nodes, network=network)
+        self.executor = ShuffleJoinExecutor(self.cluster, **executor_options)
+        self._afl = AflRunner(self.executor)
+
+    # ------------------------------------------------------------ statements
+
+    def execute(self, statement: str, **query_options):
+        """Run any statement: DDL, a join query, or a filter query.
+
+        Returns the created :class:`ArraySchema` for CREATE ARRAY, None
+        for DROP ARRAY, a :class:`JoinResult` for join queries, and a
+        :class:`LocalArray` for single-array queries. ``query_options``
+        (``planner``, ``join_algo``, ``store_result``) apply to joins.
+        """
+        parsed = parse_statement(statement)
+        if isinstance(parsed, CreateArray):
+            return self.cluster.create_empty_array(parsed.schema)
+        if isinstance(parsed, DropArray):
+            self.cluster.drop_array(parsed.name)
+            return None
+        if isinstance(parsed, AnalyzeArray):
+            return self.cluster.analyze(parsed.name)
+        if isinstance(parsed, (JoinQuery, MultiJoinQuery)):
+            return self.executor.execute(parsed, **query_options)
+        if isinstance(parsed, FilterQuery):
+            return self.executor.execute_filter(parsed)
+        raise AssertionError(f"unhandled statement {parsed!r}")
+
+    def afl(self, expression: str) -> LocalArray:
+        """Evaluate an AFL operator expression."""
+        return self._afl.run(expression)
+
+    def explain(self, query: str, **options) -> ExplainReport:
+        """Plan a join query without executing it."""
+        return self.executor.explain(query, **options)
+
+    # ------------------------------------------------------------------ data
+
+    def load(
+        self,
+        name: str,
+        cells: CellSet,
+        placement: PlacementPolicy = "round_robin",
+    ) -> int:
+        """Insert cells into a declared array; returns cells loaded."""
+        return self.cluster.insert_cells(name, cells, placement=placement)
+
+    def create_and_load(
+        self,
+        schema: ArraySchema | str,
+        cells: CellSet,
+        placement: PlacementPolicy = "round_robin",
+    ) -> ArraySchema:
+        """CREATE ARRAY + load in one step."""
+        return self.cluster.create_array(schema, cells, placement=placement)
+
+    def array(self, name: str) -> LocalArray:
+        """Materialise a stored array (gathered from all nodes)."""
+        return self.cluster.gather_array(name)
+
+    def arrays(self) -> list[str]:
+        return self.cluster.catalog.array_names()
+
+    def rebalance(self, name: str):
+        """Re-level one array's storage; returns the simulated schedule."""
+        return self.cluster.rebalance(name)
+
+    def validate(self, name: str) -> list[str]:
+        """Catalog ↔ storage integrity check; empty list means healthy."""
+        return self.cluster.validate_integrity(name)
+
+    def describe(self, name: str) -> str:
+        """Human-readable summary of one array: schema, layout, skew."""
+        schema = self.cluster.schema(name)
+        stats = self.cluster.statistics(name)
+        counts = self.cluster.node_cell_counts(name)
+        lines = [
+            schema.to_literal(),
+            f"  cells:        {stats.cell_count}",
+            f"  chunks:       {self.cluster.catalog.entry(name).n_chunks} "
+            f"stored / {schema.n_chunks} logical",
+            f"  per node:     {counts.tolist()}",
+            f"  top-5% share: {stats.top_share:.1%} "
+            f"(max chunk {stats.max_chunk_cells} cells)",
+        ]
+        for attr_name, histogram in sorted(stats.histograms.items()):
+            lines.append(
+                f"  {attr_name}: range [{histogram.low}, {histogram.high}]"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, name: str, path) -> int:
+        """Export a stored array to an ADM file; returns bytes written."""
+        from repro.adm.persist import save_array
+
+        return save_array(self.array(name), path)
+
+    def restore(
+        self,
+        path,
+        name: str | None = None,
+        placement: PlacementPolicy = "round_robin",
+    ) -> str:
+        """Import an ADM file as a (possibly renamed) cluster array."""
+        from repro.adm.persist import load_array
+
+        array = load_array(path)
+        if name is not None:
+            array = LocalArray(
+                array.schema.with_name(name), dict(array.chunks)
+            )
+        self.cluster.load_array(array, placement=placement)
+        return array.schema.name
+
+
+__all__ = ["Session", "JoinResult"]

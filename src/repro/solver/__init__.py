@@ -1,0 +1,24 @@
+"""MILP solver substrate.
+
+The paper uses the SCIP constraint-integer-program solver for its ILP
+physical planner. This subpackage provides the in-repo replacement: a
+time-budgeted branch-and-bound solver over LP relaxations (scipy's HiGHS
+backend), with incumbent tracking and an optional rounding hook so the
+solver exhibits the same *anytime* behaviour the paper relies on — it
+returns the best feasible plan found when the budget expires, and its
+solution quality degrades gracefully on flat cost landscapes.
+"""
+
+from repro.solver.milp import (
+    BranchAndBoundSolver,
+    MilpProblem,
+    MilpResult,
+    SolveStatus,
+)
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "MilpProblem",
+    "MilpResult",
+    "SolveStatus",
+]

@@ -1,0 +1,32 @@
+"""Workload generators for the paper's experiments.
+
+- :mod:`repro.workloads.synthetic` — the Section 6.1/6.2 synthetic
+  arrays: Zipf-skewed chunk grids and selectivity-controlled A:A pairs;
+- :mod:`repro.workloads.modis` — a synthetic stand-in for the NASA MODIS
+  satellite imagery (near-uniform, slightly equator-dense, band-to-band
+  correlated chunk sizes);
+- :mod:`repro.workloads.ais` — a synthetic stand-in for the NOAA AIS ship
+  tracks (port hotspots holding ~85 % of cells in ~5 % of chunks).
+"""
+
+from repro.workloads.ais import ais_tracks
+from repro.workloads.modis import modis_band, modis_pair
+from repro.workloads.skysurvey import epoch_pair, sky_catalog
+from repro.workloads.synthetic import (
+    selectivity_pair,
+    skewed_hash_pair,
+    skewed_merge_pair,
+    zipf_weights,
+)
+
+__all__ = [
+    "ais_tracks",
+    "epoch_pair",
+    "modis_band",
+    "modis_pair",
+    "selectivity_pair",
+    "sky_catalog",
+    "skewed_hash_pair",
+    "skewed_merge_pair",
+    "zipf_weights",
+]

@@ -1,0 +1,104 @@
+"""Synthetic AIS ship-track data (Section 6.3 substitute).
+
+The paper's second real dataset is 110 GB of NOAA AIS location broadcasts
+covering one year of marine traffic in US coastal waters. Its defining
+property is severe, *beneficial* skew: vessels cluster around major ports
+and shipping lanes, so nearly 85 % of the data sits in just 5 % of the
+4°×4° chunks. Attributes are the ship identifier, course, speed, and
+rate of turn.
+
+This generator reproduces that skew statistic with a port-hotspot
+mixture: a simulated coastline of chunks, of which a handful are ports
+holding the lion's share of broadcasts (Zipf-distributed among ports),
+with the remainder spread thinly along the rest of the coast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet
+from repro.adm.parser import parse_schema
+from repro.workloads.modis import CHUNK_DEG, LAT_CHUNKS, LON_CHUNKS
+from repro.workloads.synthetic import zipf_weights
+
+
+def _coastline(rng: np.random.Generator, n_chunks: int) -> np.ndarray:
+    """Spatial chunk ids forming a meandering simulated coastline."""
+    path = []
+    lon = int(rng.integers(0, LON_CHUNKS))
+    lat = int(rng.integers(LAT_CHUNKS // 4, 3 * LAT_CHUNKS // 4))
+    for _ in range(n_chunks):
+        path.append(lon * LAT_CHUNKS + lat)
+        lon = (lon + 1) % LON_CHUNKS
+        lat = int(np.clip(lat + rng.integers(-1, 2), 0, LAT_CHUNKS - 1))
+    return np.unique(np.array(path, dtype=np.int64))
+
+
+def ais_tracks(
+    name: str = "Broadcast",
+    cells: int = 200_000,
+    days: int = 365,
+    coast_chunks: int = 400,
+    port_fraction: float = 0.05,
+    port_share: float = 0.85,
+    port_alpha: float = 1.0,
+    seed: int = 0,
+) -> LocalArray:
+    """One year of simulated AIS broadcasts as a (time, lon, lat) array.
+
+    ``port_fraction`` of the coastal chunks are ports that together hold
+    ``port_share`` of all cells (the paper's 5 % / 85 % statistic), with a
+    Zipf(``port_alpha``) split among the ports themselves — New York gets
+    more traffic than Anchorage.
+    """
+    rng = np.random.default_rng(seed)
+    coast = _coastline(rng, coast_chunks)
+    n_ports = max(1, int(round(port_fraction * len(coast))))
+    port_ids = rng.choice(coast, size=n_ports, replace=False)
+    other_ids = np.setdiff1d(coast, port_ids)
+
+    n_spatial = LON_CHUNKS * LAT_CHUNKS
+    weights = np.zeros(n_spatial, dtype=np.float64)
+    weights[port_ids] = zipf_weights(n_ports, port_alpha, rng) * port_share
+    weights[other_ids] = (1.0 - port_share) / max(len(other_ids), 1)
+
+    counts = rng.multinomial(cells, weights)
+
+    # Broadcasts collide in (time, position) space in the real data too
+    # (SciDB dedupes them with a synthetic dimension), so cells are drawn
+    # with replacement and hot port chunks are not capacity-capped.
+    parts = []
+    chunk_capacity = days * CHUNK_DEG * CHUNK_DEG
+    for spatial_id in np.flatnonzero(counts):
+        count = int(counts[spatial_id])
+        lon_chunk, lat_chunk = divmod(int(spatial_id), LAT_CHUNKS)
+        flat = rng.choice(chunk_capacity, size=count, replace=True)
+        time = 1 + flat // (CHUNK_DEG * CHUNK_DEG)
+        rest = flat % (CHUNK_DEG * CHUNK_DEG)
+        lon = 1 + lon_chunk * CHUNK_DEG + rest // CHUNK_DEG
+        lat = 1 + lat_chunk * CHUNK_DEG + rest % CHUNK_DEG
+        parts.append(np.column_stack([time, lon, lat]))
+    coords = (
+        np.concatenate(parts).astype(np.int64)
+        if parts
+        else np.empty((0, 3), dtype=np.int64)
+    )
+
+    n = len(coords)
+    cells_set = CellSet(
+        coords,
+        {
+            "ship_id": rng.integers(10_000, 99_999, n),
+            "course": rng.uniform(0.0, 360.0, n),
+            "speed": rng.gamma(2.0, 4.0, n),
+            "rate_of_turn": rng.normal(0.0, 5.0, n),
+        },
+    )
+    schema = parse_schema(
+        f"{name}<ship_id:int64, course:float64, speed:float64, "
+        f"rate_of_turn:float64>"
+        f"[time=1,{days},{days}, lon=1,360,{CHUNK_DEG}, lat=1,180,{CHUNK_DEG}]"
+    )
+    return LocalArray.from_cells(schema, cells_set)

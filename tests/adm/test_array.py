@@ -1,0 +1,84 @@
+"""Unit tests for local chunked arrays."""
+
+import numpy as np
+import pytest
+
+from repro.adm.array import LocalArray
+from repro.adm.cells import CellSet
+from repro.adm.chunk import Chunk
+from repro.adm.parser import parse_schema
+from repro.errors import SchemaError
+
+
+class TestFromCells:
+    def test_figure1(self, figure1_array):
+        assert figure1_array.n_cells == 15
+        assert figure1_array.n_chunks >= 2
+
+    def test_attr_mismatch_rejected(self, small_schema):
+        cells = CellSet(np.array([[1, 1]]), {"other": np.array([1])})
+        with pytest.raises(SchemaError):
+            LocalArray.from_cells(small_schema, cells)
+
+    def test_ndims_mismatch_rejected(self, small_schema):
+        cells = CellSet(
+            np.array([[1]]),
+            {"v1": np.array([1]), "v2": np.array([0.1])},
+        )
+        with pytest.raises(SchemaError):
+            LocalArray.from_cells(small_schema, cells)
+
+    def test_cells_roundtrip(self, figure1_array):
+        rebuilt = LocalArray.from_cells(
+            figure1_array.schema, figure1_array.cells()
+        )
+        assert rebuilt.cells().same_cells(figure1_array.cells())
+
+
+class TestMutation:
+    def test_put_chunk_merges(self, small_schema):
+        array = LocalArray.empty(small_schema)
+        cells_a = CellSet(np.array([[1, 1]]), {
+            "v1": np.array([1]), "v2": np.array([0.1]),
+        })
+        cells_b = CellSet(np.array([[2, 2]]), {
+            "v1": np.array([2]), "v2": np.array([0.2]),
+        })
+        array.put_chunk(Chunk(0, (1, 1), cells_a))
+        array.put_chunk(Chunk(0, (1, 1), cells_b))
+        assert array.n_cells == 2
+        assert not array.chunks[0].sorted_cells  # merged chunks lose order
+
+    def test_put_chunk_validates(self, small_schema):
+        array = LocalArray.empty(small_schema)
+        stray = Chunk(0, (1, 1), CellSet(np.array([[6, 6]]), {
+            "v1": np.array([1]), "v2": np.array([0.1]),
+        }))
+        with pytest.raises(SchemaError):
+            array.put_chunk(stray)
+
+
+class TestStatistics:
+    def test_density(self, figure1_array):
+        assert figure1_array.density() == pytest.approx(15 / 36)
+
+    def test_chunk_sizes(self, figure1_array):
+        sizes = figure1_array.chunk_sizes()
+        assert sum(sizes.values()) == 15
+
+    def test_skew_summary_uniform(self, rng):
+        schema = parse_schema("U<v:int64>[i=1,100,10]")
+        coords = np.arange(1, 101).reshape(-1, 1)
+        array = LocalArray.from_cells(
+            schema, CellSet(coords, {"v": rng.integers(0, 5, 100)})
+        )
+        summary = array.skew_summary(top_fraction=0.1)
+        assert summary["top_share"] == pytest.approx(0.1)
+
+    def test_skew_summary_empty(self, small_schema):
+        array = LocalArray.empty(small_schema)
+        assert array.skew_summary()["max"] == 0.0
+
+    def test_iteration_in_chunk_order(self, figure1_array):
+        ids = [chunk.chunk_id for chunk in figure1_array]
+        assert ids == sorted(ids)

@@ -1,0 +1,169 @@
+"""Unit tests for cell sets."""
+
+import numpy as np
+import pytest
+
+from repro.adm.cells import CellSet, composite_key
+from repro.errors import SchemaError
+
+
+def make_cells(n=10, ndims=2, seed=0):
+    gen = np.random.default_rng(seed)
+    return CellSet(
+        gen.integers(1, 100, size=(n, ndims)),
+        {"v": gen.integers(0, 50, n), "w": gen.uniform(0, 1, n)},
+    )
+
+
+class TestConstruction:
+    def test_1d_coords_promoted(self):
+        cells = CellSet(np.array([1, 2, 3]), {"v": np.array([4, 5, 6])})
+        assert cells.coords.shape == (3, 1)
+
+    def test_mismatched_column_length(self):
+        with pytest.raises(SchemaError):
+            CellSet(np.zeros((3, 1)), {"v": np.array([1, 2])})
+
+    def test_empty(self):
+        cells = CellSet.empty(2, {"v": np.dtype(np.int64)})
+        assert len(cells) == 0
+        assert cells.ndims == 2
+
+    def test_nbytes_counts_coords_and_attrs(self):
+        cells = make_cells(4)
+        assert cells.nbytes == cells.coords.nbytes + sum(
+            col.nbytes for col in cells.attrs.values()
+        )
+
+
+class TestConcat:
+    def test_roundtrip(self):
+        cells = make_cells(10)
+        left, right = cells.take(np.arange(4)), cells.take(np.arange(4, 10))
+        merged = CellSet.concat([left, right])
+        assert merged.same_cells(cells)
+
+    def test_mismatched_attrs_rejected(self):
+        a = CellSet(np.zeros((1, 1)), {"v": np.array([1])})
+        b = CellSet(np.zeros((1, 1)), {"w": np.array([1])})
+        with pytest.raises(SchemaError):
+            CellSet.concat([a, b])
+
+    def test_mismatched_dims_rejected(self):
+        a = CellSet(np.zeros((1, 1)), {"v": np.array([1])})
+        b = CellSet(np.zeros((1, 2)), {"v": np.array([1])})
+        with pytest.raises(SchemaError):
+            CellSet.concat([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(SchemaError):
+            CellSet.concat([])
+
+
+class TestColumns:
+    def test_with_attrs_projects(self):
+        cells = make_cells()
+        projected = cells.with_attrs(["v"])
+        assert projected.attr_names == ("v",)
+        np.testing.assert_array_equal(projected.coords, cells.coords)
+
+    def test_with_attrs_missing(self):
+        with pytest.raises(SchemaError):
+            make_cells().with_attrs(["nope"])
+
+    def test_dim_column_bounds(self):
+        cells = make_cells(ndims=2)
+        with pytest.raises(SchemaError):
+            cells.dim_column(2)
+
+    def test_rename(self):
+        renamed = make_cells().rename_attrs({"v": "value"})
+        assert set(renamed.attr_names) == {"value", "w"}
+
+
+class TestPartition:
+    def test_partition_is_exact(self):
+        cells = make_cells(50)
+        keys = np.arange(50) % 4
+        parts = cells.partition(keys, 4)
+        assert sum(len(p) for p in parts) == 50
+        assert CellSet.concat(parts).same_cells(cells)
+
+    def test_empty_parts_materialised(self):
+        cells = make_cells(3)
+        parts = cells.partition(np.zeros(3, dtype=np.int64), 5)
+        assert len(parts) == 5
+        assert [len(p) for p in parts] == [3, 0, 0, 0, 0]
+
+    def test_out_of_range_keys_rejected(self):
+        cells = make_cells(3)
+        with pytest.raises(SchemaError):
+            cells.partition(np.array([0, 1, 5]), 3)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SchemaError):
+            make_cells(3).partition(np.array([0, 1]), 2)
+
+
+class TestCOrder:
+    def test_sort_produces_c_order(self):
+        cells = make_cells(100, seed=3)
+        assert cells.sorted_c_order().is_c_ordered()
+
+    def test_figure1_serialisation(self):
+        # Figure 1: first chunk of v1 serialises as (3,1,1,7,4,0,0) under
+        # C-style ordering (outermost dimension first).
+        coords = np.array(
+            [[2, 1], [1, 2], [3, 2], [1, 1], [3, 3], [2, 2], [3, 1]]
+        )
+        v1 = np.array([1, 1, 0, 3, 0, 7, 4])
+        cells = CellSet(coords, {"v1": v1}).sorted_c_order()
+        np.testing.assert_array_equal(cells.attrs["v1"], [3, 1, 1, 7, 4, 0, 0])
+
+    def test_is_c_ordered_detects_disorder(self):
+        cells = CellSet(np.array([[2, 1], [1, 1]]), {"v": np.array([1, 2])})
+        assert not cells.is_c_ordered()
+
+    def test_inner_dimension_breaks_ties(self):
+        cells = CellSet(np.array([[1, 2], [1, 1]]), {"v": np.array([1, 2])})
+        assert not cells.is_c_ordered()
+        assert cells.sorted_c_order().is_c_ordered()
+
+    def test_zero_dim_cells_trivially_ordered(self):
+        cells = CellSet(np.empty((4, 0)), {"v": np.arange(4)})
+        assert cells.is_c_ordered()
+
+
+class TestSameCells:
+    def test_order_insensitive(self):
+        cells = make_cells(20)
+        shuffled = cells.take(np.random.default_rng(1).permutation(20))
+        assert cells.same_cells(shuffled)
+
+    def test_detects_value_change(self):
+        cells = make_cells(5)
+        attrs = {k: v.copy() for k, v in cells.attrs.items()}
+        attrs["v"][0] += 1
+        assert not cells.same_cells(CellSet(cells.coords, attrs))
+
+    def test_detects_multiplicity(self):
+        cells = make_cells(5)
+        doubled = CellSet.concat([cells, cells.take(np.array([0]))])
+        assert not cells.same_cells(doubled)
+
+
+class TestCompositeKey:
+    def test_int_columns(self):
+        key = composite_key([np.array([1, 2]), np.array([3, 4])])
+        assert len(key) == 2
+        assert key[0] != key[1]
+
+    def test_float_equality_preserved(self):
+        a = composite_key([np.array([1.5, 2.5])])
+        b = composite_key([np.array([1.5, 0.0])])
+        assert a[0] == b[0]
+        assert a[1] != b[1]
+
+    def test_empty_column_list_rejected(self):
+        with pytest.raises(SchemaError):
+            composite_key([])

@@ -1,0 +1,87 @@
+"""Unit tests for chunk construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.adm.cells import CellSet
+from repro.adm.chunk import Chunk, build_chunks
+from repro.adm.parser import parse_schema
+from repro.errors import SchemaError
+
+
+class TestBuildChunks:
+    def test_only_occupied_chunks_stored(self, small_schema):
+        cells = CellSet(np.array([[1, 1], [6, 6]]), {
+            "v1": np.array([1, 2]), "v2": np.array([0.5, 1.5]),
+        })
+        chunks = build_chunks(small_schema, cells)
+        assert sorted(chunks) == [0, 3]
+
+    def test_partition_is_exact(self, small_schema, rng):
+        coords = rng.integers(1, 7, size=(40, 2))
+        cells = CellSet(coords, {
+            "v1": rng.integers(0, 9, 40), "v2": rng.uniform(0, 1, 40),
+        })
+        chunks = build_chunks(small_schema, cells)
+        total = sum(chunk.n_cells for chunk in chunks.values())
+        assert total == 40
+        merged = CellSet.concat([c.cells for c in chunks.values()])
+        assert merged.same_cells(cells)
+
+    def test_chunks_sorted_by_default(self, small_schema, rng):
+        coords = rng.integers(1, 7, size=(30, 2))
+        cells = CellSet(coords, {
+            "v1": rng.integers(0, 9, 30), "v2": rng.uniform(0, 1, 30),
+        })
+        for chunk in build_chunks(small_schema, cells).values():
+            assert chunk.sorted_cells
+            assert chunk.cells.is_c_ordered()
+
+    def test_unsorted_mode(self, small_schema):
+        cells = CellSet(np.array([[2, 2], [1, 1]]), {
+            "v1": np.array([1, 2]), "v2": np.array([0.1, 0.2]),
+        })
+        chunks = build_chunks(small_schema, cells, sort=False)
+        assert not chunks[0].sorted_cells
+
+    def test_empty_cells_no_chunks(self, small_schema):
+        cells = CellSet.empty(2, {"v1": np.dtype(np.int64), "v2": np.dtype(np.float64)})
+        assert build_chunks(small_schema, cells) == {}
+
+    def test_dimensionless_single_chunk(self):
+        schema = parse_schema("T<x:int64>[]")
+        cells = CellSet(np.empty((3, 0)), {"x": np.arange(3)})
+        chunks = build_chunks(schema, cells)
+        assert list(chunks) == [0]
+
+    def test_out_of_range_rejected(self, small_schema):
+        cells = CellSet(np.array([[9, 9]]), {
+            "v1": np.array([1]), "v2": np.array([0.1]),
+        })
+        with pytest.raises(SchemaError):
+            build_chunks(small_schema, cells)
+
+
+class TestChunk:
+    def test_sort_idempotent(self, small_schema):
+        cells = CellSet(np.array([[2, 2], [1, 1]]), {
+            "v1": np.array([1, 2]), "v2": np.array([0.1, 0.2]),
+        })
+        chunk = Chunk(0, (1, 1), cells, sorted_cells=False)
+        assert chunk.sort().cells.is_c_ordered()
+        resorted = chunk.sort().sort()
+        assert resorted.sorted_cells
+
+    def test_validate_against_catches_strays(self, small_schema):
+        cells = CellSet(np.array([[5, 5]]), {
+            "v1": np.array([1]), "v2": np.array([0.1]),
+        })
+        chunk = Chunk(0, (1, 1), cells)
+        with pytest.raises(SchemaError):
+            chunk.validate_against(small_schema)
+
+    def test_figure1_layout(self, figure1_array):
+        # The paper's example stores exactly the first and last chunks...
+        # plus the two middle ones occupied by our fixture's extra cells.
+        assert 0 in figure1_array.chunks
+        assert 3 in figure1_array.chunks

@@ -1,0 +1,89 @@
+"""Tests for dense materialisation, row iteration, and ANALYZE DDL."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.errors import ParseError, SchemaError
+from repro.query.ddl import AnalyzeArray, parse_statement
+
+
+class TestToDense:
+    def test_full_window(self, figure1_array):
+        dense = figure1_array.to_dense("v1", fill_value=-1)
+        assert dense.shape == (6, 6)
+        cells = figure1_array.cells()
+        for coord, value in zip(cells.coords, cells.attrs["v1"]):
+            assert dense[coord[0] - 1, coord[1] - 1] == value
+        assert (dense == -1).sum() == 36 - figure1_array.n_cells
+
+    def test_window_corners(self, figure1_array):
+        dense = figure1_array.to_dense("v1", low=(4, 4), high=(6, 6))
+        assert dense.shape == (3, 3)
+
+    def test_float_attribute(self, figure1_array):
+        dense = figure1_array.to_dense("v2", fill_value=np.nan)
+        assert np.isnan(dense).sum() == 36 - figure1_array.n_cells
+
+    def test_unknown_attribute(self, figure1_array):
+        with pytest.raises(SchemaError):
+            figure1_array.to_dense("zz")
+
+    def test_empty_window_rejected(self, figure1_array):
+        with pytest.raises(SchemaError):
+            figure1_array.to_dense("v1", low=(5, 5), high=(2, 2))
+
+    def test_dimensionless_rejected(self):
+        schema = parse_schema("T<x:int64>[]")
+        array = LocalArray.from_cells(
+            schema, CellSet(np.empty((2, 0)), {"x": np.array([1, 2])})
+        )
+        with pytest.raises(SchemaError):
+            array.to_dense("x")
+
+    def test_empty_array(self):
+        schema = parse_schema("E<v:int64>[i=1,4,2]")
+        dense = LocalArray.empty(schema).to_dense("v", fill_value=7)
+        assert (dense == 7).all()
+
+
+class TestRows:
+    def test_row_dicts(self, figure1_array):
+        rows = list(figure1_array.rows())
+        assert len(rows) == figure1_array.n_cells
+        first = rows[0]
+        assert set(first) == {"i", "j", "v1", "v2"}
+        assert isinstance(first["i"], int)
+        assert isinstance(first["v2"], float)
+
+    def test_values_match_cells(self, figure1_array):
+        cells = figure1_array.cells()
+        for position, row in enumerate(figure1_array.rows()):
+            assert row["i"] == cells.coords[position, 0]
+            assert row["v1"] == cells.attrs["v1"][position]
+
+
+class TestAnalyzeStatement:
+    def test_parse(self):
+        stmt = parse_statement("ANALYZE A")
+        assert isinstance(stmt, AnalyzeArray)
+        assert stmt.name == "A"
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            parse_statement("ANALYZE")
+
+    def test_session_surface(self):
+        from repro import Session
+
+        rng = np.random.default_rng(3)
+        session = Session(n_nodes=2)
+        coords = np.unique(rng.integers(1, 33, size=(200, 2)), axis=0)
+        session.create_and_load(
+            "A<v:int64>[i=1,32,8, j=1,32,8]",
+            CellSet(coords, {"v": rng.integers(0, 50, len(coords))}),
+        )
+        stats = session.execute("ANALYZE A")
+        assert stats.cell_count == len(coords)
+        assert "v" in stats.histograms
+        assert session.cluster.catalog.entry("A").statistics_fresh

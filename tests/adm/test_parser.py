@@ -1,0 +1,75 @@
+"""Unit tests for the schema-literal parser."""
+
+import pytest
+
+from repro.adm.parser import parse_attribute, parse_dimension, parse_schema
+from repro.errors import ParseError
+
+
+class TestParseAttribute:
+    def test_aliases_normalise(self):
+        assert parse_attribute("v:int").type_name == "int64"
+        assert parse_attribute("v:double").type_name == "float64"
+        assert parse_attribute("v:float").type_name == "float64"
+
+    def test_whitespace_tolerated(self):
+        attr = parse_attribute("  v1 : int64 ")
+        assert attr.name == "v1"
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError):
+            parse_attribute("v:string")
+
+    def test_bad_shape(self):
+        with pytest.raises(ParseError):
+            parse_attribute("v int")
+
+
+class TestParseDimension:
+    def test_basic(self):
+        dim = parse_dimension("i=1,6,3")
+        assert (dim.name, dim.start, dim.end, dim.chunk_interval) == ("i", 1, 6, 3)
+
+    def test_negative_range(self):
+        dim = parse_dimension("lat=-90,89,4")
+        assert dim.start == -90
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            parse_dimension("i=1,6")
+
+
+class TestParseSchema:
+    def test_paper_example(self):
+        schema = parse_schema("A<v1:int, v2:float>[i=1,6,3, j=1,6,3]")
+        assert schema.name == "A"
+        assert schema.attr_names == ("v1", "v2")
+        assert schema.dim_names == ("i", "j")
+        assert schema.chunk_grid == (2, 2)
+
+    def test_trailing_semicolon(self):
+        schema = parse_schema("B<w:int>[j=1,8,2];")
+        assert schema.name == "B"
+
+    def test_dimensionless(self):
+        schema = parse_schema("T<i:int64, j:int64>[]")
+        assert schema.is_dimensionless()
+        assert schema.attr_names == ("i", "j")
+
+    def test_three_dimensions(self):
+        schema = parse_schema(
+            "M<reflectance:float64>[time=1,7,7, lon=1,360,4, lat=1,180,4]"
+        )
+        assert schema.chunk_grid == (1, 90, 45)
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("A<>[i=1,6,3]")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("SELECT * FROM A")
+
+    def test_malformed_dimension_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema("A<v:int>[i=1,6]")

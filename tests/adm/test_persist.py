@@ -1,0 +1,107 @@
+"""Tests for whole-array persistence."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.adm.persist import load_array, save_array
+from repro.errors import SchemaError
+from repro.workloads import ais_tracks, skewed_merge_pair
+
+
+class TestRoundtrip:
+    def test_figure1_array(self, figure1_array, tmp_path):
+        path = tmp_path / "fig1.adm"
+        written = save_array(figure1_array, path)
+        assert written == path.stat().st_size
+        restored = load_array(path)
+        assert restored.schema == figure1_array.schema
+        assert restored.cells().same_cells(figure1_array.cells())
+
+    def test_workload_array(self, tmp_path):
+        array, _ = skewed_merge_pair(1.0, cells_per_array=15_000, seed=3)
+        path = tmp_path / "skewed.adm"
+        save_array(array, path)
+        restored = load_array(path)
+        assert restored.n_cells == array.n_cells
+        assert restored.chunk_sizes() == array.chunk_sizes()
+        assert restored.cells().same_cells(array.cells())
+
+    def test_float_attributes(self, tmp_path):
+        tracks = ais_tracks(cells=5_000, seed=4)
+        path = tmp_path / "ais.adm"
+        save_array(tracks, path)
+        restored = load_array(path)
+        assert restored.cells().same_cells(tracks.cells())
+        assert restored.schema.attr("speed").type_name == "float64"
+
+    def test_empty_array(self, tmp_path):
+        schema = parse_schema("E<v:int64>[i=1,8,4]")
+        path = tmp_path / "empty.adm"
+        save_array(LocalArray.empty(schema), path)
+        restored = load_array(path)
+        assert restored.n_cells == 0
+        assert restored.schema == schema
+
+    def test_compression_beats_raw_for_dense_chunks(self, tmp_path):
+        """Dense, C-ordered chunks RLE their coordinate deltas away;
+        sparse random data stays near raw size (plus per-chunk headers)."""
+        coords = np.stack(
+            np.meshgrid(np.arange(1, 65), np.arange(1, 65), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 2)
+        schema = parse_schema("D<v:int64>[i=1,64,32, j=1,64,32]")
+        dense = LocalArray.from_cells(
+            schema, CellSet(coords, {"v": np.zeros(len(coords), dtype=np.int64)})
+        )
+        path = tmp_path / "dense.adm"
+        written = save_array(dense, path)
+        assert written < dense.cells().nbytes / 3
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.adm"
+        path.write_bytes(b"not an array file at all")
+        with pytest.raises(SchemaError):
+            load_array(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "tiny.adm"
+        path.write_bytes(b"\x00\x01")
+        with pytest.raises(SchemaError):
+            load_array(path)
+
+
+class TestSessionSurface:
+    def test_save_restore_rename(self, tmp_path):
+        rng = np.random.default_rng(6)
+        session = Session(n_nodes=2)
+        coords = np.unique(rng.integers(1, 33, size=(200, 2)), axis=0)
+        session.create_and_load(
+            "A<v:int64>[i=1,32,8, j=1,32,8]",
+            CellSet(coords, {"v": rng.integers(0, 9, len(coords))}),
+        )
+        path = tmp_path / "a.adm"
+        session.save("A", path)
+        name = session.restore(path, name="A2", placement="block")
+        assert name == "A2"
+        assert session.array("A2").cells().same_cells(session.array("A").cells())
+
+    def test_restored_array_joins(self, tmp_path):
+        rng = np.random.default_rng(7)
+        session = Session(n_nodes=2, selectivity_hint=0.5)
+        coords = np.unique(rng.integers(1, 33, size=(300, 2)), axis=0)
+        session.create_and_load(
+            "A<v:int64>[i=1,32,8, j=1,32,8]",
+            CellSet(coords, {"v": rng.integers(0, 9, len(coords))}),
+        )
+        path = tmp_path / "a.adm"
+        session.save("A", path)
+        session.restore(path, name="B")
+        result = session.execute(
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            planner="mbh",
+        )
+        assert result.array.n_cells == len(coords)

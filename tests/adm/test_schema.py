@@ -1,0 +1,127 @@
+"""Unit tests for dimensions, attributes, and array schemas."""
+
+import numpy as np
+import pytest
+
+from repro.adm.schema import ArraySchema, Attribute, Dimension
+from repro.errors import SchemaError
+
+
+class TestDimension:
+    def test_extent_is_inclusive(self):
+        dim = Dimension("i", 1, 6, 3)
+        assert dim.extent == 6
+
+    def test_chunk_count_rounds_up(self):
+        assert Dimension("i", 1, 6, 3).chunk_count == 2
+        assert Dimension("i", 1, 7, 3).chunk_count == 3
+        assert Dimension("i", 1, 1, 3).chunk_count == 1
+
+    def test_chunk_index_vectorised(self):
+        dim = Dimension("i", 1, 9, 3)
+        np.testing.assert_array_equal(
+            dim.chunk_index_of(np.array([1, 3, 4, 9])), [0, 0, 1, 2]
+        )
+
+    def test_chunk_start(self):
+        dim = Dimension("i", 1, 9, 3)
+        assert [dim.chunk_start(k) for k in range(3)] == [1, 4, 7]
+
+    def test_negative_start_supported(self):
+        dim = Dimension("lat", -90, 89, 4)
+        assert dim.extent == 180
+        assert dim.chunk_index_of(np.array([-90]))[0] == 0
+
+    def test_contains(self):
+        dim = Dimension("i", 1, 6, 3)
+        np.testing.assert_array_equal(
+            dim.contains(np.array([0, 1, 6, 7])), [False, True, True, False]
+        )
+
+    def test_same_shape_ignores_name(self):
+        assert Dimension("i", 1, 6, 3).same_shape(Dimension("j", 1, 6, 3))
+        assert not Dimension("i", 1, 6, 3).same_shape(Dimension("i", 1, 6, 2))
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(SchemaError):
+            Dimension("i", 5, 1, 3)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(SchemaError):
+            Dimension("i", 1, 6, 0)
+
+    def test_literal_roundtrip(self):
+        assert Dimension("i", 1, 6, 3).to_literal() == "i=1,6,3"
+
+
+class TestAttribute:
+    def test_known_types(self):
+        assert Attribute("v", "int64").dtype == np.dtype(np.int64)
+        assert Attribute("v", "float64").dtype == np.dtype(np.float64)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("v", "varchar")
+
+
+class TestArraySchema:
+    def test_chunk_grid(self, small_schema):
+        assert small_schema.chunk_grid == (2, 2)
+        assert small_schema.n_chunks == 4
+
+    def test_logical_cells(self, small_schema):
+        assert small_schema.logical_cells == 36
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            ArraySchema(
+                "A",
+                (Dimension("i", 1, 6, 3),),
+                (Attribute("i", "int64"),),
+            )
+
+    def test_chunk_ids_c_order(self, small_schema):
+        # Chunk ids follow row-major order over the 2x2 grid.
+        coords = np.array([[1, 1], [1, 4], [4, 1], [4, 4]])
+        np.testing.assert_array_equal(
+            small_schema.chunk_ids(coords), [0, 1, 2, 3]
+        )
+
+    def test_chunk_corner_inverts_chunk_ids(self, small_schema):
+        for chunk_id in range(small_schema.n_chunks):
+            corner = small_schema.chunk_corner(chunk_id)
+            recovered = small_schema.chunk_ids(np.array([corner]))[0]
+            assert recovered == chunk_id
+
+    def test_chunk_corner_out_of_range(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.chunk_corner(4)
+
+    def test_validate_coords(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_coords(np.array([[0, 1]]))
+        small_schema.validate_coords(np.array([[1, 1], [6, 6]]))
+
+    def test_dimensionless_schema(self):
+        schema = ArraySchema("T", (), (Attribute("x", "int64"),))
+        assert schema.is_dimensionless()
+        assert schema.n_chunks == 1
+        assert schema.chunk_corner(0) == ()
+        np.testing.assert_array_equal(
+            schema.chunk_ids(np.empty((3, 0))), [0, 0, 0]
+        )
+
+    def test_field_kind(self, small_schema):
+        assert small_schema.field_kind("i") == "dimension"
+        assert small_schema.field_kind("v1") == "attribute"
+        with pytest.raises(SchemaError):
+            small_schema.field_kind("nope")
+
+    def test_same_shape(self, small_schema):
+        other = small_schema.with_name("B")
+        assert small_schema.same_shape(other)
+
+    def test_literal_roundtrip(self, small_schema):
+        from repro.adm.parser import parse_schema
+
+        assert parse_schema(small_schema.to_literal()) == small_schema

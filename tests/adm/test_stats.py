@@ -1,0 +1,58 @@
+"""Unit tests for histograms and dimension inference."""
+
+import numpy as np
+import pytest
+
+from repro.adm.stats import Histogram, infer_dimension
+from repro.errors import SchemaError
+
+
+class TestHistogram:
+    def test_from_values(self):
+        hist = Histogram.from_values(np.arange(100), bins=10)
+        assert hist.low == 0
+        assert hist.high == 99
+        assert hist.total == 100
+        assert hist.n_bins == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Histogram.from_values(np.array([]))
+
+    def test_merge_extends_range(self):
+        a = Histogram.from_values(np.arange(0, 50))
+        b = Histogram.from_values(np.arange(100, 200))
+        merged = a.merge(b)
+        assert merged.low == 0
+        assert merged.high == 199
+        assert merged.total == a.total + b.total
+
+    def test_merge_is_commutative_in_totals(self):
+        a = Histogram.from_values(np.arange(10))
+        b = Histogram.from_values(np.arange(5, 25))
+        assert a.merge(b).total == b.merge(a).total
+
+    def test_single_value(self):
+        hist = Histogram.from_values(np.full(5, 42))
+        assert hist.low == 42
+        assert hist.total == 5
+
+
+class TestInferDimension:
+    def test_covers_range(self):
+        hist = Histogram.from_values(np.arange(1, 1001))
+        dim = infer_dimension("v", hist, target_chunks=10)
+        assert dim.start == 1
+        assert dim.end == 1000
+        assert dim.chunk_count <= 11
+
+    def test_small_domain(self):
+        hist = Histogram.from_values(np.array([3, 4, 5]))
+        dim = infer_dimension("v", hist, target_chunks=32)
+        assert dim.chunk_interval >= 1
+        assert dim.contains(np.array([3, 4, 5])).all()
+
+    def test_invalid_target(self):
+        hist = Histogram.from_values(np.arange(10))
+        with pytest.raises(SchemaError):
+            infer_dimension("v", hist, target_chunks=0)

@@ -1,0 +1,85 @@
+"""Tests for the experiment-runner plumbing (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    make_cluster,
+    random_placement,
+)
+from repro.bench.harness import ExperimentRow
+from repro.cluster import NetworkParams
+from repro.workloads import skewed_merge_pair
+
+
+class TestExperimentResult:
+    def make(self):
+        rows = [
+            ExperimentRow({"planner": "mbh", "alpha": 1.0}, {"t": 1.0}),
+            ExperimentRow({"planner": "tabu", "alpha": 1.0}, {"t": 2.0}),
+            ExperimentRow({"planner": "mbh", "alpha": 2.0}, {"t": 3.0}),
+        ]
+        return ExperimentResult(
+            name="demo", rows=rows,
+            label_keys=["planner", "alpha"], value_keys=["t"],
+        )
+
+    def test_select(self):
+        result = self.make()
+        assert len(result.select(planner="mbh")) == 2
+        assert len(result.select(planner="mbh", alpha=2.0)) == 1
+
+    def test_value(self):
+        assert self.make().value("t", planner="tabu", alpha=1.0) == 2.0
+
+    def test_value_ambiguous(self):
+        with pytest.raises(KeyError):
+            self.make().value("t", planner="mbh")
+
+    def test_value_missing(self):
+        with pytest.raises(KeyError):
+            self.make().value("t", planner="ilp", alpha=1.0)
+
+    def test_table_renders(self):
+        table = self.make().table()
+        assert "demo" in table
+        assert "tabu" in table
+
+
+class TestPlacementHelpers:
+    def test_random_placement_deterministic(self):
+        place = random_placement(42)
+        ids = list(range(50))
+        assert place(ids, 4) == place(ids, 4)
+        assert place(ids, 4) != random_placement(43)(ids, 4)
+
+    def test_make_cluster_policies(self):
+        array_a, array_b = skewed_merge_pair(0.5, cells_per_array=5_000, seed=1)
+        cluster = make_cluster(
+            [array_a, array_b], 3, seed=2, placement=["random", "block"],
+            network=NetworkParams(bandwidth_cells_per_s=1000.0),
+        )
+        assert cluster.network.bandwidth_cells_per_s == 1000.0
+        # Block placement: B's chunk-to-node map is monotone.
+        entry = cluster.catalog.entry("B")
+        nodes = [
+            entry.chunk_locations[cid] for cid in sorted(entry.chunk_locations)
+        ]
+        assert nodes == sorted(nodes)
+        # Random placement generally is not.
+        entry_a = cluster.catalog.entry("A")
+        nodes_a = [
+            entry_a.chunk_locations[cid]
+            for cid in sorted(entry_a.chunk_locations)
+        ]
+        assert nodes_a != sorted(nodes_a)
+
+    def test_counts_preserved(self):
+        array_a, array_b = skewed_merge_pair(1.0, cells_per_array=5_000, seed=3)
+        cluster = make_cluster([array_a, array_b], 4, seed=4)
+        assert cluster.array_cell_count("A") == array_a.n_cells
+        assert cluster.array_cell_count("B") == array_b.n_cells
+        assert (
+            np.asarray(cluster.node_cell_counts("A")).sum() == array_a.n_cells
+        )

@@ -1,0 +1,71 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRow,
+    fit_linear_r2,
+    fit_power_law,
+    format_table,
+)
+
+
+class TestPowerLaw:
+    def test_exact_fit(self):
+        x = np.array([1.0, 10.0, 100.0, 1000.0])
+        y = 3.0 * x ** 0.7
+        a, b, r2 = fit_power_law(x, y)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(0.7)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noise_reduces_r2(self, rng):
+        x = np.logspace(0, 4, 30)
+        y = 2.0 * x ** 0.5 * rng.lognormal(0.0, 0.8, 30)
+        _, _, r2 = fit_power_law(x, y)
+        assert 0.0 < r2 < 1.0
+
+    def test_nonpositive_filtered(self):
+        x = np.array([0.0, 1.0, 10.0, 100.0])
+        y = np.array([5.0, 1.0, 10.0, 100.0])
+        _, b, r2 = fit_power_law(x, y)
+        assert b == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+
+class TestLinearR2:
+    def test_perfect(self):
+        x = np.arange(10.0)
+        assert fit_linear_r2(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_uncorrelated_near_zero(self, rng):
+        x = rng.uniform(0, 1, 200)
+        y = rng.uniform(0, 1, 200)
+        assert fit_linear_r2(x, y) < 0.2
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        rows = [
+            ExperimentRow({"planner": "mbh"}, {"total_s": 1.23456}),
+            ExperimentRow({"planner": "tabu"}, {"total_s": 2.0}),
+        ]
+        table = format_table(rows, ["planner"], ["total_s"], title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "planner" in lines[1]
+        assert any("mbh" in line for line in lines)
+        assert any("1.235" in line for line in lines)
+
+    def test_missing_values_blank(self):
+        rows = [ExperimentRow({"planner": "x"}, {})]
+        table = format_table(rows, ["planner"], ["total_s"])
+        assert "x" in table
+
+
+class TestExperimentRow:
+    def test_get_prefers_labels(self):
+        row = ExperimentRow({"alpha": 1.0}, {"total_s": 2.0})
+        assert row.get("alpha") == 1.0
+        assert row.get("total_s") == 2.0

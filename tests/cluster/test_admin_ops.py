@@ -1,0 +1,136 @@
+"""Tests for rebalance, integrity validation, and describe."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet
+from repro.cluster import Cluster
+from repro.engine import ShuffleJoinExecutor
+from repro.workloads import ais_tracks
+
+
+class TestRebalance:
+    def test_levels_skewed_storage(self):
+        cluster = Cluster(n_nodes=4)
+        # Block placement of the heavily skewed AIS array concentrates
+        # the port chunks on few nodes.
+        cluster.load_array(ais_tracks(cells=40_000, seed=1), placement="block")
+        before = cluster.node_cell_counts("Broadcast")
+        schedule = cluster.rebalance("Broadcast")
+        after = cluster.node_cell_counts("Broadcast")
+        assert after.sum() == before.sum()
+        assert after.max() - after.min() < before.max() - before.min()
+        assert schedule.total_cells_moved > 0
+        assert schedule.total_time > 0
+        assert cluster.validate_integrity("Broadcast") == []
+
+    def test_rebalance_is_idempotent_on_traffic(self):
+        cluster = Cluster(n_nodes=3)
+        cluster.load_array(ais_tracks(cells=20_000, seed=2), placement="block")
+        cluster.rebalance("Broadcast")
+        second = cluster.rebalance("Broadcast")
+        assert second.total_cells_moved == 0
+
+    def test_queries_still_correct_after_rebalance(self):
+        gen = np.random.default_rng(3)
+        cluster = Cluster(n_nodes=3)
+        coords = np.unique(gen.integers(1, 33, size=(400, 2)), axis=0)
+        for name, placement in (("A", "block"), ("B", "round_robin")):
+            cluster.create_array(
+                f"{name}<v:int64>[i=1,32,8, j=1,32,8]",
+                CellSet(coords, {"v": gen.integers(0, 9, len(coords))}),
+                placement=placement,
+            )
+        cluster.rebalance("A")
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            planner="mbh",
+        )
+        assert result.array.n_cells == len(coords)
+
+    def test_rebalance_invalidates_statistics(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.load_array(ais_tracks(cells=10_000, seed=4), placement="block")
+        cluster.statistics("Broadcast")
+        cluster.rebalance("Broadcast")
+        assert not cluster.catalog.entry("Broadcast").statistics_fresh
+
+
+class TestIntegrity:
+    def make(self):
+        gen = np.random.default_rng(5)
+        cluster = Cluster(n_nodes=3)
+        coords = np.unique(gen.integers(1, 33, size=(300, 2)), axis=0)
+        cluster.create_array(
+            "A<v:int64>[i=1,32,8, j=1,32,8]",
+            CellSet(coords, {"v": gen.integers(0, 9, len(coords))}),
+        )
+        return cluster
+
+    def test_healthy_cluster(self):
+        cluster = self.make()
+        assert cluster.validate_integrity("A") == []
+
+    def test_detects_missing_chunk(self):
+        cluster = self.make()
+        entry = cluster.catalog.entry("A")
+        chunk_id, node_id = next(iter(entry.chunk_locations.items()))
+        cluster.nodes[node_id].store("A").chunks.pop(chunk_id)
+        problems = cluster.validate_integrity("A")
+        assert any("no node stores it" in p for p in problems)
+
+    def test_detects_misplaced_chunk(self):
+        cluster = self.make()
+        entry = cluster.catalog.entry("A")
+        chunk_id, node_id = next(iter(entry.chunk_locations.items()))
+        chunk = cluster.nodes[node_id].store("A").chunks.pop(chunk_id)
+        other = (node_id + 1) % cluster.n_nodes
+        cluster.nodes[other].store("A").chunks[chunk_id] = chunk
+        problems = cluster.validate_integrity("A")
+        assert any("but node" in p for p in problems)
+
+    def test_detects_orphan_chunk(self):
+        cluster = self.make()
+        entry = cluster.catalog.entry("A")
+        chunk_id, node_id = next(iter(entry.chunk_locations.items()))
+        del entry.chunk_locations[chunk_id]
+        problems = cluster.validate_integrity("A")
+        assert any("without a catalog record" in p for p in problems)
+
+
+class TestSessionAdminSurface:
+    def test_rebalance_and_validate(self):
+        from repro import Session
+
+        session = Session(n_nodes=3)
+        session.cluster.load_array(
+            ais_tracks(cells=15_000, seed=7), placement="block"
+        )
+        schedule = session.rebalance("Broadcast")
+        assert schedule.total_cells_moved > 0
+        assert session.validate("Broadcast") == []
+
+
+class TestDescribe:
+    def test_summary_contents(self):
+        from repro import Session
+
+        gen = np.random.default_rng(6)
+        session = Session(n_nodes=2)
+        coords = np.unique(gen.integers(1, 33, size=(250, 2)), axis=0)
+        session.create_and_load(
+            "A<v:int64, w:float64>[i=1,32,8, j=1,32,8]",
+            CellSet(
+                coords,
+                {
+                    "v": gen.integers(0, 500, len(coords)),
+                    "w": gen.uniform(0, 1, len(coords)),
+                },
+            ),
+        )
+        text = session.describe("A")
+        assert "A<v:int64, w:float64>" in text
+        assert f"cells:        {len(coords)}" in text
+        assert "per node:" in text
+        assert "v: range" in text

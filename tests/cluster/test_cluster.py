@@ -1,0 +1,139 @@
+"""Unit tests for the cluster facade, nodes, and catalog."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.cluster import Cluster
+from repro.errors import CatalogError, SchemaError
+
+
+def sample_cells(n=40, extent=64, seed=0):
+    gen = np.random.default_rng(seed)
+    coords = np.unique(gen.integers(1, extent + 1, size=(n, 2)), axis=0)
+    return CellSet(coords, {"v": gen.integers(0, 9, len(coords))})
+
+
+SCHEMA = "A<v:int64>[i=1,64,8, j=1,64,8]"
+
+
+class TestCreateArray:
+    def test_round_robin_placement(self):
+        cluster = Cluster(n_nodes=4)
+        cluster.create_array(SCHEMA, sample_cells())
+        entry = cluster.catalog.entry("A")
+        nodes = [entry.chunk_locations[cid] for cid in sorted(entry.chunk_locations)]
+        assert nodes == [rank % 4 for rank in range(len(nodes))]
+
+    def test_block_placement_contiguous(self):
+        cluster = Cluster(n_nodes=4)
+        cluster.create_array(SCHEMA, sample_cells(), placement="block")
+        entry = cluster.catalog.entry("A")
+        nodes = [entry.chunk_locations[cid] for cid in sorted(entry.chunk_locations)]
+        assert nodes == sorted(nodes)
+
+    def test_balanced_placement_levels_cells(self):
+        # A skewed array: one giant chunk plus many small ones.
+        gen = np.random.default_rng(1)
+        big = np.stack(
+            [np.full(60, 1), np.arange(1, 61) % 8 + 1], axis=1
+        )
+        small = np.unique(gen.integers(9, 65, size=(80, 2)), axis=0)
+        cells = CellSet(
+            np.concatenate([big, small]),
+            {"v": gen.integers(0, 9, len(big) + len(small))},
+        )
+        cells = CellSet(*_dedupe(cells))
+        cluster = Cluster(n_nodes=4)
+        cluster.create_array(SCHEMA, cells, placement="balanced")
+        counts = cluster.node_cell_counts("A")
+        assert counts.max() - counts.min() <= max(10, counts.max() // 2)
+
+    def test_explicit_mapping(self):
+        cluster = Cluster(n_nodes=2)
+        array = LocalArray.from_cells(parse_schema(SCHEMA), sample_cells())
+        mapping = {cid: 1 for cid in array.chunks}
+        cluster.load_array(array, placement=mapping)
+        assert cluster.node_cell_counts("A")[1] == array.n_cells
+
+    def test_mapping_must_cover_chunks(self):
+        cluster = Cluster(n_nodes=2)
+        with pytest.raises(SchemaError):
+            cluster.create_array(SCHEMA, sample_cells(), placement={0: 0})
+
+    def test_invalid_node_id_rejected(self):
+        cluster = Cluster(n_nodes=2)
+        with pytest.raises(SchemaError):
+            cluster.create_array(
+                SCHEMA, sample_cells(), placement=lambda ids, k: [9] * len(ids)
+            )
+
+    def test_unknown_policy_rejected(self):
+        cluster = Cluster(n_nodes=2)
+        with pytest.raises(SchemaError):
+            cluster.create_array(SCHEMA, sample_cells(), placement="mystery")
+
+    def test_duplicate_name_rejected(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_array(SCHEMA, sample_cells())
+        with pytest.raises(CatalogError):
+            cluster.create_array(SCHEMA, sample_cells())
+
+
+def _dedupe(cells: CellSet):
+    packed = cells.to_structured(sorted(cells.attrs))
+    _, index = np.unique(
+        packed[[f"__dim{i}" for i in range(cells.ndims)]], return_index=True
+    )
+    kept = cells.take(np.sort(index))
+    return kept.coords, kept.attrs
+
+
+class TestAccess:
+    def test_gather_roundtrip(self):
+        cluster = Cluster(n_nodes=3)
+        cells = sample_cells()
+        cluster.create_array(SCHEMA, cells)
+        assert cluster.array_cells("A").same_cells(cells)
+        assert cluster.array_cell_count("A") == len(cells)
+
+    def test_chunk_node_matrix_one_owner_per_chunk(self):
+        cluster = Cluster(n_nodes=3)
+        cluster.create_array(SCHEMA, sample_cells())
+        matrix = cluster.chunk_node_matrix("A")
+        occupied = matrix.sum(axis=1) > 0
+        assert ((matrix[occupied] > 0).sum(axis=1) == 1).all()
+        assert matrix.sum() == cluster.array_cell_count("A")
+
+    def test_drop_array(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_array(SCHEMA, sample_cells())
+        cluster.drop_array("A")
+        assert not cluster.catalog.exists("A")
+        with pytest.raises(CatalogError):
+            cluster.schema("A")
+
+    def test_node_bounds(self):
+        cluster = Cluster(n_nodes=2)
+        with pytest.raises(CatalogError):
+            cluster.node(2)
+
+    def test_catalog_chunk_location(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_array(SCHEMA, sample_cells())
+        entry = cluster.catalog.entry("A")
+        some_chunk = next(iter(entry.chunk_locations))
+        node = cluster.catalog.chunk_location("A", some_chunk)
+        assert cluster.node(node).local_chunk_sizes("A")[some_chunk] > 0
+
+    def test_missing_chunk_location(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_array(SCHEMA, sample_cells())
+        with pytest.raises(CatalogError):
+            cluster.catalog.chunk_location("A", 10_000)
+
+
+class TestClusterParams:
+    def test_positive_node_count_required(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)

@@ -1,0 +1,88 @@
+"""Tests for the alternative shuffle scheduling policies (ablation)."""
+
+import pytest
+
+from repro.cluster.network import NetworkParams, Transfer, schedule_shuffle
+
+PARAMS = NetworkParams(bandwidth_cells_per_s=1000.0, latency_s=0.0)
+
+
+def fan_in_transfers():
+    """Three senders, all targeting node 9 plus one alternative each."""
+    transfers = []
+    for src in range(3):
+        transfers.append(Transfer(src, 9, 300))
+        transfers.append(Transfer(src, 10 + src, 300))
+    return transfers
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_shuffle([], PARAMS, policy="chaotic")
+
+    @pytest.mark.parametrize(
+        "policy", ["greedy_lock", "head_of_line", "uncoordinated"]
+    )
+    def test_conservation_all_policies(self, policy, rng):
+        transfers = [
+            Transfer(int(s), 4 + int(d), int(n))
+            for s, d, n in zip(
+                rng.integers(0, 4, 30),
+                rng.integers(0, 4, 30),
+                rng.integers(1, 100, 30),
+            )
+        ]
+        schedule = schedule_shuffle(transfers, PARAMS, policy=policy)
+        assert schedule.n_transfers == len(transfers)
+        assert schedule.total_cells_moved == sum(t.n_cells for t in transfers)
+
+    def test_greedy_beats_head_of_line_on_contention(self):
+        transfers = fan_in_transfers()
+        greedy = schedule_shuffle(transfers, PARAMS, policy="greedy_lock")
+        blocking = schedule_shuffle(transfers, PARAMS, policy="head_of_line")
+        assert greedy.total_time <= blocking.total_time
+
+    def test_uncoordinated_shares_bandwidth(self):
+        # Two simultaneous streams into one receiver: fair sharing makes
+        # each take twice as long as it would alone.
+        transfers = [Transfer(0, 2, 100), Transfer(1, 2, 100)]
+        schedule = schedule_shuffle(transfers, PARAMS, policy="uncoordinated")
+        assert schedule.total_time == pytest.approx(0.2, rel=0.01)
+
+    def test_uncoordinated_parallel_when_disjoint(self):
+        transfers = [Transfer(0, 2, 100), Transfer(1, 3, 100)]
+        schedule = schedule_shuffle(transfers, PARAMS, policy="uncoordinated")
+        assert schedule.total_time == pytest.approx(0.1, rel=0.01)
+
+    def test_uncoordinated_sender_serialises(self):
+        transfers = [Transfer(0, 2, 100), Transfer(0, 3, 100)]
+        schedule = schedule_shuffle(transfers, PARAMS, policy="uncoordinated")
+        assert schedule.total_time == pytest.approx(0.2, rel=0.01)
+
+    def test_uncoordinated_latency_lead_in(self):
+        params = NetworkParams(bandwidth_cells_per_s=1000.0, latency_s=0.05)
+        schedule = schedule_shuffle(
+            [Transfer(0, 1, 100)], params, policy="uncoordinated"
+        )
+        assert schedule.total_time == pytest.approx(0.15, rel=0.01)
+
+
+class TestTabuListOption:
+    def test_without_list_matches_with_list_quality(self, rng):
+        import numpy as np
+
+        from repro.core.cost_model import AnalyticalCostModel, CostParams
+        from repro.core.planners.tabu import TabuPlanner
+        from repro.core.slices import SliceStats
+
+        stats = SliceStats(
+            rng.integers(0, 60, size=(40, 4)), rng.integers(0, 60, size=(40, 4))
+        )
+        model = AnalyticalCostModel(stats, "hash", CostParams())
+        with_list = TabuPlanner(use_tabu_list=True).assign(model)
+        without = TabuPlanner(use_tabu_list=False).assign(model)
+        cost_with = model.plan_cost(with_list[0]).total_seconds
+        cost_without = model.plan_cost(without[0]).total_seconds
+        assert cost_with == pytest.approx(cost_without, rel=0.1)
+        assert np.all(with_list[0] >= 0)

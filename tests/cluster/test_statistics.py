@@ -1,0 +1,104 @@
+"""Tests for catalog-resident statistics (ANALYZE)."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet
+from repro.cluster import Cluster
+from repro.workloads import ais_tracks
+
+
+def make_cluster(n=500, seed=0):
+    gen = np.random.default_rng(seed)
+    cluster = Cluster(n_nodes=3)
+    coords = np.unique(gen.integers(1, 65, size=(n, 2)), axis=0)
+    cluster.create_array(
+        "A<v:int64, w:float64>[i=1,64,8, j=1,64,8]",
+        CellSet(
+            coords,
+            {
+                "v": gen.integers(0, 1000, len(coords)),
+                "w": gen.uniform(0, 1, len(coords)),
+            },
+        ),
+    )
+    return cluster
+
+
+class TestAnalyze:
+    def test_cell_count_and_histograms(self):
+        cluster = make_cluster()
+        stats = cluster.analyze("A")
+        assert stats.cell_count == cluster.array_cell_count("A")
+        assert set(stats.histograms) == {"v", "w"}
+        assert stats.histograms["v"].total == stats.cell_count
+
+    def test_histogram_range_covers_data(self):
+        cluster = make_cluster()
+        stats = cluster.analyze("A")
+        values = cluster.array_cells("A").attrs["v"]
+        assert stats.histograms["v"].low <= values.min()
+        assert stats.histograms["v"].high >= values.max()
+
+    def test_skew_statistics(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.load_array(ais_tracks(cells=30_000, seed=1))
+        stats = cluster.analyze("Broadcast")
+        assert stats.top_share > 0.5  # AIS hotspots
+        assert stats.max_chunk_cells > 100
+
+    def test_cached_until_load(self):
+        cluster = make_cluster()
+        first = cluster.statistics("A")
+        second = cluster.statistics("A")
+        assert first is second  # cache hit
+
+    def test_invalidated_by_insert(self):
+        cluster = make_cluster()
+        first = cluster.statistics("A")
+        gen = np.random.default_rng(9)
+        extra = CellSet(
+            np.array([[1, 1]]),
+            {"v": np.array([5000]), "w": np.array([0.5])},
+        )
+        cluster.insert_cells("A", extra)
+        second = cluster.statistics("A")
+        assert second is not first
+        assert second.cell_count == first.cell_count + 1
+        # The new outlier value widened the histogram.
+        assert second.histograms["v"].high >= 5000
+
+    def test_empty_array(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_empty_array("E<v:int64>[i=1,8,4]")
+        stats = cluster.analyze("E")
+        assert stats.cell_count == 0
+        assert stats.histograms == {}
+        assert stats.top_share == 0.0
+
+    def test_planner_uses_cached_stats(self):
+        """An A:A join's dimension inference reads the cached histogram."""
+        from repro.engine import ShuffleJoinExecutor
+
+        cluster = make_cluster()
+        gen = np.random.default_rng(2)
+        coords = np.unique(gen.integers(1, 65, size=(400, 2)), axis=0)
+        cluster.create_array(
+            "B<v:int64, w:float64>[i=1,64,8, j=1,64,8]",
+            CellSet(
+                coords,
+                {
+                    "v": gen.integers(0, 1000, len(coords)),
+                    "w": gen.uniform(0, 1, len(coords)),
+                },
+            ),
+            placement="block",
+        )
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.1)
+        result = executor.execute(
+            "SELECT A.i INTO T<ai:int64>[] FROM A, B WHERE A.v = B.v",
+            planner="mbh",
+        )
+        assert result.join_schema.chunkable  # histogram-inferred dimension
+        assert cluster.catalog.entry("A").statistics_fresh
+        assert cluster.catalog.entry("B").statistics_fresh

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.cluster import Cluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_schema():
+    return parse_schema("A<v1:int64, v2:float64>[i=1,6,3, j=1,6,3]")
+
+
+@pytest.fixture
+def figure1_array(small_schema) -> LocalArray:
+    """The paper's Figure 1 example array."""
+    coords = np.array(
+        [[1, 1], [1, 2], [2, 1], [2, 2], [3, 1], [3, 2], [3, 3],
+         [4, 4], [4, 5], [5, 4], [5, 5], [5, 6], [6, 4], [6, 5], [6, 6]]
+    )
+    values_1 = np.array([5, 1, 1, 7, 1, 0, 0, 6, 3, 3, 3, 6, 9, 5, 5])
+    values_2 = np.array(
+        [0.3, 0.47, 0.02, 0.13, 0.19, 0.04, 0.75, 1.4, 6.9, 0.8, 1.4,
+         9.1, 2.7, 7.9, 8.7]
+    )
+    cells = CellSet(coords, {"v1": values_1, "v2": values_2})
+    return LocalArray.from_cells(small_schema, cells)
+
+
+def make_dd_pair(
+    n_cells: int = 2000,
+    extent: int = 64,
+    interval: int = 8,
+    seed: int = 0,
+    value_range: int = 50,
+):
+    """Two same-shape 2-D arrays for D:D joins, plus their raw cell sets."""
+    gen = np.random.default_rng(seed)
+    arrays = []
+    for name in ("A", "B"):
+        coords = np.unique(gen.integers(1, extent + 1, size=(n_cells, 2)), axis=0)
+        cells = CellSet(
+            coords,
+            {
+                "v1": gen.integers(0, value_range, len(coords)),
+                "v2": gen.integers(0, value_range, len(coords)),
+            },
+        )
+        schema = parse_schema(
+            f"{name}<v1:int64, v2:int64>"
+            f"[i=1,{extent},{interval}, j=1,{extent},{interval}]"
+        )
+        arrays.append(LocalArray.from_cells(schema, cells))
+    return arrays[0], arrays[1]
+
+
+@pytest.fixture
+def dd_pair():
+    return make_dd_pair()
+
+
+@pytest.fixture
+def small_cluster(dd_pair) -> Cluster:
+    """A 4-node cluster with the D:D pair loaded (shifted placements)."""
+    cluster = Cluster(n_nodes=4)
+    array_a, array_b = dd_pair
+    cluster.load_array(array_a, placement="round_robin")
+    cluster.load_array(
+        array_b,
+        placement=lambda ids, k: [(rank + 1) % k for rank in range(len(ids))],
+    )
+    return cluster

@@ -1,0 +1,135 @@
+"""Unit tests for the analytical physical cost model (Equations 4-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import AnalyticalCostModel, CostParams
+from repro.core.slices import SliceStats
+from repro.errors import PlanningError
+
+PARAMS = CostParams(m=1.0, b=4.0, p=1.0, t=0.5)
+
+
+def random_stats(n_units=40, n_nodes=5, seed=0):
+    gen = np.random.default_rng(seed)
+    return SliceStats(
+        gen.integers(0, 50, size=(n_units, n_nodes)),
+        gen.integers(0, 50, size=(n_units, n_nodes)),
+    )
+
+
+def naive_node_totals(stats, unit_costs, assignment):
+    """Literal transcription of Equations 5-7 for cross-checking."""
+    n, k = stats.n_units, stats.n_nodes
+    s_total = stats.s_total
+    totals = stats.unit_totals
+    send = np.zeros(k)
+    recv = np.zeros(k)
+    comp = np.zeros(k)
+    for j in range(k):
+        for i in range(n):
+            if assignment[i] != j:
+                send[j] += s_total[i, j]
+            else:
+                recv[j] += totals[i] - s_total[i, j]
+                comp[j] += unit_costs[i]
+    return send, recv, comp
+
+
+class TestUnitCosts:
+    def test_merge_cost(self):
+        stats = SliceStats(np.array([[10, 0]]), np.array([[0, 6]]))
+        model = AnalyticalCostModel(stats, "merge", PARAMS)
+        assert model.unit_costs[0] == pytest.approx(16.0)
+
+    def test_hash_build_probe_split(self):
+        stats = SliceStats(np.array([[10, 0]]), np.array([[0, 6]]))
+        model = AnalyticalCostModel(stats, "hash", PARAMS)
+        # build the smaller side (6 cells), probe the larger (10).
+        assert model.unit_costs[0] == pytest.approx(4.0 * 6 + 1.0 * 10)
+
+    def test_nested_loop_rejected(self):
+        with pytest.raises(PlanningError):
+            AnalyticalCostModel(random_stats(), "nested_loop", PARAMS)
+
+
+class TestNodeTotals:
+    @pytest.mark.parametrize("algorithm", ["merge", "hash"])
+    def test_matches_naive_equations(self, algorithm, rng):
+        stats = random_stats(seed=3)
+        model = AnalyticalCostModel(stats, algorithm, PARAMS)
+        assignment = rng.integers(0, stats.n_nodes, stats.n_units)
+        send, recv, comp = model.node_totals(assignment)
+        n_send, n_recv, n_comp = naive_node_totals(
+            stats, model.unit_costs, assignment
+        )
+        np.testing.assert_array_equal(send, n_send)
+        np.testing.assert_array_equal(recv, n_recv)
+        np.testing.assert_allclose(comp, n_comp)
+
+    def test_plan_cost_is_equation8(self, rng):
+        stats = random_stats(seed=5)
+        model = AnalyticalCostModel(stats, "merge", PARAMS)
+        assignment = rng.integers(0, stats.n_nodes, stats.n_units)
+        cost = model.plan_cost(assignment)
+        send, recv, comp = model.node_totals(assignment)
+        expected = max(send.max(), recv.max()) * PARAMS.t + comp.max()
+        assert cost.total_seconds == pytest.approx(expected)
+
+    def test_all_local_assignment_moves_nothing(self):
+        # One unit per node, each stored wholly where it is assigned.
+        left = np.diag([10, 20, 30]).astype(np.int64)
+        stats = SliceStats(left, np.zeros_like(left))
+        model = AnalyticalCostModel(stats, "merge", PARAMS)
+        cost = model.plan_cost(np.array([0, 1, 2]))
+        assert cost.send_cells == 0
+        assert cost.recv_cells == 0
+
+    def test_assignment_validation(self):
+        stats = random_stats()
+        model = AnalyticalCostModel(stats, "merge", PARAMS)
+        with pytest.raises(PlanningError):
+            model.plan_cost(np.zeros(3, dtype=np.int64))
+        with pytest.raises(PlanningError):
+            model.plan_cost(np.full(stats.n_units, 99))
+
+
+class TestIncrementalMoves:
+    def test_move_delta_matches_rebuild(self, rng):
+        stats = random_stats(seed=7)
+        model = AnalyticalCostModel(stats, "hash", PARAMS)
+        assignment = rng.integers(0, stats.n_nodes, stats.n_units)
+        send, recv, comp = model.node_totals(assignment)
+        for _ in range(20):
+            unit = int(rng.integers(0, stats.n_units))
+            source = int(assignment[unit])
+            target = int((source + 1 + rng.integers(0, stats.n_nodes - 1))
+                         % stats.n_nodes)
+            new_send, new_recv, new_comp = model.move_delta(
+                send, recv, comp, unit, source, target
+            )
+            assignment[unit] = target
+            r_send, r_recv, r_comp = model.node_totals(assignment)
+            np.testing.assert_array_equal(new_send, r_send)
+            np.testing.assert_array_equal(new_recv, r_recv)
+            np.testing.assert_allclose(new_comp, r_comp)
+            send, recv, comp = new_send, new_recv, new_comp
+
+    def test_cost_from_totals_consistent(self, rng):
+        stats = random_stats(seed=11)
+        model = AnalyticalCostModel(stats, "merge", PARAMS)
+        assignment = rng.integers(0, stats.n_nodes, stats.n_units)
+        send, recv, comp = model.node_totals(assignment)
+        assert model.cost_from_totals(send, recv, comp) == pytest.approx(
+            model.plan_cost(assignment).total_seconds
+        )
+
+
+class TestCostParams:
+    def test_positive_required(self):
+        with pytest.raises(PlanningError):
+            CostParams(m=0.0)
+
+    def test_with_bandwidth(self):
+        params = CostParams().with_bandwidth(1_000_000.0)
+        assert params.t == pytest.approx(1e-6)

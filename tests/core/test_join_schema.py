@@ -1,0 +1,145 @@
+"""Unit tests for join schema inference (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.adm import Histogram, parse_schema
+from repro.core.join_schema import default_destination, infer_join_schema
+from repro.errors import PlanningError
+from repro.query import parse_aql
+from repro.query.predicates import PredicateKind
+
+DD_A = parse_schema("A<v1:int64, v2:int64>[i=1,64,2, j=1,64,2]")
+DD_B = parse_schema("B<v1:int64, v2:int64>[i=1,64,2, j=1,64,2]")
+
+
+class TestDimensionDimension:
+    def test_conforming_dd_join(self):
+        query = parse_aql(
+            "SELECT A.v1 - B.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        schema = infer_join_schema(query, DD_A, DD_B)
+        assert schema.kind == PredicateKind.DIM_DIM
+        assert schema.chunkable
+        assert [d.name for d in schema.dims] == ["i", "j"]
+        assert schema.conforms("left")
+        assert schema.conforms("right")
+
+    def test_union_range_and_max_interval(self):
+        wide_b = parse_schema("B<v1:int64, v2:int64>[i=1,128,4, j=1,64,2]")
+        query = parse_aql("SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j")
+        schema = infer_join_schema(query, DD_A, wide_b)
+        dim_i = schema.dims[0]
+        assert (dim_i.start, dim_i.end) == (1, 128)
+        assert dim_i.chunk_interval == 4
+        # The widened grid equals B's own grid, so B scans while A must
+        # be reorganised.
+        assert not schema.conforms("left")
+        assert schema.conforms("right")
+
+    def test_partial_dimension_join(self):
+        """Joining on a subset of dims (the AIS x MODIS query)."""
+        modis = parse_schema(
+            "M<r:float64>[time=1,7,7, lon=1,360,4, lat=1,180,4]"
+        )
+        ais = parse_schema(
+            "S<ship:int64>[time=1,365,365, lon=1,360,4, lat=1,180,4]"
+        )
+        query = parse_aql(
+            "SELECT M.r, S.ship FROM M, S WHERE M.lon = S.lon AND M.lat = S.lat"
+        )
+        schema = infer_join_schema(query, modis, ais)
+        assert [d.name for d in schema.dims] == ["lon", "lat"]
+        # Extra time dimension means neither side's chunks align with J.
+        assert not schema.conforms("left")
+        assert not schema.conforms("right")
+
+
+class TestAttributeAttribute:
+    def test_int_keys_chunkable_via_histogram(self):
+        a = parse_schema("A<v:int64>[i=1,128,4]")
+        b = parse_schema("B<w:int64>[j=1,128,4]")
+        query = parse_aql("SELECT * FROM A, B WHERE A.v = B.w")
+        hist = {
+            "A.v": Histogram.from_values(np.arange(0, 1000)),
+            "B.w": Histogram.from_values(np.arange(500, 1500)),
+        }
+        schema = infer_join_schema(query, a, b, histograms=hist)
+        assert schema.chunkable
+        assert schema.dims[0].start <= 0
+        assert schema.dims[0].end >= 1499
+
+    def test_float_keys_not_chunkable(self):
+        a = parse_schema("A<v:float64>[i=1,128,4]")
+        b = parse_schema("B<w:float64>[j=1,128,4]")
+        query = parse_aql("SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w")
+        schema = infer_join_schema(query, a, b)
+        assert not schema.chunkable
+
+    def test_destination_dim_shape_copied(self):
+        a = parse_schema("A<v:int64>[i=1,128,4]")
+        b = parse_schema("B<w:int64>[j=1,128,4]")
+        query = parse_aql(
+            "SELECT * INTO C<i:int64, j:int64>[v=1,128,4] "
+            "FROM A, B WHERE A.v = B.w"
+        )
+        schema = infer_join_schema(query, a, b)
+        assert schema.dims[0].same_shape(query.into_schema.dims[0])
+        assert schema.grid_matches_destination()
+
+    def test_no_stats_no_destination_falls_to_hash(self):
+        a = parse_schema("A<v:int64>[i=1,128,4]")
+        b = parse_schema("B<w:int64>[j=1,128,4]")
+        query = parse_aql("SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w")
+        schema = infer_join_schema(query, a, b)
+        assert not schema.chunkable
+
+
+class TestCarriedFields:
+    def test_aa_join_carries_source_dims(self):
+        a = parse_schema("A<v:int64>[i=1,128,4]")
+        b = parse_schema("B<w:int64>[j=1,128,4]")
+        query = parse_aql(
+            "SELECT * INTO C<i:int64, j:int64>[v=1,128,4] "
+            "FROM A, B WHERE A.v = B.w"
+        )
+        schema = infer_join_schema(query, a, b)
+        assert schema.left_carry == ("i",)
+        assert schema.right_carry == ("j",)
+
+    def test_key_attributes_not_carried_twice(self):
+        query = parse_aql(
+            "SELECT A.v1 - B.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        schema = infer_join_schema(query, DD_A, DD_B)
+        assert "i" not in schema.left_carry
+        assert schema.left_carry == ("v1",)
+        assert schema.right_carry == ("v1",)
+
+    def test_select_star_dd_carries_all_attrs(self):
+        query = parse_aql("SELECT * FROM A, B WHERE A.i = B.i AND A.j = B.j")
+        schema = infer_join_schema(query, DD_A, DD_B)
+        assert set(schema.left_carry) == {"v1", "v2"}
+        assert set(schema.right_carry) == {"v1", "v2"}
+
+    def test_unknown_qualifier_rejected(self):
+        query = parse_aql("SELECT Z.v1 FROM A, B WHERE A.i = B.i")
+        with pytest.raises(PlanningError):
+            infer_join_schema(query, DD_A, DD_B)
+
+
+class TestDefaultDestination:
+    def test_equation3_natural_join(self):
+        query = parse_aql("SELECT * FROM A, B WHERE A.i = B.i AND A.j = B.j")
+        dest = default_destination(query, DD_A, DD_B)
+        assert dest.dim_names == ("i", "j")
+        # B's v1/v2 collide with A's and get prefixed.
+        assert set(dest.attr_names) == {"v1", "v2", "B_v1", "B_v2"}
+
+    def test_predicate_attrs_collapse(self):
+        a = parse_schema("A<v:int64>[i=1,8,2]")
+        b = parse_schema("B<w:int64, extra:float64>[j=1,8,2]")
+        query = parse_aql("SELECT * FROM A, B WHERE A.v = B.w")
+        dest = default_destination(query, a, b)
+        assert "w" not in dest.attr_names
+        assert "extra" in dest.attr_names

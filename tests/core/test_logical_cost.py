@@ -1,0 +1,73 @@
+"""Unit tests for the Table-1 operator cost formulas."""
+
+import math
+
+import pytest
+
+from repro.core import logical_cost as lc
+
+
+class TestTable1Formulas:
+    def test_scan_is_free(self):
+        assert lc.cost_scan(1_000_000) == 0.0
+
+    def test_redim_matches_table1(self):
+        n, c = 1000.0, 10.0
+        expected = n + n * math.log(n / c)
+        assert lc.cost_redim(n, c) == pytest.approx(expected)
+
+    def test_rechunk_linear(self):
+        assert lc.cost_rechunk(1234) == 1234.0
+
+    def test_hash_linear(self):
+        assert lc.cost_hash(1234) == 1234.0
+
+    def test_sort_matches_table1(self):
+        n, c = 4096.0, 16.0
+        assert lc.cost_sort(n, c) == pytest.approx(n * math.log(n / c))
+
+    def test_sort_cheaper_than_redim(self):
+        assert lc.cost_sort(1000, 10) < lc.cost_redim(1000, 10)
+
+    def test_zero_cells(self):
+        assert lc.cost_sort(0, 4) == 0.0
+        assert lc.cost_redim(0, 4) == 0.0
+
+    def test_tiny_chunks_guarded(self):
+        # n/c < 1 must not produce a negative log.
+        assert lc.cost_sort(4, 100) >= 0.0
+
+
+class TestCompare:
+    def test_linear_algorithms(self):
+        assert lc.cost_compare("merge", 100, 200) == 300
+        assert lc.cost_compare("hash", 100, 200) == 300
+
+    def test_nested_loop_polynomial(self):
+        assert lc.cost_compare("nested_loop", 100, 200) == 20_000
+
+    def test_nested_loop_never_profitable(self):
+        """Analytic version of the Section 4/6.1 claim: for any input
+        larger than a few cells, the NL compare dominates linear plans
+        even after adding the worst-case reorganisation costs."""
+        for n in (100, 10_000, 1_000_000):
+            linear_worst = (
+                lc.cost_redim(n, 32) * 2
+                + lc.cost_compare("merge", n, n)
+                + lc.cost_redim(2 * n, 32)
+            )
+            assert lc.cost_compare("nested_loop", n, n) > linear_worst
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            lc.cost_compare("sort_merge", 1, 1)
+
+
+class TestOutputEstimate:
+    def test_paper_convention(self):
+        # selectivity 0.1 over n_a + n_b cells
+        assert lc.estimate_output_cells(100, 100, 0.1) == pytest.approx(20)
+
+    def test_negative_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            lc.estimate_output_cells(1, 1, -0.5)

@@ -1,0 +1,152 @@
+"""Unit tests for the Algorithm-1 dynamic-programming logical planner."""
+
+import pytest
+
+from repro.adm import parse_schema
+from repro.core.join_schema import infer_join_schema
+from repro.core.logical import LogicalPlanner, PlanInputs, validate_plan
+from repro.errors import PlanningError
+from repro.query import parse_aql
+
+
+def dd_schema():
+    a = parse_schema("A<v1:int64>[i=1,64,8, j=1,64,8]")
+    b = parse_schema("B<v1:int64>[i=1,64,8, j=1,64,8]")
+    query = parse_aql("SELECT A.v1 - B.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j")
+    return infer_join_schema(query, a, b)
+
+
+def aa_schema():
+    a = parse_schema("A<v:int64>[i=1,128,4]")
+    b = parse_schema("B<w:int64>[j=1,128,4]")
+    query = parse_aql(
+        "SELECT * INTO C<i:int64, j:int64>[v=1,128,4] FROM A, B WHERE A.v = B.w"
+    )
+    return infer_join_schema(query, a, b)
+
+
+def float_aa_schema():
+    a = parse_schema("A<v:float64>[i=1,128,4]")
+    b = parse_schema("B<w:float64>[j=1,128,4]")
+    query = parse_aql("SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w")
+    return infer_join_schema(query, a, b)
+
+
+INPUTS = PlanInputs(n_alpha=10_000, n_beta=10_000, c_alpha=64, c_beta=64)
+
+
+class TestValidation:
+    def test_merge_requires_ordered_inputs(self):
+        schema = aa_schema()
+        assert validate_plan("redim", "redim", "merge", "scan", schema)
+        assert not validate_plan("rechunk", "redim", "merge", "scan", schema)
+        assert not validate_plan("hash", "hash", "merge", "redim", schema)
+
+    def test_unit_spaces_must_match(self):
+        schema = aa_schema()
+        assert not validate_plan("hash", "redim", "hash", "redim", schema)
+        assert not validate_plan("rechunk", "hash", "hash", "redim", schema)
+
+    def test_scan_requires_conformity(self):
+        conforming = dd_schema()
+        assert validate_plan("scan", "scan", "merge", "scan", conforming)
+        nonconforming = aa_schema()
+        assert not validate_plan("scan", "redim", "merge", "scan", nonconforming)
+
+    def test_no_scan_out_after_hash_join_with_dims(self):
+        schema = aa_schema()  # destination C has a dimension
+        assert not validate_plan("hash", "hash", "hash", "scan", schema)
+        assert validate_plan("hash", "hash", "hash", "redim", schema)
+
+    def test_sort_out_requires_matching_grid(self):
+        schema = aa_schema()  # J grid copied from C: matches
+        assert validate_plan("rechunk", "rechunk", "hash", "sort", schema)
+        assert not validate_plan("hash", "hash", "hash", "sort", schema)
+
+    def test_dimensionless_destination(self):
+        schema = float_aa_schema()
+        assert validate_plan("hash", "hash", "hash", "scan", schema)
+        assert not validate_plan("hash", "hash", "hash", "sort", schema)
+        assert not validate_plan("hash", "hash", "hash", "redim", schema)
+
+    def test_unchunkable_schema_blocks_redim(self):
+        schema = float_aa_schema()
+        assert not validate_plan("redim", "redim", "merge", "scan", schema)
+        assert not validate_plan("rechunk", "rechunk", "hash", "scan", schema)
+
+
+class TestPlanSelection:
+    def test_conforming_dd_join_scans(self):
+        planner = LogicalPlanner(dd_schema(), INPUTS)
+        best = planner.best_plan()
+        assert best.join_algo == "merge"
+        assert best.alpha_align == "scan"
+        assert best.beta_align == "scan"
+        assert best.cost == pytest.approx(
+            (INPUTS.n_alpha + INPUTS.n_beta), rel=0.01
+        )
+
+    def test_low_selectivity_prefers_hash(self):
+        inputs = PlanInputs(10_000, 10_000, 64, 64, selectivity=0.01)
+        best = LogicalPlanner(aa_schema(), inputs).best_plan()
+        assert best.join_algo == "hash"
+        assert best.join_unit_kind == "bucket"
+
+    def test_high_selectivity_prefers_merge(self):
+        inputs = PlanInputs(10_000, 10_000, 64, 64, selectivity=100.0)
+        best = LogicalPlanner(aa_schema(), inputs).best_plan()
+        assert best.join_algo == "merge"
+        assert best.alpha_align == "redim"
+
+    def test_nested_loop_never_chosen(self):
+        for selectivity in (0.01, 1.0, 100.0):
+            inputs = PlanInputs(10_000, 10_000, 64, 64, selectivity=selectivity)
+            best = LogicalPlanner(aa_schema(), inputs).best_plan()
+            assert best.join_algo != "nested_loop"
+
+    def test_plan_named(self):
+        planner = LogicalPlanner(aa_schema(), INPUTS)
+        for algo in ("hash", "merge", "nested_loop"):
+            assert planner.plan_named(algo).join_algo == algo
+
+    def test_plans_sorted_by_cost(self):
+        plans = LogicalPlanner(aa_schema(), INPUTS).enumerate_plans()
+        costs = [plan.cost for plan in plans]
+        assert costs == sorted(costs)
+
+    def test_distributed_costs_scale(self):
+        single = LogicalPlanner(aa_schema(), INPUTS).best_plan()
+        spread = LogicalPlanner(
+            aa_schema(),
+            PlanInputs(10_000, 10_000, 64, 64, n_nodes=4),
+        ).best_plan()
+        assert spread.cost == pytest.approx(single.cost / 4)
+        # Ranking is unchanged by the k divisor.
+        assert spread.join_algo == single.join_algo
+
+    def test_float_keys_exclude_merge(self):
+        planner = LogicalPlanner(float_aa_schema(), INPUTS)
+        with pytest.raises(PlanningError):
+            planner.plan_named("merge")
+        assert planner.best_plan().join_algo == "hash"
+
+
+class TestAflRendering:
+    def test_paper_fig5_plans(self):
+        schema = aa_schema()
+        # At low selectivity the out-align difference is negligible and
+        # the bucket preference yields the paper's exact Figure 5 plans.
+        inputs = PlanInputs(10_000, 10_000, 64, 64, selectivity=0.01)
+        planner = LogicalPlanner(schema, inputs)
+        merge = planner.plan_named("merge").afl(schema)
+        assert merge.startswith("mergeJoin(redim(scan(A)")
+        hash_plan = planner.plan_named("hash").afl(schema)
+        assert hash_plan.startswith("redim(hashJoin(hash(scan(A)")
+
+    def test_high_selectivity_hash_uses_rechunk(self):
+        """At selectivity 1 the out-sort saving beats bucket flexibility:
+        the cheapest hash plan is the paper's rechunk + post-join sort."""
+        schema = aa_schema()
+        plan = LogicalPlanner(schema, INPUTS).plan_named("hash")
+        assert plan.alpha_align == "rechunk"
+        assert plan.out_align == "sort"

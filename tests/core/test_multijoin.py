@@ -1,0 +1,102 @@
+"""Unit tests for the multi-join ordering planner."""
+
+import pytest
+
+from repro.core.multijoin import MultiJoinPlanner, predicates_between
+from repro.errors import PlanningError
+from repro.query import parse_aql
+
+CHAIN = parse_aql(
+    "SELECT A.k1, C.k2 FROM A, B, C WHERE A.k1 = B.k1 AND B.k2 = C.k2"
+)
+
+
+def planner(sizes=None, sels=None):
+    sizes = sizes or {"A": 10_000, "B": 100, "C": 10_000}
+    sels = sels or {
+        frozenset({"A", "B"}): 0.01,
+        frozenset({"B", "C"}): 0.01,
+    }
+    return MultiJoinPlanner(sizes, sels)
+
+
+class TestPredicatesBetween:
+    def test_orientation(self):
+        preds = predicates_between(CHAIN, {"C"}, "B")
+        assert len(preds) == 1
+        # Placed side on the left, regardless of how the query wrote it.
+        assert preds[0].left.array == "C"
+        assert preds[0].right.array == "B"
+
+    def test_no_link(self):
+        assert predicates_between(CHAIN, {"A"}, "C") == ()
+
+
+class TestOrdering:
+    def test_chain_starts_with_selective_pair(self):
+        """Both A⋈B and B⋈C are symmetric; either is fine, but C (or A)
+        must come last — A⋈C has no predicate."""
+        plan = planner().plan(CHAIN)
+        assert set(plan.order[:2]) in ({"A", "B"}, {"B", "C"})
+        assert len(plan.steps) == 2
+        assert plan.total_cost > 0
+
+    def test_small_selective_join_first(self):
+        """A tiny, highly selective pair should be joined first."""
+        sizes = {"A": 50_000, "B": 200, "C": 50_000}
+        sels = {
+            frozenset({"A", "B"}): 0.0001,  # tiny output
+            frozenset({"B", "C"}): 0.4,     # large output
+        }
+        plan = planner(sizes, sels).plan(CHAIN)
+        first = plan.steps[0]
+        assert {first.placed[0], first.array} == {"A", "B"}
+
+    def test_star_query(self):
+        star = parse_aql(
+            "SELECT A.k1, D.k2 FROM A, B, C, D "
+            "WHERE A.k1 = B.k1 AND A.k2 = C.k1 AND A.k1 = D.k1"
+        )
+        sizes = {"A": 1000, "B": 100, "C": 100_000, "D": 10}
+        sels = {
+            frozenset({"A", "B"}): 0.05,
+            frozenset({"A", "C"}): 0.05,
+            frozenset({"A", "D"}): 0.05,
+        }
+        plan = MultiJoinPlanner(sizes, sels).plan(star)
+        assert len(plan.steps) == 3
+        # The giant C should be joined last.
+        assert plan.order[-1] == "C"
+
+    def test_disconnected_rejected(self):
+        query = parse_aql(
+            "SELECT A.k1, C.k1 FROM A, B, C WHERE A.k1 = B.k1 AND A.k2 = B.k2"
+        )
+        with pytest.raises(PlanningError):
+            planner().plan(query)
+
+    def test_missing_sizes_rejected(self):
+        bad = MultiJoinPlanner({"A": 10}, {})
+        with pytest.raises(PlanningError):
+            bad.plan(CHAIN)
+
+
+class TestFixedOrder:
+    def test_dp_never_worse_than_fixed(self):
+        plans = planner()
+        best = plans.plan(CHAIN)
+        for order in (["A", "B", "C"], ["C", "B", "A"], ["B", "A", "C"]):
+            fixed = plans.plan_fixed_order(CHAIN, order)
+            assert best.total_cost <= fixed.total_cost + 1e-9
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(PlanningError):
+            planner().plan_fixed_order(CHAIN, ["A", "C", "B"])  # A-C: no pred
+        with pytest.raises(PlanningError):
+            planner().plan_fixed_order(CHAIN, ["A", "B"])  # incomplete
+
+    def test_describe(self):
+        plan = planner().plan(CHAIN)
+        text = plan.describe()
+        assert "join order" in text
+        assert "⋈" in text

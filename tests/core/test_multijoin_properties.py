@@ -1,0 +1,68 @@
+"""Property test: the multi-join DP is optimal among left-deep orders."""
+
+from itertools import permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multijoin import MultiJoinPlanner
+from repro.errors import PlanningError
+from repro.query import parse_aql
+
+#: A chain query over four arrays: A-B, B-C, C-D.
+CHAIN4 = parse_aql(
+    "SELECT A.k1, D.k1 FROM A, B, C, D "
+    "WHERE A.k1 = B.k1 AND B.k2 = C.k2 AND C.k1 = D.k1"
+)
+
+sizes_strategy = st.fixed_dictionaries(
+    {name: st.integers(10, 100_000) for name in ("A", "B", "C", "D")}
+)
+selectivity_strategy = st.fixed_dictionaries(
+    {
+        frozenset({"A", "B"}): st.floats(1e-5, 2.0),
+        frozenset({"B", "C"}): st.floats(1e-5, 2.0),
+        frozenset({"C", "D"}): st.floats(1e-5, 2.0),
+    }
+)
+
+
+@given(sizes_strategy, selectivity_strategy)
+@settings(deadline=None, max_examples=40)
+def test_dp_matches_exhaustive_left_deep_minimum(sizes, selectivities):
+    planner = MultiJoinPlanner(sizes, selectivities)
+    dp_plan = planner.plan(CHAIN4)
+
+    best_exhaustive = float("inf")
+    for order in permutations(["A", "B", "C", "D"]):
+        try:
+            plan = planner.plan_fixed_order(CHAIN4, list(order))
+        except PlanningError:
+            continue  # disconnected prefix (e.g. A then C)
+        best_exhaustive = min(best_exhaustive, plan.total_cost)
+
+    assert dp_plan.total_cost <= best_exhaustive * (1 + 1e-9)
+    # And the DP's own order re-costs to the same total.
+    recosted = planner.plan_fixed_order(CHAIN4, dp_plan.order)
+    assert abs(recosted.total_cost - dp_plan.total_cost) <= 1e-6 * max(
+        dp_plan.total_cost, 1.0
+    )
+
+
+@given(sizes_strategy, selectivity_strategy)
+@settings(deadline=None, max_examples=40)
+def test_step_outputs_follow_paper_convention(sizes, selectivities):
+    """Each step's estimate is sel × (n_left + n_right), composed."""
+    planner = MultiJoinPlanner(sizes, selectivities)
+    plan = planner.plan(CHAIN4)
+    cells = float(sizes[plan.order[0]])
+    for step in plan.steps:
+        n_right = float(sizes[step.array])
+        pair_product = 1.0
+        placed = set(step.placed)
+        for pair, sel in selectivities.items():
+            if step.array in pair and (pair - {step.array}) <= placed:
+                pair_product *= sel
+        expected = pair_product * (cells + n_right)
+        assert abs(step.estimated_output - expected) <= 1e-6 * max(expected, 1.0)
+        cells = step.estimated_output

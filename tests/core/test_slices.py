@@ -1,0 +1,206 @@
+"""Unit tests for join units, slice functions, and slice statistics."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, parse_schema
+from repro.core.join_schema import infer_join_schema
+from repro.core.slices import (
+    SliceStats,
+    chunk_unit_ids,
+    hash_unit_ids,
+    key_columns,
+    unit_ids_for,
+)
+from repro.errors import PlanningError
+from repro.query import parse_aql
+
+
+def dd_join_schema():
+    a = parse_schema("A<v:int64>[i=1,64,8, j=1,64,8]")
+    b = parse_schema("B<w:int64>[i=1,64,8, j=1,64,8]")
+    query = parse_aql("SELECT A.v FROM A, B WHERE A.i = B.i AND A.j = B.j")
+    return infer_join_schema(query, a, b)
+
+
+def aa_join_schema(float_keys=False):
+    kind = "float64" if float_keys else "int64"
+    a = parse_schema(f"A<v:{kind}>[i=1,64,8]")
+    b = parse_schema(f"B<w:{kind}>[j=1,64,8]")
+    query = parse_aql(
+        "SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w"
+    )
+    return infer_join_schema(query, a, b)
+
+
+class TestSliceStats:
+    def make(self):
+        left = np.array([[5, 0], [2, 3], [0, 0]])
+        right = np.array([[1, 1], [0, 4], [0, 0]])
+        return SliceStats(left, right)
+
+    def test_totals(self):
+        stats = self.make()
+        np.testing.assert_array_equal(stats.unit_totals, [7, 9, 0])
+        np.testing.assert_array_equal(stats.left_unit_totals, [5, 5, 0])
+        assert stats.total_cells == 16
+
+    def test_center_of_gravity(self):
+        stats = self.make()
+        centers = stats.center_of_gravity()
+        assert centers[0] == 0  # 6 vs 1
+        assert centers[1] == 1  # 2 vs 7
+
+    def test_empty_units_rotate(self):
+        stats = SliceStats(np.zeros((4, 2), np.int64), np.zeros((4, 2), np.int64))
+        np.testing.assert_array_equal(stats.center_of_gravity(), [0, 1, 0, 1])
+
+    def test_ties_rotate_by_unit(self):
+        left = np.full((4, 2), 3, dtype=np.int64)
+        stats = SliceStats(left, np.zeros_like(left))
+        np.testing.assert_array_equal(stats.center_of_gravity(), [0, 1, 0, 1])
+
+    def test_merged_conserves_cells(self):
+        stats = self.make()
+        merged = stats.merged(np.array([0, 0, 1]), 2)
+        assert merged.total_cells == stats.total_cells
+        np.testing.assert_array_equal(merged.s_left[0], [7, 3])
+
+    def test_shape_validation(self):
+        with pytest.raises(PlanningError):
+            SliceStats(np.zeros((2, 2)), np.zeros((3, 2)))
+        with pytest.raises(PlanningError):
+            SliceStats(np.zeros(4), np.zeros(4))
+
+
+class TestChunkUnits:
+    def test_dd_units_match_schema_chunks(self):
+        schema = dd_join_schema()
+        coords = np.array([[1, 1], [8, 8], [9, 1], [64, 64]])
+        cells = CellSet(coords, {"v": np.zeros(4, dtype=np.int64)})
+        units = chunk_unit_ids(schema, "left", cells, schema.left_schema)
+        np.testing.assert_array_equal(units, [0, 0, 8, 63])
+
+    def test_both_sides_agree(self):
+        schema = dd_join_schema()
+        coords = np.array([[17, 33], [42, 5]])
+        left = CellSet(coords, {"v": np.zeros(2, dtype=np.int64)})
+        right = CellSet(coords, {"w": np.zeros(2, dtype=np.int64)})
+        lu = chunk_unit_ids(schema, "left", left, schema.left_schema)
+        ru = chunk_unit_ids(schema, "right", right, schema.right_schema)
+        np.testing.assert_array_equal(lu, ru)
+
+    def test_out_of_range_clamped(self):
+        """Key values beyond J's range land in the border chunks."""
+        a = parse_schema("A<v:int64>[i=1,64,8]")
+        b = parse_schema("B<w:int64>[i=1,64,8]")
+        query = parse_aql(
+            "SELECT A.v INTO C<v:int64>[i=1,32,8] FROM A, B WHERE A.i = B.i"
+        )
+        schema = infer_join_schema(query, a, b)
+        coords = np.array([[1], [64]])
+        cells = CellSet(coords, {"v": np.zeros(2, dtype=np.int64)})
+        units = chunk_unit_ids(schema, "left", cells, a)
+        assert units.min() >= 0
+        assert units.max() < schema.n_chunks
+
+    def test_unchunkable_rejected(self):
+        schema = aa_join_schema(float_keys=True)
+        cells = CellSet(np.array([[1]]), {"v": np.array([1.5])})
+        with pytest.raises(PlanningError):
+            chunk_unit_ids(schema, "left", cells, schema.left_schema)
+
+
+class TestHashUnits:
+    def test_matching_values_share_buckets(self, rng):
+        schema = aa_join_schema()
+        values = rng.integers(0, 1000, 200)
+        left = CellSet(
+            np.arange(1, 201).reshape(-1, 1) % 64 + 1, {"v": values}
+        )
+        right = CellSet(
+            np.arange(1, 201).reshape(-1, 1) % 64 + 1, {"w": values}
+        )
+        lu = hash_unit_ids(schema, "left", left, schema.left_schema, 64)
+        ru = hash_unit_ids(schema, "right", right, schema.right_schema, 64)
+        np.testing.assert_array_equal(lu, ru)
+
+    def test_buckets_in_range(self, rng):
+        schema = aa_join_schema()
+        cells = CellSet(
+            np.ones((500, 1), dtype=np.int64),
+            {"v": rng.integers(-(10**9), 10**9, 500)},
+        )
+        units = hash_unit_ids(schema, "left", cells, schema.left_schema, 37)
+        assert units.min() >= 0
+        assert units.max() < 37
+
+    def test_buckets_spread(self, rng):
+        schema = aa_join_schema()
+        cells = CellSet(
+            np.ones((2000, 1), dtype=np.int64),
+            {"v": np.arange(2000)},
+        )
+        units = hash_unit_ids(schema, "left", cells, schema.left_schema, 16)
+        counts = np.bincount(units, minlength=16)
+        assert counts.min() > 0
+        assert counts.max() < 2 * counts.mean()
+
+    def test_float_int_cross_type_keys_agree(self):
+        """An int column joined against a float column must hash equal
+        values identically (both promoted to float64)."""
+        a = parse_schema("A<v:int64>[i=1,8,4]")
+        b = parse_schema("B<w:float64>[j=1,8,4]")
+        query = parse_aql("SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w")
+        schema = infer_join_schema(query, a, b)
+        left = CellSet(np.ones((3, 1), np.int64), {"v": np.array([1, 2, 3])})
+        right = CellSet(np.ones((3, 1), np.int64), {"w": np.array([1.0, 2.0, 3.0])})
+        lu = hash_unit_ids(schema, "left", left, a, 16)
+        ru = hash_unit_ids(schema, "right", right, b, 16)
+        np.testing.assert_array_equal(lu, ru)
+
+    def test_invalid_bucket_count(self):
+        schema = aa_join_schema()
+        cells = CellSet(np.ones((1, 1), np.int64), {"v": np.array([1])})
+        with pytest.raises(PlanningError):
+            hash_unit_ids(schema, "left", cells, schema.left_schema, 0)
+
+
+class TestDispatch:
+    def test_unit_ids_for(self):
+        schema = dd_join_schema()
+        cells = CellSet(np.array([[1, 1]]), {"v": np.array([0])})
+        chunked = unit_ids_for(schema, "left", cells, schema.left_schema, "chunk")
+        assert chunked[0] == 0
+        bucketed = unit_ids_for(
+            schema, "left", cells, schema.left_schema, "bucket", n_buckets=8
+        )
+        assert 0 <= bucketed[0] < 8
+
+    def test_bucket_requires_count(self):
+        schema = dd_join_schema()
+        cells = CellSet(np.array([[1, 1]]), {"v": np.array([0])})
+        with pytest.raises(PlanningError):
+            unit_ids_for(schema, "left", cells, schema.left_schema, "bucket")
+
+    def test_unknown_kind(self):
+        schema = dd_join_schema()
+        cells = CellSet(np.array([[1, 1]]), {"v": np.array([0])})
+        with pytest.raises(PlanningError):
+            unit_ids_for(schema, "left", cells, schema.left_schema, "tile")
+
+
+class TestKeyColumns:
+    def test_dimension_keys_extracted(self):
+        schema = dd_join_schema()
+        coords = np.array([[3, 7], [9, 2]])
+        cells = CellSet(coords, {"v": np.array([5, 6])})
+        columns = key_columns(schema, "left", cells, schema.left_schema)
+        np.testing.assert_array_equal(columns[0], [3, 9])
+        np.testing.assert_array_equal(columns[1], [7, 2])
+
+    def test_attribute_keys_extracted(self):
+        schema = aa_join_schema()
+        cells = CellSet(np.array([[1], [2]]), {"v": np.array([10, 20])})
+        columns = key_columns(schema, "left", cells, schema.left_schema)
+        np.testing.assert_array_equal(columns[0], [10, 20])

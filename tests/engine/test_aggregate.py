@@ -1,0 +1,201 @@
+"""Tests for aggregation, apply, GROUP BY in AQL, and AFL aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.engine.aggregate import aggregate, apply_expression
+from repro.errors import ExecutionError, ParseError
+from repro.query import parse_aql, parse_expression
+from repro.query.aql import AggregateItem
+
+
+@pytest.fixture
+def grid_array():
+    """A 4x4 dense grid with v = i*10 + j."""
+    coords = np.stack(
+        np.meshgrid(np.arange(1, 5), np.arange(1, 5), indexing="ij"), axis=-1
+    ).reshape(-1, 2)
+    v = coords[:, 0] * 10 + coords[:, 1]
+    schema = parse_schema("G<v:int64>[i=1,4,2, j=1,4,2]")
+    return LocalArray.from_cells(schema, CellSet(coords, {"v": v}))
+
+
+def item(fn, expr_text, alias):
+    expr = None if expr_text is None else parse_expression(expr_text)
+    return AggregateItem(fn, expr, alias)
+
+
+class TestAggregateFunctions:
+    def test_global_count(self, grid_array):
+        result = aggregate(grid_array, [item("count", None, "n")])
+        assert result.schema.is_dimensionless()
+        assert result.cells().attrs["n"][0] == 16
+
+    def test_global_sum_avg_min_max(self, grid_array):
+        result = aggregate(
+            grid_array,
+            [
+                item("sum", "v", "s"),
+                item("avg", "v", "a"),
+                item("min", "v", "lo"),
+                item("max", "v", "hi"),
+            ],
+        )
+        cells = result.cells()
+        v = grid_array.cells().attrs["v"]
+        assert cells.attrs["s"][0] == v.sum()
+        assert cells.attrs["a"][0] == pytest.approx(v.mean())
+        assert cells.attrs["lo"][0] == v.min()
+        assert cells.attrs["hi"][0] == v.max()
+
+    def test_group_by_dimension(self, grid_array):
+        result = aggregate(
+            grid_array, [item("sum", "v", "s")], group_by=["i"]
+        )
+        assert result.schema.dim_names == ("i",)
+        cells = result.cells()
+        by_i = dict(zip(cells.coords[:, 0].tolist(), cells.attrs["s"]))
+        for i in range(1, 5):
+            assert by_i[i] == sum(i * 10 + j for j in range(1, 5))
+
+    def test_group_by_two_dimensions_identity_counts(self, grid_array):
+        result = aggregate(
+            grid_array, [item("count", None, "n")], group_by=["i", "j"]
+        )
+        assert result.n_cells == 16
+        assert (result.cells().attrs["n"] == 1).all()
+
+    def test_aggregate_of_expression(self, grid_array):
+        result = aggregate(grid_array, [item("sum", "v * 2", "s2")])
+        assert result.cells().attrs["s2"][0] == 2 * grid_array.cells().attrs["v"].sum()
+
+    def test_group_by_attribute_rejected(self, grid_array):
+        with pytest.raises(ExecutionError):
+            aggregate(grid_array, [item("count", None, "n")], group_by=["v"])
+
+    def test_duplicate_aliases_rejected(self, grid_array):
+        with pytest.raises(ExecutionError):
+            aggregate(
+                grid_array,
+                [item("count", None, "x"), item("sum", "v", "x")],
+            )
+
+    def test_empty_array(self):
+        schema = parse_schema("E<v:int64>[i=1,4,2]")
+        empty = LocalArray.empty(schema)
+        result = aggregate(empty, [item("count", None, "n")], group_by=["i"])
+        assert result.n_cells == 0
+
+    def test_bad_function_rejected(self):
+        with pytest.raises(ParseError):
+            AggregateItem("median", parse_expression("v"), "m")
+        with pytest.raises(ParseError):
+            AggregateItem("sum", None, "s")
+
+
+class TestApply:
+    def test_adds_computed_attribute(self, grid_array):
+        result = apply_expression(
+            grid_array, "double", parse_expression("v * 2")
+        )
+        cells = result.cells()
+        np.testing.assert_array_equal(cells.attrs["double"], cells.attrs["v"] * 2)
+        assert result.schema.attr_names == ("v", "double")
+
+    def test_dimension_arithmetic(self, grid_array):
+        result = apply_expression(grid_array, "diag", parse_expression("i - j"))
+        cells = result.cells()
+        np.testing.assert_array_equal(
+            cells.attrs["diag"], cells.coords[:, 0] - cells.coords[:, 1]
+        )
+
+    def test_float_expression(self, grid_array):
+        result = apply_expression(grid_array, "half", parse_expression("v / 2"))
+        assert result.schema.attr("half").type_name == "float64"
+
+    def test_existing_name_rejected(self, grid_array):
+        with pytest.raises(ExecutionError):
+            apply_expression(grid_array, "v", parse_expression("v"))
+
+
+class TestAqlGroupBy:
+    @pytest.fixture
+    def session(self, grid_array):
+        from repro import Session
+
+        session = Session(n_nodes=2)
+        session.cluster.load_array(grid_array)
+        return session
+
+    def test_parse_aggregate_select(self):
+        query = parse_aql("SELECT sum(v) AS s, count(*) FROM G GROUP BY i")
+        assert query.has_aggregates
+        assert query.group_by == ["i"]
+        assert query.select[0].alias == "s"
+        assert query.select[1].fn == "count"
+
+    def test_default_alias(self):
+        query = parse_aql("SELECT avg(v) FROM G")
+        assert query.select[0].alias == "avg_v"
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT v FROM G GROUP BY i")
+
+    def test_mixed_select_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT v, sum(v) FROM G GROUP BY i")
+
+    def test_aggregates_on_joins_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT sum(A.v) FROM A, B WHERE A.i = B.i")
+
+    def test_end_to_end(self, session):
+        result = session.execute(
+            "SELECT sum(v) AS s, count(*) AS n FROM G WHERE v > 20 GROUP BY i"
+        )
+        cells = result.cells()
+        # Rows i=1,2 are filtered out entirely (v <= 24 only partially)...
+        by_i = dict(zip(cells.coords[:, 0].tolist(), cells.attrs["n"]))
+        assert by_i[3] == 4 and by_i[4] == 4
+        assert 1 not in by_i  # v in 11..14, all <= 20
+
+    def test_global_aggregate_via_aql(self, session):
+        result = session.execute("SELECT count(*) AS n FROM G")
+        assert result.cells().attrs["n"][0] == 16
+
+
+class TestAflAggregate:
+    @pytest.fixture
+    def session(self, grid_array):
+        from repro import Session
+
+        session = Session(n_nodes=2)
+        session.cluster.load_array(grid_array)
+        return session
+
+    def test_aggregate_op(self, session):
+        result = session.afl("aggregate(G, sum(v) AS s, i)")
+        assert result.schema.dim_names == ("i",)
+        assert result.n_cells == 4
+
+    def test_aggregate_composed_with_filter(self, session):
+        result = session.afl("aggregate(filter(G, v > 20), count(*) AS n)")
+        assert result.cells().attrs["n"][0] == int(
+            (session.array("G").cells().attrs["v"] > 20).sum()
+        )
+
+    def test_apply_op(self, session):
+        result = session.afl("apply(G, double, v * 2)")
+        cells = result.cells()
+        np.testing.assert_array_equal(
+            cells.attrs["double"], cells.attrs["v"] * 2
+        )
+
+    def test_apply_then_aggregate(self, session):
+        result = session.afl(
+            "aggregate(apply(G, sq, v * v), sum(sq) AS total)"
+        )
+        v = session.array("G").cells().attrs["v"]
+        assert result.cells().attrs["total"][0] == pytest.approx((v * v).sum())

@@ -1,0 +1,96 @@
+"""Property tests: aggregation against a plain-Python reference."""
+
+from collections import defaultdict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.engine.aggregate import aggregate
+from repro.query import parse_expression
+from repro.query.aql import AggregateItem
+
+grid_data = st.integers(0, 120).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.int64, (n, 2), elements=st.integers(1, 12)),
+        hnp.arrays(np.int64, n, elements=st.integers(-100, 100)),
+    )
+)
+
+
+def build(coords, values):
+    schema = parse_schema("P<v:int64>[i=1,12,4, j=1,12,4]")
+    return LocalArray.from_cells(schema, CellSet(coords, {"v": values}))
+
+
+def reference_groups(coords, values, axis):
+    groups = defaultdict(list)
+    for coord, value in zip(coords, values):
+        groups[int(coord[axis])].append(int(value))
+    return groups
+
+
+@given(grid_data)
+@settings(deadline=None)
+def test_grouped_sum_count_match_reference(data):
+    coords, values = data
+    array = build(coords, values)
+    result = aggregate(
+        array,
+        [
+            AggregateItem("sum", parse_expression("v"), "s"),
+            AggregateItem("count", None, "n"),
+        ],
+        group_by=["i"],
+    )
+    reference = reference_groups(coords, values, 0)
+    cells = result.cells()
+    assert len(cells) == len(reference)
+    for coord, total, count in zip(
+        cells.coords[:, 0], cells.attrs["s"], cells.attrs["n"]
+    ):
+        assert total == sum(reference[int(coord)])
+        assert count == len(reference[int(coord)])
+
+
+@given(grid_data)
+@settings(deadline=None)
+def test_min_max_match_reference(data):
+    coords, values = data
+    array = build(coords, values)
+    result = aggregate(
+        array,
+        [
+            AggregateItem("min", parse_expression("v"), "lo"),
+            AggregateItem("max", parse_expression("v"), "hi"),
+        ],
+        group_by=["j"],
+    )
+    reference = reference_groups(coords, values, 1)
+    cells = result.cells()
+    for coord, lo, hi in zip(
+        cells.coords[:, 0], cells.attrs["lo"], cells.attrs["hi"]
+    ):
+        assert lo == min(reference[int(coord)])
+        assert hi == max(reference[int(coord)])
+
+
+@given(grid_data)
+@settings(deadline=None)
+def test_global_equals_sum_of_groups(data):
+    coords, values = data
+    array = build(coords, values)
+    grouped = aggregate(
+        array,
+        [AggregateItem("sum", parse_expression("v"), "s")],
+        group_by=["i"],
+    )
+    total = aggregate(
+        array, [AggregateItem("sum", parse_expression("v"), "s")]
+    )
+    if len(coords):
+        assert total.cells().attrs["s"][0] == grouped.cells().attrs["s"].sum()
+    else:
+        assert total.n_cells == 0

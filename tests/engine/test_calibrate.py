@@ -1,0 +1,42 @@
+"""Tests for the empirical cost-parameter calibration (Section 5.1)."""
+
+import pytest
+
+from repro.core.cost_model import CostParams
+from repro.engine.calibrate import calibrate
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibrate(sizes=(4_000, 8_000, 16_000), n_nodes=4)
+
+
+class TestCalibration:
+    def test_parameters_positive(self, report):
+        params = report.params
+        assert params.m > 0
+        assert params.b > 0
+        assert params.p > 0
+        assert params.t > 0
+
+    def test_merge_rate_near_configured(self, report):
+        """The fitted m recovers the configured rate within the secondary
+        costs the simulator layers on top (overheads, local reads)."""
+        configured = CostParams().m
+        assert report.params.m == pytest.approx(configured, rel=3.0)
+
+    def test_transfer_rate_near_configured(self, report):
+        configured = CostParams().t
+        assert report.params.t == pytest.approx(configured, rel=3.0)
+
+    def test_build_exceeds_probe(self, report):
+        # The central observation behind the hash cost model.
+        assert report.params.b > report.params.p
+
+    def test_measurements_recorded(self, report):
+        assert len(report.merge_points) == 3
+        assert len(report.hash_points) == 3
+        assert len(report.transfer_points) == 3
+        for per_node, seconds in report.merge_points:
+            assert per_node > 0
+            assert seconds > 0

@@ -1,0 +1,76 @@
+"""Tests for the sampling-based selectivity estimator."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet
+from repro.cluster import Cluster
+from repro.core.join_schema import infer_join_schema
+from repro.engine import ShuffleJoinExecutor
+from repro.engine.estimate import estimate_selectivity
+from repro.query import parse_aql
+from repro.workloads import selectivity_pair
+
+
+def make_cluster(selectivity, n_cells=8_000, seed=0):
+    array_a, array_b = selectivity_pair(selectivity, n_cells=n_cells, seed=seed)
+    cluster = Cluster(n_nodes=4)
+    cluster.load_array(array_a)
+    cluster.load_array(array_b, placement="block")
+    return cluster
+
+
+def schema_for(cluster):
+    query = parse_aql("SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w")
+    return query, infer_join_schema(
+        query, cluster.schema("A"), cluster.schema("B")
+    )
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("selectivity", [0.1, 0.5, 10.0])
+    def test_order_of_magnitude(self, selectivity):
+        cluster = make_cluster(selectivity)
+        _, join_schema = schema_for(cluster)
+        estimate = estimate_selectivity(
+            cluster, "A", "B", join_schema, sample_cells=4_000
+        )
+        assert selectivity / 5 <= estimate <= selectivity * 5
+
+    def test_full_sample_is_exact(self):
+        cluster = make_cluster(1.0, n_cells=2_000)
+        _, join_schema = schema_for(cluster)
+        estimate = estimate_selectivity(
+            cluster, "A", "B", join_schema, sample_cells=10_000
+        )
+        assert estimate == pytest.approx(1.0, rel=0.02)
+
+    def test_disjoint_arrays_floor(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_array(
+            "A<v:int64>[i=1,100,10]",
+            CellSet(np.arange(1, 101).reshape(-1, 1),
+                    {"v": np.arange(0, 100)}),
+        )
+        cluster.create_array(
+            "B<w:int64>[j=1,100,10]",
+            CellSet(np.arange(1, 101).reshape(-1, 1),
+                    {"w": np.arange(1000, 1100)}),
+        )
+        _, join_schema = schema_for(cluster)
+        estimate = estimate_selectivity(cluster, "A", "B", join_schema)
+        assert estimate <= 1e-3
+
+    def test_executor_uses_estimate_when_no_hint(self):
+        """Without a hint the executor still picks a sensible plan: at
+        high selectivity the estimator should push it toward merge."""
+        n = 4_000
+        cluster = make_cluster(20.0, n_cells=n)
+        interval = cluster.schema("A").dims[0].chunk_interval
+        executor = ShuffleJoinExecutor(cluster)  # no selectivity_hint
+        result = executor.execute(
+            f"SELECT * INTO C<i:int64, j:int64>[v=1,{n},{interval}] "
+            "FROM A, B WHERE A.v = B.w",
+            planner="mbh",
+        )
+        assert result.logical_plan.join_algo == "merge"

@@ -1,0 +1,140 @@
+"""Unit tests for executor internals: slice mapping, shipping, timing."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet
+from repro.cluster import Cluster
+from repro.core.join_schema import infer_join_schema
+from repro.core.logical import LogicalPlanner, PlanInputs
+from repro.engine import ShuffleJoinExecutor
+from repro.engine.output import derive_destination
+from repro.query import parse_aql
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(19)
+    cluster = Cluster(n_nodes=3)
+    for name, placement in (("A", "round_robin"), ("B", "block")):
+        coords = np.unique(rng.integers(1, 33, size=(600, 2)), axis=0)
+        cluster.create_array(
+            f"{name}<v1:int64, v2:float64, extra:float64>"
+            f"[i=1,32,8, j=1,32,8]",
+            CellSet(
+                coords,
+                {
+                    "v1": rng.integers(0, 30, len(coords)),
+                    "v2": rng.uniform(0, 1, len(coords)),
+                    "extra": rng.uniform(0, 1, len(coords)),
+                },
+            ),
+            placement=placement,
+        )
+    executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.4)
+    return cluster, executor
+
+
+def plan_for(cluster, executor, text, algo=None):
+    query = parse_aql(text)
+    alpha, beta = cluster.schema(query.left), cluster.schema(query.right)
+    destination = derive_destination(query, alpha, beta)
+    join_schema = infer_join_schema(
+        query, alpha, beta,
+        histograms=executor._histograms_for(query, alpha, beta),
+        destination=destination,
+    )
+    planner = LogicalPlanner(
+        join_schema,
+        PlanInputs(600, 600, 16, 16, selectivity=0.4, n_nodes=3),
+    )
+    plan = planner.best_plan(False) if algo is None else planner.plan_named(algo)
+    return query, join_schema, plan
+
+
+class TestShipFields:
+    def test_only_needed_attributes_ship(self, setup):
+        cluster, executor = setup
+        query, join_schema, _ = plan_for(
+            cluster, executor,
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+        )
+        assert executor._ship_fields(join_schema, "left") == ["v1"]
+        assert executor._ship_fields(join_schema, "right") == []
+
+    def test_attribute_keys_always_ship(self, setup):
+        cluster, executor = setup
+        query, join_schema, _ = plan_for(
+            cluster, executor,
+            "SELECT A.i INTO T<ai:int64>[] FROM A, B WHERE A.v1 = B.v1",
+        )
+        assert "v1" in executor._ship_fields(join_schema, "left")
+        assert "v1" in executor._ship_fields(join_schema, "right")
+
+
+class TestSliceMappingConservation:
+    def test_stats_cover_every_cell(self, setup):
+        cluster, executor = setup
+        query, join_schema, plan = plan_for(
+            cluster, executor,
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+        )
+        n_units, table = executor._slice_mapping(query, join_schema, plan)
+        assert table.stats.left_unit_totals.sum() == cluster.array_cell_count("A")
+        assert table.stats.right_unit_totals.sum() == cluster.array_cell_count("B")
+
+    def test_slices_match_stats(self, setup):
+        cluster, executor = setup
+        query, join_schema, plan = plan_for(
+            cluster, executor,
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+        )
+        n_units, table = executor._slice_mapping(query, join_schema, plan)
+        for unit in range(n_units):
+            for node in range(cluster.n_nodes):
+                piece = table.left[unit][node]
+                expected = table.stats.s_left[unit, node]
+                assert (0 if piece is None else len(piece)) == expected
+
+
+class TestSimulatedSortAccounting:
+    def test_redim_plans_pay_sort_time(self, setup):
+        """The same D:D join forced through redim (by a widened grid on
+        one side) must report more comparison time than the conforming
+        scan plan — the redim sort lands in the compare phase."""
+        cluster, executor = setup
+        conforming = executor.execute(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            planner="mbh",
+            join_algo="merge",
+        ).report
+        assert "scan(A)" in conforming.logical_afl
+
+        rng = np.random.default_rng(23)
+        coords = np.unique(rng.integers(1, 33, size=(600, 2)), axis=0)
+        cluster.create_array(
+            "C<v1:int64>[i=1,32,16, j=1,32,16]",  # coarser grid: no scan
+            CellSet(coords, {"v1": rng.integers(0, 30, len(coords))}),
+        )
+        reorganised = executor.execute(
+            "SELECT A.v1 FROM A, C WHERE A.i = C.i AND A.j = C.j",
+            planner="mbh",
+            join_algo="merge",
+        ).report
+        assert "redim" in reorganised.logical_afl
+        assert reorganised.compare_seconds > conforming.compare_seconds
+
+
+class TestFilteredCount:
+    def test_counts_after_pushdown(self, setup):
+        cluster, executor = setup
+        query = parse_aql(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.v1 < 10"
+        )
+        filtered = executor._filtered_count(query, "A")
+        raw = cluster.array_cell_count("A")
+        true_count = int((cluster.array_cells("A").attrs["v1"] < 10).sum())
+        assert filtered == true_count
+        assert filtered < raw
+        # The unfiltered side is untouched.
+        assert executor._filtered_count(query, "B") == cluster.array_cell_count("B")

@@ -1,0 +1,146 @@
+"""Unit tests for the three join algorithms (Section 3.2).
+
+All three matchers must produce identical match multisets; merge
+additionally requires sorted inputs, and nested loop is guarded against
+absurd comparison counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adm.cells import composite_key
+from repro.engine.joins import (
+    MAX_NESTED_LOOP_COMPARISONS,
+    hash_join_match,
+    match_pairs,
+    merge_join_match,
+    nested_loop_match,
+)
+from repro.errors import ExecutionError
+
+
+def keys_from(values):
+    return composite_key([np.asarray(values, dtype=np.int64)])
+
+
+def as_pair_multiset(left_values, right_values, li, ri):
+    return sorted(zip(np.asarray(left_values)[li], np.asarray(right_values)[ri]))
+
+
+def brute_force(left_values, right_values):
+    pairs = []
+    for i, lv in enumerate(left_values):
+        for j, rv in enumerate(right_values):
+            if lv == rv:
+                pairs.append((lv, rv))
+    return sorted(pairs)
+
+
+MATCHERS = {
+    "hash": hash_join_match,
+    "nested_loop": nested_loop_match,
+}
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("name", ["hash", "nested_loop"])
+    def test_random_unsorted(self, name, rng):
+        left = rng.integers(0, 20, 80)
+        right = rng.integers(0, 20, 60)
+        li, ri = MATCHERS[name](keys_from(left), keys_from(right))
+        assert as_pair_multiset(left, right, li, ri) == brute_force(left, right)
+
+    def test_merge_on_sorted(self, rng):
+        left = np.sort(rng.integers(0, 20, 80))
+        right = np.sort(rng.integers(0, 20, 60))
+        li, ri = merge_join_match(keys_from(left), keys_from(right))
+        assert as_pair_multiset(left, right, li, ri) == brute_force(left, right)
+
+    def test_duplicates_fan_out(self):
+        left = [3, 3, 3]
+        right = [3, 3]
+        for matcher in (hash_join_match, nested_loop_match):
+            li, ri = matcher(keys_from(left), keys_from(right))
+            assert len(li) == 6
+
+    def test_composite_keys(self, rng):
+        left_a = rng.integers(0, 5, 50)
+        left_b = rng.integers(0, 5, 50)
+        right_a = rng.integers(0, 5, 50)
+        right_b = rng.integers(0, 5, 50)
+        lk = composite_key([left_a, left_b])
+        rk = composite_key([right_a, right_b])
+        li, ri = hash_join_match(lk, rk)
+        expected = sum(
+            1
+            for i in range(50)
+            for j in range(50)
+            if left_a[i] == right_a[j] and left_b[i] == right_b[j]
+        )
+        assert len(li) == expected
+        assert (left_a[li] == right_a[ri]).all()
+        assert (left_b[li] == right_b[ri]).all()
+
+    def test_float_keys(self):
+        left = composite_key([np.array([1.5, 2.5, np.pi])])
+        right = composite_key([np.array([np.pi, 9.0, 1.5])])
+        li, ri = hash_join_match(left, right)
+        assert len(li) == 2
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("name", ["hash", "merge", "nested_loop"])
+    def test_empty_sides(self, name):
+        empty = keys_from([])
+        some = keys_from([1, 2, 3])
+        for left, right in ((empty, some), (some, empty), (empty, empty)):
+            li, ri = match_pairs(name, left, right)
+            assert len(li) == 0
+            assert len(ri) == 0
+
+    def test_no_matches(self):
+        li, ri = hash_join_match(keys_from([1, 2]), keys_from([3, 4]))
+        assert len(li) == 0
+
+    def test_all_match_single_value(self):
+        li, ri = hash_join_match(keys_from([7] * 4), keys_from([7] * 5))
+        assert len(li) == 20
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ExecutionError):
+            match_pairs("sort_merge", keys_from([1]), keys_from([1]))
+
+
+class TestMergeRequirements:
+    def test_unsorted_left_rejected(self):
+        with pytest.raises(ExecutionError):
+            merge_join_match(keys_from([2, 1]), keys_from([1, 2]))
+
+    def test_unsorted_right_rejected(self):
+        with pytest.raises(ExecutionError):
+            merge_join_match(keys_from([1, 2]), keys_from([2, 1]))
+
+    def test_composite_lexicographic_order_accepted(self):
+        left = composite_key([np.array([1, 1, 2]), np.array([1, 5, 0])])
+        right = composite_key([np.array([1, 2]), np.array([5, 0])])
+        li, ri = merge_join_match(left, right)
+        assert len(li) == 2
+
+
+class TestNestedLoopGuard:
+    def test_guard_trips(self):
+        n = int(np.sqrt(MAX_NESTED_LOOP_COMPARISONS)) + 2
+        fake = np.empty(n, dtype=[("k0", np.int64)])
+        with pytest.raises(ExecutionError):
+            nested_loop_match(fake, fake)
+
+    def test_blocking_matches_unblocked(self, rng):
+        left = rng.integers(0, 10, 300)
+        right = rng.integers(0, 10, 200)
+        small_blocks = nested_loop_match(
+            keys_from(left), keys_from(right), block_rows=7
+        )
+        one_block = nested_loop_match(
+            keys_from(left), keys_from(right), block_rows=10_000
+        )
+        assert sorted(zip(*small_blocks)) == sorted(zip(*one_block))

@@ -1,0 +1,121 @@
+"""Tests for the standalone redimension operator and explain()."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.engine.executor import ShuffleJoinExecutor
+from repro.engine.operators import redimension
+from repro.errors import ExecutionError, SchemaError
+
+
+@pytest.fixture
+def flat_array():
+    """The paper's redimension example: B<v1,v2,i>[j] -> <v1,v2>[i,j]."""
+    schema = parse_schema("B<v1:int64, v2:float64, i:int64>[j=1,6,3]")
+    cells = CellSet(
+        np.array([[1], [2], [3], [4]]),
+        {
+            "v1": np.array([10, 20, 30, 40]),
+            "v2": np.array([0.1, 0.2, 0.3, 0.4]),
+            "i": np.array([1, 5, 2, 6]),
+        },
+    )
+    return LocalArray.from_cells(schema, cells)
+
+
+class TestRedimension:
+    def test_paper_example(self, flat_array):
+        target = parse_schema("B2<v1:int64, v2:float64>[i=1,6,3, j=1,6,3]")
+        result = redimension(flat_array, target)
+        assert result.schema == target
+        assert result.n_cells == 4
+        # Cell with i=5, j=2 must exist with its original values.
+        cells = result.cells()
+        index = np.flatnonzero(
+            (cells.coords[:, 0] == 5) & (cells.coords[:, 1] == 2)
+        )
+        assert len(index) == 1
+        assert cells.attrs["v1"][index[0]] == 20
+
+    def test_dimension_to_attribute(self, flat_array):
+        target = parse_schema("F<v1:int64, j:int64>[i=1,6,3]")
+        result = redimension(flat_array, target)
+        np.testing.assert_array_equal(
+            np.sort(result.cells().attrs["j"]), [1, 2, 3, 4]
+        )
+
+    def test_roundtrip(self, flat_array):
+        wide = redimension(
+            flat_array, parse_schema("W<v1:int64, v2:float64>[i=1,6,3, j=1,6,3]")
+        )
+        back = redimension(
+            wide, parse_schema("B<v1:int64, v2:float64, i:int64>[j=1,6,3]")
+        )
+        assert back.cells().same_cells(flat_array.cells())
+
+    def test_missing_field_rejected(self, flat_array):
+        with pytest.raises(SchemaError):
+            redimension(flat_array, parse_schema("X<v1:int64>[zz=1,6,3]"))
+
+    def test_out_of_range_rejected(self, flat_array):
+        with pytest.raises(SchemaError):
+            redimension(flat_array, parse_schema("X<v1:int64>[i=1,3,3]"))
+
+    def test_float_attribute_cannot_become_dimension(self, flat_array):
+        with pytest.raises(SchemaError):
+            redimension(flat_array, parse_schema("X<v1:int64>[v2=1,6,3]"))
+
+    def test_empty_array(self):
+        schema = parse_schema("E<v:int64, i:int64>[j=1,4,2]")
+        empty = LocalArray.empty(schema)
+        result = redimension(empty, parse_schema("E2<v:int64>[i=1,4,2, j=1,4,2]"))
+        assert result.n_cells == 0
+
+
+class TestExplain:
+    def test_logical_only(self, small_cluster):
+        executor = ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+        report = executor.explain(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        assert report.join_kind == "D:D"
+        assert report.chosen.join_algo == "merge"
+        assert report.physical is None
+        assert len(report.candidates) > 3
+        costs = [cost for _, cost in report.candidates]
+        assert costs == sorted(costs)
+        assert "mergeJoin" in report.describe()
+
+    def test_with_physical_planner(self, small_cluster):
+        executor = ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+        report = executor.explain(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            planner="mbh",
+        )
+        assert report.physical is not None
+        assert report.n_units == 64
+        assert "mbh" in report.describe()
+
+    def test_join_algo_override(self, small_cluster):
+        executor = ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+        report = executor.explain(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            join_algo="hash",
+        )
+        assert report.chosen.join_algo == "hash"
+
+    def test_filter_query_rejected(self, small_cluster):
+        executor = ShuffleJoinExecutor(small_cluster)
+        with pytest.raises(ExecutionError):
+            executor.explain("SELECT * FROM A WHERE v1 > 3")
+
+    def test_explain_does_not_execute(self, small_cluster):
+        """No output array appears in the catalog after explain."""
+        executor = ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+        before = set(small_cluster.catalog.array_names())
+        executor.explain(
+            "SELECT A.v1 INTO Z<v1:int64>[] FROM A, B WHERE A.i = B.i",
+            planner="tabu",
+        )
+        assert set(small_cluster.catalog.array_names()) == before

@@ -1,0 +1,126 @@
+"""Unit tests for destination derivation and output construction."""
+
+import numpy as np
+import pytest
+
+from repro.adm import parse_schema
+from repro.core.join_schema import infer_join_schema
+from repro.engine.output import (
+    build_output_spec,
+    derive_destination,
+    infer_expression_type,
+)
+from repro.errors import PlanningError
+from repro.query import parse_aql
+from repro.query.expressions import parse_expression
+
+DD_A = parse_schema("A<v1:int64, v2:float64>[i=1,16,4, j=1,16,4]")
+DD_B = parse_schema("B<v1:int64, v2:float64>[i=1,16,4, j=1,16,4]")
+
+
+class TestDeriveDestination:
+    def test_into_schema_wins(self):
+        query = parse_aql(
+            "SELECT A.v1 INTO X<out:int64>[] FROM A, B WHERE A.i = B.i"
+        )
+        dest = derive_destination(query, DD_A, DD_B)
+        assert dest.name == "X"
+
+    def test_full_dd_keeps_source_shape(self):
+        query = parse_aql(
+            "SELECT A.v1 - B.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        dest = derive_destination(query, DD_A, DD_B)
+        assert dest.dim_names == ("i", "j")
+
+    def test_partial_dd_is_dimensionless(self):
+        query = parse_aql("SELECT A.v1 FROM A, B WHERE A.i = B.i")
+        dest = derive_destination(query, DD_A, DD_B)
+        assert dest.is_dimensionless()
+
+    def test_aa_is_dimensionless(self):
+        query = parse_aql("SELECT A.v1 FROM A, B WHERE A.v1 = B.v1")
+        dest = derive_destination(query, DD_A, DD_B)
+        assert dest.is_dimensionless()
+
+    def test_select_star_uses_equation3(self):
+        query = parse_aql("SELECT * FROM A, B WHERE A.i = B.i AND A.j = B.j")
+        dest = derive_destination(query, DD_A, DD_B)
+        assert dest.dim_names == ("i", "j")
+        assert "B_v1" in dest.attr_names
+
+    def test_duplicate_output_names_disambiguated(self):
+        query = parse_aql("SELECT A.v1, B.v1 FROM A, B WHERE A.i = B.i")
+        dest = derive_destination(query, DD_A, DD_B)
+        assert len(set(dest.attr_names)) == 2
+
+
+class TestTypeInference:
+    def test_int_arithmetic(self):
+        expr = parse_expression("A.v1 - B.v1")
+        assert infer_expression_type(expr, DD_A, DD_B) == "int64"
+
+    def test_float_field_promotes(self):
+        expr = parse_expression("A.v2 + 1")
+        assert infer_expression_type(expr, DD_A, DD_B) == "float64"
+
+    def test_division_promotes(self):
+        expr = parse_expression("A.v1 / B.v1")
+        assert infer_expression_type(expr, DD_A, DD_B) == "float64"
+
+    def test_dimension_is_int(self):
+        expr = parse_expression("i * 2")
+        assert infer_expression_type(expr, DD_A, DD_B) == "int64"
+
+
+class TestOutputSpec:
+    def test_fig5_star_resolution(self):
+        a = parse_schema("A<v:int64>[i=1,128,4]")
+        b = parse_schema("B<w:int64>[j=1,128,4]")
+        query = parse_aql(
+            "SELECT * INTO C<i:int64, j:int64>[v=1,128,4] "
+            "FROM A, B WHERE A.v = B.w"
+        )
+        schema = infer_join_schema(query, a, b)
+        spec = build_output_spec(query, schema)
+        by_name = {field.name: field for field in spec}
+        assert by_name["v"].source == ("key", 0)
+        assert by_name["i"].source == ("left", "i")
+        assert by_name["j"].source == ("right", "j")
+
+    def test_positional_select_items(self):
+        query = parse_aql(
+            "SELECT A.v1 - B.v1 AS d1, A.v2 AS copy "
+            "FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        schema = infer_join_schema(
+            query, DD_A, DD_B,
+            destination=derive_destination(query, DD_A, DD_B),
+        )
+        spec = build_output_spec(query, schema)
+        attr_fields = [f for f in spec if f.role == "attr"]
+        assert [f.source for f in attr_fields] == [("expr", 0), ("expr", 1)]
+
+    def test_select_count_must_match(self):
+        query = parse_aql(
+            "SELECT A.v1 INTO T<x:int64, y:int64>[] FROM A, B WHERE A.i = B.i"
+        )
+        schema = infer_join_schema(query, DD_A, DD_B)
+        with pytest.raises(PlanningError):
+            build_output_spec(query, schema)
+
+    def test_unresolvable_destination_field(self):
+        query = parse_aql(
+            "SELECT * INTO T<mystery:int64>[] FROM A, B WHERE A.i = B.i"
+        )
+        schema = infer_join_schema(query, DD_A, DD_B)
+        with pytest.raises(PlanningError):
+            build_output_spec(query, schema)
+
+    def test_prefixed_names_resolve(self):
+        query = parse_aql("SELECT * FROM A, B WHERE A.i = B.i AND A.j = B.j")
+        schema = infer_join_schema(query, DD_A, DD_B)
+        spec = build_output_spec(query, schema)
+        by_name = {field.name: field for field in spec}
+        assert by_name["B_v1"].source == ("right", "v1")
+        assert by_name["v1"].source == ("left", "v1")

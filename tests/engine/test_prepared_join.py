@@ -1,0 +1,60 @@
+"""Tests for PreparedJoin: plan once, execute under many planners."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ShuffleJoinExecutor
+from repro.errors import ExecutionError
+
+QUERY = "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+
+
+@pytest.fixture
+def executor(small_cluster):
+    return ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+
+
+class TestPreparedJoin:
+    def test_prepare_exposes_plan_and_stats(self, executor):
+        prepared = executor.prepare(QUERY)
+        assert prepared.logical_plan.join_algo == "merge"
+        assert prepared.stats.n_units == prepared.n_units
+        assert prepared.logical_seconds >= 0
+
+    def test_execute_matches_direct_path(self, executor):
+        prepared = executor.prepare(QUERY)
+        via_prepared = prepared.execute(planner="mbh")
+        direct = executor.execute(QUERY, planner="mbh")
+        assert via_prepared.array.n_cells == direct.array.n_cells
+        assert via_prepared.cells.same_cells(direct.cells)
+        assert via_prepared.report.cells_moved == direct.report.cells_moved
+
+    def test_compare_planners_identical_outputs(self, executor):
+        prepared = executor.prepare(QUERY)
+        results = prepared.compare(["baseline", "mbh", "tabu"])
+        assert set(results) == {"baseline", "mbh", "tabu"}
+        reference = results["baseline"].cells
+        for result in results.values():
+            assert result.cells.same_cells(reference)
+        # MBH never moves more cells than the baseline here.
+        assert (
+            results["mbh"].report.cells_moved
+            <= results["baseline"].report.cells_moved
+        )
+
+    def test_repeated_execution_is_stable(self, executor):
+        prepared = executor.prepare(QUERY)
+        first = prepared.execute(planner="mbh")
+        second = prepared.execute(planner="mbh")
+        assert first.cells.same_cells(second.cells)
+        assert first.report.cells_moved == second.report.cells_moved
+
+    def test_join_algo_pin(self, executor):
+        prepared = executor.prepare(QUERY, join_algo="hash")
+        assert prepared.logical_plan.join_algo == "hash"
+        result = prepared.execute(planner="tabu")
+        assert result.report.join_algo == "hash"
+
+    def test_filter_query_rejected(self, executor):
+        with pytest.raises(ExecutionError):
+            executor.prepare("SELECT * FROM A WHERE v1 > 3")

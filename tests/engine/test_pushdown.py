@@ -1,0 +1,147 @@
+"""Tests for predicate pushdown in join queries."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro import CellSet, Session
+from repro.errors import ParseError
+from repro.query import parse_aql
+
+
+@pytest.fixture
+def session():
+    rng = np.random.default_rng(31)
+    session = Session(n_nodes=4, selectivity_hint=0.3)
+    for name, placement in (("A", "round_robin"), ("B", "block")):
+        coords = np.unique(rng.integers(1, 65, size=(2000, 2)), axis=0)
+        session.create_and_load(
+            f"{name}<v:int64, w:int64>[i=1,64,8, j=1,64,8]",
+            CellSet(
+                coords,
+                {
+                    "v": rng.integers(0, 100, len(coords)),
+                    "w": rng.integers(0, 100, len(coords)),
+                },
+            ),
+            placement=placement,
+        )
+    return session
+
+
+class TestParsing:
+    def test_filter_split_from_join_predicates(self):
+        query = parse_aql(
+            "SELECT A.v FROM A, B "
+            "WHERE A.i = B.i AND A.j = B.j AND A.v > 50 AND B.w < 10"
+        )
+        assert len(query.predicates) == 2
+        assert set(query.filters) == {"A", "B"}
+        assert query.filters["A"].render() == "(A.v > 50)"
+
+    def test_multiple_filters_same_array_combined(self):
+        query = parse_aql(
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.v > 10 AND A.v < 20"
+        )
+        assert query.filters["A"].render() == "((A.v > 10) AND (A.v < 20))"
+
+    def test_same_array_equality_is_filter(self):
+        query = parse_aql(
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.v = A.w"
+        )
+        assert len(query.predicates) == 1
+        assert "A" in query.filters
+
+    def test_join_only_clause_has_no_filters(self):
+        query = parse_aql("SELECT A.v FROM A, B WHERE A.i = B.i")
+        assert query.filters == {}
+
+    def test_unattributable_conjunct_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT A.v FROM A, B WHERE A.i = B.i AND v > 5")
+
+    def test_cross_array_inequality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT A.v FROM A, B WHERE A.i = B.i AND A.v > B.w")
+
+    def test_filter_only_clause_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT A.v FROM A, B WHERE A.v > 5")
+
+    def test_unknown_array_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT A.v FROM A, B WHERE A.i = B.i AND Z.v > 5")
+
+
+class TestExecution:
+    QUERY = (
+        "SELECT A.v, B.w FROM A, B "
+        "WHERE A.i = B.i AND A.j = B.j AND A.v > 60 AND B.w < 40"
+    )
+
+    def brute_force(self, session):
+        a = session.array("A").cells()
+        b = session.array("B").cells()
+        kept_a = {
+            tuple(c) for c, v in zip(a.coords, a.attrs["v"]) if v > 60
+        }
+        kept_b = {
+            tuple(c) for c, w in zip(b.coords, b.attrs["w"]) if w < 40
+        }
+        return len(kept_a & kept_b)
+
+    def test_count_matches_brute_force(self, session):
+        result = session.execute(self.QUERY, planner="mbh")
+        assert result.array.n_cells == self.brute_force(session)
+
+    def test_output_respects_filters(self, session):
+        result = session.execute(self.QUERY, planner="tabu")
+        cells = result.cells
+        assert (cells.attrs["v"] > 60).all()
+        assert (cells.attrs["w"] < 40).all()
+
+    def test_pushdown_reduces_traffic(self, session):
+        unfiltered = session.execute(
+            "SELECT A.v, B.w FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            planner="mbh",
+        )
+        filtered = session.execute(self.QUERY, planner="mbh")
+        assert filtered.report.cells_moved < 0.75 * unfiltered.report.cells_moved
+
+    def test_filter_to_empty(self, session):
+        result = session.execute(
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.v > 1000",
+            planner="mbh",
+        )
+        assert result.array.n_cells == 0
+
+    def test_multijoin_pushdown(self, session):
+        rng = np.random.default_rng(32)
+        coords = np.unique(rng.integers(1, 65, size=(800, 2)), axis=0)
+        session.create_and_load(
+            "C<v:int64, w:int64>[i=1,64,8, j=1,64,8]",
+            CellSet(
+                coords,
+                {
+                    "v": rng.integers(0, 100, len(coords)),
+                    "w": rng.integers(0, 100, len(coords)),
+                },
+            ),
+        )
+        result = session.execute(
+            "SELECT A.v, C.w FROM A, B, C "
+            "WHERE A.v = B.v AND B.w = C.w AND A.v > 80",
+            planner="mbh",
+        )
+        a = session.array("A").cells().attrs["v"]
+        b = session.array("B").cells()
+        c = session.array("C").cells().attrs["w"]
+        count_a = Counter(int(v) for v in a if v > 80)
+        count_c = Counter(c.tolist())
+        expected = sum(
+            count_a[int(bv)] * count_c[int(bw)]
+            for bv, bw in zip(b.attrs["v"], b.attrs["w"])
+        )
+        assert result.array.n_cells == expected
+        assert (result.cells.attrs["v"] > 80).all()

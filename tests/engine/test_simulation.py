@@ -1,0 +1,59 @@
+"""Unit tests for the simulated timing model."""
+
+import pytest
+
+from repro.core.cost_model import CostParams
+from repro.engine.simulation import SimulationParams
+
+SIM = SimulationParams()
+COST = CostParams()
+
+
+class TestSortTime:
+    def test_zero_cells(self):
+        assert SIM.sort_time(0) == 0.0
+
+    def test_monotone_in_cells(self):
+        assert SIM.sort_time(2000) > SIM.sort_time(1000)
+
+    def test_more_chunks_cheaper(self):
+        assert SIM.sort_time(10_000, n_chunks=100) < SIM.sort_time(10_000, 1)
+
+
+class TestOutputTime:
+    def test_zero(self):
+        assert SIM.output_time(0) == 0.0
+
+    def test_superlinear_in_chunk_population(self):
+        # Per-cell cost grows when the same cells land in fewer chunks.
+        packed = SIM.output_time(100_000, n_chunks=1)
+        spread = SIM.output_time(100_000, n_chunks=1000)
+        assert packed > spread
+
+
+class TestCompareTime:
+    def test_merge_linear(self):
+        assert SIM.compare_time("merge", 100, 200, COST) == pytest.approx(
+            COST.m * 300
+        )
+
+    def test_hash_builds_smaller_side(self):
+        time_ab = SIM.compare_time("hash", 100, 900, COST)
+        assert time_ab == pytest.approx(COST.b * 100 + COST.p * 900)
+        # Symmetric in the arguments.
+        assert time_ab == SIM.compare_time("hash", 900, 100, COST)
+
+    def test_build_costs_more_than_probe(self):
+        balanced = SIM.compare_time("hash", 500, 500, COST)
+        skewed = SIM.compare_time("hash", 10, 990, COST)
+        assert skewed < balanced
+
+    def test_nested_loop_quadratic(self):
+        base = SIM.compare_time("nested_loop", 100, 100, COST)
+        assert SIM.compare_time("nested_loop", 200, 200, COST) == pytest.approx(
+            4 * base
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            SIM.compare_time("sort_merge", 1, 1, COST)

@@ -1,0 +1,75 @@
+"""Tests for the vertical-partitioning byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro import CellSet, Session
+
+
+@pytest.fixture
+def session():
+    """Wide arrays (4 attributes) where the query needs only one."""
+    rng = np.random.default_rng(41)
+    session = Session(n_nodes=4, selectivity_hint=0.4)
+    for name, placement in (("A", "round_robin"), ("B", "block")):
+        coords = np.unique(rng.integers(1, 65, size=(1500, 2)), axis=0)
+        session.create_and_load(
+            f"{name}<a1:int64, a2:float64, a3:float64, a4:float64>"
+            f"[i=1,64,8, j=1,64,8]",
+            CellSet(
+                coords,
+                {
+                    "a1": rng.integers(0, 9, len(coords)),
+                    "a2": rng.uniform(0, 1, len(coords)),
+                    "a3": rng.uniform(0, 1, len(coords)),
+                    "a4": rng.uniform(0, 1, len(coords)),
+                },
+            ),
+            placement=placement,
+        )
+    return session
+
+
+NARROW_QUERY = "SELECT A.a1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+WIDE_QUERY = (
+    "SELECT A.a1, A.a2, A.a3, A.a4, B.a1, B.a2, B.a3, B.a4 "
+    "FROM A, B WHERE A.i = B.i AND A.j = B.j"
+)
+
+
+class TestVerticalPartitioning:
+    def test_narrow_query_ships_fraction_of_full_width(self, session):
+        report = session.execute(NARROW_QUERY, planner="mbh").report
+        assert report.bytes_moved > 0
+        # Rows are 6 columns wide (2 dims + 4 attrs); the narrow query
+        # ships coords + at most 1 attribute per side: <= 3/6 + slack.
+        ratio = report.bytes_moved / report.bytes_moved_full_width
+        assert ratio <= 0.55
+
+    def test_wide_query_approaches_full_width(self, session):
+        report = session.execute(WIDE_QUERY, planner="mbh").report
+        ratio = report.bytes_moved / report.bytes_moved_full_width
+        assert ratio >= 0.95
+
+    def test_narrow_ships_fewer_bytes_than_wide(self, session):
+        narrow = session.execute(NARROW_QUERY, planner="mbh").report
+        wide = session.execute(WIDE_QUERY, planner="mbh").report
+        assert narrow.cells_moved == wide.cells_moved  # same cells...
+        assert narrow.bytes_moved < 0.6 * wide.bytes_moved  # ...fewer bytes
+
+    def test_no_movement_no_bytes(self, session):
+        rng = np.random.default_rng(42)
+        coords = np.unique(rng.integers(1, 65, size=(500, 2)), axis=0)
+        # C colocated with itself-shaped copy via identical placement.
+        for name in ("C", "D"):
+            session.create_and_load(
+                f"{name}<x:int64>[i=1,64,8, j=1,64,8]",
+                CellSet(coords, {"x": rng.integers(0, 9, len(coords))}),
+                placement="round_robin",
+            )
+        report = session.execute(
+            "SELECT C.x FROM C, D WHERE C.i = D.i AND C.j = D.j",
+            planner="mbh",
+        ).report
+        assert report.cells_moved == 0
+        assert report.bytes_moved == 0

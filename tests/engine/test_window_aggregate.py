@@ -1,0 +1,95 @@
+"""Tests for the moving-window aggregate against a dense reference."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.engine.aggregate import window
+from repro.errors import ExecutionError
+from repro.query import parse_expression
+from repro.query.aql import AggregateItem
+
+
+def dense_reference(array, radius, fn):
+    """Brute-force windowed aggregate over the dense materialisation."""
+    dense = array.to_dense("v", fill_value=np.nan)
+    cells = array.cells()
+    out = []
+    for coord in cells.coords:
+        i0, j0 = coord[0] - 1, coord[1] - 1
+        lo_i, hi_i = max(i0 - radius, 0), min(i0 + radius, dense.shape[0] - 1)
+        lo_j, hi_j = max(j0 - radius, 0), min(j0 + radius, dense.shape[1] - 1)
+        block = dense[lo_i : hi_i + 1, lo_j : hi_j + 1]
+        values = block[~np.isnan(block)]
+        out.append(fn(values))
+    return np.array(out)
+
+
+@pytest.fixture
+def sparse_grid(rng):
+    coords = np.unique(rng.integers(1, 17, size=(120, 2)), axis=0)
+    schema = parse_schema("W<v:float64>[i=1,16,8, j=1,16,8]")
+    return LocalArray.from_cells(
+        schema, CellSet(coords, {"v": rng.uniform(0, 10, len(coords))})
+    )
+
+
+def item(fn, alias):
+    expr = None if fn == "count" else parse_expression("v")
+    return AggregateItem(fn, expr, alias)
+
+
+class TestWindowAggregate:
+    @pytest.mark.parametrize(
+        "fn,ref",
+        [
+            ("sum", np.sum),
+            ("avg", np.mean),
+            ("min", np.min),
+            ("max", np.max),
+            ("count", len),
+        ],
+    )
+    def test_matches_dense_reference(self, sparse_grid, fn, ref):
+        result = window(sparse_grid, [1, 1], [item(fn, "out")])
+        expected = dense_reference(sparse_grid, 1, ref)
+        np.testing.assert_allclose(result.cells().attrs["out"], expected)
+
+    def test_radius_zero_is_identity(self, sparse_grid):
+        result = window(
+            sparse_grid, [0, 0], [item("sum", "s"), item("count", "n")]
+        )
+        cells = result.cells()
+        np.testing.assert_allclose(
+            cells.attrs["s"], sparse_grid.cells().attrs["v"]
+        )
+        assert (cells.attrs["n"] == 1).all()
+
+    def test_larger_radius(self, sparse_grid):
+        result = window(sparse_grid, [2, 2], [item("count", "n")])
+        expected = dense_reference(sparse_grid, 2, len)
+        np.testing.assert_array_equal(result.cells().attrs["n"], expected)
+
+    def test_schema_keeps_dimensions(self, sparse_grid):
+        result = window(sparse_grid, [1, 1], [item("avg", "m")])
+        assert result.schema.dims == sparse_grid.schema.dims
+        assert result.n_cells == sparse_grid.n_cells
+
+    def test_bad_arity(self, sparse_grid):
+        with pytest.raises(ExecutionError):
+            window(sparse_grid, [1], [item("sum", "s")])
+        with pytest.raises(ExecutionError):
+            window(sparse_grid, [1, -1], [item("sum", "s")])
+        with pytest.raises(ExecutionError):
+            window(sparse_grid, [1, 1], [])
+
+    def test_afl_surface(self, sparse_grid):
+        from repro import Session
+
+        session = Session(n_nodes=2)
+        session.cluster.load_array(sparse_grid)
+        result = session.afl("window(W, 1, 1, avg(v) AS smooth)")
+        expected = dense_reference(sparse_grid, 1, np.mean)
+        np.testing.assert_allclose(
+            result.cells().attrs["smooth"], expected
+        )

@@ -1,0 +1,134 @@
+"""Tests for between / subarray / regrid."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.engine.operators import between, regrid, subarray
+from repro.errors import SchemaError
+from repro.query import parse_expression
+from repro.query.aql import AggregateItem
+
+
+@pytest.fixture
+def grid():
+    """An 8x8 dense grid with v = 10*i + j."""
+    coords = np.stack(
+        np.meshgrid(np.arange(1, 9), np.arange(1, 9), indexing="ij"), axis=-1
+    ).reshape(-1, 2)
+    v = coords[:, 0] * 10 + coords[:, 1]
+    schema = parse_schema("G<v:int64>[i=1,8,4, j=1,8,4]")
+    return LocalArray.from_cells(schema, CellSet(coords, {"v": v}))
+
+
+class TestBetween:
+    def test_keeps_box(self, grid):
+        result = between(grid, (3, 3), (5, 6))
+        cells = result.cells()
+        assert len(cells) == 3 * 4
+        assert cells.coords[:, 0].min() >= 3
+        assert cells.coords[:, 1].max() <= 6
+
+    def test_schema_unchanged(self, grid):
+        assert between(grid, (1, 1), (2, 2)).schema == grid.schema
+
+    def test_full_box_identity(self, grid):
+        assert between(grid, (1, 1), (8, 8)).cells().same_cells(grid.cells())
+
+    def test_empty_window(self, grid):
+        with pytest.raises(SchemaError):
+            between(grid, (5, 5), (3, 3))
+
+    def test_wrong_arity(self, grid):
+        with pytest.raises(SchemaError):
+            between(grid, (1,), (8, 8))
+
+
+class TestSubarray:
+    def test_shifts_to_origin(self, grid):
+        result = subarray(grid, (3, 4), (5, 7))
+        cells = result.cells()
+        assert cells.coords[:, 0].min() == 1
+        assert cells.coords[:, 1].min() == 1
+        assert result.schema.dim("i").extent == 3
+        assert result.schema.dim("j").extent == 4
+
+    def test_values_travel(self, grid):
+        result = subarray(grid, (3, 4), (5, 7))
+        cells = result.cells()
+        # Cell now at (1, 1) was originally (3, 4): v = 34.
+        index = np.flatnonzero(
+            (cells.coords[:, 0] == 1) & (cells.coords[:, 1] == 1)
+        )
+        assert cells.attrs["v"][index[0]] == 34
+
+
+class TestRegrid:
+    def test_counts_per_block(self, grid):
+        result = regrid(
+            grid, (4, 4), [AggregateItem("count", None, "n")]
+        )
+        assert result.schema.dim("i").extent == 2
+        assert result.n_cells == 4
+        assert (result.cells().attrs["n"] == 16).all()
+
+    def test_avg_blocks(self, grid):
+        result = regrid(
+            grid, (4, 4), [AggregateItem("avg", parse_expression("v"), "m")]
+        )
+        cells = result.cells()
+        by_block = {
+            tuple(c): m for c, m in zip(cells.coords, cells.attrs["m"])
+        }
+        # Block (1,1) covers i,j in 1..4: mean of 10i+j = 10*2.5 + 2.5.
+        assert by_block[(1, 1)] == pytest.approx(27.5)
+        assert by_block[(2, 2)] == pytest.approx(10 * 6.5 + 6.5)
+
+    def test_uneven_blocks(self, grid):
+        result = regrid(grid, (3, 8), [AggregateItem("count", None, "n")])
+        assert result.schema.dim("i").extent == 3  # ceil(8/3)
+        cells = result.cells()
+        by_i = dict(zip(cells.coords[:, 0].tolist(), cells.attrs["n"]))
+        assert by_i[1] == 24 and by_i[2] == 24 and by_i[3] == 16
+
+    def test_bad_blocks(self, grid):
+        with pytest.raises(SchemaError):
+            regrid(grid, (4,), [AggregateItem("count", None, "n")])
+        with pytest.raises(SchemaError):
+            regrid(grid, (0, 4), [AggregateItem("count", None, "n")])
+
+
+class TestAflSurface:
+    @pytest.fixture
+    def session(self, grid):
+        from repro import Session
+
+        session = Session(n_nodes=2)
+        session.cluster.load_array(grid)
+        return session
+
+    def test_between(self, session):
+        result = session.afl("between(G, 3, 3, 5, 6)")
+        assert result.n_cells == 12
+
+    def test_subarray(self, session):
+        result = session.afl("subarray(G, 3, 4, 5, 7)")
+        assert result.schema.dim("i").extent == 3
+
+    def test_regrid(self, session):
+        result = session.afl("regrid(G, 4, 4, avg(v) AS m, count(*) AS n)")
+        assert result.n_cells == 4
+        assert (result.cells().attrs["n"] == 16).all()
+
+    def test_composition(self, session):
+        result = session.afl(
+            "regrid(between(G, 1, 1, 4, 8), 2, 2, sum(v) AS s)"
+        )
+        assert result.schema.dim("i").extent == 4
+        assert result.n_cells == 8  # i-blocks 1..2 occupied, j-blocks 1..4
+
+    def test_wrong_bounds_arity(self, session):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            session.afl("between(G, 1, 2, 3)")

@@ -1,0 +1,73 @@
+"""Unit tests for AFL operator trees and the single-array evaluator."""
+
+import numpy as np
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.query import afl, parse_expression
+
+
+class TestRendering:
+    def test_paper_merge_example(self):
+        schema = parse_schema("C<v1:int64, v2:float64>[i=1,6,3, j=1,6,3]")
+        tree = afl.merge_join(afl.redim("A", schema), afl.redim("B", schema))
+        assert tree.render() == (
+            "mergeJoin(redim(scan(A), <v1:int64, v2:float64>[i=1,6,3, j=1,6,3]), "
+            "redim(scan(B), <v1:int64, v2:float64>[i=1,6,3, j=1,6,3]))"
+        )
+
+    def test_paper_filter_example(self):
+        tree = afl.filter_("A", parse_expression("v1 > 5"))
+        assert tree.render() == "filter(scan(A), (v1 > 5))"
+
+    def test_hash_join_plan(self):
+        tree = afl.hash_join(
+            afl.AflNode("hash", (afl.scan("A"), "v")),
+            afl.AflNode("hash", (afl.scan("B"), "w")),
+        )
+        assert "hashJoin" in tree.render()
+
+    def test_cross(self):
+        assert afl.cross("A", "B").render() == "cross(scan(A), scan(B))"
+
+    def test_sort_and_rechunk(self):
+        schema = parse_schema("J<v:int64>[k=1,4,2]")
+        tree = afl.sort(afl.rechunk("A", schema))
+        assert tree.render() == "sort(rechunk(scan(A), <v:int64>[k=1,4,2]))"
+
+
+class TestFilterEvaluation:
+    def test_paper_example(self, figure1_array):
+        # SELECT * FROM A WHERE v1 > 5
+        filtered = afl.apply_filter(figure1_array, parse_expression("v1 > 5"))
+        assert (filtered.cells().attrs["v1"] > 5).all()
+        expected = int((figure1_array.cells().attrs["v1"] > 5).sum())
+        assert filtered.n_cells == expected
+
+    def test_dimension_predicate(self, figure1_array):
+        filtered = afl.apply_filter(figure1_array, parse_expression("i <= 2"))
+        assert (filtered.cells().dim_column(0) <= 2).all()
+
+    def test_qualified_names(self, figure1_array):
+        filtered = afl.apply_filter(
+            figure1_array, parse_expression("A.v1 = 3 AND A.j >= 1")
+        )
+        assert (filtered.cells().attrs["v1"] == 3).all()
+
+    def test_empty_array(self, small_schema):
+        empty = LocalArray.empty(small_schema)
+        result = afl.apply_filter(empty, parse_expression("v1 > 5"))
+        assert result.n_cells == 0
+
+    def test_schema_preserved(self, figure1_array):
+        filtered = afl.apply_filter(figure1_array, parse_expression("v2 < 1"))
+        assert filtered.schema == figure1_array.schema
+
+
+class TestEnvironment:
+    def test_columns_exposed_both_ways(self):
+        schema = parse_schema("X<a:int64>[i=1,4,2]")
+        cells = CellSet(np.array([[1], [2]]), {"a": np.array([7, 8])})
+        array = LocalArray.from_cells(schema, cells)
+        env = afl.environment_for(array)
+        np.testing.assert_array_equal(env["a"], env["X.a"])
+        np.testing.assert_array_equal(sorted(env["i"]), [1, 2])

@@ -1,0 +1,138 @@
+"""Unit tests for the AQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.aql import FilterQuery, JoinQuery, parse_aql
+
+
+class TestJoinQueries:
+    def test_join_on(self):
+        query = parse_aql("SELECT * FROM A JOIN B ON A.i = B.j")
+        assert isinstance(query, JoinQuery)
+        assert (query.left, query.right) == ("A", "B")
+        assert query.select_star
+        assert str(query.predicates[0]) == "A.i = B.j"
+
+    def test_comma_from_with_where(self):
+        query = parse_aql("SELECT * FROM A, B WHERE A.v = B.w")
+        assert isinstance(query, JoinQuery)
+        assert len(query.predicates) == 1
+
+    def test_conjunctive_predicates(self):
+        query = parse_aql(
+            "SELECT A.v1 - B.v1 FROM A, B "
+            "WHERE A.i = B.i AND A.j = B.j"
+        )
+        assert len(query.predicates) == 2
+
+    def test_into_schema_literal(self):
+        query = parse_aql(
+            "SELECT i, j INTO T<i:int64, j:int64>[] FROM A, B WHERE A.v = B.w"
+        )
+        assert query.into_schema is not None
+        assert query.into_schema.is_dimensionless()
+        assert query.output_name == "T"
+
+    def test_into_plain_name(self):
+        query = parse_aql("SELECT * INTO Result FROM A, B WHERE A.v = B.w")
+        assert query.into_name == "Result"
+        assert query.output_name == "Result"
+
+    def test_into_schema_with_dims(self):
+        query = parse_aql(
+            "SELECT * INTO C<i:int64, j:int64>[v=1,128,4] "
+            "FROM A, B WHERE A.v = B.w"
+        )
+        assert query.into_schema.dim_names == ("v",)
+
+    def test_select_aliases(self):
+        query = parse_aql(
+            "SELECT A.v1 - B.v1 AS d1, A.v2 AS copy FROM A, B WHERE A.i = B.i"
+        )
+        assert [item.output_name for item in query.select] == ["d1", "copy"]
+
+    def test_percent_select_star(self):
+        # The paper writes `SELECT %` in the Figure 5 query.
+        query = parse_aql("SELECT % FROM A, B WHERE A.v = B.w")
+        assert query.select_star
+
+    def test_paper_ndvi_query(self):
+        query = parse_aql(
+            "SELECT (Band2.r - Band1.r) / (Band2.r + Band1.r) "
+            "FROM Band1, Band2 "
+            "WHERE Band1.time = Band2.time AND Band1.lon = Band2.lon "
+            "AND Band1.lat = Band2.lat;"
+        )
+        assert len(query.predicates) == 3
+        assert query.select[0].output_name == "expr"
+
+    def test_default_output_name(self):
+        query = parse_aql("SELECT * FROM A, B WHERE A.v = B.w")
+        assert query.output_name == "A_join_B"
+
+    def test_missing_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A JOIN B")
+
+    def test_non_field_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A, B WHERE A.v = 5")
+
+    def test_disjunction_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A, B WHERE A.v = B.w OR A.i = B.j")
+
+    def test_three_arrays_become_multijoin(self):
+        from repro.query.aql import MultiJoinQuery
+
+        query = parse_aql(
+            "SELECT * FROM A, B, C WHERE A.v = B.w AND B.x = C.y"
+        )
+        assert isinstance(query, MultiJoinQuery)
+        assert query.arrays == ["A", "B", "C"]
+        assert len(query.predicates) == 2
+
+    def test_multijoin_requires_qualified_predicates(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A, B, C WHERE v = B.w AND B.x = C.y")
+
+    def test_multijoin_predicate_must_name_from_arrays(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A, B, C WHERE A.v = D.w")
+
+    def test_repeated_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A, A WHERE A.v = A.w")
+
+
+class TestFilterQueries:
+    def test_paper_filter(self):
+        query = parse_aql("SELECT * FROM A WHERE v1 > 5")
+        assert isinstance(query, FilterQuery)
+        assert query.array == "A"
+        assert query.predicate.render() == "(v1 > 5)"
+
+    def test_scan_only(self):
+        query = parse_aql("SELECT * FROM A")
+        assert isinstance(query, FilterQuery)
+        assert query.predicate is None
+
+    def test_projection(self):
+        query = parse_aql("SELECT v1, v2 FROM A WHERE v1 >= 2 AND v2 < 9")
+        assert len(query.select) == 2
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROM A SELECT *",
+            "SELECT FROM A",
+            "SELECT *",
+            "SELECT * FROM 1A",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_aql(text)

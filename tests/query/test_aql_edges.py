@@ -1,0 +1,86 @@
+"""Edge-case coverage for the AQL grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import parse_aql
+from repro.query.aql import JoinQuery, MultiJoinQuery
+
+
+class TestGrammarEdges:
+    def test_chained_join_keyword(self):
+        query = parse_aql(
+            "SELECT A.v FROM A JOIN B JOIN C "
+            "WHERE A.v = B.v AND B.w = C.w"
+        )
+        assert isinstance(query, MultiJoinQuery)
+        assert query.arrays == ["A", "B", "C"]
+
+    def test_mixed_case_keywords(self):
+        query = parse_aql("select * from A join B on A.i = B.i")
+        assert isinstance(query, JoinQuery)
+
+    def test_newlines_and_whitespace(self):
+        query = parse_aql(
+            """SELECT
+                 A.v
+               FROM A,
+                    B
+               WHERE A.i = B.i ;"""
+        )
+        assert isinstance(query, JoinQuery)
+
+    def test_into_before_from_required(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT * FROM A INTO T WHERE A.i = B.i")
+
+    def test_names_starting_with_keyword_letters(self):
+        # FROMAGE is a valid array name, not FROM + AGE.
+        query = parse_aql("SELECT * FROM FROMAGE WHERE v > 1")
+        assert query.array == "FROMAGE"
+
+    def test_group_by_multiple_dims(self):
+        query = parse_aql(
+            "SELECT sum(v) AS s FROM A WHERE v > 0 GROUP BY i, j"
+        )
+        assert query.group_by == ["i", "j"]
+
+    def test_group_by_malformed_field(self):
+        with pytest.raises(ParseError):
+            parse_aql("SELECT sum(v) FROM A GROUP BY 1i")
+
+    def test_aggregate_with_expression_argument(self):
+        query = parse_aql("SELECT avg(v * 2 + 1) AS scaled FROM A")
+        assert query.select[0].alias == "scaled"
+        assert query.select[0].expr.render() == "((v * 2) + 1)"
+
+    def test_count_star_alias(self):
+        query = parse_aql("SELECT count(*) FROM A")
+        assert query.select[0].alias == "count_all"
+
+    def test_min_function_not_confused_with_array_name(self):
+        # `min` as a bare column name in a plain select stays a field.
+        query = parse_aql("SELECT v FROM A")
+        assert query.select[0].output_name == "v"
+
+    def test_into_name_on_multijoin(self):
+        query = parse_aql(
+            "SELECT A.v INTO Out FROM A, B, C "
+            "WHERE A.v = B.v AND B.w = C.w"
+        )
+        assert query.output_name == "Out"
+
+    def test_filters_attribute_between_predicates(self):
+        query = parse_aql(
+            "SELECT A.v FROM A, B "
+            "WHERE A.v > 1 AND A.i = B.i AND B.w < 9 AND A.j = B.j"
+        )
+        assert len(query.predicates) == 2
+        assert set(query.filters) == {"A", "B"}
+
+    def test_multijoin_filters(self):
+        query = parse_aql(
+            "SELECT A.v FROM A, B, C "
+            "WHERE A.v = B.v AND B.w = C.w AND C.w > 10"
+        )
+        assert "C" in query.filters

@@ -1,0 +1,92 @@
+"""Unit tests for the scalar expression parser and evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.query.expressions import parse_expression, tokenize
+
+
+class TestTokenize:
+    def test_qualified_names(self):
+        assert tokenize("Band1.reflectance + 2") == [
+            "Band1.reflectance", "+", "2",
+        ]
+
+    def test_operators(self):
+        assert tokenize("a<=b") == ["a", "<=", "b"]
+        assert tokenize("a<>b") == ["a", "!=", "b"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("a ? b")
+
+
+class TestParse:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert float(expr.evaluate({})) == 7.0
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert float(expr.evaluate({})) == 9.0
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + 5")
+        assert float(expr.evaluate({"a": np.asarray(2)})) == 3.0
+
+    def test_ndvi_expression(self):
+        expr = parse_expression("(b2 - b1) / (b2 + b1)")
+        env = {"b1": np.array([1.0, 2.0]), "b2": np.array([3.0, 2.0])}
+        np.testing.assert_allclose(expr.evaluate(env), [0.5, 0.0])
+
+    def test_division_promotes_to_float(self):
+        expr = parse_expression("a / b")
+        result = expr.evaluate({"a": np.array([1]), "b": np.array([2])})
+        assert result[0] == pytest.approx(0.5)
+
+    def test_comparison(self):
+        expr = parse_expression("v1 > 5")
+        np.testing.assert_array_equal(
+            expr.evaluate({"v1": np.array([3, 7])}), [False, True]
+        )
+
+    def test_and_or(self):
+        expr = parse_expression("a > 1 AND a < 4 OR a = 9")
+        np.testing.assert_array_equal(
+            expr.evaluate({"a": np.array([0, 2, 9])}), [False, True, True]
+        )
+
+    def test_field_refs_collected(self):
+        expr = parse_expression("A.v + B.w - A.v")
+        assert expr.field_refs() == ["A.v", "B.w", "A.v"]
+
+    def test_qualified_fallback_to_bare(self):
+        expr = parse_expression("A.v * 2")
+        np.testing.assert_array_equal(
+            expr.evaluate({"v": np.array([1, 2])}), [2, 4]
+        )
+
+    def test_unknown_field(self):
+        expr = parse_expression("nope + 1")
+        with pytest.raises(ParseError):
+            expr.evaluate({})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("   ")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a + b")
+
+    def test_render_roundtrip(self):
+        text = "(a - b) / (a + b)"
+        expr = parse_expression(text)
+        again = parse_expression(expr.render())
+        env = {"a": np.array([4.0]), "b": np.array([1.0])}
+        assert expr.evaluate(env)[0] == again.evaluate(env)[0]

@@ -1,0 +1,88 @@
+"""Unit tests for the predicate taxonomy (Section 2.2)."""
+
+import pytest
+
+from repro.adm.parser import parse_schema
+from repro.errors import SchemaError
+from repro.query.predicates import (
+    FieldRef,
+    JoinPredicate,
+    PredicateKind,
+    classify_predicates,
+    dominant_kind,
+)
+
+ALPHA = parse_schema("A<v:int64>[i=1,8,2, j=1,8,2]")
+BETA = parse_schema("B<w:int64>[i=1,8,2, j=1,8,2]")
+
+
+def pred(left, right):
+    return JoinPredicate(FieldRef.parse(left), FieldRef.parse(right))
+
+
+class TestFieldRef:
+    def test_parse_qualified(self):
+        ref = FieldRef.parse("A.v")
+        assert (ref.array, ref.field) == ("A", "v")
+
+    def test_parse_bare(self):
+        ref = FieldRef.parse("v")
+        assert ref.array is None
+
+    def test_parse_malformed(self):
+        with pytest.raises(SchemaError):
+            FieldRef.parse("a.b.c")
+
+    def test_resolve_kind(self):
+        assert FieldRef.parse("A.i").resolve_kind(ALPHA) == "dimension"
+        assert FieldRef.parse("A.v").resolve_kind(ALPHA) == "attribute"
+
+
+class TestKinds:
+    def test_dd(self):
+        assert pred("A.i", "B.i").kind(ALPHA, BETA) == PredicateKind.DIM_DIM
+
+    def test_aa(self):
+        assert pred("A.v", "B.w").kind(ALPHA, BETA) == PredicateKind.ATTR_ATTR
+
+    def test_ad(self):
+        assert pred("A.v", "B.i").kind(ALPHA, BETA) == PredicateKind.ATTR_DIM
+
+    def test_da(self):
+        assert pred("A.i", "B.w").kind(ALPHA, BETA) == PredicateKind.DIM_ATTR
+
+    def test_unknown_field(self):
+        with pytest.raises(SchemaError):
+            pred("A.missing", "B.w").kind(ALPHA, BETA)
+
+
+class TestClassification:
+    def test_classify_all(self):
+        kinds = classify_predicates(
+            [pred("A.i", "B.i"), pred("A.v", "B.w")], ALPHA, BETA
+        )
+        assert set(kinds.values()) == {
+            PredicateKind.DIM_DIM, PredicateKind.ATTR_ATTR,
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            classify_predicates([], ALPHA, BETA)
+
+    def test_dominant_dd_only_when_pure(self):
+        pure = classify_predicates(
+            [pred("A.i", "B.i"), pred("A.j", "B.j")], ALPHA, BETA
+        )
+        assert dominant_kind(pure) == PredicateKind.DIM_DIM
+
+    def test_dominant_aa_wins(self):
+        mixed = classify_predicates(
+            [pred("A.i", "B.i"), pred("A.v", "B.w")], ALPHA, BETA
+        )
+        assert dominant_kind(mixed) == PredicateKind.ATTR_ATTR
+
+    def test_dominant_ad(self):
+        mixed = classify_predicates(
+            [pred("A.i", "B.i"), pred("A.v", "B.i")], ALPHA, BETA
+        )
+        assert dominant_kind(mixed) == PredicateKind.ATTR_DIM

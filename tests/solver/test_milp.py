@@ -1,0 +1,125 @@
+"""Unit tests for the branch-and-bound MILP solver substrate."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.errors import SolverError
+from repro.solver import BranchAndBoundSolver, MilpProblem, SolveStatus
+
+
+def knapsack(values, weights, capacity):
+    """max Σ v·x s.t. Σ w·x ≤ c, x binary — as a minimisation problem."""
+    n = len(values)
+    return MilpProblem(
+        c=-np.asarray(values, dtype=np.float64),
+        a_ub=sparse.csr_matrix(np.asarray(weights, dtype=np.float64).reshape(1, n)),
+        b_ub=np.array([capacity], dtype=np.float64),
+        lb=np.zeros(n),
+        ub=np.ones(n),
+        integrality=np.arange(n),
+    )
+
+
+class TestLpOnly:
+    def test_pure_lp(self):
+        problem = MilpProblem(
+            c=np.array([1.0, 2.0]),
+            a_ub=sparse.csr_matrix(np.array([[-1.0, -1.0]])),
+            b_ub=np.array([-4.0]),
+        )
+        result = BranchAndBoundSolver(time_budget_s=2.0).solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(4.0)
+
+
+class TestKnapsack:
+    def test_small_optimal(self):
+        # values (6,5,4), weights (4,3,2), capacity 5 -> take items 2,3 (9).
+        problem = knapsack([6, 5, 4], [4, 3, 2], 5)
+        result = BranchAndBoundSolver(time_budget_s=5.0).solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-9.0)
+        np.testing.assert_allclose(np.round(result.x), [0, 1, 1])
+
+    def test_medium_random_matches_dp(self, rng):
+        values = rng.integers(1, 30, 14)
+        weights = rng.integers(1, 20, 14)
+        capacity = int(weights.sum() // 3)
+        problem = knapsack(values, weights, capacity)
+        result = BranchAndBoundSolver(time_budget_s=20.0).solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+
+        # Exact DP reference.
+        best = np.zeros(capacity + 1, dtype=np.int64)
+        for value, weight in zip(values, weights):
+            for cap in range(capacity, weight - 1, -1):
+                best[cap] = max(best[cap], best[cap - weight] + value)
+        assert -result.objective == pytest.approx(best[capacity])
+
+
+class TestInfeasible:
+    def test_detected(self):
+        problem = MilpProblem(
+            c=np.array([1.0]),
+            a_ub=sparse.csr_matrix(np.array([[1.0], [-1.0]])),
+            b_ub=np.array([1.0, -2.0]),  # x <= 1 and x >= 2
+            integrality=np.array([0]),
+        )
+        result = BranchAndBoundSolver(time_budget_s=2.0).solve(problem)
+        assert result.status in (SolveStatus.INFEASIBLE, SolveStatus.NO_SOLUTION)
+        assert result.x is None
+
+
+class TestAnytime:
+    def test_budget_respected(self):
+        gen = np.random.default_rng(0)
+        problem = knapsack(
+            gen.integers(1, 100, 60), gen.integers(1, 50, 60), 300
+        )
+        solver = BranchAndBoundSolver(time_budget_s=0.5)
+        result = solver.solve(problem)
+        assert result.elapsed_s < 5.0
+        if result.x is not None:
+            assert problem.check_feasible(result.x)
+            assert result.lower_bound <= result.objective + 1e-6
+
+    def test_rounding_hook_produces_incumbent(self):
+        # Assignment-like problem where rounding is trivially feasible.
+        n, k = 6, 3
+        c = np.arange(n * k, dtype=np.float64)
+        rows = np.repeat(np.arange(n), k)
+        cols = np.arange(n * k)
+        a_eq = sparse.csr_matrix((np.ones(n * k), (rows, cols)), shape=(n, n * k))
+        problem = MilpProblem(
+            c=c,
+            a_eq=a_eq,
+            b_eq=np.ones(n),
+            lb=np.zeros(n * k),
+            ub=np.ones(n * k),
+            integrality=np.arange(n * k),
+        )
+
+        def round_hook(x):
+            matrix = x.reshape(n, k)
+            rounded = np.zeros_like(matrix)
+            rounded[np.arange(n), np.argmax(matrix, axis=1)] = 1.0
+            return rounded.ravel()
+
+        solver = BranchAndBoundSolver(time_budget_s=5.0, rounding_hook=round_hook)
+        result = solver.solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+        assert problem.check_feasible(result.x)
+
+    def test_invalid_budget(self):
+        with pytest.raises(SolverError):
+            BranchAndBoundSolver(time_budget_s=0.0)
+
+
+class TestFeasibilityCheck:
+    def test_check_feasible(self):
+        problem = knapsack([1, 1], [1, 1], 1)
+        assert problem.check_feasible(np.array([1.0, 0.0]))
+        assert not problem.check_feasible(np.array([1.0, 1.0]))
+        assert not problem.check_feasible(np.array([0.5, 0.0]))
+        assert not problem.check_feasible(np.array([0.5]))

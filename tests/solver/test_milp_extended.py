@@ -1,0 +1,100 @@
+"""Extended MILP solver tests: general integers, equalities, bounds."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.solver import BranchAndBoundSolver, MilpProblem, SolveStatus
+
+
+class TestGeneralIntegers:
+    def test_bounded_integer_variable(self):
+        """min x s.t. x >= 2.3, x integer, 0 <= x <= 10 -> x = 3."""
+        problem = MilpProblem(
+            c=np.array([1.0]),
+            a_ub=sparse.csr_matrix(np.array([[-1.0]])),
+            b_ub=np.array([-2.3]),
+            lb=np.zeros(1),
+            ub=np.array([10.0]),
+            integrality=np.array([0]),
+        )
+        result = BranchAndBoundSolver(time_budget_s=2.0).solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(3.0)
+
+    def test_integer_knapsack_with_repeats(self):
+        """max 3x + 5y s.t. 2x + 4y <= 11, x,y >= 0 integer."""
+        problem = MilpProblem(
+            c=np.array([-3.0, -5.0]),
+            a_ub=sparse.csr_matrix(np.array([[2.0, 4.0]])),
+            b_ub=np.array([11.0]),
+            lb=np.zeros(2),
+            ub=np.array([100.0, 100.0]),
+            integrality=np.array([0, 1]),
+        )
+        result = BranchAndBoundSolver(time_budget_s=5.0).solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+        # Best integer point: x=5, y=0 (15) vs x=1,y=2 (13) vs x=3,y=1 (14).
+        assert -result.objective == pytest.approx(15.0)
+
+
+class TestEqualityConstraints:
+    def test_assignment_with_capacity(self):
+        """3 items to 2 slots, slot 0 takes at most 1 item."""
+        n, k = 3, 2
+        c = np.array([1.0, 5.0, 1.0, 5.0, 1.0, 5.0])  # prefer slot 0
+        rows = np.repeat(np.arange(n), k)
+        cols = np.arange(n * k)
+        a_eq = sparse.csr_matrix(
+            (np.ones(n * k), (rows, cols)), shape=(n, n * k)
+        )
+        capacity = np.zeros((1, n * k))
+        capacity[0, 0::2] = 1.0  # slot-0 variables
+        problem = MilpProblem(
+            c=c,
+            a_eq=a_eq,
+            b_eq=np.ones(n),
+            a_ub=sparse.csr_matrix(capacity),
+            b_ub=np.array([1.0]),
+            lb=np.zeros(n * k),
+            ub=np.ones(n * k),
+            integrality=np.arange(n * k),
+        )
+        result = BranchAndBoundSolver(time_budget_s=5.0).solve(problem)
+        assert result.status == SolveStatus.OPTIMAL
+        assignment = result.x.reshape(n, k)
+        assert assignment.sum(axis=1) == pytest.approx(np.ones(n))
+        assert assignment[:, 0].sum() <= 1.0 + 1e-6
+        assert result.objective == pytest.approx(1.0 + 5.0 + 5.0)
+
+
+class TestBounds:
+    def test_lower_bound_tracks_incumbent(self):
+        gen = np.random.default_rng(1)
+        values = gen.integers(1, 50, 25)
+        weights = gen.integers(1, 25, 25)
+        problem = MilpProblem(
+            c=-values.astype(np.float64),
+            a_ub=sparse.csr_matrix(weights.astype(np.float64).reshape(1, -1)),
+            b_ub=np.array([float(weights.sum() // 4)]),
+            lb=np.zeros(25),
+            ub=np.ones(25),
+            integrality=np.arange(25),
+        )
+        result = BranchAndBoundSolver(time_budget_s=3.0).solve(problem)
+        assert result.x is not None
+        assert result.lower_bound <= result.objective + 1e-6
+        assert 0.0 <= result.gap < np.inf
+
+    def test_nodes_explored_counted(self):
+        problem = MilpProblem(
+            c=np.array([-1.0, -1.0]),
+            a_ub=sparse.csr_matrix(np.array([[1.0, 2.0], [2.0, 1.0]])),
+            b_ub=np.array([2.5, 2.5]),
+            lb=np.zeros(2),
+            ub=np.ones(2),
+            integrality=np.arange(2),
+        )
+        result = BranchAndBoundSolver(time_budget_s=2.0).solve(problem)
+        assert result.nodes_explored >= 1
+        assert result.status == SolveStatus.OPTIMAL

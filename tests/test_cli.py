@@ -1,0 +1,66 @@
+"""Tests for the command-line interface and the report generator."""
+
+import pytest
+
+from repro.bench.report import EXPERIMENT_RUNNERS, generate_report
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "join order" in out or "chosen plan" in out
+        assert "output:" in out
+
+    def test_query_filter_and_join(self, capsys):
+        code = main([
+            "query",
+            "SELECT * FROM A WHERE v > 40",
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.j = B.j",
+            "--nodes", "2",
+            "--planner", "mbh",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cells" in out
+
+    def test_query_ddl(self, capsys):
+        code = main([
+            "query",
+            "CREATE ARRAY Z<v:int64>[i=1,8,2]",
+            "DROP ARRAY Z",
+            "--nodes", "2",
+        ])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_unknown_experiment_id(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "results.md"
+        assert main(["report", "--out", str(out_file), "abl-tabu"]) == 0
+        content = out_file.read_text()
+        assert "# Reproduction results" in content
+        assert "abl-tabu" in content
+        assert "| variant" in content
+
+
+class TestReportGenerator:
+    def test_registry_covers_all_artifacts(self):
+        expected = {
+            "fig5", "fig7", "fig8", "tab2", "fig9", "adv", "fig10",
+            "abl-shuffle", "abl-tabu", "abl-buckets", "abl-bins",
+            "abl-order",
+        }
+        assert set(EXPERIMENT_RUNNERS) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(["nope"])
+
+    def test_single_experiment_markdown(self):
+        report = generate_report(["abl-tabu"])
+        assert "## abl-tabu" in report
+        assert "|---|" in report

@@ -1,0 +1,223 @@
+"""Edge cases and failure injection across the stack.
+
+Degenerate shapes (empty arrays, single chunks, single cells), clusters
+with more nodes than data, extreme unit counts, negative coordinate
+ranges, and duplicate coordinates — the configurations most likely to
+break partitioning arithmetic or planner assumptions.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray, parse_schema
+from repro.cluster import Cluster
+from repro.core.cost_model import AnalyticalCostModel, CostParams
+from repro.core.planners import PLANNER_NAMES, get_planner
+from repro.core.slices import SliceStats
+from repro.engine import ShuffleJoinExecutor
+
+DD_QUERY = "SELECT A.v, B.v FROM A, B WHERE A.i = B.i AND A.j = B.j"
+
+
+def two_arrays(cells_a, cells_b, schema="<v:int64>[i=1,64,8, j=1,64,8]",
+               n_nodes=4):
+    cluster = Cluster(n_nodes=n_nodes)
+    cluster.create_array(f"A{schema}", cells_a)
+    cluster.create_array(f"B{schema}", cells_b, placement="block")
+    return cluster
+
+
+def cells_of(coord_list, values=None):
+    coords = np.asarray(coord_list, dtype=np.int64).reshape(len(coord_list), -1)
+    if values is None:
+        values = np.arange(len(coords), dtype=np.int64)
+    return CellSet(coords, {"v": np.asarray(values, dtype=np.int64)})
+
+
+class TestEmptyInputs:
+    def test_one_empty_array(self):
+        cluster = Cluster(n_nodes=3)
+        cluster.create_array(
+            "A<v:int64>[i=1,64,8, j=1,64,8]", cells_of([[1, 1], [2, 2]])
+        )
+        cluster.create_empty_array("B<v:int64>[i=1,64,8, j=1,64,8]")
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.1)
+        result = executor.execute(DD_QUERY, planner="mbh")
+        assert result.array.n_cells == 0
+        assert result.report.cells_moved == 0
+
+    def test_both_empty(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.create_empty_array("A<v:int64>[i=1,8,4]")
+        cluster.create_empty_array("B<v:int64>[i=1,8,4]")
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.1)
+        result = executor.execute(
+            "SELECT A.v, B.v FROM A, B WHERE A.i = B.i", planner="tabu"
+        )
+        assert result.array.n_cells == 0
+
+
+class TestSingleCellAndChunk:
+    def test_single_cell_arrays_match(self):
+        cluster = two_arrays(cells_of([[5, 5]]), cells_of([[5, 5]]))
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(DD_QUERY, planner="mbh")
+        assert result.array.n_cells == 1
+
+    def test_single_cell_arrays_no_match(self):
+        cluster = two_arrays(cells_of([[1, 1]]), cells_of([[8, 8]]))
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(DD_QUERY, planner="tabu")
+        assert result.array.n_cells == 0
+
+    def test_single_chunk_schema(self):
+        """Chunk interval covering the whole extent: one join unit."""
+        schema = "<v:int64>[i=1,16,16, j=1,16,16]"
+        gen = np.random.default_rng(0)
+        coords = np.unique(gen.integers(1, 17, size=(60, 2)), axis=0)
+        cluster = two_arrays(
+            CellSet(coords, {"v": gen.integers(0, 5, len(coords))}),
+            CellSet(coords, {"v": gen.integers(0, 5, len(coords))}),
+            schema=schema,
+        )
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(DD_QUERY, planner="mbh")
+        assert result.report.n_units == 1
+        assert result.array.n_cells == len(coords)
+
+
+class TestMoreNodesThanData:
+    def test_twelve_nodes_three_chunks(self):
+        gen = np.random.default_rng(1)
+        coords = np.unique(gen.integers(1, 17, size=(30, 2)), axis=0)
+        cluster = Cluster(n_nodes=12)
+        schema = "<v:int64>[i=1,64,16, j=1,64,16]"
+        cluster.create_array(
+            f"A{schema}", CellSet(coords, {"v": gen.integers(0, 5, len(coords))})
+        )
+        cluster.create_array(
+            f"B{schema}", CellSet(coords, {"v": gen.integers(0, 5, len(coords))}),
+            placement="block",
+        )
+        for planner in ("baseline", "mbh", "tabu"):
+            executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+            result = executor.execute(DD_QUERY, planner=planner)
+            assert result.array.n_cells == len(coords)
+
+
+class TestDuplicateCoordinates:
+    def test_dd_join_fans_out(self):
+        """Multiple cells at one coordinate (AIS-style) multiply matches."""
+        cells_a = cells_of([[3, 3], [3, 3], [4, 4]])
+        cells_b = cells_of([[3, 3], [3, 3], [3, 3]])
+        cluster = two_arrays(cells_a, cells_b)
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(DD_QUERY, planner="mbh")
+        assert result.array.n_cells == 6  # 2 x 3 at (3,3)
+
+
+class TestNegativeCoordinateRanges:
+    def test_lat_lon_style_schema(self):
+        schema = "<v:int64>[lat=-90,89,45, lon=-180,179,90]"
+        gen = np.random.default_rng(2)
+        lat = gen.integers(-90, 90, 80)
+        lon = gen.integers(-180, 180, 80)
+        coords = np.unique(np.stack([lat, lon], axis=1), axis=0)
+        cells = CellSet(coords, {"v": gen.integers(0, 9, len(coords))})
+        cluster = Cluster(n_nodes=3)
+        cluster.create_array(f"A{schema}", cells)
+        cluster.create_array(f"B{schema}", cells, placement="block")
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(
+            "SELECT A.v FROM A, B WHERE A.lat = B.lat AND A.lon = B.lon",
+            planner="tabu",
+        )
+        assert result.array.n_cells == len(coords)
+
+
+class TestExtremeBuckets:
+    def test_one_bucket(self):
+        gen = np.random.default_rng(3)
+        coords = np.unique(gen.integers(1, 65, size=(80, 2)), axis=0)
+        cluster = two_arrays(
+            CellSet(coords, {"v": gen.integers(0, 10, len(coords))}),
+            CellSet(coords, {"v": gen.integers(0, 10, len(coords))}),
+        )
+        executor = ShuffleJoinExecutor(
+            cluster, selectivity_hint=0.5, n_buckets=1
+        )
+        result = executor.execute(
+            "SELECT A.i INTO T<ai:int64>[] FROM A, B WHERE A.v = B.v",
+            planner="mbh",
+            join_algo="hash",
+        )
+        count_a = Counter(cluster.array_cells("A").attrs["v"].tolist())
+        count_b = Counter(cluster.array_cells("B").attrs["v"].tolist())
+        assert result.array.n_cells == sum(
+            count_a[v] * count_b[v] for v in count_a
+        )
+
+    def test_many_more_buckets_than_cells(self):
+        gen = np.random.default_rng(4)
+        coords = np.unique(gen.integers(1, 65, size=(40, 2)), axis=0)
+        cluster = two_arrays(
+            CellSet(coords, {"v": gen.integers(0, 10, len(coords))}),
+            CellSet(coords, {"v": gen.integers(0, 10, len(coords))}),
+        )
+        executor = ShuffleJoinExecutor(
+            cluster, selectivity_hint=0.5, n_buckets=4096
+        )
+        result = executor.execute(
+            "SELECT A.i INTO T<ai:int64>[] FROM A, B WHERE A.v = B.v",
+            planner="tabu",
+            join_algo="hash",
+        )
+        assert result.report.n_units == 4096
+        assert result.array.n_cells > 0
+
+
+class TestPlannersOnDegenerateStats:
+    def test_all_planners_handle_empty_stats(self):
+        stats = SliceStats(
+            np.zeros((8, 3), dtype=np.int64), np.zeros((8, 3), dtype=np.int64)
+        )
+        model = AnalyticalCostModel(stats, "merge", CostParams())
+        for name in PLANNER_NAMES:
+            kwargs = {"time_budget_s": 1.0} if "ilp" in name else {}
+            plan = get_planner(name, **kwargs).plan(model)
+            assert plan.cost.total_seconds == 0.0
+
+    def test_all_planners_single_node_matrix(self):
+        gen = np.random.default_rng(5)
+        stats = SliceStats(
+            gen.integers(0, 50, size=(8, 1)), gen.integers(0, 50, size=(8, 1))
+        )
+        model = AnalyticalCostModel(stats, "hash", CostParams())
+        for name in PLANNER_NAMES:
+            kwargs = {"time_budget_s": 1.0} if "ilp" in name else {}
+            plan = get_planner(name, **kwargs).plan(model)
+            assert (plan.assignment == 0).all()
+            assert plan.cost.send_cells == 0
+
+
+class TestSelfJoin:
+    def test_array_joined_with_itself_via_copy(self):
+        """The framework joins two named arrays; a self-join is a copy."""
+        gen = np.random.default_rng(6)
+        coords = np.unique(gen.integers(1, 65, size=(60, 2)), axis=0)
+        cells = CellSet(coords, {"v": gen.integers(0, 9, len(coords))})
+        cluster = Cluster(n_nodes=3)
+        cluster.create_array("A<v:int64>[i=1,64,8, j=1,64,8]", cells)
+        copy = LocalArray.from_cells(
+            parse_schema("B<v:int64>[i=1,64,8, j=1,64,8]"), cells
+        )
+        cluster.load_array(copy, placement="block")
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=1.0)
+        result = executor.execute(DD_QUERY, planner="mbh")
+        assert result.array.n_cells == len(coords)
+        # Every matched pair carries equal attribute values (the duplicate
+        # select names are disambiguated positionally as v_0 / v_1).
+        out = result.cells
+        np.testing.assert_array_equal(out.attrs["v_0"], out.attrs["v_1"])

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adm.cells import CellSet, composite_key
+from repro.adm.chunk import build_chunks
+from repro.adm.schema import ArraySchema, Attribute, Dimension
+from repro.cluster.network import NetworkParams, Transfer, schedule_shuffle
+from repro.core.cost_model import AnalyticalCostModel, CostParams
+from repro.core.planners import get_planner
+from repro.core.slices import SliceStats
+from repro.engine.joins import hash_join_match, merge_join_match, nested_loop_match
+
+PARAMS = CostParams(m=1e-6, b=4e-6, p=1e-6, t=5e-6)
+
+
+# --------------------------------------------------------------- strategies
+
+coords_2d = hnp.arrays(
+    np.int64,
+    st.tuples(st.integers(0, 60), st.just(2)),
+    elements=st.integers(1, 64),
+)
+
+value_lists = st.lists(st.integers(-50, 50), min_size=0, max_size=60)
+
+slice_matrices = st.tuples(
+    st.integers(1, 24),  # units
+    st.integers(1, 6),  # nodes
+    st.integers(0, 1_000_000_000),  # seed
+)
+
+
+def stats_from(spec) -> SliceStats:
+    n_units, n_nodes, seed = spec
+    gen = np.random.default_rng(seed)
+    return SliceStats(
+        gen.integers(0, 40, size=(n_units, n_nodes)),
+        gen.integers(0, 40, size=(n_units, n_nodes)),
+    )
+
+
+# ---------------------------------------------------------------- cell sets
+
+
+@given(coords_2d)
+def test_c_order_sort_is_idempotent_and_ordered(coords):
+    cells = CellSet(coords, {"v": np.zeros(len(coords), dtype=np.int64)})
+    sorted_cells = cells.sorted_c_order()
+    assert sorted_cells.is_c_ordered()
+    again = sorted_cells.sorted_c_order()
+    np.testing.assert_array_equal(again.coords, sorted_cells.coords)
+
+
+@given(coords_2d)
+def test_sort_preserves_multiset(coords):
+    values = np.arange(len(coords), dtype=np.int64)
+    cells = CellSet(coords, {"v": values})
+    assert cells.sorted_c_order().same_cells(cells)
+
+
+@given(coords_2d, st.integers(1, 8))
+def test_partition_is_a_partition(coords, n_parts):
+    cells = CellSet(coords, {"v": np.arange(len(coords), dtype=np.int64)})
+    keys = (
+        np.abs(coords.sum(axis=1)) % n_parts
+        if len(coords)
+        else np.zeros(0, dtype=np.int64)
+    )
+    parts = cells.partition(keys, n_parts)
+    assert sum(len(p) for p in parts) == len(cells)
+    if len(cells):
+        assert CellSet.concat(parts).same_cells(cells)
+
+
+@given(coords_2d)
+def test_chunking_partitions_cells_exactly(coords):
+    schema = ArraySchema(
+        "P",
+        (Dimension("i", 1, 64, 16), Dimension("j", 1, 64, 16)),
+        (Attribute("v", "int64"),),
+    )
+    cells = CellSet(coords, {"v": np.arange(len(coords), dtype=np.int64)})
+    chunks = build_chunks(schema, cells)
+    assert sum(c.n_cells for c in chunks.values()) == len(cells)
+    for chunk in chunks.values():
+        chunk.validate_against(schema)
+        assert chunk.cells.is_c_ordered()
+
+
+# ------------------------------------------------------------- join matchers
+
+
+@given(value_lists, value_lists)
+def test_matchers_agree(left_values, right_values):
+    left = composite_key([np.asarray(left_values, dtype=np.int64)])
+    right = composite_key([np.asarray(right_values, dtype=np.int64)])
+    hash_pairs = sorted(zip(*hash_join_match(left, right)))
+    nl_pairs = sorted(zip(*nested_loop_match(left, right)))
+    assert hash_pairs == nl_pairs
+
+    left_sorted = np.sort(left)
+    right_sorted = np.sort(right)
+    merge_count = len(merge_join_match(left_sorted, right_sorted)[0])
+    assert merge_count == len(hash_pairs)
+
+
+@given(value_lists, value_lists)
+def test_match_count_formula(left_values, right_values):
+    """|matches| == Σ_v count_left(v) × count_right(v)."""
+    from collections import Counter
+
+    left = composite_key([np.asarray(left_values, dtype=np.int64)])
+    right = composite_key([np.asarray(right_values, dtype=np.int64)])
+    li, _ = hash_join_match(left, right)
+    ca, cb = Counter(left_values), Counter(right_values)
+    assert len(li) == sum(ca[v] * cb[v] for v in ca)
+
+
+@given(value_lists, value_lists)
+def test_matched_pairs_actually_match(left_values, right_values):
+    left_arr = np.asarray(left_values, dtype=np.int64)
+    right_arr = np.asarray(right_values, dtype=np.int64)
+    li, ri = hash_join_match(composite_key([left_arr]), composite_key([right_arr]))
+    assert (left_arr[li] == right_arr[ri]).all()
+
+
+# ---------------------------------------------------------------- cost model
+
+
+@given(slice_matrices, st.integers(0, 1_000_000))
+def test_cost_model_matches_naive(spec, assignment_seed):
+    stats = stats_from(spec)
+    model = AnalyticalCostModel(stats, "hash", PARAMS)
+    gen = np.random.default_rng(assignment_seed)
+    assignment = gen.integers(0, stats.n_nodes, stats.n_units)
+    send, recv, comp = model.node_totals(assignment)
+    # Conservation: total sent == total received across the cluster.
+    assert send.sum() == recv.sum()
+    # Comparison work is conserved regardless of the assignment.
+    np.testing.assert_allclose(comp.sum(), model.unit_costs.sum())
+
+
+@given(slice_matrices)
+def test_mbh_minimises_movement(spec):
+    stats = stats_from(spec)
+    model = AnalyticalCostModel(stats, "merge", PARAMS)
+    assignment, _ = get_planner("mbh").assign(model)
+    rows = np.arange(stats.n_units)
+    local = stats.s_total[rows, assignment]
+    np.testing.assert_array_equal(local, stats.s_total.max(axis=1))
+
+
+@given(slice_matrices)
+@settings(deadline=None)
+def test_tabu_never_worse_than_mbh(spec):
+    stats = stats_from(spec)
+    model = AnalyticalCostModel(stats, "hash", PARAMS)
+    mbh_cost = model.plan_cost(get_planner("mbh").assign(model)[0])
+    tabu_cost = model.plan_cost(get_planner("tabu").assign(model)[0])
+    assert tabu_cost.total_seconds <= mbh_cost.total_seconds + 1e-12
+
+
+# ------------------------------------------------------------------ network
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 5), st.integers(0, 5), st.integers(0, 500)
+        ).filter(lambda t: t[0] != t[1]),
+        max_size=40,
+    )
+)
+def test_shuffle_schedule_invariants(raw_transfers):
+    transfers = [Transfer(s, d, n) for s, d, n in raw_transfers]
+    params = NetworkParams(bandwidth_cells_per_s=1000.0, latency_s=0.01)
+    schedule = schedule_shuffle(transfers, params)
+    assert schedule.n_transfers == len(transfers)
+    assert schedule.total_cells_moved == sum(t.n_cells for t in transfers)
+
+    # No sender or receiver handles two transfers at once.
+    for key in (lambda e: e.transfer.src, lambda e: e.transfer.dst):
+        spans: dict = {}
+        for event in schedule.events:
+            spans.setdefault(key(event), []).append((event.start, event.end))
+        for intervals in spans.values():
+            intervals.sort()
+            for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9
+
+    # Makespan at least the per-link volume bound.
+    if schedule.events:
+        heaviest = max(
+            max(schedule.cells_sent.values(), default=0),
+            max(schedule.cells_received.values(), default=0),
+        )
+        assert schedule.total_time >= heaviest / 1000.0 - 1e-9

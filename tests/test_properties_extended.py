@@ -1,0 +1,120 @@
+"""Property-based tests for the storage codec, AFL, and redimension."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.adm.cells import CellSet
+from repro.adm.chunk import Chunk
+from repro.adm.schema import ArraySchema, Attribute, Dimension
+from repro.adm.storage import (
+    decode_int_column,
+    deserialize_chunk,
+    encode_int_column,
+    serialize_chunk,
+)
+from repro.adm.array import LocalArray
+from repro.engine.operators import redimension
+from repro.query.afl import parse_afl
+
+int_columns = hnp.arrays(
+    np.int64,
+    st.integers(0, 300),
+    elements=st.integers(-(2**40), 2**40),
+)
+
+runny_columns = st.lists(
+    st.tuples(st.integers(-100, 100), st.integers(1, 50)), max_size=20
+).map(
+    lambda runs: np.repeat(
+        np.array([v for v, _ in runs] or [0], dtype=np.int64),
+        np.array([c for _, c in runs] or [0], dtype=np.int64),
+    )
+)
+
+
+@given(int_columns)
+def test_int_codec_roundtrip(column):
+    decoded, _ = decode_int_column(encode_int_column(column), 0, len(column))
+    np.testing.assert_array_equal(decoded, column)
+
+
+@given(runny_columns)
+def test_int_codec_roundtrip_runs(column):
+    decoded, _ = decode_int_column(encode_int_column(column), 0, len(column))
+    np.testing.assert_array_equal(decoded, column)
+
+
+chunk_cells = st.integers(0, 80).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.int64, (n, 2), elements=st.integers(1, 16)),
+        hnp.arrays(np.int64, n, elements=st.integers(-1000, 1000)),
+        hnp.arrays(
+            np.float64,
+            n,
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+    )
+)
+
+
+@given(chunk_cells)
+def test_chunk_serialization_roundtrip(data):
+    coords, ints, floats = data
+    cells = CellSet(coords, {"a": ints, "b": floats}).sorted_c_order()
+    chunk = Chunk(chunk_id=0, corner=(1, 1), cells=cells)
+    restored = deserialize_chunk(serialize_chunk(chunk))
+    assert restored.cells.same_cells(cells)
+    np.testing.assert_array_equal(restored.cells.coords, cells.coords)
+
+
+@given(
+    st.integers(0, 60).flatmap(
+        lambda n: hnp.arrays(np.int64, (n, 2), elements=st.integers(1, 32))
+    )
+)
+def test_redimension_roundtrip_property(coords):
+    """dims -> attrs -> dims preserves the cell multiset."""
+    schema = ArraySchema(
+        "R",
+        (Dimension("i", 1, 32, 8), Dimension("j", 1, 32, 8)),
+        (Attribute("v", "int64"),),
+    )
+    cells = CellSet(coords, {"v": np.arange(len(coords), dtype=np.int64)})
+    array = LocalArray.from_cells(schema, cells)
+    # Promote v (unique row ids) to a dimension, demoting i and j.
+    flat = redimension(
+        array,
+        ArraySchema(
+            "F",
+            (Dimension("v", 0, 10_000, 500),),
+            (Attribute("i", "int64"), Attribute("j", "int64")),
+        ),
+    )
+    back = redimension(flat, schema.with_name("R2"))
+    assert back.cells().same_cells(array.cells())
+
+
+afl_trees = st.recursive(
+    st.sampled_from(["A", "B", "C"]),
+    lambda children: st.builds(
+        lambda op, left, right=None: (
+            f"{op}({left})" if right is None else f"{op}({left}, {right})"
+        ),
+        st.sampled_from(["sort", "scan"]),
+        children,
+    ) | st.builds(
+        lambda left, right: f"merge({left}, {right})", children, children
+    ),
+    max_leaves=6,
+)
+
+
+@given(afl_trees)
+@settings(deadline=None)
+def test_afl_parse_render_fixpoint(text):
+    """render(parse(x)) is a fixpoint of parse."""
+    first = parse_afl(text)
+    second = parse_afl(first.render())
+    assert first.render() == second.render()

@@ -1,0 +1,117 @@
+"""Tests for the high-level Session facade and DDL statements."""
+
+import numpy as np
+import pytest
+
+from repro.adm import CellSet, LocalArray
+from repro.errors import CatalogError, ParseError
+from repro.query.ddl import CreateArray, DropArray, parse_statement
+from repro.session import Session
+
+
+def sample_cells(seed=0, n=300, extent=64):
+    gen = np.random.default_rng(seed)
+    coords = np.unique(gen.integers(1, extent + 1, size=(n, 2)), axis=0)
+    return CellSet(coords, {"v": gen.integers(0, 20, len(coords))})
+
+
+class TestParseStatement:
+    def test_create(self):
+        stmt = parse_statement("CREATE ARRAY A<v:int64>[i=1,6,3]")
+        assert isinstance(stmt, CreateArray)
+        assert stmt.schema.name == "A"
+
+    def test_create_case_insensitive(self):
+        stmt = parse_statement("create array B<w:float64>[j=1,8,2];")
+        assert isinstance(stmt, CreateArray)
+
+    def test_drop(self):
+        stmt = parse_statement("DROP ARRAY A")
+        assert isinstance(stmt, DropArray)
+        assert stmt.name == "A"
+
+    def test_query_passthrough(self):
+        from repro.query.aql import JoinQuery
+
+        stmt = parse_statement("SELECT * FROM A, B WHERE A.i = B.i")
+        assert isinstance(stmt, JoinQuery)
+
+    def test_malformed_ddl(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE ARRAY")
+        with pytest.raises(ParseError):
+            parse_statement("DROP ARRAY 1abc")
+
+
+class TestSessionLifecycle:
+    def test_create_load_query_drop(self):
+        session = Session(n_nodes=3, selectivity_hint=0.3)
+        session.execute("CREATE ARRAY A<v:int64>[i=1,64,8, j=1,64,8]")
+        session.execute("CREATE ARRAY B<v:int64>[i=1,64,8, j=1,64,8]")
+        cells_a = sample_cells(seed=1)
+        cells_b = sample_cells(seed=2)
+        assert session.load("A", cells_a) == len(cells_a)
+        assert session.load("B", cells_b) == len(cells_b)
+        assert set(session.arrays()) == {"A", "B"}
+
+        result = session.execute(
+            "SELECT A.v, B.v FROM A JOIN B ON A.i = B.i AND A.j = B.j",
+            planner="mbh",
+        )
+        shared = {tuple(c) for c in cells_a.coords} & {
+            tuple(c) for c in cells_b.coords
+        }
+        assert result.array.n_cells == len(shared)
+
+        session.execute("DROP ARRAY A")
+        assert session.arrays() == ["B"]
+
+    def test_incremental_loads_accumulate(self):
+        session = Session(n_nodes=2)
+        session.execute("CREATE ARRAY A<v:int64>[i=1,64,8, j=1,64,8]")
+        first = sample_cells(seed=3, n=100)
+        second = sample_cells(seed=4, n=100)
+        session.load("A", first)
+        session.load("A", second)
+        assert session.array("A").n_cells == len(first) + len(second)
+
+    def test_load_undeclared_array_rejected(self):
+        session = Session(n_nodes=2)
+        with pytest.raises(CatalogError):
+            session.load("Nope", sample_cells())
+
+    def test_filter_statement(self):
+        session = Session(n_nodes=2)
+        session.create_and_load(
+            "A<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=5)
+        )
+        result = session.execute("SELECT * FROM A WHERE v > 15")
+        assert isinstance(result, LocalArray)
+        assert (result.cells().attrs["v"] > 15).all()
+
+    def test_afl_surface(self):
+        session = Session(n_nodes=2)
+        session.create_and_load(
+            "A<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=6)
+        )
+        filtered = session.afl("filter(A, v > 15)")
+        assert (filtered.cells().attrs["v"] > 15).all()
+
+    def test_explain_surface(self):
+        session = Session(n_nodes=2, selectivity_hint=0.3)
+        session.create_and_load(
+            "A<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=7)
+        )
+        session.create_and_load(
+            "B<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=8)
+        )
+        report = session.explain(
+            "SELECT A.v FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        assert report.chosen.join_algo == "merge"
+
+    def test_duplicate_create_rejected(self):
+        session = Session(n_nodes=2)
+        session.execute("CREATE ARRAY A<v:int64>[i=1,8,2]")
+        with pytest.raises(CatalogError):
+            session.execute("CREATE ARRAY A<v:int64>[i=1,8,2]")

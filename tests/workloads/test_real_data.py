@@ -1,0 +1,98 @@
+"""Tests for the MODIS and AIS data simulacra (Section 6.3 substitutes).
+
+These assert the distributional facts the paper reports about the real
+datasets — the facts the experiments actually depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.ais import ais_tracks
+from repro.workloads.modis import modis_band, modis_pair
+
+
+class TestModis:
+    def test_schema(self):
+        band = modis_band(cells=30_000, seed=0)
+        assert band.schema.dim_names == ("time", "lon", "lat")
+        assert band.schema.attr_names == ("reflectance",)
+        # 4-degree spatial chunks.
+        assert band.schema.dim("lon").chunk_interval == 4
+        assert band.schema.dim("lat").chunk_interval == 4
+
+    def test_slight_skew(self):
+        """Top 5% of chunks hold ~10% of cells (paper's statistic)."""
+        band = modis_band(cells=150_000, seed=1)
+        share = band.skew_summary(0.05)["top_share"]
+        assert 0.07 <= share <= 0.2
+
+    def test_equator_denser_than_poles(self):
+        band = modis_band(cells=150_000, seed=2)
+        lat = band.cells().dim_column(2)
+        equator = ((lat > 60) & (lat <= 120)).sum()
+        poles = ((lat <= 30) | (lat > 150)).sum()
+        assert equator > poles
+
+    def test_band_pair_adversarial(self):
+        """Corresponding chunks of the two bands are close in size — the
+        paper quotes a mean difference of ~1.5% of the mean chunk size."""
+        band1, band2 = modis_pair(cells=150_000, seed=3)
+        sizes1 = band1.chunk_sizes()
+        sizes2 = band2.chunk_sizes()
+        common = set(sizes1) & set(sizes2)
+        assert len(common) > 1000
+        diffs = np.array([abs(sizes1[c] - sizes2[c]) for c in common])
+        means = np.array([(sizes1[c] + sizes2[c]) / 2 for c in common])
+        assert diffs.sum() / means.sum() < 0.1
+
+    def test_bands_share_sampling_locations(self):
+        band1, band2 = modis_pair(cells=50_000, dropout=0.0, seed=4)
+        assert band1.n_cells == band2.n_cells
+        c1 = {tuple(c) for c in band1.cells().coords}
+        c2 = {tuple(c) for c in band2.cells().coords}
+        assert c1 == c2
+
+    def test_deterministic(self):
+        a = modis_band(cells=20_000, seed=5)
+        b = modis_band(cells=20_000, seed=5)
+        assert a.cells().same_cells(b.cells())
+
+
+class TestAis:
+    def test_schema(self):
+        tracks = ais_tracks(cells=30_000, seed=0)
+        assert tracks.schema.attr_names == (
+            "ship_id", "course", "speed", "rate_of_turn",
+        )
+        assert tracks.schema.dim_names == ("time", "lon", "lat")
+
+    def test_severe_beneficial_skew(self):
+        """~85% of cells in the top 5% of chunks (paper's statistic)."""
+        tracks = ais_tracks(cells=150_000, seed=1)
+        share = tracks.skew_summary(0.05)["top_share"]
+        assert 0.7 <= share <= 0.95
+
+    def test_far_more_skewed_than_modis(self):
+        tracks = ais_tracks(cells=150_000, seed=2)
+        band = modis_band(cells=150_000, seed=2)
+        assert (
+            tracks.skew_summary(0.05)["top_share"]
+            > 4 * band.skew_summary(0.05)["top_share"]
+        )
+
+    def test_compatible_geospatial_grid_with_modis(self):
+        """The AIS x MODIS join requires identical lon/lat dimensions."""
+        tracks = ais_tracks(cells=10_000, seed=3)
+        band = modis_band(cells=10_000, seed=3)
+        assert tracks.schema.dim("lon").same_shape(band.schema.dim("lon"))
+        assert tracks.schema.dim("lat").same_shape(band.schema.dim("lat"))
+
+    def test_attribute_ranges(self):
+        tracks = ais_tracks(cells=20_000, seed=4)
+        cells = tracks.cells()
+        assert (cells.attrs["course"] >= 0).all()
+        assert (cells.attrs["course"] < 360).all()
+        assert (cells.attrs["speed"] >= 0).all()
+
+    def test_requested_cell_count(self):
+        assert ais_tracks(cells=12_345, seed=5).n_cells == 12_345

@@ -1,0 +1,99 @@
+"""Tests for the sky-survey workload and the join-unit budget."""
+
+import numpy as np
+import pytest
+
+from repro.adm import parse_schema
+from repro.core.join_schema import MAX_CHUNK_UNITS, infer_join_schema
+from repro.adm.stats import Histogram
+from repro.query import parse_aql
+from repro.workloads import epoch_pair, sky_catalog
+
+
+class TestSkyCatalog:
+    def test_schema_and_size(self):
+        catalog = sky_catalog(objects=20_000, seed=0)
+        assert catalog.schema.dim_names == ("ra", "dec")
+        assert catalog.n_cells == 20_000
+
+    def test_galactic_plane_skew(self):
+        flat = sky_catalog(objects=20_000, plane_strength=0.0, seed=1)
+        banded = sky_catalog(objects=20_000, plane_strength=12.0, seed=1)
+        assert (
+            banded.skew_summary(0.05)["top_share"]
+            > 1.5 * flat.skew_summary(0.05)["top_share"]
+        )
+
+    def test_magnitudes_bounded(self):
+        catalog = sky_catalog(objects=5_000, seed=2)
+        mags = catalog.cells().attrs["mag"]
+        assert mags.min() >= 8.0
+        assert mags.max() <= 24.0
+
+
+class TestEpochPair:
+    def test_redetection_rate(self):
+        epoch1, epoch2 = epoch_pair(objects=10_000, redetection_rate=0.8, seed=3)
+        ids1 = set(epoch1.cells().attrs["obj_id"].tolist())
+        ids2 = set(epoch2.cells().attrs["obj_id"].tolist())
+        shared = len(ids1 & ids2)
+        assert shared == pytest.approx(8_000, rel=0.05)
+
+    def test_shared_objects_share_positions(self):
+        epoch1, epoch2 = epoch_pair(objects=5_000, seed=4)
+        cells1, cells2 = epoch1.cells(), epoch2.cells()
+        pos1 = {
+            int(i): tuple(c)
+            for c, i in zip(cells1.coords, cells1.attrs["obj_id"])
+        }
+        for coord, obj in zip(cells2.coords, cells2.attrs["obj_id"]):
+            if int(obj) in pos1:
+                assert pos1[int(obj)] == tuple(coord)
+
+    def test_magnitude_scatter_small(self):
+        epoch1, epoch2 = epoch_pair(
+            objects=5_000, magnitude_scatter=0.05, seed=5
+        )
+        cells1, cells2 = epoch1.cells(), epoch2.cells()
+        mag1 = dict(zip(cells1.attrs["obj_id"].tolist(), cells1.attrs["mag"]))
+        deltas = [
+            abs(mag1[int(obj)] - m)
+            for obj, m in zip(cells2.attrs["obj_id"], cells2.attrs["mag"])
+            if int(obj) in mag1
+        ]
+        assert np.median(deltas) < 0.15
+
+
+class TestJoinUnitBudget:
+    def test_mixed_key_grid_bounded(self):
+        """A mixed (spatial + attribute) key must not explode the join
+        schema's chunk grid past MAX_CHUNK_UNITS."""
+        epoch = parse_schema(
+            "E<mag:float64, obj_id:int64>[ra=1,360,4, dec=1,180,4]"
+        )
+        other = epoch.with_name("F")
+        query = parse_aql(
+            "SELECT E.mag FROM E, F WHERE E.ra = F.ra AND E.dec = F.dec "
+            "AND E.obj_id = F.obj_id"
+        )
+        hist = {
+            "E.obj_id": Histogram.from_values(np.arange(0, 400_000, 13)),
+            "F.obj_id": Histogram.from_values(np.arange(0, 400_000, 17)),
+        }
+        schema = infer_join_schema(query, epoch, other, histograms=hist)
+        assert schema.chunkable
+        assert schema.n_chunks <= MAX_CHUNK_UNITS
+        # The copied spatial grid is honoured exactly.
+        assert schema.dims[0].chunk_count == 90
+        assert schema.dims[1].chunk_count == 45
+
+    def test_single_attr_key_keeps_default_target(self):
+        a = parse_schema("A<v:int64>[i=1,128,4]")
+        b = parse_schema("B<w:int64>[j=1,128,4]")
+        query = parse_aql("SELECT A.i INTO T<i:int64>[] FROM A, B WHERE A.v = B.w")
+        hist = {
+            "A.v": Histogram.from_values(np.arange(1000)),
+            "B.w": Histogram.from_values(np.arange(1000)),
+        }
+        schema = infer_join_schema(query, a, b, histograms=hist)
+        assert 16 <= schema.n_chunks <= 64  # the per-dim default (32)

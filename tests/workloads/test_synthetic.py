@@ -1,0 +1,139 @@
+"""Unit tests for the synthetic workload generators."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.workloads.synthetic import (
+    allocate_capped,
+    selectivity_pair,
+    skewed_hash_pair,
+    skewed_merge_pair,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(100, 1.3).sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        np.testing.assert_allclose(weights, 0.1)
+
+    def test_higher_alpha_more_concentrated(self):
+        flat = np.sort(zipf_weights(100, 0.5))[::-1]
+        steep = np.sort(zipf_weights(100, 2.0))[::-1]
+        assert steep[0] > flat[0]
+
+    def test_permutation_applied(self):
+        gen = np.random.default_rng(0)
+        weights = zipf_weights(1000, 1.0, gen)
+        assert np.argmax(weights) != 0 or weights[0] != weights.max()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchemaError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(SchemaError):
+            zipf_weights(10, -1.0)
+
+
+class TestAllocateCapped:
+    def test_respects_capacity(self, rng):
+        weights = zipf_weights(20, 2.0)
+        capacity = np.full(20, 50)
+        counts = allocate_capped(weights, 600, capacity, rng)
+        assert (counts <= capacity).all()
+        assert counts.sum() == 600
+
+    def test_truncates_when_full(self, rng):
+        counts = allocate_capped(
+            np.ones(4) / 4, 1000, np.full(4, 10), rng
+        )
+        assert counts.sum() == 40
+
+
+class TestSkewedMergePair:
+    def test_cell_counts(self):
+        a, b = skewed_merge_pair(1.0, cells_per_array=20_000, seed=1)
+        assert a.n_cells == 20_000
+        assert b.n_cells == 20_000
+        assert a.schema.chunk_grid == (32, 32)
+
+    def test_skew_increases_with_alpha(self):
+        flat, _ = skewed_merge_pair(0.0, cells_per_array=20_000, seed=1)
+        steep, _ = skewed_merge_pair(2.0, cells_per_array=20_000, seed=1)
+        assert (
+            steep.skew_summary()["top_share"] > flat.skew_summary()["top_share"]
+        )
+
+    def test_correlated_pair_shares_placement(self):
+        a, b = skewed_merge_pair(
+            1.5, cells_per_array=20_000, seed=2, correlated=True
+        )
+        sizes_a = a.chunk_sizes()
+        sizes_b = b.chunk_sizes()
+        common = sorted(set(sizes_a) & set(sizes_b))
+        va = np.array([sizes_a[c] for c in common], dtype=np.float64)
+        vb = np.array([sizes_b[c] for c in common], dtype=np.float64)
+        corr = np.corrcoef(va, vb)[0, 1]
+        assert corr > 0.9
+
+    def test_uncorrelated_by_default(self):
+        a, b = skewed_merge_pair(2.0, cells_per_array=20_000, seed=3)
+        sizes_a = a.chunk_sizes()
+        sizes_b = b.chunk_sizes()
+        top_a = max(sizes_a, key=sizes_a.get)
+        top_b = max(sizes_b, key=sizes_b.get)
+        assert top_a != top_b  # overwhelmingly likely with 1024 chunks
+
+
+class TestSkewedHashPair:
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, 2.0])
+    def test_selectivity_hits_target(self, alpha):
+        a, b = skewed_hash_pair(alpha, cells_per_array=30_000, seed=4)
+        count_a = Counter(a.cells().attrs["v1"].tolist())
+        count_b = Counter(b.cells().attrs["v1"].tolist())
+        matches = sum(count_a[v] * count_b[v] for v in count_a)
+        target = 0.0001 * (a.n_cells + b.n_cells)
+        assert matches >= target * 0.5
+        assert matches <= max(target * 20, 100)
+
+    def test_key_frequencies_skew_with_alpha(self):
+        flat, _ = skewed_hash_pair(0.0, cells_per_array=30_000, seed=5)
+        steep, _ = skewed_hash_pair(2.0, cells_per_array=30_000, seed=5)
+        top_flat = Counter(flat.cells().attrs["v1"].tolist()).most_common(1)[0][1]
+        top_steep = Counter(steep.cells().attrs["v1"].tolist()).most_common(1)[0][1]
+        assert top_steep > 5 * top_flat
+
+    def test_v2_derived_from_v1(self):
+        a, _ = skewed_hash_pair(1.0, cells_per_array=5_000, seed=6)
+        cells = a.cells()
+        np.testing.assert_array_equal(
+            cells.attrs["v2"], cells.attrs["v1"] * 7 + 1
+        )
+
+
+class TestSelectivityPair:
+    @pytest.mark.parametrize("selectivity", [0.01, 0.1, 0.5, 1.0, 10.0, 100.0])
+    def test_output_cardinality(self, selectivity):
+        n = 10_000
+        a, b = selectivity_pair(selectivity, n_cells=n, seed=7)
+        count_a = Counter(a.cells().attrs["v"].tolist())
+        count_b = Counter(b.cells().attrs["w"].tolist())
+        matches = sum(count_a[v] * count_b[v] for v in count_a)
+        assert matches == pytest.approx(selectivity * 2 * n, rel=0.05)
+
+    def test_values_within_domain(self):
+        a, b = selectivity_pair(0.1, n_cells=5_000, seed=8)
+        assert a.cells().attrs["v"].max() <= 5_000
+        assert a.cells().attrs["v"].min() >= 1
+        assert b.cells().attrs["w"].max() <= 5_000
+
+    def test_dense_coordinates(self):
+        a, _ = selectivity_pair(1.0, n_cells=1_000, seed=9)
+        np.testing.assert_array_equal(
+            np.sort(a.cells().dim_column(0)), np.arange(1, 1001)
+        )
