@@ -1,0 +1,11 @@
+"""Wall-clock performance benchmarks for the parallel join engine.
+
+Unlike the paper-figure benchmarks one directory up — which report
+*simulated* phase durations — these time the engine's real execution:
+serial per-unit matching vs the batched worker-pool path (see
+:mod:`repro.bench.wallclock`).  ``test_wallclock_smoke.py`` runs a
+tiny configuration for CI; the full-scale numbers live in
+``BENCH_PR1.json`` at the repo root, regenerated with::
+
+    PYTHONPATH=src python -m repro bench --repeats 5 --out BENCH_PR1.json
+"""

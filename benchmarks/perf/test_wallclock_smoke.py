@@ -1,0 +1,39 @@
+"""Smoke test for the wall-clock serial-vs-parallel harness.
+
+Runs both skew workloads at a fraction of benchmark scale, so the
+full harness path — workload construction, prepare, warm-up, timed
+serial and parallel executions, JSON serialisation — is exercised on
+every CI run.  No speedup is asserted: at this scale (and on one CPU)
+the pool overhead can dominate; the load-bearing checks are the
+correctness flags the harness itself computes.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import WORKLOADS, run_wallclock, write_results
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_wallclock_smoke(workload, tmp_path):
+    result = run_wallclock(
+        workload=workload,
+        planner="baseline",
+        n_workers=2,
+        cells_per_array=8_000,
+        n_nodes=4,
+        repeats=1,
+        seed=3,
+    )
+    assert result.outputs_identical
+    assert result.parallel_deterministic
+    assert result.output_cells > 0
+    assert result.serial_seconds > 0 and result.parallel_seconds > 0
+
+    out = tmp_path / "bench.json"
+    write_results([result], str(out))
+    payload = json.loads(out.read_text())
+    (entry,) = payload["results"]
+    assert entry["workload"] == workload
+    assert entry["n_workers"] == 2

@@ -162,8 +162,19 @@ class CellSet:
         sorted_keys = keys[order]
         boundaries = np.searchsorted(sorted_keys, np.arange(n_parts + 1))
         sorted_cells = self.take(order)
+        # Parts are contiguous runs of the key-sorted copy, so plain slice
+        # views suffice — no per-part fancy-index copies. Cell sets are
+        # immutable by convention, which makes sharing the buffer safe.
+        coords = sorted_cells.coords
+        attrs = sorted_cells.attrs
         return [
-            sorted_cells.take(np.arange(boundaries[p], boundaries[p + 1]))
+            CellSet(
+                coords[boundaries[p]:boundaries[p + 1]],
+                {
+                    name: column[boundaries[p]:boundaries[p + 1]]
+                    for name, column in attrs.items()
+                },
+            )
             for p in range(n_parts)
         ]
 

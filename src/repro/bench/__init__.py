@@ -22,6 +22,7 @@ from repro.bench.experiments import (
     run_fig10_scale_out,
     run_tab2_model_verification,
 )
+from repro.bench.wallclock import run_wallclock
 
 __all__ = [
     "ExperimentRow",
@@ -35,4 +36,5 @@ __all__ = [
     "run_fig8_hash_skew",
     "run_fig9_beneficial_skew",
     "run_tab2_model_verification",
+    "run_wallclock",
 ]

@@ -1,0 +1,246 @@
+"""Wall-clock benchmark of the parallel join-unit engine.
+
+Unlike :mod:`repro.bench.experiments` — which reports *simulated* phase
+durations — this harness times the engine's **real** execution:
+the same prepared join is executed serially (the per-unit reference
+path) and with a worker pool (batched vectorised matching), and the
+measured wall-clock seconds are compared.
+
+Methodology:
+
+- the join is prepared once; an untimed warm-up execution fills the
+  slice table's assembly/key/alignment caches so both modes measure the
+  matching work, not one-time cache construction;
+- each mode runs ``repeats`` times and reports the best (the standard
+  wall-clock idiom: minimum is the least noise-contaminated sample);
+- the serial and parallel outputs are checked for byte-identical
+  *sorted* cell sets — parallelism reorders rows within the output, it
+  must never change the cells.
+
+``python -m repro bench`` (or ``python -m repro.bench.wallclock``)
+writes the result as JSON, the artifact checked in as BENCH_PR1.json.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.experiments import (
+    HASH_QUERY,
+    MERGE_QUERY,
+    make_cluster,
+    skewed_hash_pair,
+    skewed_merge_pair,
+)
+from repro.engine.executor import PreparedJoin, ShuffleJoinExecutor
+
+#: Skew-workload builders, keyed by the figure whose data they reuse.
+#: Each returns (executor, query, join_algo) for the default paper-scale
+#: configuration of that figure.
+WORKLOADS = ("fig8_hash_skew", "fig7_merge_skew")
+
+
+def build_workload(
+    name: str,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> tuple[ShuffleJoinExecutor, str, str]:
+    """Construct one skew workload's executor and pinned query."""
+    if name == "fig8_hash_skew":
+        array_a, array_b = skewed_hash_pair(
+            alpha, cells_per_array=cells_per_array, seed=seed
+        )
+        cluster = make_cluster(
+            [array_a, array_b], n_nodes, seed=seed, placement="block"
+        )
+        executor = ShuffleJoinExecutor(
+            cluster, selectivity_hint=0.0001, n_buckets=1024
+        )
+        return executor, HASH_QUERY, "hash"
+    if name == "fig7_merge_skew":
+        array_a, array_b = skewed_merge_pair(
+            alpha, cells_per_array=cells_per_array, seed=seed
+        )
+        cluster = make_cluster([array_a, array_b], n_nodes, seed=seed)
+        executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.25)
+        return executor, MERGE_QUERY, "merge"
+    raise ValueError(f"unknown workload {name!r}; choose from {WORKLOADS}")
+
+
+def sorted_cell_bytes(result) -> bytes:
+    """Canonical byte representation of a join output: sorted cells."""
+    packed = result.cells.to_structured(sorted(result.cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+def time_execute(
+    prepared: PreparedJoin,
+    planner: str,
+    n_workers: int | None,
+    repeats: int,
+) -> tuple[list[float], object]:
+    """Time repeated executions; returns (seconds per run, last result)."""
+    samples: list[float] = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = prepared.execute(planner, n_workers=n_workers)
+        samples.append(time.perf_counter() - started)
+    return samples, result
+
+
+@dataclass
+class WallclockResult:
+    """One serial-vs-parallel comparison, JSON-serialisable via vars()."""
+
+    workload: str
+    planner: str
+    join_algo: str
+    n_workers: int
+    cells_per_array: int
+    n_nodes: int
+    n_units: int
+    alpha: float
+    repeats: int
+    cpu_count: int
+    platform: str
+    prepare_seconds: float
+    serial_seconds: float
+    parallel_seconds: float
+    serial_samples: list[float]
+    parallel_samples: list[float]
+    speedup: float
+    output_cells: int
+    outputs_identical: bool
+    parallel_deterministic: bool
+
+
+def run_wallclock(
+    workload: str = "fig8_hash_skew",
+    planner: str = "baseline",
+    n_workers: int = 4,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> WallclockResult:
+    """Benchmark serial vs parallel execution of one prepared join."""
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    prepared = executor.prepare(query, join_algo=join_algo)
+    prepare_seconds = time.perf_counter() - started
+
+    # Warm the assembly/key/alignment caches (shared by both modes).
+    warm = prepared.execute(planner)
+
+    serial_samples, serial_result = time_execute(
+        prepared, planner, None, repeats
+    )
+    parallel_samples, parallel_result = time_execute(
+        prepared, planner, n_workers, repeats
+    )
+    parallel_again = prepared.execute(planner, n_workers=n_workers)
+
+    serial_bytes = sorted_cell_bytes(serial_result)
+    parallel_bytes = sorted_cell_bytes(parallel_result)
+    serial_best = min(serial_samples)
+    parallel_best = min(parallel_samples)
+    return WallclockResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        n_workers=n_workers,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        n_units=prepared.n_units,
+        alpha=alpha,
+        repeats=repeats,
+        cpu_count=os.cpu_count() or 1,
+        platform=platform.platform(),
+        prepare_seconds=prepare_seconds,
+        serial_seconds=serial_best,
+        parallel_seconds=parallel_best,
+        serial_samples=serial_samples,
+        parallel_samples=parallel_samples,
+        speedup=serial_best / parallel_best if parallel_best else float("inf"),
+        output_cells=warm.report.output_cells,
+        outputs_identical=serial_bytes == parallel_bytes,
+        parallel_deterministic=(
+            parallel_bytes == sorted_cell_bytes(parallel_again)
+        ),
+    )
+
+
+def write_results(results: list[WallclockResult], path: str) -> None:
+    payload = {
+        "benchmark": "parallel join-unit engine, serial vs worker pool",
+        "results": [vars(result) for result in results],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="time serial vs parallel join execution"
+    )
+    parser.add_argument(
+        "--workload", choices=WORKLOADS, action="append", default=None,
+        help="workload(s) to run (default: both)",
+    )
+    parser.add_argument("--planner", default="baseline")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--cells", type=int, default=150_000)
+    parser.add_argument("--nodes", type=int, default=12)
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="write JSON here")
+    args = parser.parse_args(argv)
+
+    results = []
+    for workload in args.workload or list(WORKLOADS):
+        result = run_wallclock(
+            workload=workload,
+            planner=args.planner,
+            n_workers=args.workers,
+            cells_per_array=args.cells,
+            n_nodes=args.nodes,
+            alpha=args.alpha,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        results.append(result)
+        print(
+            f"{result.workload} [{result.planner}/{result.join_algo}] "
+            f"serial {result.serial_seconds:.3f}s vs "
+            f"{result.n_workers}-worker {result.parallel_seconds:.3f}s "
+            f"-> {result.speedup:.2f}x; identical={result.outputs_identical} "
+            f"deterministic={result.parallel_deterministic}"
+        )
+    if args.out:
+        write_results(results, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

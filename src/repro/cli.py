@@ -7,7 +7,12 @@ Commands:
   default; see ``repro.bench.report.EXPERIMENT_RUNNERS`` for ids);
 - ``report --out FILE [ids...]`` — regenerate a markdown results report;
 - ``query`` — run ad-hoc statements against a fresh session seeded with
-  two demo arrays (reads statements from the arguments).
+  two demo arrays (reads statements from the arguments);
+- ``bench`` — wall-clock serial-vs-parallel benchmark of the join
+  engine (see :mod:`repro.bench.wallclock`).
+
+``demo`` and ``query`` accept ``--workers N`` to execute joins on a
+worker pool (N > 1) instead of the serial per-unit path.
 """
 
 from __future__ import annotations
@@ -21,10 +26,12 @@ from repro.adm.cells import CellSet
 from repro.session import Session
 
 
-def _demo_session(n_nodes: int = 4, seed: int = 0) -> Session:
+def _demo_session(
+    n_nodes: int = 4, seed: int = 0, n_workers: int | None = None
+) -> Session:
     """A session pre-loaded with two joinable demo arrays A and B."""
     rng = np.random.default_rng(seed)
-    session = Session(n_nodes=n_nodes)
+    session = Session(n_nodes=n_nodes, n_workers=n_workers)
     for name in ("A", "B"):
         coords = np.unique(rng.integers(1, 65, size=(2500, 2)), axis=0)
         session.create_and_load(
@@ -41,7 +48,7 @@ def _demo_session(n_nodes: int = 4, seed: int = 0) -> Session:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    session = _demo_session(n_nodes=args.nodes)
+    session = _demo_session(n_nodes=args.nodes, n_workers=args.workers)
     query = "SELECT A.v, B.v FROM A JOIN B ON A.i = B.i AND A.j = B.j"
     print("arrays:", ", ".join(session.arrays()))
     print()
@@ -85,7 +92,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    session = _demo_session(n_nodes=args.nodes)
+    session = _demo_session(n_nodes=args.nodes, n_workers=args.workers)
     for statement in args.statements:
         print(f">>> {statement}")
         result = session.execute(statement, planner=args.planner)
@@ -102,6 +109,26 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.wallclock import main as wallclock_main
+
+    forwarded: list[str] = []
+    for workload in args.workload or []:
+        forwarded += ["--workload", workload]
+    forwarded += [
+        "--planner", args.planner,
+        "--workers", str(args.workers),
+        "--cells", str(args.cells),
+        "--nodes", str(args.nodes),
+        "--alpha", str(args.alpha),
+        "--repeats", str(args.repeats),
+        "--seed", str(args.seed),
+    ]
+    if args.out:
+        forwarded += ["--out", args.out]
+    return wallclock_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -111,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="end-to-end walkthrough")
     demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for join execution (>1 enables batching)",
+    )
     demo.set_defaults(func=cmd_demo)
 
     experiments = sub.add_parser(
@@ -130,7 +161,28 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("statements", nargs="+")
     query.add_argument("--nodes", type=int, default=4)
     query.add_argument("--planner", default="tabu")
+    query.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for join execution (>1 enables batching)",
+    )
     query.set_defaults(func=cmd_query)
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock serial-vs-parallel join benchmark"
+    )
+    bench.add_argument(
+        "--workload", action="append", default=None,
+        help="workload to run, repeatable (default: both skew workloads)",
+    )
+    bench.add_argument("--planner", default="baseline")
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--cells", type=int, default=150_000)
+    bench.add_argument("--nodes", type=int, default=12)
+    bench.add_argument("--alpha", type=float, default=1.0)
+    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default=None, help="write JSON here")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -14,6 +14,7 @@ deterministic: ties break by ascending sender id and queue order.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -113,55 +114,80 @@ def schedule_shuffle(
         )
     greedy = policy == "greedy_lock"
 
-    queues: dict[int, deque[Transfer]] = {}
-    for transfer in transfers:
-        queues.setdefault(transfer.src, deque()).append(transfer)
+    # Each sender's queue, bucketed by destination: the greedy scan picks
+    # the earliest-queued slice whose destination lock is free, which only
+    # needs the head of each destination bucket — O(destinations) per
+    # start instead of O(queued slices). Queue positions preserve the
+    # original arrival order so ties and the skip-and-poll rule resolve
+    # exactly as the straight queue walk did.
+    by_src: dict[int, dict[int, deque[tuple[int, Transfer]]]] = {}
+    pending: dict[int, int] = {}
+    for position, transfer in enumerate(transfers):
+        buckets = by_src.setdefault(transfer.src, {})
+        buckets.setdefault(transfer.dst, deque()).append((position, transfer))
+        pending[transfer.src] = pending.get(transfer.src, 0) + 1
+    senders = sorted(by_src)
 
-    sender_free: dict[int, float] = {src: 0.0 for src in queues}
+    sender_free: dict[int, float] = {src: 0.0 for src in by_src}
     lock_free: dict[int, float] = {}
     events: list[TransferEvent] = []
     cells_sent: dict[int, int] = {}
     cells_received: dict[int, int] = {}
 
     now = 0.0
-    remaining = sum(len(q) for q in queues.values())
+    remaining = sum(pending.values())
+    #: min-heap of times a sender or a destination lock frees up — the
+    #: only instants at which a blocked transfer can become startable.
+    wakeups: list[float] = []
     while remaining:
-        progressed = False
-        for src in sorted(queues):
-            queue = queues[src]
-            if not queue or sender_free[src] > now:
-                continue
-            # Greedy rule: first queued slice whose destination lock is
-            # free; without greediness, only the queue head is eligible.
-            candidates = enumerate(queue) if greedy else [(0, queue[0])]
-            for position, transfer in candidates:
-                if lock_free.get(transfer.dst, 0.0) <= now:
-                    del queue[position]
-                    end = now + params.transfer_time(transfer.n_cells)
-                    sender_free[src] = end
-                    lock_free[transfer.dst] = end
-                    events.append(TransferEvent(transfer, start=now, end=end))
-                    cells_sent[src] = cells_sent.get(src, 0) + transfer.n_cells
-                    cells_received[transfer.dst] = (
-                        cells_received.get(transfer.dst, 0) + transfer.n_cells
-                    )
-                    remaining -= 1
-                    progressed = True
-                    break
-        if remaining and not progressed:
+        # Repeat ascending-sender passes at this instant until quiescent
+        # (a zero-length transfer can free its sender at the same time).
+        progressed = True
+        while progressed and remaining:
+            progressed = False
+            for src in senders:
+                if not pending[src] or sender_free[src] > now:
+                    continue
+                buckets = by_src[src]
+                head = None  # overall queue head: (position, dst)
+                best = None  # earliest queued slice with a free lock
+                for dst, bucket in buckets.items():
+                    if not bucket:
+                        continue
+                    position = bucket[0][0]
+                    if head is None or position < head[0]:
+                        head = (position, dst)
+                    if lock_free.get(dst, 0.0) <= now and (
+                        best is None or position < best[0]
+                    ):
+                        best = (position, dst)
+                if not greedy:
+                    # Head-of-line: only the queue head is eligible.
+                    best = best if best is not None and best == head else None
+                if best is None:
+                    continue
+                _, dst = best
+                _, transfer = buckets[dst].popleft()
+                pending[src] -= 1
+                end = now + params.transfer_time(transfer.n_cells)
+                sender_free[src] = end
+                lock_free[dst] = end
+                heapq.heappush(wakeups, end)
+                events.append(TransferEvent(transfer, start=now, end=end))
+                cells_sent[src] = cells_sent.get(src, 0) + transfer.n_cells
+                cells_received[dst] = (
+                    cells_received.get(dst, 0) + transfer.n_cells
+                )
+                remaining -= 1
+                progressed = True
+        if remaining:
             # Every ready sender is blocked on write locks (or busy):
             # advance to the next moment a sender or a lock frees up.
-            horizon = [
-                sender_free[src] for src, q in queues.items() if q
-            ] + [
-                lock_free.get(t.dst, 0.0)
-                for q in queues.values()
-                for t in q
-            ]
-            upcoming = [time for time in horizon if time > now]
-            if not upcoming:  # pragma: no cover - defensive
+            while wakeups and wakeups[0] <= now:
+                heapq.heappop(wakeups)
+            if not wakeups:  # pragma: no cover - defensive
                 raise RuntimeError("shuffle schedule deadlocked")
-            now = min(upcoming)
+            now = heapq.heappop(wakeups)
 
     total = max((e.end for e in events), default=0.0)
     return ShuffleSchedule(

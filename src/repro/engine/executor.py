@@ -32,6 +32,12 @@ from repro.core.planners import PhysicalPlan, get_planner
 from repro.core.slices import SliceStats, key_columns, unit_ids_for
 from repro.engine.joins import hash_join_match, match_pairs
 from repro.engine.output import OutputBuilder, derive_destination
+from repro.engine.parallel import (
+    PARALLEL_MODES,
+    UnitBatch,
+    resolve_workers,
+    run_batches,
+)
 from repro.engine.simulation import SimulationParams
 from repro.errors import ExecutionError, PlanningError
 from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery, parse_aql
@@ -142,18 +148,73 @@ class ExplainReport:
 
 @dataclass
 class _SliceTable:
-    """Slice mapping output: per-(side, unit, node) cell sets + statistics."""
+    """Slice mapping output: per-(side, unit, node) cell sets + statistics.
+
+    Assembly and key derivation are memoised per (side, unit): a prepared
+    join executed under several planners (or re-executed serial vs
+    parallel) concatenates and keys each unit exactly once. The caches
+    are safe because cell sets are immutable by convention and the slice
+    tables themselves are never mutated after slice mapping.
+    """
 
     stats: SliceStats
     left: list[list[CellSet | None]]
     right: list[list[CellSet | None]]
+    _assembled: dict[tuple[str, int], CellSet | None] = field(
+        default_factory=dict, repr=False
+    )
+    _keys: dict[tuple[str, int], tuple[list[np.ndarray], np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Shuffle schedules keyed by (assignment bytes, policy): the network
+    #: simulation is a deterministic function of the slice statistics and
+    #: the unit assignment, so planner-comparison studies re-executing a
+    #: prepared join under the same assignment reuse the schedule.
+    _alignment: dict[tuple[bytes, str], tuple[float, object]] = field(
+        default_factory=dict, repr=False
+    )
 
     def assembled(self, side: str, unit: int) -> CellSet | None:
+        cache_key = (side, unit)
+        if cache_key in self._assembled:
+            return self._assembled[cache_key]
         table = self.left if side == "left" else self.right
         parts = [cells for cells in table[unit] if cells is not None and len(cells)]
-        if not parts:
-            return None
-        return CellSet.concat(parts)
+        result = CellSet.concat(parts) if parts else None
+        self._assembled[cache_key] = result
+        return result
+
+    def unit_keys(
+        self, side: str, unit: int, join_schema: JoinSchema
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Cached (key columns, composite key) of one assembled unit side."""
+        cache_key = (side, unit)
+        if cache_key in self._keys:
+            return self._keys[cache_key]
+        cells = self.assembled(side, unit)
+        source = (
+            join_schema.left_schema if side == "left" else join_schema.right_schema
+        )
+        cols = key_columns(join_schema, side, cells, source)
+        keys = composite_key(cols)
+        self._keys[cache_key] = (cols, keys)
+        return cols, keys
+
+    def shipped_bytes_per_cell(self, side: str) -> int:
+        """Bytes per cell of one side's (projected) slices.
+
+        Every slice of a side carries the same columns (the slice mapping
+        projects to the ship fields first), so one sample piece fixes the
+        whole side's width.
+        """
+        table = self.left if side == "left" else self.right
+        for row in table:
+            for piece in row:
+                if piece is not None and len(piece):
+                    return 8 * piece.ndims + sum(
+                        column.dtype.itemsize for column in piece.attrs.values()
+                    )
+        return 0
 
 
 class ShuffleJoinExecutor:
@@ -169,9 +230,21 @@ class ShuffleJoinExecutor:
         ilp_time_budget_s: float = 5.0,
         tabu_max_rounds: int = 64,
         shuffle_policy: str = "greedy_lock",
+        n_workers: int | None = None,
+        parallel_mode: str = "thread",
     ):
         self.cluster = cluster
         self.shuffle_policy = shuffle_policy
+        # Worker-pool knobs for the cell-comparison phase: None/0/1 run
+        # the serial per-unit path; >1 batches units per assigned node
+        # and executes the batches on a pool (see repro.engine.parallel).
+        self.n_workers = resolve_workers(n_workers)
+        if parallel_mode not in PARALLEL_MODES:
+            raise ExecutionError(
+                f"unknown parallel mode {parallel_mode!r}; expected one of "
+                f"{PARALLEL_MODES}"
+            )
+        self.parallel_mode = parallel_mode
         self.cost = (
             cost_params
             if cost_params is not None
@@ -191,13 +264,15 @@ class ShuffleJoinExecutor:
         planner: str = "tabu",
         join_algo: str | None = None,
         store_result: bool = False,
+        n_workers: int | None = None,
     ) -> JoinResult:
         """Run a join query end to end.
 
         ``planner`` selects the physical planner (baseline, mbh, tabu,
         ilp, ilp_coarse). ``join_algo`` optionally pins the logical plan
         to one join algorithm (as the Figure 5/6 experiments do);
-        otherwise Algorithm 1 picks the cheapest.
+        otherwise Algorithm 1 picks the cheapest. ``n_workers`` overrides
+        the executor's worker-pool size for this query only.
         """
         if isinstance(query, str):
             parsed = parse_aql(query)
@@ -222,7 +297,7 @@ class ShuffleJoinExecutor:
             ):
                 self.cluster.load_array(result.array)
             return result
-        result = self._execute_join(parsed, planner, join_algo)
+        result = self._execute_join(parsed, planner, join_algo, n_workers)
         if store_result and not self.cluster.catalog.exists(result.array.schema.name):
             self.cluster.load_array(result.array)
         return result
@@ -371,7 +446,11 @@ class ShuffleJoinExecutor:
         return join_schema, logical_plan
 
     def _execute_join(
-        self, query: JoinQuery, planner_name: str, join_algo: str | None
+        self,
+        query: JoinQuery,
+        planner_name: str,
+        join_algo: str | None,
+        n_workers: int | None = None,
     ) -> JoinResult:
         # ---- logical planning (timed) ----
         plan_started = time.perf_counter()
@@ -383,7 +462,7 @@ class ShuffleJoinExecutor:
 
         return self._run_physical(
             query, join_schema, logical_plan, n_units, slice_table,
-            planner_name, logical_seconds,
+            planner_name, logical_seconds, n_workers=n_workers,
         )
 
     def _run_physical(
@@ -395,6 +474,7 @@ class ShuffleJoinExecutor:
         slice_table: "_SliceTable",
         planner_name: str,
         logical_seconds: float,
+        n_workers: int | None = None,
     ) -> JoinResult:
         # ---- physical planning (timed) ----
         physical_started = time.perf_counter()
@@ -405,7 +485,7 @@ class ShuffleJoinExecutor:
 
         # ---- data alignment (simulated) ----
         align_seconds, shuffle = self._data_alignment(
-            query, slice_table.stats, assignment
+            query, slice_table, assignment
         )
         bytes_moved, bytes_full_width = self._traffic_bytes(
             query, slice_table, assignment
@@ -414,7 +494,8 @@ class ShuffleJoinExecutor:
         # ---- cell comparison (real matching, simulated timing) ----
         compare_seconds, per_node_compare, output_cells, meta = (
             self._cell_comparison(
-                query, join_schema, logical_plan, slice_table, assignment
+                query, join_schema, logical_plan, slice_table, assignment,
+                n_workers=n_workers,
             )
         )
 
@@ -623,31 +704,46 @@ class ShuffleJoinExecutor:
     ) -> tuple[int, int]:
         """Bytes shipped vs the bytes a full-width (row-store) shuffle
         would ship — slices are already projected to the needed columns,
-        so the difference is the vertical-partitioning saving."""
-        full_row_bytes = {}
-        for side, name in (("left", query.left), ("right", query.right)):
-            schema = self.cluster.schema(name)
-            full_row_bytes[side] = 8 * (schema.ndims + len(schema.attrs))
+        so the difference is the vertical-partitioning saving.
+
+        Works entirely on the slice statistics matrices: every cell on a
+        side has the same byte width, so the moved-cell counts (slices
+        whose node is not the unit's destination) fix both totals without
+        touching a single cell set.
+        """
+        stats = slice_table.stats
+        off_destination = np.ones((stats.n_units, stats.n_nodes), dtype=bool)
+        off_destination[np.arange(stats.n_units), assignment] = False
         moved = 0
         full = 0
-        for unit in range(slice_table.stats.n_units):
-            dest = int(assignment[unit])
-            for side, table in (("left", slice_table.left),
-                                ("right", slice_table.right)):
-                for node, piece in enumerate(table[unit]):
-                    if node == dest or piece is None or not len(piece):
-                        continue
-                    moved += piece.nbytes
-                    full += len(piece) * full_row_bytes[side]
+        for side, name, matrix in (
+            ("left", query.left, stats.s_left),
+            ("right", query.right, stats.s_right),
+        ):
+            schema = self.cluster.schema(name)
+            cells_moved = int(matrix[off_destination].sum())
+            moved += cells_moved * slice_table.shipped_bytes_per_cell(side)
+            full += cells_moved * 8 * (schema.ndims + len(schema.attrs))
         return moved, full
 
     def _data_alignment(
         self,
         query: JoinQuery,
-        stats: SliceStats,
+        slice_table: _SliceTable,
         assignment: np.ndarray,
     ):
-        """Simulate slice mapping CPU plus the write-lock shuffle."""
+        """Simulate slice mapping CPU plus the write-lock shuffle.
+
+        The simulation is deterministic in (statistics, assignment,
+        policy), so its result is cached on the slice table — repeated
+        executions of a prepared join under the same assignment skip the
+        discrete-event run entirely.
+        """
+        cache_key = (assignment.tobytes(), self.shuffle_policy)
+        cached = slice_table._alignment.get(cache_key)
+        if cached is not None:
+            return cached
+        stats = slice_table.stats
         transfers = []
         s_total = stats.s_total
         for unit in range(stats.n_units):
@@ -674,6 +770,7 @@ class ShuffleJoinExecutor:
             for node in self.cluster.nodes
         ]
         align_seconds = max(map_times, default=0.0) + shuffle.total_time
+        slice_table._alignment[cache_key] = (align_seconds, shuffle)
         return align_seconds, shuffle
 
     def _cell_comparison(
@@ -683,8 +780,14 @@ class ShuffleJoinExecutor:
         logical_plan: LogicalPlan,
         slice_table: _SliceTable,
         assignment: np.ndarray,
+        n_workers: int | None = None,
     ):
-        """Per-unit matching on each node, with simulated timing."""
+        """Per-unit matching on each node, with simulated timing.
+
+        The simulated per-node durations derive purely from the slice
+        statistics, so they are identical whichever real execution path
+        (serial per-unit loop or batched worker pool) does the matching.
+        """
         k = self.cluster.n_nodes
         stats = slice_table.stats
         builder = OutputBuilder(query, join_schema)
@@ -696,15 +799,15 @@ class ShuffleJoinExecutor:
             logical_plan.alpha_align == "redim" or logical_plan.beta_align == "redim"
         )
 
+        left_totals = stats.left_unit_totals
+        right_totals = stats.right_unit_totals
+        matchable: list[int] = []
         for unit in range(stats.n_units):
-            node = int(assignment[unit])
-            left_cells = slice_table.assembled("left", unit)
-            right_cells = slice_table.assembled("right", unit)
-            n_left = len(left_cells) if left_cells is not None else 0
-            n_right = len(right_cells) if right_cells is not None else 0
+            n_left = int(left_totals[unit])
+            n_right = int(right_totals[unit])
             if n_left == 0 and n_right == 0:
                 continue
-
+            node = int(assignment[unit])
             node_seconds[node] += self.sim.per_unit_overhead_s
             node_seconds[node] += self.sim.local_read_per_cell * int(
                 stats.s_total[unit, node]
@@ -715,17 +818,63 @@ class ShuffleJoinExecutor:
             node_seconds[node] += self.sim.compare_time(
                 algo, n_left, n_right, self.cost
             )
-            if n_left == 0 or n_right == 0:
-                continue
+            if n_left and n_right:
+                matchable.append(unit)
 
-            left_key_cols = key_columns(
-                join_schema, "left", left_cells, join_schema.left_schema
+        workers = (
+            self.n_workers if n_workers is None else resolve_workers(n_workers)
+        )
+        if workers > 1 and matchable:
+            produced_by_node, match_meta = self._match_parallel(
+                matchable, assignment, slice_table, join_schema, builder,
+                algo, workers,
             )
-            right_key_cols = key_columns(
-                join_schema, "right", right_cells, join_schema.right_schema
+            for node, produced in produced_by_node.items():
+                node_output[node] += produced
+            meta.update(match_meta)
+        else:
+            self._match_serial(
+                matchable, assignment, slice_table, join_schema, builder,
+                algo, meta, node_output,
             )
-            left_keys = composite_key(left_key_cols)
-            right_keys = composite_key(right_key_cols)
+
+        # Output alignment and chunk management, per producing node.
+        dest_chunks = join_schema.destination.n_chunks
+        for node in range(k):
+            n_out = int(node_output[node])
+            if not n_out:
+                continue
+            if logical_plan.out_align == "sort":
+                node_seconds[node] += self.sim.sort_time(n_out, dest_chunks)
+            elif logical_plan.out_align == "redim":
+                node_seconds[node] += self.sim.slice_map_per_cell * n_out
+                node_seconds[node] += self.sim.sort_time(n_out, dest_chunks)
+            node_seconds[node] += self.sim.output_time(n_out, dest_chunks)
+
+        output_cells = builder.finish()
+        compare_seconds = float(node_seconds.max(initial=0.0))
+        return compare_seconds, node_seconds, output_cells, meta
+
+    def _match_serial(
+        self,
+        matchable: list[int],
+        assignment: np.ndarray,
+        slice_table: _SliceTable,
+        join_schema: JoinSchema,
+        builder: OutputBuilder,
+        algo: str,
+        meta: dict,
+        node_output: np.ndarray,
+    ) -> None:
+        """The reference path: match join units one at a time, in order."""
+        for unit in matchable:
+            node = int(assignment[unit])
+            left_cells = slice_table.assembled("left", unit)
+            right_cells = slice_table.assembled("right", unit)
+            left_key_cols, left_keys = slice_table.unit_keys(
+                "left", unit, join_schema
+            )
+            _, right_keys = slice_table.unit_keys("right", unit, join_schema)
             if algo == "merge":
                 left_order = np.argsort(left_keys, kind="stable")
                 right_order = np.argsort(right_keys, kind="stable")
@@ -747,22 +896,39 @@ class ShuffleJoinExecutor:
             )
             node_output[node] += produced
 
-        # Output alignment and chunk management, per producing node.
-        dest_chunks = join_schema.destination.n_chunks
-        for node in range(k):
-            n_out = int(node_output[node])
-            if not n_out:
-                continue
-            if logical_plan.out_align == "sort":
-                node_seconds[node] += self.sim.sort_time(n_out, dest_chunks)
-            elif logical_plan.out_align == "redim":
-                node_seconds[node] += self.sim.slice_map_per_cell * n_out
-                node_seconds[node] += self.sim.sort_time(n_out, dest_chunks)
-            node_seconds[node] += self.sim.output_time(n_out, dest_chunks)
-
-        output_cells = builder.finish()
-        compare_seconds = float(node_seconds.max(initial=0.0))
-        return compare_seconds, node_seconds, output_cells, meta
+    def _match_parallel(
+        self,
+        matchable: list[int],
+        assignment: np.ndarray,
+        slice_table: _SliceTable,
+        join_schema: JoinSchema,
+        builder: OutputBuilder,
+        algo: str,
+        workers: int,
+    ) -> tuple[dict[int, int], dict]:
+        """Batch matchable units per assigned node and run on the pool."""
+        by_node: dict[int, UnitBatch] = {}
+        for unit in matchable:
+            node = int(assignment[unit])
+            batch = by_node.get(node)
+            if batch is None:
+                batch = by_node[node] = UnitBatch(node=node)
+            left_key_cols, left_keys = slice_table.unit_keys(
+                "left", unit, join_schema
+            )
+            _, right_keys = slice_table.unit_keys("right", unit, join_schema)
+            batch.add_unit(
+                unit,
+                slice_table.assembled("left", unit),
+                slice_table.assembled("right", unit),
+                left_key_cols,
+                left_keys,
+                right_keys,
+            )
+        return run_batches(
+            list(by_node.values()), builder, algo, workers,
+            mode=self.parallel_mode,
+        )
 
 
 @dataclass
@@ -788,8 +954,15 @@ class PreparedJoin:
         """The slice statistics every physical planner consumes."""
         return self.slice_table.stats
 
-    def execute(self, planner: str = "tabu") -> JoinResult:
-        """Run the physical phases under one planner."""
+    def execute(
+        self, planner: str = "tabu", n_workers: int | None = None
+    ) -> JoinResult:
+        """Run the physical phases under one planner.
+
+        ``n_workers`` overrides the executor's pool size for this run —
+        the knob the wall-clock benchmarks use to time serial vs
+        parallel execution of one identically prepared join.
+        """
         return self.executor._run_physical(
             self.query,
             self.join_schema,
@@ -798,6 +971,7 @@ class PreparedJoin:
             self.slice_table,
             planner,
             self.logical_seconds,
+            n_workers=n_workers,
         )
 
     def compare(self, planners) -> dict[str, JoinResult]:

@@ -76,24 +76,39 @@ def hash_join_match(
     """Hash join: hash-map build over the smaller side, probe the larger.
 
     The map is realised as a sorted unique-key index (numpy's idiom for a
-    hash table); the build/probe asymmetry matters for *cost modelling*,
-    not for the matches produced.
+    hash table) built over the **smaller** input only; the larger input is
+    probed row by row against that index and never sorted or grouped —
+    the build/probe asymmetry that makes the algorithm's cost
+    ``b·min(n_l, n_r) + p·max(n_l, n_r)`` rather than symmetric.
     """
     if len(left_keys) == 0 or len(right_keys) == 0:
         empty = np.array([], dtype=np.int64)
         return empty, empty
-    l_order, l_uniques, l_starts, l_counts = _group_layout(left_keys)
-    r_order, r_uniques, r_starts, r_counts = _group_layout(right_keys)
-    # Probe: locate each unique left key among the unique right keys.
-    positions = np.searchsorted(r_uniques, l_uniques)
-    positions = np.clip(positions, 0, len(r_uniques) - 1)
-    hit = r_uniques[positions] == l_uniques
-    l_groups = np.flatnonzero(hit)
-    r_groups = positions[hit]
-    return _expand_matches(
-        l_order, l_starts[l_groups], l_counts[l_groups],
-        r_order, r_starts[r_groups], r_counts[r_groups],
+    swapped = len(right_keys) < len(left_keys)
+    build_keys, probe_keys = (
+        (right_keys, left_keys) if swapped else (left_keys, right_keys)
     )
+    b_order, b_uniques, b_starts, b_counts = _group_layout(build_keys)
+    # Probe: locate every probe row in the build index (batched lookup).
+    positions = np.searchsorted(b_uniques, probe_keys)
+    positions = np.clip(positions, 0, len(b_uniques) - 1)
+    hit = b_uniques[positions] == probe_keys
+    probe_rows = np.flatnonzero(hit)
+    groups = positions[hit]
+    counts = b_counts[groups]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    # Each matched probe row fans out over its build group's duplicates.
+    probe_idx = np.repeat(probe_rows, counts)
+    offsets = np.arange(total) - np.repeat(
+        np.r_[0, np.cumsum(counts)[:-1]], counts
+    )
+    build_idx = b_order[np.repeat(b_starts[groups], counts) + offsets]
+    if swapped:
+        return probe_idx, build_idx
+    return build_idx, probe_idx
 
 
 def _is_key_sorted(keys: np.ndarray) -> bool:

@@ -175,9 +175,39 @@ class OutputBuilder:
         left_keys: list[np.ndarray],
     ) -> int:
         """Materialise one unit's matches; returns the output cell count."""
+        part = self.materialise_matches(
+            left_cells, right_cells, left_idx, right_idx, left_keys
+        )
+        if part is None:
+            return 0
+        coords, attrs = part
+        self.add_part(coords, attrs)
+        return len(coords)
+
+    def add_part(self, coords: np.ndarray, attrs: dict[str, np.ndarray]) -> None:
+        """Append an already-materialised output part (parallel merge path)."""
+        self._coord_parts.append(coords)
+        for name, column in attrs.items():
+            self._attr_parts[name].append(column)
+
+    def materialise_matches(
+        self,
+        left_cells: CellSet,
+        right_cells: CellSet,
+        left_idx: np.ndarray,
+        right_idx: np.ndarray,
+        left_keys: list[np.ndarray],
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]] | None:
+        """Build one batch of output cells without mutating the builder.
+
+        Pure with respect to builder state, so parallel workers can call
+        it concurrently on a shared builder and hand the parts back to
+        :meth:`add_part` for a deterministic merge. Returns ``None`` for
+        an empty match batch.
+        """
         n = len(left_idx)
         if n == 0:
-            return 0
+            return None
         env = self._environment(left_cells, right_cells, left_idx, right_idx)
 
         def column_for(source: tuple) -> np.ndarray:
@@ -210,10 +240,7 @@ class OutputBuilder:
             else:
                 dtype = self.dest.attr(field.name).dtype
                 attr_values[field.name] = np.asarray(column).astype(dtype)
-        self._coord_parts.append(coords)
-        for name, column in attr_values.items():
-            self._attr_parts[name].append(column)
-        return n
+        return coords, attr_values
 
     def _environment(
         self,
@@ -244,14 +271,25 @@ class OutputBuilder:
         return env
 
     def finish(self) -> CellSet:
-        """Concatenate accumulated parts into the final output cell set."""
+        """Concatenate accumulated parts into the final output cell set.
+
+        A join with zero matches accumulates no parts at all —
+        ``np.concatenate`` on an empty list raises, so the empty case is
+        guarded to return an empty cell set that still carries the
+        destination's dimensionality and exact attribute dtypes.
+        """
         if not self._coord_parts:
             return CellSet.empty(
                 len(self.dest.dims), {a.name: a.dtype for a in self.dest.attrs}
             )
-        coords = np.concatenate(self._coord_parts)
+        coords = (
+            self._coord_parts[0]
+            if len(self._coord_parts) == 1
+            else np.concatenate(self._coord_parts)
+        )
         attrs = {
-            name: np.concatenate(parts) for name, parts in self._attr_parts.items()
+            name: parts[0] if len(parts) == 1 else np.concatenate(parts)
+            for name, parts in self._attr_parts.items()
         }
         return CellSet(coords, attrs)
 

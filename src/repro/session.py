@@ -39,10 +39,17 @@ class Session:
         self,
         n_nodes: int = 4,
         network: NetworkParams | None = None,
+        n_workers: int | None = None,
         **executor_options,
     ):
+        """``n_workers`` > 1 runs the cell-comparison phase on a worker
+        pool (one logical worker per cluster node, batched vectorised
+        matching); None/0/1 keep the serial reference path. Further
+        ``executor_options`` pass straight to the executor."""
         self.cluster = Cluster(n_nodes=n_nodes, network=network)
-        self.executor = ShuffleJoinExecutor(self.cluster, **executor_options)
+        self.executor = ShuffleJoinExecutor(
+            self.cluster, n_workers=n_workers, **executor_options
+        )
         self._afl = AflRunner(self.executor)
 
     # ------------------------------------------------------------ statements

@@ -1,10 +1,13 @@
 """Unit tests for the discrete-event write-lock shuffle schedule."""
 
+from collections import deque
+
 import pytest
 
 from repro.cluster.network import (
     NetworkParams,
     Transfer,
+    TransferEvent,
     schedule_shuffle,
 )
 
@@ -125,6 +128,15 @@ class TestScheduleInvariants:
             e.transfer for e in second.events
         ]
 
+    def test_zero_size_transfers_all_start(self):
+        # Zero-cell slices with zero latency finish instantly; the
+        # scheduler must let their sender continue at the same instant.
+        params = NetworkParams(bandwidth_cells_per_s=1000.0, latency_s=0.0)
+        transfers = [Transfer(0, 1, 0), Transfer(0, 2, 0), Transfer(0, 3, 50)]
+        schedule = schedule_shuffle(transfers, params)
+        assert schedule.n_transfers == 3
+        assert schedule.total_time == pytest.approx(0.05)
+
     def test_makespan_lower_bound(self, rng):
         """The schedule can never beat the per-link volume bounds."""
         transfers = [
@@ -140,3 +152,81 @@ class TestScheduleInvariants:
         max_recv = max(schedule.cells_received.values())
         bound = max(max_send, max_recv) / PARAMS.bandwidth_cells_per_s
         assert schedule.total_time >= bound - 1e-9
+
+
+# --------------------------------------------------------------------------
+# Equivalence against the straight O(events x queued-transfers) simulation
+# the event-driven scheduler replaced. The reference walks every sender's
+# whole queue on every poll; the production code must produce the exact
+# same schedule (same events, same starts and ends) in every case.
+
+
+def _reference_locked_schedule(transfers, params, greedy):
+    """The original polling implementation, kept verbatim as an oracle."""
+    queues = {}
+    for transfer in transfers:
+        queues.setdefault(transfer.src, deque()).append(transfer)
+    sender_free = {src: 0.0 for src in queues}
+    lock_free = {}
+    events = []
+    now = 0.0
+    remaining = sum(len(q) for q in queues.values())
+    while remaining:
+        progressed = False
+        for src in sorted(queues):
+            queue = queues[src]
+            if not queue or sender_free[src] > now:
+                continue
+            candidates = enumerate(queue) if greedy else [(0, queue[0])]
+            for position, transfer in candidates:
+                if lock_free.get(transfer.dst, 0.0) <= now:
+                    del queue[position]
+                    end = now + params.transfer_time(transfer.n_cells)
+                    sender_free[src] = end
+                    lock_free[transfer.dst] = end
+                    events.append(TransferEvent(transfer, start=now, end=end))
+                    remaining -= 1
+                    progressed = True
+                    break
+        if remaining and not progressed:
+            horizon = [sender_free[src] for src, q in queues.items() if q] + [
+                lock_free.get(t.dst, 0.0)
+                for q in queues.values()
+                for t in q
+            ]
+            upcoming = [time for time in horizon if time > now]
+            now = min(upcoming)
+    return events
+
+
+class TestEventDrivenEquivalence:
+    @pytest.mark.parametrize("policy", ["greedy_lock", "head_of_line"])
+    @pytest.mark.parametrize("latency", [0.0, 0.01])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference_schedule(self, policy, latency, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 80))
+        transfers = []
+        for _ in range(n):
+            src, dst = rng.choice(8, size=2, replace=False)
+            # Include zero-size slices: with zero latency they complete
+            # instantly, the hardest case for event bookkeeping.
+            transfers.append(
+                Transfer(int(src), int(dst), int(rng.integers(0, 60)))
+            )
+        params = NetworkParams(bandwidth_cells_per_s=500.0, latency_s=latency)
+        expected = _reference_locked_schedule(
+            transfers, params, greedy=policy == "greedy_lock"
+        )
+        actual = schedule_shuffle(transfers, params, policy=policy)
+        assert [e.transfer for e in actual.events] == [
+            e.transfer for e in expected
+        ]
+        assert [e.start for e in actual.events] == pytest.approx(
+            [e.start for e in expected]
+        )
+        assert [e.end for e in actual.events] == pytest.approx(
+            [e.end for e in expected]
+        )

@@ -138,3 +138,75 @@ class TestFilteredCount:
         assert filtered < raw
         # The unfiltered side is untouched.
         assert executor._filtered_count(query, "B") == cluster.array_cell_count("B")
+
+
+class TestSliceTableCaching:
+    """Assembly and key derivation are memoised per (side, unit)."""
+
+    def test_assembled_concats_exactly_once(self, setup, monkeypatch):
+        cluster, executor = setup
+        # An attribute join hash-partitions into bucket units, so one
+        # unit's cells are spread over several nodes (unlike chunk units,
+        # which whole-chunk placement keeps on a single node).
+        prepared = executor.prepare(
+            "SELECT A.v1 FROM A, B WHERE A.v1 = B.v1", join_algo="hash"
+        )
+        table = prepared.slice_table
+        # A unit whose left side is spread over several nodes actually
+        # needs a concatenation (single-piece units return the piece).
+        unit = next(
+            u for u in range(table.stats.n_units)
+            if (table.stats.s_left[u] > 0).sum() >= 2
+        )
+        calls = {"n": 0}
+        original = CellSet.concat
+
+        def counting(cls, parts):
+            calls["n"] += 1
+            return original(parts)
+
+        monkeypatch.setattr(CellSet, "concat", classmethod(counting))
+        first = table.assembled("left", unit)
+        assert calls["n"] == 1
+        second = table.assembled("left", unit)
+        assert second is first
+        assert calls["n"] == 1  # memoised: no second concatenation
+
+    def test_unit_keys_cached(self, setup):
+        cluster, executor = setup
+        prepared = executor.prepare(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        table = prepared.slice_table
+        unit = next(
+            u for u in range(table.stats.n_units)
+            if table.stats.left_unit_totals[u]
+        )
+        cols_first, keys_first = table.unit_keys(
+            "left", unit, prepared.join_schema
+        )
+        cols_second, keys_second = table.unit_keys(
+            "left", unit, prepared.join_schema
+        )
+        assert keys_second is keys_first
+        assert all(a is b for a, b in zip(cols_first, cols_second))
+
+    def test_repeated_execution_reuses_assembly(self, setup, monkeypatch):
+        """Executing a prepared join again — serial or parallel — must not
+        re-concatenate any slice: the whole table is assembled once."""
+        cluster, executor = setup
+        prepared = executor.prepare(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        warm = prepared.execute("baseline")
+        calls = {"n": 0}
+        original = CellSet.concat
+
+        def counting(cls, parts):
+            calls["n"] += 1
+            return original(parts)
+
+        monkeypatch.setattr(CellSet, "concat", classmethod(counting))
+        again = prepared.execute("baseline")
+        assert calls["n"] == 0
+        assert again.cells.same_cells(warm.cells)

@@ -144,3 +144,41 @@ class TestNestedLoopGuard:
             keys_from(left), keys_from(right), block_rows=10_000
         )
         assert sorted(zip(*small_blocks)) == sorted(zip(*one_block))
+
+
+class TestHashBuildProbeAsymmetry:
+    """The hash join builds over the smaller side and probes the larger;
+    whichever side is the build side, matches must equal the merge join's."""
+
+    @pytest.mark.parametrize("n_left,n_right", [(20, 200), (200, 20), (64, 64)])
+    def test_parity_with_merge_join(self, n_left, n_right, rng):
+        left = rng.integers(0, 30, n_left)
+        right = rng.integers(0, 30, n_right)
+        li, ri = hash_join_match(keys_from(left), keys_from(right))
+        lo, ro = np.argsort(left, kind="stable"), np.argsort(right, kind="stable")
+        mli, mri = merge_join_match(
+            keys_from(np.sort(left)), keys_from(np.sort(right))
+        )
+        assert as_pair_multiset(left, right, li, ri) == as_pair_multiset(
+            np.sort(left), np.sort(right), mli, mri
+        )
+        # Indices reference the original (unsorted) inputs.
+        assert (np.asarray(left)[li] == np.asarray(right)[ri]).all()
+
+    def test_probe_side_duplicates_fan_out(self, rng):
+        # Small build side with duplicates, large probe side with
+        # duplicates: every cross pair of a matching key must appear.
+        left = [5, 5, 9]
+        right = [5] * 7 + [9] * 3 + [1] * 40
+        li, ri = hash_join_match(keys_from(left), keys_from(right))
+        assert len(li) == 2 * 7 + 1 * 3
+        assert as_pair_multiset(left, right, li, ri) == brute_force(left, right)
+
+    def test_swap_direction_symmetry(self, rng):
+        big = rng.integers(0, 15, 300)
+        small = rng.integers(0, 15, 25)
+        li, ri = hash_join_match(keys_from(big), keys_from(small))
+        ri2, li2 = hash_join_match(keys_from(small), keys_from(big))
+        assert as_pair_multiset(big, small, li, ri) == as_pair_multiset(
+            big, small, li2, ri2
+        )

@@ -6,6 +6,7 @@ import pytest
 from repro.adm import parse_schema
 from repro.core.join_schema import infer_join_schema
 from repro.engine.output import (
+    OutputBuilder,
     build_output_spec,
     derive_destination,
     infer_expression_type,
@@ -124,3 +125,66 @@ class TestOutputSpec:
         by_name = {field.name: field for field in spec}
         assert by_name["B_v1"].source == ("right", "v1")
         assert by_name["v1"].source == ("left", "v1")
+
+
+class TestZeroMatchOutput:
+    """A join that matches nothing still yields a well-typed empty output."""
+
+    def _builder(self, text):
+        query = parse_aql(text)
+        schema = infer_join_schema(
+            query, DD_A, DD_B,
+            destination=derive_destination(query, DD_A, DD_B),
+        )
+        return OutputBuilder(query, schema)
+
+    def test_finish_without_parts_keeps_dtypes(self):
+        builder = self._builder(
+            "SELECT A.v1, A.v2 INTO T<x:int64, y:float64>[] "
+            "FROM A, B WHERE A.v1 = B.v1"
+        )
+        empty = builder.finish()
+        assert len(empty) == 0
+        assert empty.ndims == 0
+        assert empty.attrs["x"].dtype == np.int64
+        assert empty.attrs["y"].dtype == np.float64
+
+    def test_finish_without_parts_keeps_dimensionality(self):
+        builder = self._builder(
+            "SELECT * FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        empty = builder.finish()
+        assert len(empty) == 0
+        assert empty.ndims == 2
+        assert set(empty.attrs) == set(builder.dest.attr_names)
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_selectivity_zero_join_end_to_end(self, workers):
+        """Disjoint key domains: the full pipeline — serial and parallel —
+        must produce zero cells with the destination's exact dtypes."""
+        from repro.adm import CellSet
+        from repro.session import Session
+
+        rng = np.random.default_rng(11)
+        session = Session(n_nodes=3, n_workers=workers)
+        for name, low, high in (("A", 0, 50), ("B", 1000, 1050)):
+            coords = np.unique(rng.integers(1, 33, size=(500, 2)), axis=0)
+            session.create_and_load(
+                f"{name}<v1:int64, v2:float64>[i=1,32,8, j=1,32,8]",
+                CellSet(
+                    coords,
+                    {
+                        "v1": rng.integers(low, high, len(coords)),
+                        "v2": rng.uniform(0, 1, len(coords)),
+                    },
+                ),
+            )
+        result = session.execute(
+            "SELECT A.v1, A.v2 INTO T<x:int64, y:float64>[] "
+            "FROM A, B WHERE A.v1 = B.v1",
+            join_algo="hash",
+        )
+        assert result.report.output_cells == 0
+        assert len(result.cells) == 0
+        assert result.cells.attrs["x"].dtype == np.int64
+        assert result.cells.attrs["y"].dtype == np.float64

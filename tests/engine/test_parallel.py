@@ -1,0 +1,196 @@
+"""Tests for the parallel join-unit execution engine.
+
+The load-bearing property: for every planner × join algorithm × worker
+count, parallel execution produces the same multiset of output cells
+(byte-identical once sorted) and identical deterministic report
+counters as the serial reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adm.cells import CellSet, composite_key
+from repro.engine import ShuffleJoinExecutor
+from repro.engine.joins import hash_join_match
+from repro.engine.parallel import (
+    PARALLEL_MODES,
+    UnitBatch,
+    _match_batch,
+    hash_stacked_keys,
+    resolve_workers,
+    stack_unit_keys,
+)
+from repro.errors import ExecutionError
+
+DD_QUERY = "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+AA_QUERY = (
+    "SELECT A.i, A.j, B.i, B.j "
+    "INTO T<ai:int64, aj:int64, bi:int64, bj:int64>[] "
+    "FROM A, B WHERE A.v1 = B.v1"
+)
+
+
+def sorted_cell_bytes(result) -> bytes:
+    """Canonical sorted-cell byte string of a join output."""
+    packed = result.cells.to_structured(sorted(result.cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+@pytest.fixture
+def executor(small_cluster):
+    return ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+
+
+class TestParallelMatchesSerial:
+    """Satellite 4: parallel == serial across planners and algorithms."""
+
+    @pytest.mark.parametrize("planner", ["baseline", "mbh", "tabu"])
+    @pytest.mark.parametrize(
+        "algo,query", [("hash", AA_QUERY), ("merge", DD_QUERY)]
+    )
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_output_and_counters_identical(
+        self, executor, planner, algo, query, workers
+    ):
+        prepared = executor.prepare(query, join_algo=algo)
+        serial = prepared.execute(planner)
+        parallel = prepared.execute(planner, n_workers=workers)
+        assert sorted_cell_bytes(serial) == sorted_cell_bytes(parallel)
+        rs, rp = serial.report, parallel.report
+        assert rs.output_cells == rp.output_cells
+        assert rs.compare_seconds == rp.compare_seconds
+        assert rs.align_seconds == rp.align_seconds
+        assert rs.cells_moved == rp.cells_moved
+        assert rs.n_transfers == rp.n_transfers
+        assert rs.bytes_moved == rp.bytes_moved
+        assert np.array_equal(rs.per_node_compare, rp.per_node_compare)
+        assert rs.cells_sent == rp.cells_sent
+        assert rs.cells_received == rp.cells_received
+
+    def test_hash_algo_on_dd_units(self, executor):
+        prepared = executor.prepare(DD_QUERY, join_algo="hash")
+        serial = prepared.execute("mbh")
+        parallel = prepared.execute("mbh", n_workers=3)
+        assert sorted_cell_bytes(serial) == sorted_cell_bytes(parallel)
+
+    def test_repeated_parallel_runs_byte_identical(self, executor):
+        prepared = executor.prepare(AA_QUERY, join_algo="hash")
+        first = prepared.execute("tabu", n_workers=4)
+        second = prepared.execute("tabu", n_workers=4)
+        assert sorted_cell_bytes(first) == sorted_cell_bytes(second)
+
+    def test_executor_level_default_workers(self, small_cluster):
+        serial_ex = ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+        pooled_ex = ShuffleJoinExecutor(
+            small_cluster, selectivity_hint=0.5, n_workers=2
+        )
+        serial = serial_ex.execute(DD_QUERY, planner="baseline")
+        pooled = pooled_ex.execute(DD_QUERY, planner="baseline")
+        assert sorted_cell_bytes(serial) == sorted_cell_bytes(pooled)
+
+    def test_process_mode_matches_thread_mode(self, small_cluster):
+        threaded = ShuffleJoinExecutor(
+            small_cluster, selectivity_hint=0.5, n_workers=2
+        )
+        forked = ShuffleJoinExecutor(
+            small_cluster, selectivity_hint=0.5, n_workers=2,
+            parallel_mode="process",
+        )
+        via_threads = threaded.execute(DD_QUERY, planner="baseline")
+        via_processes = forked.execute(DD_QUERY, planner="baseline")
+        assert sorted_cell_bytes(via_threads) == sorted_cell_bytes(
+            via_processes
+        )
+
+
+class TestWorkerKnobs:
+    def test_resolve_workers_serial_values(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ExecutionError):
+            resolve_workers(-2)
+
+    def test_unknown_parallel_mode_rejected(self, small_cluster):
+        with pytest.raises(ExecutionError):
+            ShuffleJoinExecutor(small_cluster, parallel_mode="fibers")
+
+    def test_modes_are_thread_and_process(self):
+        assert set(PARALLEL_MODES) == {"thread", "process"}
+
+
+def _batch_of(units, left_cols, right_cols):
+    """A UnitBatch over single-column int64 keys, one entry per unit."""
+    batch = UnitBatch(node=0)
+    for unit, left, right in zip(units, left_cols, right_cols):
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        batch.add_unit(
+            unit,
+            CellSet(np.zeros((len(left), 1), dtype=np.int64), {}),
+            CellSet(np.zeros((len(right), 1), dtype=np.int64), {}),
+            [left],
+            composite_key([left]),
+            composite_key([right]),
+        )
+    return batch
+
+
+class TestBatchedMatching:
+    def test_stack_unit_keys_layout(self):
+        keys = [composite_key([np.array([3, 4])]),
+                composite_key([np.array([5])])]
+        unit_column, fields = stack_unit_keys([7, 9], keys)
+        assert unit_column.tolist() == [7, 7, 9]
+        assert fields["k0"].tolist() == [3, 4, 5]
+
+    def test_equal_rows_hash_equal_across_sides(self):
+        units = np.array([2, 2, 5], dtype=np.int64)
+        fields = {"k0": np.array([10, 11, 10], dtype=np.int64)}
+        first = hash_stacked_keys(units, fields)
+        second = hash_stacked_keys(units.copy(), {"k0": fields["k0"].copy()})
+        assert np.array_equal(first, second)
+
+    def test_unit_id_separates_equal_keys(self):
+        # Same key value in different units must not match; the hashes
+        # differ because the unit id is part of the hashed row.
+        fields = {"k0": np.array([10, 10], dtype=np.int64)}
+        hashes = hash_stacked_keys(np.array([1, 2], dtype=np.int64), fields)
+        assert hashes[0] != hashes[1]
+
+    @pytest.mark.parametrize("algo", ["hash", "merge"])
+    def test_batched_match_equals_per_unit_union(self, rng, algo):
+        units = [4, 9, 17]
+        left_cols = [rng.integers(0, 12, size=n) for n in (20, 1, 35)]
+        right_cols = [rng.integers(0, 12, size=n) for n in (15, 40, 2)]
+        batch = _batch_of(units, left_cols, right_cols)
+        got_left, got_right = _match_batch(batch, algo, {})
+        got = set(zip(got_left.tolist(), got_right.tolist()))
+
+        expected = set()
+        left_offset = right_offset = 0
+        for left, right in zip(left_cols, right_cols):
+            li, ri = hash_join_match(
+                composite_key([np.asarray(left, dtype=np.int64)]),
+                composite_key([np.asarray(right, dtype=np.int64)]),
+            )
+            expected.update(
+                zip((li + left_offset).tolist(), (ri + right_offset).tolist())
+            )
+            left_offset += len(left)
+            right_offset += len(right)
+        assert got == expected
+
+    def test_nested_loop_batch_equals_per_unit_union(self, rng):
+        units = [0, 3]
+        left_cols = [rng.integers(0, 6, size=10), rng.integers(0, 6, size=8)]
+        right_cols = [rng.integers(0, 6, size=12), rng.integers(0, 6, size=5)]
+        batch = _batch_of(units, left_cols, right_cols)
+        got_left, got_right = _match_batch(batch, "nested_loop", {})
+        hash_left, hash_right = _match_batch(batch, "hash", {})
+        assert set(zip(got_left.tolist(), got_right.tolist())) == set(
+            zip(hash_left.tolist(), hash_right.tolist())
+        )
