@@ -40,6 +40,23 @@ class CellSet:
     # ---------------------------------------------------------- constructors
 
     @classmethod
+    def _from_validated(
+        cls, coords: np.ndarray, attrs: dict[str, np.ndarray]
+    ) -> "CellSet":
+        """Wrap already-validated arrays without re-checking them.
+
+        Hot-path constructor for code that slices or reindexes an
+        existing cell set: the coordinate matrix is already 2-D int64 and
+        every attribute column is row-aligned by construction, so the
+        per-instance validation of ``__init__`` (tens of thousands of
+        pieces per slice mapping) would be pure overhead.
+        """
+        cells = cls.__new__(cls)
+        cells.coords = coords
+        cells.attrs = attrs
+        return cells
+
+    @classmethod
     def empty(cls, ndims: int, attr_dtypes: Mapping[str, np.dtype]) -> "CellSet":
         """An empty cell set with the given shape."""
         return cls(
@@ -72,7 +89,7 @@ class CellSet:
             name: np.concatenate([p.attrs[name] for p in parts])
             for name in first.attrs
         }
-        return cls(coords, attrs)
+        return cls._from_validated(coords, attrs)
 
     # -------------------------------------------------------------- protocol
 
@@ -137,7 +154,7 @@ class CellSet:
     def take(self, index: np.ndarray) -> "CellSet":
         """Select cells by integer index or boolean mask."""
         index = np.asarray(index)
-        return CellSet(
+        return CellSet._from_validated(
             self.coords[index],
             {name: col[index] for name, col in self.attrs.items()},
         )
@@ -153,29 +170,29 @@ class CellSet:
             raise SchemaError(
                 f"partition keys ({len(keys)}) do not match cell count ({len(self)})"
             )
-        if len(keys) and (keys.min() < 0 or keys.max() >= n_parts):
-            raise SchemaError(
-                f"partition keys outside [0, {n_parts}): "
-                f"min={keys.min()}, max={keys.max()}"
-            )
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-        boundaries = np.searchsorted(sorted_keys, np.arange(n_parts + 1))
-        sorted_cells = self.take(order)
-        # Parts are contiguous runs of the key-sorted copy, so plain slice
-        # views suffice — no per-part fancy-index copies. Cell sets are
-        # immutable by convention, which makes sharing the buffer safe.
-        coords = sorted_cells.coords
-        attrs = sorted_cells.attrs
+        order, boundaries = partition_order(keys, n_parts)
+        return self.take(order).split_sorted(boundaries)
+
+    def split_sorted(self, boundaries: np.ndarray) -> list["CellSet"]:
+        """Slice an already part-sorted cell set along run boundaries.
+
+        ``boundaries`` has ``n_parts + 1`` entries; part ``p`` spans rows
+        ``[boundaries[p], boundaries[p + 1])``. Parts are contiguous runs
+        of the key-sorted copy, so plain slice views suffice — no per-part
+        fancy-index copies. Cell sets are immutable by convention, which
+        makes sharing the buffer safe.
+        """
+        coords = self.coords
+        attrs = self.attrs
         return [
-            CellSet(
+            CellSet._from_validated(
                 coords[boundaries[p]:boundaries[p + 1]],
                 {
                     name: column[boundaries[p]:boundaries[p + 1]]
                     for name, column in attrs.items()
                 },
             )
-            for p in range(n_parts)
+            for p in range(len(boundaries) - 1)
         ]
 
     # --------------------------------------------------------------- sorting
@@ -236,6 +253,26 @@ class CellSet:
         mine = np.sort(self.to_structured(sorted(self.attrs)))
         theirs = np.sort(other.to_structured(sorted(other.attrs)))
         return bool(np.array_equal(mine, theirs))
+
+
+def partition_order(keys: np.ndarray, n_parts: int) -> tuple[np.ndarray, np.ndarray]:
+    """One stable sort for a whole partitioning pass.
+
+    Returns ``(order, boundaries)``: a stable argsort of ``keys`` and the
+    ``n_parts + 1`` run boundaries of the sorted copy. The order array can
+    be applied to *any* row-aligned companion arrays (key columns,
+    composite keys) so every per-node structure is partitioned by the same
+    single sort instead of one sort per structure.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if len(keys) and (keys.min() < 0 or keys.max() >= n_parts):
+        raise SchemaError(
+            f"partition keys outside [0, {n_parts}): "
+            f"min={keys.min()}, max={keys.max()}"
+        )
+    order = np.argsort(keys, kind="stable")
+    boundaries = np.searchsorted(keys[order], np.arange(n_parts + 1))
+    return order, boundaries
 
 
 def composite_key(columns: Sequence[np.ndarray]) -> np.ndarray:

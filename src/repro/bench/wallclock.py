@@ -27,7 +27,7 @@ import json
 import os
 import platform
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from repro.bench.experiments import (
     skewed_hash_pair,
     skewed_merge_pair,
 )
+from repro.core.cost_model import AnalyticalCostModel, CostParams
+from repro.core.planners.tabu import TabuPlanner
+from repro.core.slices import SliceStats
 from repro.engine.executor import PreparedJoin, ShuffleJoinExecutor
 
 #: Skew-workload builders, keyed by the figure whose data they reuse.
@@ -121,6 +124,9 @@ class WallclockResult:
     output_cells: int
     outputs_identical: bool
     parallel_deterministic: bool
+    #: Wall-clock seconds per prepare stage (logical_plan / stats /
+    #: physical_assign / alignment / schedule) from the phase profiler.
+    prepare_breakdown: dict[str, float] = dataclass_field(default_factory=dict)
 
 
 def run_wallclock(
@@ -183,14 +189,248 @@ def run_wallclock(
         parallel_deterministic=(
             parallel_bytes == sorted_cell_bytes(parallel_again)
         ),
+        prepare_breakdown=dict(warm.report.prepare_breakdown),
     )
 
 
-def write_results(results: list[WallclockResult], path: str) -> None:
+@dataclass
+class PrepareResult:
+    """Prepare-pipeline timing, vectorized vs reference, one workload.
+
+    "Reference" replays the pre-vectorization prepare pipeline on the
+    same data: the scalar Tabu inner loop and per-unit key re-derivation
+    (the slice table's fallback path when no key pieces were captured).
+    "Vectorized" is the shipped pipeline: batched Tabu move evaluation
+    and key material sliced out of the slice mapping's single sort.
+    """
+
+    workload: str
+    join_algo: str
+    cells_per_array: int
+    n_nodes: int
+    n_units: int
+    alpha: float
+    repeats: int
+    reference_seconds: float
+    vectorized_seconds: float
+    speedup: float
+    assignments_identical: bool
+    costs_identical: bool
+    prepare_breakdown: dict[str, float] = dataclass_field(default_factory=dict)
+
+
+def _derive_all_unit_keys(prepared: PreparedJoin) -> None:
+    """Touch every non-empty unit side's key material (prepare's tail)."""
+    table = prepared.slice_table
+    stats = table.stats
+    left_totals = stats.left_unit_totals
+    right_totals = stats.right_unit_totals
+    for unit in range(stats.n_units):
+        if left_totals[unit]:
+            table.unit_keys("left", unit, prepared.join_schema)
+        if right_totals[unit]:
+            table.unit_keys("right", unit, prepared.join_schema)
+
+
+def run_prepare_bench(
+    workload: str = "fig8_hash_skew",
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    repeats: int = 3,
+    seed: int = 0,
+) -> PrepareResult:
+    """Time the full prepare pipeline, vectorized vs reference.
+
+    One pass = logical plan + slice mapping + Tabu physical assignment +
+    alignment simulation + per-unit key derivation — everything a join
+    needs before the first cell comparison can start.
+    """
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+    )
+
+    def one_pass(vectorized: bool):
+        # The reference arm replays the pre-vectorization pipeline end to
+        # end: per-structure partition sorts in the slice mapping, no
+        # captured key pieces (unit_keys re-derives key_columns +
+        # composite_key per assembled unit), and the scalar Tabu loop.
+        executor.single_sort = vectorized
+        started = time.perf_counter()
+        prepared = executor.prepare(query, join_algo=join_algo)
+        planner = TabuPlanner(
+            max_rounds=executor.tabu_max_rounds, vectorized=vectorized
+        )
+        model = AnalyticalCostModel(prepared.stats, join_algo, executor.cost)
+        with executor.profiler.phase("physical_assign"):
+            plan = planner.plan(model)
+        executor._data_alignment(
+            prepared.query, prepared.slice_table, plan.assignment
+        )
+        _derive_all_unit_keys(prepared)
+        elapsed = time.perf_counter() - started
+        return elapsed, prepared, plan
+
+    samples = {True: [], False: []}
+    plans = {}
+    prepared = None
+    breakdown: dict[str, float] = {}
+    breakdown_snapshot = executor.profiler.snapshot()
+    for _ in range(repeats):
+        for vectorized in (True, False):
+            elapsed, prepared_pass, plan = one_pass(vectorized)
+            samples[vectorized].append(elapsed)
+            plans[vectorized] = plan
+            if vectorized:
+                prepared = prepared_pass
+                breakdown = executor.profiler.since(breakdown_snapshot)
+            breakdown_snapshot = executor.profiler.snapshot()
+
+    reference_best = min(samples[False])
+    vectorized_best = min(samples[True])
+    return PrepareResult(
+        workload=workload,
+        join_algo=join_algo,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        n_units=prepared.n_units,
+        alpha=alpha,
+        repeats=repeats,
+        reference_seconds=reference_best,
+        vectorized_seconds=vectorized_best,
+        speedup=(
+            reference_best / vectorized_best if vectorized_best else float("inf")
+        ),
+        assignments_identical=bool(
+            np.array_equal(plans[True].assignment, plans[False].assignment)
+        ),
+        costs_identical=bool(
+            plans[True].cost.total_seconds == plans[False].cost.total_seconds
+        ),
+        prepare_breakdown=breakdown,
+    )
+
+
+@dataclass
+class StressResult:
+    """Vectorized-vs-reference Tabu on a large synthetic instance."""
+
+    n_units: int
+    n_nodes: int
+    alpha: float
+    seed: int
+    scale: int
+    repeats: int
+    reference_seconds: float
+    vectorized_seconds: float
+    speedup: float
+    assignments_identical: bool
+    costs_identical: bool
+    moves: int
+    evaluations: int
+    final_cost: float
+
+
+def synthetic_slice_stats(
+    n_units: int, n_nodes: int, alpha: float, seed: int, scale: int = 200_000
+) -> SliceStats:
+    """Zipf-flavoured random slice statistics for planner stress tests.
+
+    Unit weights are Dirichlet(α) — small α concentrates mass in few
+    units (heavy skew) — and each unit's cells are spread over the nodes
+    by an independent Dirichlet split, so no node starts balanced.
+    """
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.full(n_units, alpha))
+    totals = rng.multinomial(scale, weights)
+    split = rng.dirichlet(np.full(n_nodes, 1.0), size=n_units)
+    s_left = np.floor(totals[:, None] * split).astype(np.int64)
+    right_totals = rng.multinomial(
+        scale // 4, rng.dirichlet(np.full(n_units, alpha))
+    )
+    right_split = rng.dirichlet(np.full(n_nodes, 1.0), size=n_units)
+    s_right = np.floor(right_totals[:, None] * right_split).astype(np.int64)
+    return SliceStats(s_left, s_right)
+
+
+def run_planner_stress(
+    n_units: int = 8192,
+    n_nodes: int = 16,
+    alpha: float = 1.1,
+    seed: int = 7,
+    scale: int = 200_000,
+    repeats: int = 3,
+) -> StressResult:
+    """Race the vectorized Tabu planner against its reference oracle.
+
+    The reference loop is O(overloaded-units × n_nodes) Python-level
+    work per round; at thousands of units it dominates, so it is timed
+    with a single warm repeat while the vectorized path gets ``repeats``.
+    Assignments and final costs are asserted identical first.
+    """
+    stats = synthetic_slice_stats(n_units, n_nodes, alpha, seed, scale=scale)
+    model = AnalyticalCostModel(
+        stats, "hash", CostParams(m=1e-6, b=4e-6, p=1e-6, t=5e-6)
+    )
+    reference = TabuPlanner(vectorized=False)
+    vectorized = TabuPlanner(vectorized=True)
+
+    ref_assign, ref_meta = reference.assign(model)
+    vec_assign, vec_meta = vectorized.assign(model)
+    identical = bool(np.array_equal(ref_assign, vec_assign))
+    costs_identical = bool(ref_meta["final_cost"] == vec_meta["final_cost"])
+
+    started = time.perf_counter()
+    reference.assign(model)
+    reference_seconds = time.perf_counter() - started
+
+    vec_samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        vectorized.assign(model)
+        vec_samples.append(time.perf_counter() - started)
+    vectorized_seconds = min(vec_samples)
+
+    return StressResult(
+        n_units=n_units,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+        scale=scale,
+        repeats=repeats,
+        reference_seconds=reference_seconds,
+        vectorized_seconds=vectorized_seconds,
+        speedup=(
+            reference_seconds / vectorized_seconds
+            if vectorized_seconds
+            else float("inf")
+        ),
+        assignments_identical=identical,
+        costs_identical=costs_identical,
+        moves=int(vec_meta["moves"]),
+        evaluations=int(vec_meta["evaluations"]),
+        final_cost=float(vec_meta["final_cost"]),
+    )
+
+
+def write_results(
+    results: list[WallclockResult],
+    path: str,
+    prepare_results: list[PrepareResult] | None = None,
+    stress_result: StressResult | None = None,
+) -> None:
     payload = {
         "benchmark": "parallel join-unit engine, serial vs worker pool",
         "results": [vars(result) for result in results],
     }
+    if prepare_results:
+        payload["prepare"] = [vars(result) for result in prepare_results]
+    if stress_result is not None:
+        payload["planner_stress"] = vars(stress_result)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -214,30 +454,97 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument(
+        "--skip-exec", action="store_true",
+        help="skip the serial-vs-parallel execution comparison",
+    )
+    parser.add_argument(
+        "--prepare", action="store_true",
+        help="also time the prepare pipeline, vectorized vs reference",
+    )
+    parser.add_argument(
+        "--stress", action="store_true",
+        help="also race vectorized vs reference Tabu on a large instance",
+    )
+    parser.add_argument("--stress-units", type=int, default=8192)
+    parser.add_argument("--stress-nodes", type=int, default=16)
+    parser.add_argument("--stress-alpha", type=float, default=1.1)
     args = parser.parse_args(argv)
 
+    def _print_breakdown(breakdown: dict[str, float]) -> None:
+        if breakdown:
+            stages = ", ".join(
+                f"{stage}={seconds * 1000:.1f}ms"
+                for stage, seconds in breakdown.items()
+            )
+            print(f"  prepare breakdown: {stages}")
+
     results = []
-    for workload in args.workload or list(WORKLOADS):
-        result = run_wallclock(
-            workload=workload,
-            planner=args.planner,
-            n_workers=args.workers,
-            cells_per_array=args.cells,
-            n_nodes=args.nodes,
-            alpha=args.alpha,
-            repeats=args.repeats,
-            seed=args.seed,
+    if not args.skip_exec:
+        for workload in args.workload or list(WORKLOADS):
+            result = run_wallclock(
+                workload=workload,
+                planner=args.planner,
+                n_workers=args.workers,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+            results.append(result)
+            print(
+                f"{result.workload} [{result.planner}/{result.join_algo}] "
+                f"serial {result.serial_seconds:.3f}s vs "
+                f"{result.n_workers}-worker {result.parallel_seconds:.3f}s "
+                f"-> {result.speedup:.2f}x; identical={result.outputs_identical} "
+                f"deterministic={result.parallel_deterministic}"
+            )
+            _print_breakdown(result.prepare_breakdown)
+
+    prepare_results = []
+    if args.prepare:
+        for workload in args.workload or list(WORKLOADS):
+            prep = run_prepare_bench(
+                workload=workload,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                repeats=max(args.repeats // 2, 2),
+                seed=args.seed,
+            )
+            prepare_results.append(prep)
+            print(
+                f"{prep.workload} prepare [{prep.join_algo}] reference "
+                f"{prep.reference_seconds:.3f}s vs vectorized "
+                f"{prep.vectorized_seconds:.3f}s -> {prep.speedup:.2f}x; "
+                f"identical={prep.assignments_identical}"
+            )
+            _print_breakdown(prep.prepare_breakdown)
+
+    stress_result = None
+    if args.stress:
+        stress_result = run_planner_stress(
+            n_units=args.stress_units,
+            n_nodes=args.stress_nodes,
+            alpha=args.stress_alpha,
+            repeats=max(args.repeats // 2, 2),
         )
-        results.append(result)
         print(
-            f"{result.workload} [{result.planner}/{result.join_algo}] "
-            f"serial {result.serial_seconds:.3f}s vs "
-            f"{result.n_workers}-worker {result.parallel_seconds:.3f}s "
-            f"-> {result.speedup:.2f}x; identical={result.outputs_identical} "
-            f"deterministic={result.parallel_deterministic}"
+            f"planner stress ({stress_result.n_units} units, "
+            f"{stress_result.n_nodes} nodes) reference "
+            f"{stress_result.reference_seconds:.3f}s vs vectorized "
+            f"{stress_result.vectorized_seconds:.3f}s -> "
+            f"{stress_result.speedup:.2f}x; "
+            f"identical={stress_result.assignments_identical}"
         )
+
     if args.out:
-        write_results(results, args.out)
+        write_results(
+            results, args.out,
+            prepare_results=prepare_results or None,
+            stress_result=stress_result,
+        )
         print(f"wrote {args.out}")
     return 0
 

@@ -123,9 +123,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--alpha", str(args.alpha),
         "--repeats", str(args.repeats),
         "--seed", str(args.seed),
+        "--stress-units", str(args.stress_units),
+        "--stress-nodes", str(args.stress_nodes),
+        "--stress-alpha", str(args.stress_alpha),
     ]
     if args.out:
         forwarded += ["--out", args.out]
+    if args.skip_exec:
+        forwarded.append("--skip-exec")
+    if args.prepare:
+        forwarded.append("--prepare")
+    if args.stress:
+        forwarded.append("--stress")
     return wallclock_main(forwarded)
 
 
@@ -182,6 +191,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=5)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default=None, help="write JSON here")
+    bench.add_argument(
+        "--skip-exec", action="store_true",
+        help="skip the serial-vs-parallel execution comparison",
+    )
+    bench.add_argument(
+        "--prepare", action="store_true",
+        help="also time the prepare pipeline, vectorized vs reference",
+    )
+    bench.add_argument(
+        "--stress", action="store_true",
+        help="also race vectorized vs reference Tabu on a large instance",
+    )
+    bench.add_argument("--stress-units", type=int, default=8192)
+    bench.add_argument("--stress-nodes", type=int, default=16)
+    bench.add_argument("--stress-alpha", type=float, default=1.1)
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -140,8 +140,11 @@ def schedule_shuffle(
     #: only instants at which a blocked transfer can become startable.
     wakeups: list[float] = []
     while remaining:
-        # Repeat ascending-sender passes at this instant until quiescent
-        # (a zero-length transfer can free its sender at the same time).
+        # Repeat ascending-sender passes at this instant until quiescent.
+        # With positive per-slice latency every started transfer ends
+        # strictly later than ``now``, so one pass suffices; a re-pass is
+        # only needed when a zero-length transfer frees its sender (and
+        # destination lock) at the same instant.
         progressed = True
         while progressed and remaining:
             progressed = False
@@ -179,7 +182,8 @@ def schedule_shuffle(
                     cells_received.get(dst, 0) + transfer.n_cells
                 )
                 remaining -= 1
-                progressed = True
+                if end <= now:
+                    progressed = True
         if remaining:
             # Every ready sender is blocked on write locks (or busy):
             # advance to the next moment a sender or a lock frees up.

@@ -19,9 +19,38 @@ from repro.core.planners.base import PhysicalPlanner
 class MinimumBandwidthPlanner(PhysicalPlanner):
     name = "mbh"
 
+    def __init__(self, vectorized: bool = True):
+        self.vectorized = vectorized
+
     def assign(self, model: AnalyticalCostModel) -> tuple[np.ndarray, dict]:
+        if not self.vectorized:
+            return self._assign_reference(model)
         assignment = model.stats.center_of_gravity()
         total = model.stats.unit_totals
         rows = np.arange(model.stats.n_units)
         moved = int((total - model.stats.s_total[rows, assignment]).sum())
+        return assignment, {"cells_moved": moved}
+
+    def _assign_reference(self, model: AnalyticalCostModel) -> tuple[np.ndarray, dict]:
+        """Scalar per-unit oracle for the batched center-of-gravity path.
+
+        Mirrors :meth:`SliceStats.center_of_gravity` exactly, including
+        the rotating tie-break (preference starts at node ``unit % k``).
+        """
+        stats = model.stats
+        s_total = stats.s_total
+        n_nodes = stats.n_nodes
+        assignment = np.empty(stats.n_units, dtype=np.int64)
+        moved = 0
+        for unit in range(stats.n_units):
+            row = s_total[unit]
+            best = int(row.max())
+            chosen = -1
+            for offset in range(n_nodes):
+                node = (unit + offset) % n_nodes
+                if row[node] == best:
+                    chosen = node
+                    break
+            assignment[unit] = chosen
+            moved += int(row.sum()) - best
         return assignment, {"cells_moved": moved}

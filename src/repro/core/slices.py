@@ -154,15 +154,19 @@ def chunk_unit_ids(
     side: str,
     cells: CellSet,
     source_schema: ArraySchema,
+    columns: list[np.ndarray] | None = None,
 ) -> np.ndarray:
     """Slice function for chunk-grained join units: J's chunk grid.
 
     Key values outside J's dimension ranges are clamped into the border
     chunks — they can still only match cells clamped to the same border.
+    ``columns`` may pass precomputed :func:`key_columns` so callers that
+    already extracted them (the slice mapping) avoid a second pass.
     """
     if not schema.chunkable:
         raise PlanningError("join schema has no dimensions; use hash units")
-    columns = key_columns(schema, side, cells, source_schema)
+    if columns is None:
+        columns = key_columns(schema, side, cells, source_schema)
     dim_fields = schema.dim_fields
     if len(dim_fields) != len(schema.fields):
         raise PlanningError(
@@ -197,15 +201,18 @@ def hash_unit_ids(
     cells: CellSet,
     source_schema: ArraySchema,
     n_buckets: int,
+    columns: list[np.ndarray] | None = None,
 ) -> np.ndarray:
     """Slice function for hash-bucketed join units.
 
     Hashes the full composite predicate key, so every cell pair that can
-    match lands in the same bucket on both sides.
+    match lands in the same bucket on both sides. ``columns`` may pass
+    precomputed :func:`key_columns` to skip re-extraction.
     """
     if n_buckets <= 0:
         raise PlanningError(f"bucket count must be positive, got {n_buckets}")
-    columns = key_columns(schema, side, cells, source_schema)
+    if columns is None:
+        columns = key_columns(schema, side, cells, source_schema)
     combined = np.full(len(cells), _HASH_SEED, dtype=np.uint64)
     with np.errstate(over="ignore"):
         for column in columns:
@@ -226,12 +233,15 @@ def unit_ids_for(
     source_schema: ArraySchema,
     unit_kind: str,
     n_buckets: int | None = None,
+    columns: list[np.ndarray] | None = None,
 ) -> np.ndarray:
     """Dispatch to the slice function matching the logical plan's units."""
     if unit_kind == "chunk":
-        return chunk_unit_ids(schema, side, cells, source_schema)
+        return chunk_unit_ids(schema, side, cells, source_schema, columns=columns)
     if unit_kind == "bucket":
         if n_buckets is None:
             raise PlanningError("bucket units require an explicit bucket count")
-        return hash_unit_ids(schema, side, cells, source_schema, n_buckets)
+        return hash_unit_ids(
+            schema, side, cells, source_schema, n_buckets, columns=columns
+        )
     raise PlanningError(f"unknown join unit kind {unit_kind!r}")

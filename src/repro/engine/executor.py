@@ -40,6 +40,7 @@ from repro.engine.parallel import (
 )
 from repro.engine.simulation import SimulationParams
 from repro.errors import ExecutionError, PlanningError
+from repro.obs.timers import PhaseProfiler
 from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery, parse_aql
 from repro.query.afl import apply_filter
 
@@ -74,6 +75,9 @@ class ExecutionReport:
     cells_sent: dict[int, int] = field(default_factory=dict)
     cells_received: dict[int, int] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    #: Wall-clock seconds per prepare stage (logical_plan / stats /
+    #: physical_assign / alignment / schedule), from the phase profiler.
+    prepare_breakdown: dict[str, float] = field(default_factory=dict)
 
     @property
     def execute_seconds(self) -> float:
@@ -86,12 +90,19 @@ class ExecutionReport:
         return self.plan_seconds + self.execute_seconds
 
     def describe(self) -> str:
-        return (
+        text = (
             f"[{self.planner}/{self.join_algo}] total={self.total_seconds:.3f}s "
             f"(plan={self.plan_seconds:.3f}s, align={self.align_seconds:.3f}s, "
             f"compare={self.compare_seconds:.3f}s) "
             f"moved={self.cells_moved} cells, out={self.output_cells} cells"
         )
+        if self.prepare_breakdown:
+            stages = ", ".join(
+                f"{stage}={seconds * 1000:.1f}ms"
+                for stage, seconds in self.prepare_breakdown.items()
+            )
+            text += f"\n  prepare: {stages}"
+        return text
 
 
 @dataclass
@@ -147,23 +158,65 @@ class ExplainReport:
 
 
 @dataclass
+class _SideAssembly:
+    """One join side's cells in globally unit-major order.
+
+    Built by the single-sort slice mapping: all nodes' cells (with their
+    key columns and composite keys) are concatenated node-major, then one
+    stable argsort by join-unit id puts them in unit-major order — within
+    a unit, ascending node id; within a node, original arrival order.
+    Every per-unit view (assembled cells, key columns, composite keys,
+    per-node pieces) is then a contiguous slice of these arrays: no
+    per-piece construction, no re-sorting, no per-unit key re-derivation.
+    """
+
+    cells: CellSet
+    #: ``n_units + 1`` row boundaries: unit ``u`` spans
+    #: ``[bounds[u], bounds[u + 1])``.
+    bounds: np.ndarray
+    key_cols: list[np.ndarray]
+    keys: np.ndarray
+    #: ``n_units * n_nodes + 1`` boundaries of per-(unit, node) pieces —
+    #: contiguous because the stable unit sort keeps nodes in concat order.
+    piece_offsets: np.ndarray
+    n_nodes: int
+
+    def slice_cells(self, lo: int, hi: int) -> CellSet:
+        coords = self.cells.coords
+        return CellSet._from_validated(
+            coords[lo:hi],
+            {name: col[lo:hi] for name, col in self.cells.attrs.items()},
+        )
+
+
+@dataclass
 class _SliceTable:
     """Slice mapping output: per-(side, unit, node) cell sets + statistics.
 
-    Assembly and key derivation are memoised per (side, unit): a prepared
-    join executed under several planners (or re-executed serial vs
-    parallel) concatenates and keys each unit exactly once. The caches
-    are safe because cell sets are immutable by convention and the slice
-    tables themselves are never mutated after slice mapping.
+    The single-sort mapping stores each side as one :class:`_SideAssembly`
+    and serves units as slice views. The reference mapping (and slice
+    tables built by hand in tests) stores explicit per-(unit, node) piece
+    tables instead. Assembly and key derivation are memoised per
+    (side, unit): a prepared join executed under several planners (or
+    re-executed serial vs parallel) materialises each unit exactly once.
+    The caches are safe because cell sets are immutable by convention and
+    the slice tables themselves are never mutated after slice mapping.
     """
 
     stats: SliceStats
-    left: list[list[CellSet | None]]
-    right: list[list[CellSet | None]]
+    left: list[list[CellSet | None]] | None = None
+    right: list[list[CellSet | None]] | None = None
+    left_assembly: _SideAssembly | None = None
+    right_assembly: _SideAssembly | None = None
     _assembled: dict[tuple[str, int], CellSet | None] = field(
         default_factory=dict, repr=False
     )
     _keys: dict[tuple[str, int], tuple[list[np.ndarray], np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Merge-join sort orders per (side, unit): the serial merge path
+    #: argsorts each unit's composite key once, not once per execution.
+    _orders: dict[tuple[str, int], np.ndarray] = field(
         default_factory=dict, repr=False
     )
     #: Shuffle schedules keyed by (assignment bytes, policy): the network
@@ -174,15 +227,39 @@ class _SliceTable:
         default_factory=dict, repr=False
     )
 
+    def _side_assembly(self, side: str) -> _SideAssembly | None:
+        return self.left_assembly if side == "left" else self.right_assembly
+
     def assembled(self, side: str, unit: int) -> CellSet | None:
         cache_key = (side, unit)
         if cache_key in self._assembled:
             return self._assembled[cache_key]
-        table = self.left if side == "left" else self.right
-        parts = [cells for cells in table[unit] if cells is not None and len(cells)]
-        result = CellSet.concat(parts) if parts else None
+        assembly = self._side_assembly(side)
+        if assembly is not None:
+            lo = int(assembly.bounds[unit])
+            hi = int(assembly.bounds[unit + 1])
+            result = assembly.slice_cells(lo, hi) if hi > lo else None
+        else:
+            table = self.left if side == "left" else self.right
+            parts = (
+                [c for c in table[unit] if c is not None and len(c)]
+                if table is not None
+                else []
+            )
+            result = CellSet.concat(parts) if parts else None
         self._assembled[cache_key] = result
         return result
+
+    def piece(self, side: str, unit: int, node: int) -> CellSet | None:
+        """One node's contribution to one unit (view or stored piece)."""
+        assembly = self._side_assembly(side)
+        if assembly is not None:
+            offset = unit * assembly.n_nodes + node
+            lo = int(assembly.piece_offsets[offset])
+            hi = int(assembly.piece_offsets[offset + 1])
+            return assembly.slice_cells(lo, hi) if hi > lo else None
+        table = self.left if side == "left" else self.right
+        return table[unit][node] if table is not None else None
 
     def unit_keys(
         self, side: str, unit: int, join_schema: JoinSchema
@@ -191,6 +268,16 @@ class _SliceTable:
         cache_key = (side, unit)
         if cache_key in self._keys:
             return self._keys[cache_key]
+        assembly = self._side_assembly(side)
+        if assembly is not None:
+            lo = int(assembly.bounds[unit])
+            hi = int(assembly.bounds[unit + 1])
+            # Row-aligned with assembled() by construction: the same
+            # global sort ordered the cells and the key material.
+            cols = [col[lo:hi] for col in assembly.key_cols]
+            keys = assembly.keys[lo:hi]
+            self._keys[cache_key] = (cols, keys)
+            return cols, keys
         cells = self.assembled(side, unit)
         source = (
             join_schema.left_schema if side == "left" else join_schema.right_schema
@@ -200,6 +287,18 @@ class _SliceTable:
         self._keys[cache_key] = (cols, keys)
         return cols, keys
 
+    def unit_order(
+        self, side: str, unit: int, join_schema: JoinSchema
+    ) -> np.ndarray:
+        """Cached stable argsort of one unit side's composite key."""
+        cache_key = (side, unit)
+        order = self._orders.get(cache_key)
+        if order is None:
+            _, keys = self.unit_keys(side, unit, join_schema)
+            order = np.argsort(keys, kind="stable")
+            self._orders[cache_key] = order
+        return order
+
     def shipped_bytes_per_cell(self, side: str) -> int:
         """Bytes per cell of one side's (projected) slices.
 
@@ -207,8 +306,16 @@ class _SliceTable:
         projects to the ship fields first), so one sample piece fixes the
         whole side's width.
         """
+        assembly = self._side_assembly(side)
+        if assembly is not None:
+            cells = assembly.cells
+            if not len(cells):
+                return 0
+            return 8 * cells.ndims + sum(
+                column.dtype.itemsize for column in cells.attrs.values()
+            )
         table = self.left if side == "left" else self.right
-        for row in table:
+        for row in table or []:
             for piece in row:
                 if piece is not None and len(piece):
                     return 8 * piece.ndims + sum(
@@ -232,9 +339,21 @@ class ShuffleJoinExecutor:
         shuffle_policy: str = "greedy_lock",
         n_workers: int | None = None,
         parallel_mode: str = "thread",
+        profiler: PhaseProfiler | None = None,
+        single_sort: bool = True,
     ):
         self.cluster = cluster
         self.shuffle_policy = shuffle_policy
+        # ``single_sort=False`` replays the pre-vectorization slice
+        # mapping (one partition sort per structure, per-unit key
+        # re-derivation at match time). Kept as the reference arm for
+        # the prepare benchmark and as an ablation/debug switch.
+        self.single_sort = single_sort
+        # Enabled by default: the executor enters a handful of coarse
+        # phases per query, so every report can carry the prepare
+        # breakdown at negligible cost. Pass a disabled profiler to
+        # switch the spans into shared no-op context managers.
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
         # Worker-pool knobs for the cell-comparison phase: None/0/1 run
         # the serial per-unit path; >1 batches units per assigned node
         # and executes the batches on a pool (see repro.engine.parallel).
@@ -403,12 +522,15 @@ class ShuffleJoinExecutor:
         parsed = parse_aql(query) if isinstance(query, str) else query
         if not isinstance(parsed, JoinQuery):
             raise ExecutionError("prepare expects a two-array join query")
+        snapshot = self.profiler.snapshot()
         plan_started = time.perf_counter()
-        join_schema, logical_plan = self._logical_phase(parsed, join_algo)
+        with self.profiler.phase("logical_plan"):
+            join_schema, logical_plan = self._logical_phase(parsed, join_algo)
         logical_seconds = time.perf_counter() - plan_started
-        n_units, slice_table = self._slice_mapping(
-            parsed, join_schema, logical_plan
-        )
+        with self.profiler.phase("stats"):
+            n_units, slice_table = self._slice_mapping(
+                parsed, join_schema, logical_plan
+            )
         return PreparedJoin(
             executor=self,
             query=parsed,
@@ -417,6 +539,7 @@ class ShuffleJoinExecutor:
             logical_seconds=logical_seconds,
             n_units=n_units,
             slice_table=slice_table,
+            prepare_breakdown=self.profiler.since(snapshot),
         )
 
     def _logical_phase(
@@ -453,16 +576,22 @@ class ShuffleJoinExecutor:
         n_workers: int | None = None,
     ) -> JoinResult:
         # ---- logical planning (timed) ----
+        snapshot = self.profiler.snapshot()
         plan_started = time.perf_counter()
-        join_schema, logical_plan = self._logical_phase(query, join_algo)
+        with self.profiler.phase("logical_plan"):
+            join_schema, logical_plan = self._logical_phase(query, join_algo)
         logical_seconds = time.perf_counter() - plan_started
 
         # ---- slice mapping ----
-        n_units, slice_table = self._slice_mapping(query, join_schema, logical_plan)
+        with self.profiler.phase("stats"):
+            n_units, slice_table = self._slice_mapping(
+                query, join_schema, logical_plan
+            )
 
         return self._run_physical(
             query, join_schema, logical_plan, n_units, slice_table,
             planner_name, logical_seconds, n_workers=n_workers,
+            prepare_breakdown=self.profiler.since(snapshot),
         )
 
     def _run_physical(
@@ -475,12 +604,15 @@ class ShuffleJoinExecutor:
         planner_name: str,
         logical_seconds: float,
         n_workers: int | None = None,
+        prepare_breakdown: dict[str, float] | None = None,
     ) -> JoinResult:
+        snapshot = self.profiler.snapshot()
         # ---- physical planning (timed) ----
         physical_started = time.perf_counter()
-        assignment, physical_plan, model = self._physical_plan(
-            slice_table.stats, logical_plan, planner_name
-        )
+        with self.profiler.phase("physical_assign"):
+            assignment, physical_plan, model = self._physical_plan(
+                slice_table.stats, logical_plan, planner_name
+            )
         physical_seconds = time.perf_counter() - physical_started
 
         # ---- data alignment (simulated) ----
@@ -518,6 +650,10 @@ class ShuffleJoinExecutor:
             cells_sent=shuffle.cells_sent,
             cells_received=shuffle.cells_received,
             meta=meta,
+            prepare_breakdown={
+                **(prepare_breakdown or {}),
+                **self.profiler.since(snapshot),
+            },
         )
         output_array = LocalArray.from_cells(join_schema.destination, output_cells)
         return JoinResult(
@@ -639,8 +775,12 @@ class ShuffleJoinExecutor:
         k = self.cluster.n_nodes
         s_left = np.zeros((n_units, k), dtype=np.int64)
         s_right = np.zeros((n_units, k), dtype=np.int64)
-        left_table: list[list[CellSet | None]] = [[None] * k for _ in range(n_units)]
-        right_table: list[list[CellSet | None]] = [[None] * k for _ in range(n_units)]
+        assemblies: dict[str, _SideAssembly | None] = {"left": None, "right": None}
+        left_table: list[list[CellSet | None]] | None = None
+        right_table: list[list[CellSet | None]] | None = None
+        if not self.single_sort:
+            left_table = [[None] * k for _ in range(n_units)]
+            right_table = [[None] * k for _ in range(n_units)]
 
         for side, array_name, matrix, table in (
             ("left", query.left, s_left, left_table),
@@ -650,23 +790,94 @@ class ShuffleJoinExecutor:
                 join_schema.left_schema if side == "left" else join_schema.right_schema
             )
             ship = self._ship_fields(join_schema, side)
+            chunks: list[
+                tuple[CellSet, list[np.ndarray], np.ndarray, np.ndarray]
+            ] = []
             for node in self.cluster.nodes:
                 cells = self._node_cells(query, array_name, node)
                 if cells is None:
                     continue
                 cells = cells.with_attrs(ship)
+                node_id = node.node_id
+                if not self.single_sort:
+                    # Reference pipeline: partition re-derives the key
+                    # columns internally and sorts once per structure;
+                    # composite keys are rebuilt per unit at match time.
+                    unit_ids = unit_ids_for(
+                        join_schema, side, cells, source_schema,
+                        logical_plan.join_unit_kind, n_buckets=n_buckets,
+                    )
+                    for unit, piece in enumerate(
+                        cells.partition(unit_ids, n_units)
+                    ):
+                        if len(piece):
+                            table[unit][node_id] = piece
+                            matrix[unit, node_id] = len(piece)
+                    continue
+                # One key-column extraction per (side, node); the sort is
+                # deferred to a single global pass over the whole side.
+                cols = key_columns(join_schema, side, cells, source_schema)
+                keys = composite_key(cols)
                 unit_ids = unit_ids_for(
                     join_schema, side, cells, source_schema,
                     logical_plan.join_unit_kind, n_buckets=n_buckets,
+                    columns=cols,
                 )
-                parts = cells.partition(unit_ids, n_units)
-                for unit, part in enumerate(parts):
-                    if len(part):
-                        table[unit][node.node_id] = part
-                        matrix[unit, node.node_id] = len(part)
+                matrix[:, node_id] = np.bincount(unit_ids, minlength=n_units)
+                chunks.append((cells, cols, keys, unit_ids))
+            if self.single_sort:
+                assemblies[side] = self._assemble_side(
+                    chunks, matrix, n_units, k
+                )
 
         return n_units, _SliceTable(
-            stats=SliceStats(s_left, s_right), left=left_table, right=right_table
+            stats=SliceStats(s_left, s_right),
+            left=left_table,
+            right=right_table,
+            left_assembly=assemblies["left"],
+            right_assembly=assemblies["right"],
+        )
+
+    @staticmethod
+    def _assemble_side(
+        chunks: list[tuple[CellSet, list[np.ndarray], np.ndarray, np.ndarray]],
+        counts: np.ndarray,
+        n_units: int,
+        n_nodes: int,
+    ) -> _SideAssembly | None:
+        """Collapse one side's per-node chunks into unit-major arrays.
+
+        One concatenate plus one stable argsort by unit id orders the
+        cells, key columns, and composite keys together; every per-unit
+        and per-(unit, node) structure is then a contiguous slice.
+        Node-major concatenation + a stable sort reproduces exactly the
+        order the per-piece path assembled: ascending node id within a
+        unit, original arrival order within a node.
+        """
+        if not chunks:
+            return None
+        if len(chunks) == 1:
+            all_cells, all_cols, all_keys, all_units = chunks[0]
+        else:
+            all_cells = CellSet.concat([chunk[0] for chunk in chunks])
+            all_cols = [
+                np.concatenate([chunk[1][i] for chunk in chunks])
+                for i in range(len(chunks[0][1]))
+            ]
+            all_keys = np.concatenate([chunk[2] for chunk in chunks])
+            all_units = np.concatenate([chunk[3] for chunk in chunks])
+        order = np.argsort(all_units, kind="stable")
+        sorted_units = all_units[order]
+        bounds = np.searchsorted(sorted_units, np.arange(n_units + 1))
+        piece_offsets = np.zeros(n_units * n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts.ravel(), out=piece_offsets[1:])
+        return _SideAssembly(
+            cells=all_cells.take(order),
+            bounds=bounds,
+            key_cols=[col[order] for col in all_cols],
+            keys=all_keys[order],
+            piece_offsets=piece_offsets,
+            n_nodes=n_nodes,
         )
 
     def _physical_plan(
@@ -744,23 +955,26 @@ class ShuffleJoinExecutor:
         if cached is not None:
             return cached
         stats = slice_table.stats
-        transfers = []
-        s_total = stats.s_total
-        for unit in range(stats.n_units):
-            dest = int(assignment[unit])
-            for node in range(stats.n_nodes):
-                if node != dest and s_total[unit, node]:
-                    transfers.append(
-                        Transfer(
-                            src=node,
-                            dst=dest,
-                            n_cells=int(s_total[unit, node]),
-                            tag=unit,
-                        )
-                    )
-        shuffle = schedule_shuffle(
-            transfers, self.cluster.network, policy=self.shuffle_policy
-        )
+        with self.profiler.phase("alignment"):
+            s_total = stats.s_total
+            moved = s_total != 0
+            moved[np.arange(stats.n_units), assignment] = False
+            units, nodes = np.nonzero(moved)
+            dests = assignment[units]
+            cell_counts = s_total[units, nodes]
+            transfers = [
+                Transfer(src=src, dst=dst, n_cells=n_cells, tag=unit)
+                for src, dst, n_cells, unit in zip(
+                    nodes.tolist(),
+                    dests.tolist(),
+                    cell_counts.tolist(),
+                    units.tolist(),
+                )
+            ]
+        with self.profiler.phase("schedule"):
+            shuffle = schedule_shuffle(
+                transfers, self.cluster.network, policy=self.shuffle_policy
+            )
         map_times = [
             self.sim.slice_map_per_cell
             * (
@@ -876,8 +1090,8 @@ class ShuffleJoinExecutor:
             )
             _, right_keys = slice_table.unit_keys("right", unit, join_schema)
             if algo == "merge":
-                left_order = np.argsort(left_keys, kind="stable")
-                right_order = np.argsort(right_keys, kind="stable")
+                left_order = slice_table.unit_order("left", unit, join_schema)
+                right_order = slice_table.unit_order("right", unit, join_schema)
                 li, ri = match_pairs(
                     "merge", left_keys[left_order], right_keys[right_order]
                 )
@@ -948,6 +1162,9 @@ class PreparedJoin:
     logical_seconds: float
     n_units: int
     slice_table: _SliceTable
+    #: Seconds the planner-independent phases took (logical_plan / stats),
+    #: merged into every execution's report breakdown.
+    prepare_breakdown: dict[str, float] = field(default_factory=dict)
 
     @property
     def stats(self) -> SliceStats:
@@ -972,6 +1189,7 @@ class PreparedJoin:
             planner,
             self.logical_seconds,
             n_workers=n_workers,
+            prepare_breakdown=self.prepare_breakdown,
         )
 
     def compare(self, planners) -> dict[str, JoinResult]:

@@ -1,0 +1,5 @@
+"""Observability helpers: phase profiling for the prepare pipeline."""
+
+from repro.obs.timers import DISABLED_PROFILER, PhaseProfiler
+
+__all__ = ["PhaseProfiler", "DISABLED_PROFILER"]

@@ -1,0 +1,111 @@
+"""Nestable phase timers for the prepare pipeline.
+
+A :class:`PhaseProfiler` accumulates wall-clock time per named phase on a
+monotonic clock. Phases nest: entering ``stats`` inside ``prepare`` records
+under the path ``prepare/stats``. The profiler is deliberately tiny — the
+executor enters a handful of coarse phases per query, so enabled overhead
+is nanoseconds against milliseconds of work — and the disabled path is a
+single attribute check returning a shared no-op context manager, so wiring
+it through hot call sites costs <1% even in tight loops.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class _NoopTimer:
+    """Context manager that does nothing; shared by disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP = _NoopTimer()
+
+
+class _PhaseTimer:
+    """One active span: records elapsed monotonic time on exit."""
+
+    __slots__ = ("_profiler", "_name", "_started")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._profiler._stack.append(self._name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._started
+        profiler = self._profiler
+        path = "/".join(profiler._stack)
+        profiler._stack.pop()
+        profiler.totals[path] = profiler.totals.get(path, 0.0) + elapsed
+        profiler.counts[path] = profiler.counts.get(path, 0) + 1
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock totals keyed by nested path.
+
+    >>> profiler = PhaseProfiler()
+    >>> with profiler.phase("prepare"):
+    ...     with profiler.phase("stats"):
+    ...         pass
+    >>> sorted(profiler.totals)
+    ['prepare', 'prepare/stats']
+    """
+
+    __slots__ = ("enabled", "totals", "counts", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self._stack: list[str] = []
+
+    def phase(self, name: str):
+        """Context manager timing one phase (no-op when disabled)."""
+        if not self.enabled:
+            return _NOOP
+        return _PhaseTimer(self, name)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the accumulated totals, for later :meth:`since` deltas."""
+        return dict(self.totals)
+
+    def since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Per-phase seconds accumulated after ``snapshot`` was taken."""
+        return {
+            path: total - snapshot.get(path, 0.0)
+            for path, total in self.totals.items()
+            if total - snapshot.get(path, 0.0) > 0.0
+        }
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def describe(self) -> str:
+        """Human-readable breakdown, longest phases first."""
+        if not self.totals:
+            return "(no phases recorded)"
+        width = max(len(path) for path in self.totals)
+        lines = [
+            f"{path.ljust(width)}  {total * 1000:9.3f} ms  ×{self.counts[path]}"
+            for path, total in sorted(
+                self.totals.items(), key=lambda item: -item[1]
+            )
+        ]
+        return "\n".join(lines)
+
+
+#: Shared always-off profiler for call sites that want a safe default.
+DISABLED_PROFILER = PhaseProfiler(enabled=False)

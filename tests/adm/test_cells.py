@@ -104,6 +104,73 @@ class TestPartition:
         with pytest.raises(SchemaError):
             make_cells(3).partition(np.array([0, 1]), 2)
 
+    def test_zero_cells(self):
+        cells = CellSet.empty(2, {"v": np.int64})
+        parts = cells.partition(np.empty(0, dtype=np.int64), 3)
+        assert [len(p) for p in parts] == [0, 0, 0]
+        assert all(p.ndims == 2 and p.attr_names == ("v",) for p in parts)
+
+    def test_single_part_identity(self):
+        cells = make_cells(20)
+        (part,) = cells.partition(np.zeros(20, dtype=np.int64), 1)
+        assert part.same_cells(cells)
+
+    def test_all_one_part_skew(self):
+        """Pathological skew: every cell lands in one of many parts."""
+        cells = make_cells(40)
+        parts = cells.partition(np.full(40, 6, dtype=np.int64), 8)
+        assert [len(p) for p in parts] == [0, 0, 0, 0, 0, 0, 40, 0]
+        assert parts[6].same_cells(cells)
+
+    def test_parts_are_views_not_copies(self):
+        """Parts slice one key-sorted copy: no per-part fancy-index
+        copies, so every part is a view into one shared buffer."""
+        cells = make_cells(50)
+        keys = np.arange(50) % 4
+        parts = cells.partition(keys, 4)
+        coord_bases = set()
+        for part in parts:
+            if not len(part):
+                continue
+            assert part.coords.base is not None  # a view, not an owner
+            coord_bases.add(id(part.coords.base))
+            for name, column in part.attrs.items():
+                assert column.base is not None
+        assert len(coord_bases) == 1  # all views into the same sorted copy
+
+    def test_split_sorted_views_cover_input(self):
+        cells = make_cells(30)
+        boundaries = np.array([0, 10, 10, 30])
+        parts = cells.split_sorted(boundaries)
+        assert [len(p) for p in parts] == [10, 0, 20]
+        for part in parts:
+            if len(part):
+                assert np.shares_memory(part.coords, cells.coords)
+
+
+class TestCompositeKey:
+    def test_float32_promoted_to_comparable_bits(self):
+        """float32 columns participate via float64 bit patterns, so equal
+        values compare equal regardless of input width."""
+        narrow = np.array([0.5, -1.25, 3.0], dtype=np.float32)
+        wide = narrow.astype(np.float64)
+        assert np.array_equal(composite_key([narrow]), composite_key([wide]))
+
+    def test_zero_rows(self):
+        key = composite_key([np.empty(0, dtype=np.int64)])
+        assert len(key) == 0
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            composite_key([])
+
+    def test_mixed_columns_distinguish_rows(self):
+        ints = np.array([1, 1, 2])
+        floats = np.array([0.5, 0.25, 0.5], dtype=np.float32)
+        key = composite_key([ints, floats])
+        assert len(np.unique(key)) == 3
+        assert key[0] != key[1]
+
 
 class TestCOrder:
     def test_sort_produces_c_order(self):

@@ -1,0 +1,111 @@
+"""Vectorized planners vs their scalar reference oracles.
+
+The batched Tabu and MBH paths must be bit-for-bit interchangeable with
+the original per-candidate loops: same assignments, same accepted moves,
+same evaluation counts, same final costs — across randomized instance
+shapes and skew levels. The incremental cost bookkeeping Tabu relies on
+(``move_delta`` + ``cost_from_totals``) is checked against full
+``plan_cost`` recomputation after every accepted move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import AnalyticalCostModel, CostParams
+from repro.core.planners.mbh import MinimumBandwidthPlanner
+from repro.core.planners.tabu import TabuPlanner
+from repro.core.slices import SliceStats
+
+PARAMS = CostParams(m=1e-6, b=4e-6, p=1e-6, t=5e-6)
+
+#: Randomized instance grid: (n_units, n_nodes, alpha, seed). Mixes tiny
+#: edge shapes (single node, more nodes than units) with realistic ones.
+INSTANCES = [
+    (1, 1, 1.0, 0),
+    (3, 5, 0.5, 1),
+    (16, 4, 0.0, 2),
+    (48, 4, 1.2, 3),
+    (64, 8, 2.0, 4),
+    (96, 12, 0.8, 5),
+    (128, 6, 1.5, 6),
+]
+
+
+def random_stats(n_units, n_nodes, alpha, seed):
+    gen = np.random.default_rng(seed)
+    sizes = (20_000 / np.arange(1, n_units + 1) ** alpha).astype(np.int64) + 1
+    left = np.zeros((n_units, n_nodes), dtype=np.int64)
+    right = np.zeros((n_units, n_nodes), dtype=np.int64)
+    for i in range(n_units):
+        left[i] = gen.multinomial(sizes[i], gen.dirichlet(np.ones(n_nodes)))
+        right[i] = gen.multinomial(
+            max(sizes[i] // 3, 1), gen.dirichlet(np.ones(n_nodes))
+        )
+    return SliceStats(left, right)
+
+
+@pytest.mark.parametrize("shape", INSTANCES)
+@pytest.mark.parametrize("algorithm", ["hash", "merge"])
+@pytest.mark.parametrize("use_tabu_list", [True, False])
+class TestTabuOracle:
+    def test_identical_to_reference_loop(self, shape, algorithm, use_tabu_list):
+        n_units, n_nodes, alpha, seed = shape
+        model = AnalyticalCostModel(
+            random_stats(n_units, n_nodes, alpha, seed), algorithm, PARAMS
+        )
+        fast, fast_meta = TabuPlanner(
+            use_tabu_list=use_tabu_list, vectorized=True
+        ).assign(model)
+        slow, slow_meta = TabuPlanner(
+            use_tabu_list=use_tabu_list, vectorized=False
+        ).assign(model)
+        assert np.array_equal(fast, slow)
+        assert fast_meta["moves"] == slow_meta["moves"]
+        assert fast_meta["evaluations"] == slow_meta["evaluations"]
+        assert fast_meta["final_cost"] == slow_meta["final_cost"]
+
+
+@pytest.mark.parametrize("shape", INSTANCES)
+class TestMbhOracle:
+    def test_identical_to_reference_loop(self, shape):
+        n_units, n_nodes, alpha, seed = shape
+        model = AnalyticalCostModel(
+            random_stats(n_units, n_nodes, alpha, seed), "hash", PARAMS
+        )
+        fast, fast_meta = MinimumBandwidthPlanner(vectorized=True).assign(model)
+        slow, slow_meta = MinimumBandwidthPlanner(vectorized=False).assign(model)
+        assert np.array_equal(fast, slow)
+        assert fast_meta["cells_moved"] == slow_meta["cells_moved"]
+
+
+class TestIncrementalCostParity:
+    """``move_delta`` + ``cost_from_totals`` vs full ``plan_cost``."""
+
+    @pytest.mark.parametrize("shape", INSTANCES)
+    def test_random_move_walk(self, shape):
+        n_units, n_nodes, alpha, seed = shape
+        if n_nodes < 2:
+            pytest.skip("moves need at least two nodes")
+        stats = random_stats(n_units, n_nodes, alpha, seed)
+        model = AnalyticalCostModel(stats, "hash", PARAMS)
+        gen = np.random.default_rng(seed + 1000)
+        assignment = stats.center_of_gravity()
+        send, recv, compare = model.node_totals(assignment)
+        for _ in range(50):
+            unit = int(gen.integers(n_units))
+            source = int(assignment[unit])
+            target = int(gen.integers(n_nodes))
+            if target == source:
+                continue
+            send, recv, compare = model.move_delta(
+                send, recv, compare, unit, source, target
+            )
+            assignment[unit] = target
+            incremental = model.cost_from_totals(send, recv, compare)
+            full = model.plan_cost(assignment).total_seconds
+            assert incremental == pytest.approx(full, rel=1e-12, abs=1e-15)
+            # The running totals themselves must match a fresh rebuild.
+            f_send, f_recv, f_compare = model.node_totals(assignment)
+            assert np.array_equal(send, f_send)
+            assert np.array_equal(recv, f_recv)
+            np.testing.assert_allclose(compare, f_compare, rtol=1e-9, atol=1e-12)

@@ -92,7 +92,7 @@ class TestSliceMappingConservation:
         n_units, table = executor._slice_mapping(query, join_schema, plan)
         for unit in range(n_units):
             for node in range(cluster.n_nodes):
-                piece = table.left[unit][node]
+                piece = table.piece("left", unit, node)
                 expected = table.stats.s_left[unit, node]
                 assert (0 if piece is None else len(piece)) == expected
 
@@ -143,7 +143,10 @@ class TestFilteredCount:
 class TestSliceTableCaching:
     """Assembly and key derivation are memoised per (side, unit)."""
 
-    def test_assembled_concats_exactly_once(self, setup, monkeypatch):
+    def test_assembled_needs_no_concat(self, setup, monkeypatch):
+        """Single-sort tables serve assembled units as slice views of the
+        side's global unit-major arrays: zero concatenations at assembly
+        time, and the memo returns the identical object on re-access."""
         cluster, executor = setup
         # An attribute join hash-partitions into bucket units, so one
         # unit's cells are spread over several nodes (unlike chunk units,
@@ -152,8 +155,6 @@ class TestSliceTableCaching:
             "SELECT A.v1 FROM A, B WHERE A.v1 = B.v1", join_algo="hash"
         )
         table = prepared.slice_table
-        # A unit whose left side is spread over several nodes actually
-        # needs a concatenation (single-piece units return the piece).
         unit = next(
             u for u in range(table.stats.n_units)
             if (table.stats.s_left[u] > 0).sum() >= 2
@@ -167,10 +168,40 @@ class TestSliceTableCaching:
 
         monkeypatch.setattr(CellSet, "concat", classmethod(counting))
         first = table.assembled("left", unit)
-        assert calls["n"] == 1
+        assert calls["n"] == 0  # contiguous view, not a concatenation
+        assert len(first) == table.stats.s_left[unit].sum()
         second = table.assembled("left", unit)
         assert second is first
-        assert calls["n"] == 1  # memoised: no second concatenation
+        assert calls["n"] == 0
+
+    def test_reference_mapping_matches_single_sort(self, setup):
+        """The pre-vectorization mapping (single_sort=False) must produce
+        the same stats and the same assembled cells per unit — it is the
+        oracle the prepare benchmark races against."""
+        cluster, executor = setup
+        query = "SELECT A.v1 FROM A, B WHERE A.v1 = B.v1"
+        fast = executor.prepare(query, join_algo="hash")
+        executor.single_sort = False
+        try:
+            slow = executor.prepare(query, join_algo="hash")
+        finally:
+            executor.single_sort = True
+        assert np.array_equal(
+            fast.slice_table.stats.s_left, slow.slice_table.stats.s_left
+        )
+        assert np.array_equal(
+            fast.slice_table.stats.s_right, slow.slice_table.stats.s_right
+        )
+        for unit in range(fast.slice_table.stats.n_units):
+            for side in ("left", "right"):
+                a = fast.slice_table.assembled(side, unit)
+                b = slow.slice_table.assembled(side, unit)
+                if a is None or b is None:
+                    assert a is None and b is None
+                    continue
+                assert np.array_equal(a.coords, b.coords)
+                for name in a.attrs:
+                    assert np.array_equal(a.attrs[name], b.attrs[name])
 
     def test_unit_keys_cached(self, setup):
         cluster, executor = setup
@@ -190,6 +221,56 @@ class TestSliceTableCaching:
         )
         assert keys_second is keys_first
         assert all(a is b for a, b in zip(cols_first, cols_second))
+
+    def test_planner_switch_reuses_assembly_and_keys(self, setup, monkeypatch):
+        """Re-planning a prepared join with a different physical planner
+        must not re-partition: no concatenations and no composite-key
+        derivations happen during the second execution — every per-unit
+        structure comes out of the slice table's caches."""
+        cluster, executor = setup
+        prepared = executor.prepare(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        first = prepared.execute("mbh")
+
+        concats = {"n": 0}
+        original_concat = CellSet.concat
+
+        def counting_concat(cls, parts):
+            concats["n"] += 1
+            return original_concat(parts)
+
+        monkeypatch.setattr(CellSet, "concat", classmethod(counting_concat))
+
+        import repro.engine.executor as executor_mod
+
+        keys = {"n": 0}
+        original_key = executor_mod.composite_key
+
+        def counting_key(columns):
+            keys["n"] += 1
+            return original_key(columns)
+
+        monkeypatch.setattr(executor_mod, "composite_key", counting_key)
+
+        second = prepared.execute("tabu")
+        assert concats["n"] == 0
+        assert keys["n"] == 0
+        assert second.cells.same_cells(first.cells)
+
+    def test_unit_order_cached(self, setup):
+        cluster, executor = setup
+        prepared = executor.prepare(
+            "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+        )
+        table = prepared.slice_table
+        unit = next(
+            u for u in range(table.stats.n_units)
+            if table.stats.left_unit_totals[u]
+        )
+        first = table.unit_order("left", unit, prepared.join_schema)
+        second = table.unit_order("left", unit, prepared.join_schema)
+        assert second is first
 
     def test_repeated_execution_reuses_assembly(self, setup, monkeypatch):
         """Executing a prepared join again — serial or parallel — must not

@@ -1,0 +1,115 @@
+"""Unit tests for the nestable phase profiler."""
+
+import time
+
+from repro.obs import DISABLED_PROFILER, PhaseProfiler
+
+
+class TestPaths:
+    def test_flat_phase_recorded(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("stats"):
+            pass
+        assert list(profiler.totals) == ["stats"]
+        assert profiler.counts["stats"] == 1
+        assert profiler.totals["stats"] >= 0.0
+
+    def test_nested_phases_join_with_slash(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("prepare"):
+            with profiler.phase("stats"):
+                pass
+            with profiler.phase("alignment"):
+                with profiler.phase("schedule"):
+                    pass
+        assert sorted(profiler.totals) == [
+            "prepare",
+            "prepare/alignment",
+            "prepare/alignment/schedule",
+            "prepare/stats",
+        ]
+
+    def test_repeated_phases_accumulate(self):
+        profiler = PhaseProfiler()
+        for _ in range(3):
+            with profiler.phase("stats"):
+                pass
+        assert profiler.counts["stats"] == 3
+
+    def test_outer_phase_covers_inner(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                time.sleep(0.002)
+        assert profiler.totals["outer"] >= profiler.totals["outer/inner"]
+
+    def test_exception_still_records_and_pops(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert profiler.counts["boom"] == 1
+        with profiler.phase("after"):
+            pass
+        assert "after" in profiler.totals  # stack popped, not "boom/after"
+
+
+class TestSnapshots:
+    def test_since_returns_positive_deltas_only(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("warm"):
+            pass
+        snapshot = profiler.snapshot()
+        with profiler.phase("fresh"):
+            pass
+        delta = profiler.since(snapshot)
+        assert "fresh" in delta
+        assert "warm" not in delta
+
+    def test_reset_clears(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("x"):
+            pass
+        profiler.reset()
+        assert profiler.totals == {}
+        assert profiler.counts == {}
+
+    def test_describe_mentions_each_path(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            with profiler.phase("b"):
+                pass
+        text = profiler.describe()
+        assert "a/b" in text
+        assert PhaseProfiler().describe() == "(no phases recorded)"
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        profiler = PhaseProfiler(enabled=False)
+        with profiler.phase("stats"):
+            pass
+        assert profiler.totals == {}
+
+    def test_disabled_returns_shared_noop(self):
+        """The disabled path allocates nothing: every call hands back the
+        same no-op context manager (the <1%-overhead guarantee)."""
+        profiler = PhaseProfiler(enabled=False)
+        assert profiler.phase("a") is profiler.phase("b")
+        assert profiler.phase("a") is DISABLED_PROFILER.phase("c")
+
+    def test_disabled_overhead_is_negligible(self):
+        """Entering a disabled phase must cost well under a microsecond —
+        threaded through the executor it adds <1% to any real query. The
+        bound is deliberately loose (20x the typical cost) to stay robust
+        on noisy shared CI machines."""
+        profiler = PhaseProfiler(enabled=False)
+        n = 100_000
+        started = time.perf_counter()
+        for _ in range(n):
+            with profiler.phase("hot"):
+                pass
+        per_call = (time.perf_counter() - started) / n
+        assert per_call < 5e-6
