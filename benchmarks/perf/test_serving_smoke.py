@@ -1,0 +1,63 @@
+"""Smoke test for the repeated-query serving benchmark.
+
+Runs the serving harness at a fraction of benchmark scale on every CI
+run, asserting the properties the full BENCH_PR3 artifact certifies:
+the first execution is a cold miss, every repeat is a warm hit, warm
+and cache-disabled outputs are byte-identical to cold, the assignment
+is the very same plan, and the warm planning portion (one cache
+lookup) undercuts the cold planning portion by a wide margin.  The
+end-to-end speedup is *not* asserted — at smoke scale the compare
+phase can dominate — but the planning-time gap is scale-independent.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import run_serving_bench, write_results
+
+
+@pytest.fixture(scope="module")
+def serving_result():
+    return run_serving_bench(
+        workload="fig8_hash_skew",
+        planner="tabu",
+        cells_per_array=20_000,
+        n_nodes=6,
+        repeats=3,
+        seed=3,
+        cache_capacity=8,
+    )
+
+
+def test_serving_correctness(serving_result):
+    assert serving_result.warm_identical
+    assert serving_result.nocache_identical
+    assert serving_result.assignments_identical
+    assert serving_result.cache["misses"] == 1
+    assert serving_result.cache["hits"] == serving_result.repeats
+    assert serving_result.cache["entries"] == 1
+
+
+def test_warm_planning_beats_cold_planning(serving_result):
+    # cold planning runs stats + logical + physical + schedule; warm
+    # planning is one dict lookup.  Even on a noisy CI box the gap is
+    # orders of magnitude — 5x is a deliberately generous floor.
+    assert serving_result.cold_plan_seconds > 0
+    assert serving_result.warm_plan_seconds < (
+        serving_result.cold_plan_seconds / 5
+    )
+
+
+def test_serving_json_roundtrip(serving_result, tmp_path):
+    out = tmp_path / "bench.json"
+    write_results([], str(out), serving_results=[serving_result])
+    payload = json.loads(out.read_text())
+    # skipped sections are omitted entirely, not written as empty lists
+    assert "results" not in payload
+    assert "prepare" not in payload
+    assert "planner_stress" not in payload
+    (entry,) = payload["serving"]
+    assert entry["workload"] == "fig8_hash_skew"
+    assert entry["speedup"] > 0
+    assert entry["cache"]["hits"] == serving_result.repeats

@@ -24,6 +24,10 @@ class LocalArray:
     def __init__(self, schema: ArraySchema, chunks: Mapping[int, Chunk] | None = None):
         self.schema = schema
         self.chunks: dict[int, Chunk] = dict(chunks or {})
+        #: storage-level write counter: bumped on every chunk insertion,
+        #: so higher layers (plan fingerprints, integrity checks) can
+        #: detect writes that bypass the catalog's version bookkeeping
+        self.mutation_count = 0
         for chunk in self.chunks.values():
             chunk.validate_against(schema)
 
@@ -102,6 +106,7 @@ class LocalArray:
     def put_chunk(self, chunk: Chunk) -> None:
         """Insert or merge a chunk into this instance's store."""
         chunk.validate_against(self.schema)
+        self.mutation_count += 1
         existing = self.chunks.get(chunk.chunk_id)
         if existing is None:
             self.chunks[chunk.chunk_id] = chunk

@@ -55,8 +55,14 @@ def build_workload(
     n_nodes: int = 12,
     alpha: float = 1.0,
     seed: int = 0,
+    plan_cache_size: int = 0,
 ) -> tuple[ShuffleJoinExecutor, str, str]:
-    """Construct one skew workload's executor and pinned query."""
+    """Construct one skew workload's executor and pinned query.
+
+    ``plan_cache_size`` > 0 equips the executor with a warm-path plan
+    cache (used by the ``--serving`` repeated-query mode); the default
+    keeps it off so the planning-cost benchmarks measure planning.
+    """
     if name == "fig8_hash_skew":
         array_a, array_b = skewed_hash_pair(
             alpha, cells_per_array=cells_per_array, seed=seed
@@ -65,7 +71,8 @@ def build_workload(
             [array_a, array_b], n_nodes, seed=seed, placement="block"
         )
         executor = ShuffleJoinExecutor(
-            cluster, selectivity_hint=0.0001, n_buckets=1024
+            cluster, selectivity_hint=0.0001, n_buckets=1024,
+            plan_cache_size=plan_cache_size,
         )
         return executor, HASH_QUERY, "hash"
     if name == "fig7_merge_skew":
@@ -73,7 +80,10 @@ def build_workload(
             alpha, cells_per_array=cells_per_array, seed=seed
         )
         cluster = make_cluster([array_a, array_b], n_nodes, seed=seed)
-        executor = ShuffleJoinExecutor(cluster, selectivity_hint=0.25)
+        executor = ShuffleJoinExecutor(
+            cluster, selectivity_hint=0.25,
+            plan_cache_size=plan_cache_size,
+        )
         return executor, MERGE_QUERY, "merge"
     raise ValueError(f"unknown workload {name!r}; choose from {WORKLOADS}")
 
@@ -417,20 +427,164 @@ def run_planner_stress(
     )
 
 
+@dataclass
+class ServingResult:
+    """Cold-vs-warm latency of one repeated-query serving workload.
+
+    "Cold" is the first ``execute`` of the query — plan-cache miss, so
+    it pays logical planning, slice mapping, physical assignment, and
+    the shuffle-schedule simulation before any cell is compared.
+    "Warm" executions hit the fingerprinted plan cache and skip straight
+    from lookup to cell comparison. Both are full wall-clock latencies
+    of the same query returning the same (byte-identical) result.
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    n_nodes: int
+    cells_per_array: int
+    n_units: int
+    alpha: float
+    n_workers: int | None
+    repeats: int
+    cache_capacity: int
+    cpu_count: int
+    platform: str
+    #: prepare-inclusive latencies (seconds)
+    cold_seconds: float
+    warm_seconds: float
+    warm_mean_seconds: float
+    warm_samples: list[float]
+    speedup: float
+    #: warm repeated-query throughput
+    queries_per_second: float
+    #: planning-only portions (cold: logical+physical; warm: cache lookup)
+    cold_plan_seconds: float
+    warm_plan_seconds: float
+    #: hit/miss/eviction counters after the run
+    cache: dict
+    warm_identical: bool
+    nocache_identical: bool
+    assignments_identical: bool
+
+
+def run_serving_bench(
+    workload: str = "fig8_hash_skew",
+    planner: str = "tabu",
+    n_workers: int | None = None,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    repeats: int = 15,
+    seed: int = 0,
+    cache_capacity: int = 32,
+) -> ServingResult:
+    """Measure cold-vs-warm latency of one repeatedly issued query.
+
+    Every execution goes through the public ``execute`` entry point —
+    the serving path a deployment would take — so the cold sample is a
+    genuine first-query latency and the warm samples are genuine
+    repeat-query latencies, correctness included: the warm outputs and
+    a cache-disabled rerun must be byte-identical to the cold output,
+    and the join-unit assignment must be the very same plan.
+    """
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+        plan_cache_size=cache_capacity,
+    )
+
+    started = time.perf_counter()
+    cold = executor.execute(
+        query, planner=planner, join_algo=join_algo, n_workers=n_workers
+    )
+    cold_seconds = time.perf_counter() - started
+    if cold.report.cache.get("status") != "miss":
+        raise RuntimeError("first serving execution must be a cache miss")
+
+    warm_samples: list[float] = []
+    warm = cold
+    for _ in range(repeats):
+        started = time.perf_counter()
+        warm = executor.execute(
+            query, planner=planner, join_algo=join_algo, n_workers=n_workers
+        )
+        warm_samples.append(time.perf_counter() - started)
+        if warm.report.cache.get("status") != "hit":
+            raise RuntimeError("repeated serving execution must be a cache hit")
+
+    nocache = executor.execute(
+        query, planner=planner, join_algo=join_algo, n_workers=n_workers,
+        use_cache=False,
+    )
+
+    cold_bytes = sorted_cell_bytes(cold)
+    warm_best = min(warm_samples)
+    warm_mean = sum(warm_samples) / len(warm_samples)
+    return ServingResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        n_nodes=n_nodes,
+        cells_per_array=cells_per_array,
+        n_units=cold.report.n_units,
+        alpha=alpha,
+        n_workers=n_workers,
+        repeats=repeats,
+        cache_capacity=cache_capacity,
+        cpu_count=os.cpu_count() or 1,
+        platform=platform.platform(),
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_best,
+        warm_mean_seconds=warm_mean,
+        warm_samples=warm_samples,
+        speedup=cold_seconds / warm_best if warm_best else float("inf"),
+        queries_per_second=len(warm_samples) / sum(warm_samples),
+        cold_plan_seconds=cold.report.plan_seconds,
+        warm_plan_seconds=warm.report.plan_seconds,
+        cache=dict(executor.plan_cache.stats()),
+        warm_identical=sorted_cell_bytes(warm) == cold_bytes,
+        nocache_identical=sorted_cell_bytes(nocache) == cold_bytes,
+        assignments_identical=bool(
+            np.array_equal(
+                cold.physical_plan.assignment, warm.physical_plan.assignment
+            )
+            and np.array_equal(
+                cold.physical_plan.assignment, nocache.physical_plan.assignment
+            )
+        ),
+    )
+
+
 def write_results(
     results: list[WallclockResult],
     path: str,
     prepare_results: list[PrepareResult] | None = None,
     stress_result: StressResult | None = None,
+    serving_results: "list[ServingResult] | None" = None,
 ) -> None:
-    payload = {
-        "benchmark": "parallel join-unit engine, serial vs worker pool",
-        "results": [vars(result) for result in results],
+    """Serialise whatever sections actually ran.
+
+    Sections that were skipped (``--skip-exec``, no ``--prepare``, ...)
+    are omitted entirely rather than serialised as empty placeholders,
+    so a reader of the JSON can distinguish "not run" from "ran and
+    found nothing".
+    """
+    payload: dict = {
+        "benchmark": "wall-clock join engine benchmarks",
     }
+    if results:
+        payload["results"] = [vars(result) for result in results]
     if prepare_results:
         payload["prepare"] = [vars(result) for result in prepare_results]
     if stress_result is not None:
         payload["planner_stress"] = vars(stress_result)
+    if serving_results:
+        payload["serving"] = [vars(result) for result in serving_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -469,6 +623,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stress-units", type=int, default=8192)
     parser.add_argument("--stress-nodes", type=int, default=16)
     parser.add_argument("--stress-alpha", type=float, default=1.1)
+    parser.add_argument(
+        "--serving", action="store_true",
+        help="repeated-query serving mode: cold vs warm (plan-cached) latency",
+    )
+    parser.add_argument(
+        "--serving-repeats", type=int, default=15,
+        help="warm executions per serving workload",
+    )
+    parser.add_argument(
+        "--serving-planner", default="tabu",
+        help="physical planner for the serving workloads",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=32,
+        help="plan-cache LRU capacity for the serving mode",
+    )
     args = parser.parse_args(argv)
 
     def _print_breakdown(breakdown: dict[str, float]) -> None:
@@ -539,11 +709,36 @@ def main(argv: list[str] | None = None) -> int:
             f"identical={stress_result.assignments_identical}"
         )
 
+    serving_results = []
+    if args.serving:
+        for workload in args.workload or list(WORKLOADS):
+            serving = run_serving_bench(
+                workload=workload,
+                planner=args.serving_planner,
+                n_workers=args.workers if args.workers > 1 else None,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                repeats=args.serving_repeats,
+                seed=args.seed,
+                cache_capacity=args.cache_capacity,
+            )
+            serving_results.append(serving)
+            print(
+                f"{serving.workload} serving [{serving.planner}/"
+                f"{serving.join_algo}] cold {serving.cold_seconds:.3f}s vs "
+                f"warm {serving.warm_seconds:.3f}s -> "
+                f"{serving.speedup:.2f}x, {serving.queries_per_second:.1f} q/s; "
+                f"identical={serving.warm_identical and serving.nocache_identical} "
+                f"cache={serving.cache}"
+            )
+
     if args.out:
         write_results(
             results, args.out,
             prepare_results=prepare_results or None,
             stress_result=stress_result,
+            serving_results=serving_results or None,
         )
         print(f"wrote {args.out}")
     return 0

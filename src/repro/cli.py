@@ -92,10 +92,19 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    from repro.query.aql import JoinQuery, MultiJoinQuery
+    from repro.query.ddl import parse_statement
+
     session = _demo_session(n_nodes=args.nodes, n_workers=args.workers)
     for statement in args.statements:
         print(f">>> {statement}")
-        result = session.execute(statement, planner=args.planner)
+        # --planner applies to join statements only; Session rejects
+        # options on statements that cannot honour them.
+        is_join = isinstance(
+            parse_statement(statement), (JoinQuery, MultiJoinQuery)
+        )
+        options = {"planner": args.planner} if is_join else {}
+        result = session.execute(statement, **options)
         if result is None:
             print("ok")
         elif hasattr(result, "report"):
@@ -126,6 +135,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--stress-units", str(args.stress_units),
         "--stress-nodes", str(args.stress_nodes),
         "--stress-alpha", str(args.stress_alpha),
+        "--serving-repeats", str(args.serving_repeats),
+        "--serving-planner", args.serving_planner,
+        "--cache-capacity", str(args.cache_capacity),
     ]
     if args.out:
         forwarded += ["--out", args.out]
@@ -135,6 +147,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--prepare")
     if args.stress:
         forwarded.append("--stress")
+    if args.serving:
+        forwarded.append("--serving")
     return wallclock_main(forwarded)
 
 
@@ -206,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--stress-units", type=int, default=8192)
     bench.add_argument("--stress-nodes", type=int, default=16)
     bench.add_argument("--stress-alpha", type=float, default=1.1)
+    bench.add_argument(
+        "--serving", action="store_true",
+        help="repeated-query serving mode: cold vs warm (plan-cached) latency",
+    )
+    bench.add_argument("--serving-repeats", type=int, default=15)
+    bench.add_argument("--serving-planner", default="tabu")
+    bench.add_argument("--cache-capacity", type=int, default=32)
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -39,8 +39,13 @@ class ArrayEntry:
     #: exactly one node in the base storage layout; join-time slices are a
     #: temporary reorganisation and are not recorded here.
     chunk_locations: dict[int, int] = field(default_factory=dict)
-    #: bumped on every data load; invalidates cached statistics
+    #: bumped on every data load; invalidates cached statistics and, via
+    #: the plan fingerprint, cached query plans
     version: int = 0
+    #: catalog-unique incarnation id, fresh per CREATE — so dropping and
+    #: recreating an array under the same name can never alias the old
+    #: incarnation's (name, version) in a plan fingerprint
+    uid: int = 0
     statistics: ArrayStatistics | None = None
 
     @property
@@ -66,11 +71,13 @@ class SystemCatalog:
 
     def __init__(self) -> None:
         self._arrays: dict[str, ArrayEntry] = {}
+        self._uid_clock = 0
 
     def register(self, schema: ArraySchema) -> ArrayEntry:
         if schema.name in self._arrays:
             raise CatalogError(f"array {schema.name!r} already exists")
-        entry = ArrayEntry(schema=schema)
+        self._uid_clock += 1
+        entry = ArrayEntry(schema=schema, uid=self._uid_clock)
         self._arrays[schema.name] = entry
         return entry
 
@@ -93,6 +100,16 @@ class SystemCatalog:
 
     def array_names(self) -> list[str]:
         return sorted(self._arrays)
+
+    def version_token(self, name: str) -> tuple[int, int]:
+        """One array's (incarnation uid, data version) pair.
+
+        The pair changes whenever the array's contents could have: loads,
+        rebalances, and restores bump ``version``; DROP + CREATE starts a
+        new incarnation with a fresh ``uid``. Plan fingerprints embed it.
+        """
+        entry = self.entry(name)
+        return (entry.uid, entry.version)
 
     def record_chunk(self, array_name: str, chunk_id: int, node_id: int) -> None:
         self.entry(array_name).chunk_locations[chunk_id] = node_id

@@ -229,6 +229,21 @@ class Cluster:
     def array_cell_count(self, name: str) -> int:
         return sum(node.local_cell_count(name) for node in self.nodes)
 
+    def array_version(self, name: str) -> tuple[int, int]:
+        """The catalog's (incarnation uid, data version) for one array."""
+        return self.catalog.version_token(name)
+
+    def storage_epoch(self, name: str) -> int:
+        """Summed storage-level write counters across all node partitions.
+
+        Complements the catalog version: a write that reaches a node's
+        local store without going through the catalog (direct
+        ``node.put_chunk`` in tests or tooling) still advances the
+        epoch, so plan fingerprints embedding it can never serve a
+        cached plan over silently mutated storage.
+        """
+        return sum(node.local_mutation_count(name) for node in self.nodes)
+
     def node_cell_counts(self, name: str) -> np.ndarray:
         """Cells of one array per node, as a length-k vector."""
         return np.array(

@@ -51,6 +51,12 @@ class Node:
             return 0
         return self.store(array_name).n_cells
 
+    def local_mutation_count(self, array_name: str) -> int:
+        """Storage-level write counter of this node's partition (0 if none)."""
+        if not self.has_array(array_name):
+            return 0
+        return self.store(array_name).mutation_count
+
     def local_chunk_sizes(self, array_name: str) -> dict[int, int]:
         """Chunk-id → cell-count map for this node's partition."""
         if not self.has_array(array_name):

@@ -43,6 +43,8 @@ from repro.errors import ExecutionError, PlanningError
 from repro.obs.timers import PhaseProfiler
 from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery, parse_aql
 from repro.query.afl import apply_filter
+from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.fingerprint import Fingerprint, plan_fingerprint
 
 
 @dataclass
@@ -75,9 +77,13 @@ class ExecutionReport:
     cells_sent: dict[int, int] = field(default_factory=dict)
     cells_received: dict[int, int] = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
-    #: Wall-clock seconds per prepare stage (logical_plan / stats /
-    #: physical_assign / alignment / schedule), from the phase profiler.
+    #: Wall-clock seconds per prepare stage (cache_lookup / logical_plan /
+    #: stats / physical_assign / alignment / schedule), from the profiler.
     prepare_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Plan-cache outcome for this query: ``status`` (hit/miss) and
+    #: fingerprint plus the cache's cumulative hit/miss/eviction counters.
+    #: Empty when the executor runs without a plan cache.
+    cache: dict = field(default_factory=dict)
 
     @property
     def execute_seconds(self) -> float:
@@ -102,6 +108,16 @@ class ExecutionReport:
                 for stage, seconds in self.prepare_breakdown.items()
             )
             text += f"\n  prepare: {stages}"
+        if self.cache:
+            counters = " ".join(
+                f"{name}={self.cache[name]}"
+                for name in ("hits", "misses", "evictions", "entries")
+                if name in self.cache
+            )
+            text += (
+                f"\n  plan cache: {self.cache.get('status', '?')} "
+                f"[{self.cache.get('fingerprint', '?')}] {counters}"
+            )
         return text
 
 
@@ -137,6 +153,10 @@ class ExplainReport:
     candidates: list[tuple[str, float]]
     physical: PhysicalPlan | None = None
     n_units: int | None = None
+    #: Plan-cache outcome of the lookup explain performed (``"hit"`` /
+    #: ``"miss"``), or None when the executor runs without a plan cache.
+    cache_status: str | None = None
+    cache_fingerprint: str | None = None
 
     def describe(self) -> str:
         lines = [
@@ -153,6 +173,11 @@ class ExplainReport:
             lines.append(
                 f"physical:    {self.physical.describe()} "
                 f"over {self.n_units} join units"
+            )
+        if self.cache_status is not None:
+            lines.append(
+                f"plan cache:  {self.cache_status} "
+                f"[{self.cache_fingerprint or '?'}]"
             )
         return "\n".join(lines)
 
@@ -341,9 +366,19 @@ class ShuffleJoinExecutor:
         parallel_mode: str = "thread",
         profiler: PhaseProfiler | None = None,
         single_sort: bool = True,
+        plan_cache: PlanCache | None = None,
+        plan_cache_size: int = 0,
     ):
         self.cluster = cluster
         self.shuffle_policy = shuffle_policy
+        # Warm-path serving: a bounded LRU of prepared plans keyed by
+        # content fingerprints (see repro.serve). Off by default at the
+        # executor level so benchmark/experiment harnesses measuring
+        # planning cost keep measuring it; Session turns it on.
+        if plan_cache is not None:
+            self.plan_cache: PlanCache | None = plan_cache
+        else:
+            self.plan_cache = PlanCache(plan_cache_size) if plan_cache_size else None
         # ``single_sort=False`` replays the pre-vectorization slice
         # mapping (one partition sort per structure, per-unit key
         # re-derivation at match time). Kept as the reference arm for
@@ -384,6 +419,7 @@ class ShuffleJoinExecutor:
         join_algo: str | None = None,
         store_result: bool = False,
         n_workers: int | None = None,
+        use_cache: bool | None = None,
     ) -> JoinResult:
         """Run a join query end to end.
 
@@ -392,6 +428,9 @@ class ShuffleJoinExecutor:
         to one join algorithm (as the Figure 5/6 experiments do);
         otherwise Algorithm 1 picks the cheapest. ``n_workers`` overrides
         the executor's worker-pool size for this query only.
+        ``use_cache=False`` bypasses the plan cache for this query
+        (both lookup and population); the default uses the cache
+        whenever the executor has one.
         """
         if isinstance(query, str):
             parsed = parse_aql(query)
@@ -416,7 +455,9 @@ class ShuffleJoinExecutor:
             ):
                 self.cluster.load_array(result.array)
             return result
-        result = self._execute_join(parsed, planner, join_algo, n_workers)
+        result = self._execute_join(
+            parsed, planner, join_algo, n_workers, use_cache=use_cache
+        )
         if store_result and not self.cluster.catalog.exists(result.array.schema.name):
             self.cluster.load_array(result.array)
         return result
@@ -464,13 +505,36 @@ class ShuffleJoinExecutor:
 
         physical_plan = None
         n_units = None
+        cache_status = None
+        cache_fingerprint = None
         if planner is not None and self.cluster.n_nodes > 1:
-            n_units, slice_table = self._slice_mapping(
-                parsed, join_schema, chosen
-            )
-            _, physical_plan, _ = self._physical_plan(
-                slice_table.stats, chosen, planner
-            )
+            entry = None
+            if self.plan_cache is not None:
+                with self.profiler.phase("cache_lookup"):
+                    fingerprint = self._plan_fingerprint(
+                        parsed, planner, join_algo
+                    )
+                    entry = self.plan_cache.get(fingerprint)
+                # Read-only consult: explain never populates the cache
+                # (its logical phase ignores pushdown-filtered counts,
+                # so a stored plan could diverge from an executed one),
+                # and a hit must agree with the plan shown above.
+                if entry is not None and (
+                    entry.logical_plan.join_algo != chosen.join_algo
+                ):
+                    entry = None
+                cache_status = "hit" if entry is not None else "miss"
+                cache_fingerprint = fingerprint.short
+            if entry is not None:
+                n_units = entry.n_units
+                physical_plan = entry.physical_plan
+            else:
+                n_units, slice_table = self._slice_mapping(
+                    parsed, join_schema, chosen
+                )
+                _, physical_plan, _ = self._physical_plan(
+                    slice_table.stats, chosen, planner
+                )
         return ExplainReport(
             query=query if isinstance(query, str) else str(query),
             destination=destination.to_literal(),
@@ -480,6 +544,8 @@ class ShuffleJoinExecutor:
             candidates=candidates,
             physical=physical_plan,
             n_units=n_units,
+            cache_status=cache_status,
+            cache_fingerprint=cache_fingerprint,
         )
 
     def execute_filter(self, query: str | FilterQuery) -> LocalArray:
@@ -568,13 +634,78 @@ class ShuffleJoinExecutor:
             logical_plan = logical_planner.plan_named(join_algo)
         return join_schema, logical_plan
 
+    def _plan_fingerprint(
+        self, query: JoinQuery, planner: str, join_algo: str | None
+    ) -> Fingerprint:
+        """Content fingerprint of one (query, data, cluster, options)."""
+        options = {
+            "n_buckets": self.n_buckets,
+            "selectivity_hint": self.selectivity_hint,
+            "shuffle_policy": self.shuffle_policy,
+            "single_sort": self.single_sort,
+            "tabu_max_rounds": self.tabu_max_rounds,
+            "ilp_time_budget_s": self.ilp_time_budget_s,
+            "cost": self.cost,
+            "sim": self.sim,
+        }
+        return plan_fingerprint(query, self.cluster, planner, join_algo, options)
+
+    def invalidate_cached_plans(self, array_name: str | None = None) -> int:
+        """Purge cached plans reading one array (or all); returns count.
+
+        Fingerprint versioning already prevents stale hits; eager
+        purging (used by DROP ARRAY) just frees the LRU slots early.
+        """
+        if self.plan_cache is None:
+            return 0
+        if array_name is None:
+            dropped = len(self.plan_cache)
+            self.plan_cache.clear()
+            return dropped
+        return self.plan_cache.invalidate_array(array_name)
+
     def _execute_join(
         self,
         query: JoinQuery,
         planner_name: str,
         join_algo: str | None,
         n_workers: int | None = None,
+        use_cache: bool | None = None,
     ) -> JoinResult:
+        # ---- plan-cache lookup (timed) ----
+        cache = self.plan_cache if use_cache is not False else None
+        cache_info: dict = {}
+        entry = None
+        fingerprint = None
+        lookup_seconds = 0.0
+        if cache is not None:
+            lookup_started = time.perf_counter()
+            with self.profiler.phase("cache_lookup"):
+                fingerprint = self._plan_fingerprint(
+                    query, planner_name, join_algo
+                )
+                entry = cache.get(fingerprint)
+            lookup_seconds = time.perf_counter() - lookup_started
+            cache_info = {
+                "status": "hit" if entry is not None else "miss",
+                "fingerprint": fingerprint.short,
+                **cache.stats(),
+            }
+
+        if entry is not None:
+            # Warm path: every prepare artifact — logical plan, slice
+            # statistics and assemblies, physical assignment, shuffle
+            # schedule (in the slice table's alignment cache) — is
+            # served from the entry; only cell comparison re-runs.
+            return self._run_physical(
+                query, entry.join_schema, entry.logical_plan,
+                entry.n_units, entry.slice_table, planner_name,
+                lookup_seconds, n_workers=n_workers,
+                prepare_breakdown={"cache_lookup": lookup_seconds},
+                physical=(entry.assignment, entry.physical_plan),
+                cache_info=cache_info,
+            )
+
         # ---- logical planning (timed) ----
         snapshot = self.profiler.snapshot()
         plan_started = time.perf_counter()
@@ -588,11 +719,33 @@ class ShuffleJoinExecutor:
                 query, join_schema, logical_plan
             )
 
-        return self._run_physical(
+        breakdown = self.profiler.since(snapshot)
+        if cache is not None:
+            breakdown = {"cache_lookup": lookup_seconds, **breakdown}
+        result = self._run_physical(
             query, join_schema, logical_plan, n_units, slice_table,
-            planner_name, logical_seconds, n_workers=n_workers,
-            prepare_breakdown=self.profiler.since(snapshot),
+            planner_name, logical_seconds + lookup_seconds,
+            n_workers=n_workers, prepare_breakdown=breakdown,
+            cache_info=cache_info,
         )
+        if cache is not None:
+            assignment = (
+                result.physical_plan.assignment
+                if result.physical_plan is not None
+                else np.zeros(n_units, dtype=np.int64)
+            )
+            cache.put(CachedPlan(
+                join_schema=join_schema,
+                logical_plan=logical_plan,
+                n_units=n_units,
+                slice_table=slice_table,
+                assignment=assignment,
+                physical_plan=result.physical_plan,
+                arrays=(query.left, query.right),
+                fingerprint=fingerprint,
+                prepare_breakdown=dict(result.report.prepare_breakdown),
+            ))
+        return result
 
     def _run_physical(
         self,
@@ -605,15 +758,22 @@ class ShuffleJoinExecutor:
         logical_seconds: float,
         n_workers: int | None = None,
         prepare_breakdown: dict[str, float] | None = None,
+        physical: tuple[np.ndarray, PhysicalPlan | None] | None = None,
+        cache_info: dict | None = None,
     ) -> JoinResult:
         snapshot = self.profiler.snapshot()
-        # ---- physical planning (timed) ----
-        physical_started = time.perf_counter()
-        with self.profiler.phase("physical_assign"):
-            assignment, physical_plan, model = self._physical_plan(
-                slice_table.stats, logical_plan, planner_name
-            )
-        physical_seconds = time.perf_counter() - physical_started
+        # ---- physical planning (timed; skipped when a cached plan's
+        # assignment is handed in) ----
+        if physical is not None:
+            assignment, physical_plan = physical
+            physical_seconds = 0.0
+        else:
+            physical_started = time.perf_counter()
+            with self.profiler.phase("physical_assign"):
+                assignment, physical_plan, _model = self._physical_plan(
+                    slice_table.stats, logical_plan, planner_name
+                )
+            physical_seconds = time.perf_counter() - physical_started
 
         # ---- data alignment (simulated) ----
         align_seconds, shuffle = self._data_alignment(
@@ -654,6 +814,7 @@ class ShuffleJoinExecutor:
                 **(prepare_breakdown or {}),
                 **self.profiler.since(snapshot),
             },
+            cache=dict(cache_info or {}),
         )
         output_array = LocalArray.from_cells(join_schema.destination, output_cells)
         return JoinResult(

@@ -1,5 +1,6 @@
-"""Observability helpers: phase profiling for the prepare pipeline."""
+"""Observability helpers: phase profiling and serving-path counters."""
 
+from repro.obs.counters import CounterSet
 from repro.obs.timers import DISABLED_PROFILER, PhaseProfiler
 
-__all__ = ["PhaseProfiler", "DISABLED_PROFILER"]
+__all__ = ["PhaseProfiler", "DISABLED_PROFILER", "CounterSet"]

@@ -1,0 +1,51 @@
+"""Named monotonic counters for serving-path observability.
+
+A :class:`CounterSet` is the counting sibling of
+:class:`repro.obs.timers.PhaseProfiler`: where the profiler accumulates
+wall-clock seconds per phase, a counter set accumulates event counts per
+name (cache hits, misses, evictions, invalidations). Like the profiler
+it is deliberately tiny — a dict of ints behind increment/snapshot — so
+it can sit on the warm query path at negligible cost.
+"""
+
+from __future__ import annotations
+
+
+class CounterSet:
+    """Accumulates named event counts.
+
+    >>> counters = CounterSet()
+    >>> counters.increment("hits")
+    >>> counters.increment("misses", 2)
+    >>> counters.snapshot()
+    {'hits': 1, 'misses': 2}
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def value(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the current counts (stable key order: first increment)."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def describe(self) -> str:
+        """Human-readable one-liner: ``hits=3 misses=1 evictions=0``."""
+        if not self._counts:
+            return "(no events recorded)"
+        return " ".join(
+            f"{name}={count}" for name, count in sorted(self._counts.items())
+        )
+
+
+__all__ = ["CounterSet"]

@@ -1,0 +1,22 @@
+"""Warm-path query serving: fingerprinted plan/statistics caching.
+
+See :mod:`repro.serve.cache` for the bounded-LRU :class:`PlanCache` and
+:mod:`repro.serve.fingerprint` for the content fingerprints that key it.
+"""
+
+from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.fingerprint import (
+    Fingerprint,
+    array_token,
+    canonical_query,
+    plan_fingerprint,
+)
+
+__all__ = [
+    "CachedPlan",
+    "PlanCache",
+    "Fingerprint",
+    "array_token",
+    "canonical_query",
+    "plan_fingerprint",
+]

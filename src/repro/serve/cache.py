@@ -1,0 +1,116 @@
+"""A bounded-LRU cache of prepared join plans for warm-path serving.
+
+The planners of Sections 4-5 derive everything they produce — slice
+statistics, the chosen logical plan, the join-unit assignment, the
+shuffle schedule — purely from the data distribution and the query, so
+those artifacts stay valid until the data changes. A :class:`PlanCache`
+keeps the most recently used ones behind content fingerprints
+(:mod:`repro.serve.fingerprint`): a warm ``Session.execute`` skips
+straight from the fingerprint lookup to cell comparison.
+
+Invalidation is by construction: the fingerprint embeds every input
+array's ``uid.version.epoch`` token, so any load, rebalance, restore, or
+drop/recreate produces a key that no stale entry matches. Stale entries
+then age out through the LRU bound; DROP additionally purges eagerly via
+:meth:`PlanCache.invalidate_array`. Hit/miss/eviction/invalidation
+counts accumulate in a :class:`repro.obs.CounterSet` and surface in
+``ExecutionReport.describe()`` and ``explain``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.obs.counters import CounterSet
+from repro.serve.fingerprint import Fingerprint
+
+
+@dataclass
+class CachedPlan:
+    """Everything one cold prepare+plan produced, ready for re-execution.
+
+    ``slice_table`` carries the assignment-independent artifacts (slice
+    statistics, unit-major side assemblies, memoised unit keys) *and*
+    the assignment-dependent ones (its internal alignment cache holds
+    the shuffle schedule keyed by assignment bytes); ``assignment`` and
+    ``physical_plan`` pin the planner's join-unit placement so a warm
+    run skips physical planning entirely.
+    """
+
+    join_schema: Any
+    logical_plan: Any
+    n_units: int
+    slice_table: Any
+    assignment: np.ndarray
+    physical_plan: Any
+    #: input array names, for eager invalidation on DROP
+    arrays: tuple[str, ...]
+    fingerprint: Fingerprint
+    #: the cold run's prepare-stage seconds, kept for inspection
+    prepare_breakdown: dict[str, float] = field(default_factory=dict)
+
+
+class PlanCache:
+    """Bounded LRU mapping plan fingerprints to :class:`CachedPlan`."""
+
+    def __init__(self, capacity: int = 64, counters: CounterSet | None = None):
+        if capacity <= 0:
+            raise ValueError(f"plan cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.counters = counters if counters is not None else CounterSet()
+        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, fingerprint: Fingerprint) -> CachedPlan | None:
+        """Look one fingerprint up; counts a hit or a miss."""
+        entry = self._entries.get(fingerprint.key)
+        if entry is None:
+            self.counters.increment("misses")
+            return None
+        self._entries.move_to_end(fingerprint.key)
+        self.counters.increment("hits")
+        return entry
+
+    def put(self, entry: CachedPlan) -> None:
+        """Insert one prepared plan, evicting the LRU entry when full."""
+        key = entry.fingerprint.key
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.counters.increment("evictions")
+
+    def invalidate_array(self, name: str) -> int:
+        """Eagerly drop every entry that reads ``name``; returns count."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if name in entry.arrays
+        ]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.counters.increment("invalidations", len(stale))
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot plus the current entry count."""
+        snapshot = self.counters.snapshot()
+        snapshot["entries"] = len(self._entries)
+        return snapshot
+
+
+__all__ = ["CachedPlan", "PlanCache"]

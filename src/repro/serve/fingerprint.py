@@ -1,0 +1,119 @@
+"""Content fingerprints for warm-path plan caching.
+
+A cached plan is only reusable while everything the planners consumed is
+unchanged: the query itself, the two input arrays' data and schemas, the
+cluster shape, and every planner-relevant executor option. The
+fingerprint canonicalises all of it into one string and hashes it, so a
+:class:`repro.serve.cache.PlanCache` key *is* the validity condition —
+any data load, rebalance, restore, or DDL bumps an array's version token
+and the stale entry simply stops matching.
+
+Components:
+
+- **canonical query text** — rendered from the *parsed*
+  :class:`repro.query.aql.JoinQuery`, so whitespace, keyword case, and
+  ``WHERE``/``ON`` spelling differences collapse to one key. Predicate
+  and select-list order are preserved (they shape the output schema).
+- **per-array token** — ``name#uid.version.epoch@schema-literal``: the
+  catalog entry's unique id (fresh per CREATE, so drop/recreate never
+  collides with a cached plan for the old incarnation), its data
+  version (bumped by every load/rebalance/restore), the storage-level
+  mutation epoch (a defence-in-depth counter summed over the nodes'
+  local stores, catching writes that bypass the catalog), and the
+  schema literal.
+- **cluster shape** — node count plus network parameters (they feed the
+  shuffle schedule and the cost model's bandwidth).
+- **options** — planner name, pinned join algorithm, and every executor
+  knob the prepare pipeline reads (bucket count, selectivity hint,
+  shuffle policy, cost/simulation parameters, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.query.aql import JoinQuery
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A cache key plus the canonical text it hashes (for debugging)."""
+
+    key: str
+    text: str
+
+    @property
+    def short(self) -> str:
+        """First 12 hex digits — enough to eyeball in reports and logs."""
+        return self.key[:12]
+
+
+def canonical_query(query: JoinQuery) -> str:
+    """Render a parsed join query into one canonical string.
+
+    Two textually different statements that parse to the same query
+    (whitespace, keyword case, ``ON`` vs ``WHERE``) render identically;
+    anything that changes the output (select list, INTO target,
+    predicate order, pushdown filters) changes the rendering.
+    """
+    if query.select_star or not query.select:
+        select = "*"
+    else:
+        select = ", ".join(str(item) for item in query.select)
+    parts = [f"SELECT {select}"]
+    if query.into_schema is not None:
+        parts.append(f"INTO {query.into_schema.to_literal()}")
+    elif query.into_name is not None:
+        parts.append(f"INTO {query.into_name}")
+    parts.append(f"FROM {query.left} JOIN {query.right}")
+    if query.predicates:
+        rendered = " AND ".join(
+            f"{pred.left.qualified()} = {pred.right.qualified()}"
+            for pred in query.predicates
+        )
+        parts.append(f"ON {rendered}")
+    if query.filters:
+        rendered = " AND ".join(
+            f"[{name}: {expr.render()}]"
+            for name, expr in sorted(query.filters.items())
+        )
+        parts.append(f"FILTER {rendered}")
+    return " ".join(parts)
+
+
+def array_token(cluster, name: str) -> str:
+    """One array's validity token: identity + data version + schema."""
+    entry = cluster.catalog.entry(name)
+    epoch = cluster.storage_epoch(name)
+    return (
+        f"{name}#{entry.uid}.{entry.version}.{epoch}"
+        f"@{entry.schema.to_literal()}"
+    )
+
+
+def plan_fingerprint(
+    query: JoinQuery,
+    cluster,
+    planner: str,
+    join_algo: str | None,
+    options: dict,
+) -> Fingerprint:
+    """Fingerprint one (query, data, cluster, options) configuration."""
+    sections = [
+        f"query={canonical_query(query)}",
+        f"left={array_token(cluster, query.left)}",
+        f"right={array_token(cluster, query.right)}",
+        f"cluster=k{cluster.n_nodes}/{cluster.network!r}",
+        f"planner={planner}",
+        f"join_algo={join_algo}",
+    ]
+    sections.extend(
+        f"{name}={value!r}" for name, value in sorted(options.items())
+    )
+    text = "\n".join(sections)
+    key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return Fingerprint(key=key, text=text)
+
+
+__all__ = ["Fingerprint", "canonical_query", "array_token", "plan_fingerprint"]

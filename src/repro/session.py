@@ -23,12 +23,19 @@ from repro.cluster.cluster import Cluster, PlacementPolicy
 from repro.cluster.network import NetworkParams
 from repro.engine.afl_runner import AflRunner
 from repro.engine.executor import ExplainReport, JoinResult, ShuffleJoinExecutor
+from repro.errors import ExecutionError
 from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery
 from repro.query.ddl import (
     AnalyzeArray,
     CreateArray,
     DropArray,
     parse_statement,
+)
+
+#: Options Session.execute accepts for join queries — everything else is
+#: rejected loudly instead of being silently dropped.
+JOIN_QUERY_OPTIONS = frozenset(
+    {"planner", "join_algo", "store_result", "n_workers", "use_cache"}
 )
 
 
@@ -44,13 +51,21 @@ class Session:
     ):
         """``n_workers`` > 1 runs the cell-comparison phase on a worker
         pool (one logical worker per cluster node, batched vectorised
-        matching); None/0/1 keep the serial reference path. Further
-        ``executor_options`` pass straight to the executor."""
+        matching); None/0/1 keep the serial reference path. Sessions
+        serve repeated queries from a plan cache by default
+        (``plan_cache_size=64``); pass ``plan_cache_size=0`` to disable
+        it. Further ``executor_options`` pass straight to the executor."""
+        executor_options.setdefault("plan_cache_size", 64)
         self.cluster = Cluster(n_nodes=n_nodes, network=network)
         self.executor = ShuffleJoinExecutor(
             self.cluster, n_workers=n_workers, **executor_options
         )
         self._afl = AflRunner(self.executor)
+
+    @property
+    def plan_cache(self):
+        """The executor's plan cache (None when disabled)."""
+        return self.executor.plan_cache
 
     # ------------------------------------------------------------ statements
 
@@ -60,18 +75,35 @@ class Session:
         Returns the created :class:`ArraySchema` for CREATE ARRAY, None
         for DROP ARRAY, a :class:`JoinResult` for join queries, and a
         :class:`LocalArray` for single-array queries. ``query_options``
-        (``planner``, ``join_algo``, ``store_result``) apply to joins.
+        (``planner``, ``join_algo``, ``store_result``, ``n_workers``,
+        ``use_cache``) apply to join queries; unknown option names — and
+        any option on a statement that cannot honour it — raise
+        :class:`~repro.errors.ExecutionError` instead of being silently
+        dropped.
         """
         parsed = parse_statement(statement)
+        if isinstance(parsed, (JoinQuery, MultiJoinQuery)):
+            unknown = sorted(set(query_options) - JOIN_QUERY_OPTIONS)
+            if unknown:
+                raise ExecutionError(
+                    f"unknown query option(s) {unknown}; join queries "
+                    f"accept {sorted(JOIN_QUERY_OPTIONS)}"
+                )
+            return self.executor.execute(parsed, **query_options)
+        if query_options:
+            kind = type(parsed).__name__
+            raise ExecutionError(
+                f"query options {sorted(query_options)} do not apply to "
+                f"{kind} statements; they are accepted for join queries only"
+            )
         if isinstance(parsed, CreateArray):
             return self.cluster.create_empty_array(parsed.schema)
         if isinstance(parsed, DropArray):
+            self.executor.invalidate_cached_plans(parsed.name)
             self.cluster.drop_array(parsed.name)
             return None
         if isinstance(parsed, AnalyzeArray):
             return self.cluster.analyze(parsed.name)
-        if isinstance(parsed, (JoinQuery, MultiJoinQuery)):
-            return self.executor.execute(parsed, **query_options)
         if isinstance(parsed, FilterQuery):
             return self.executor.execute_filter(parsed)
         raise AssertionError(f"unhandled statement {parsed!r}")
@@ -118,6 +150,15 @@ class Session:
     def validate(self, name: str) -> list[str]:
         """Catalog ↔ storage integrity check; empty list means healthy."""
         return self.cluster.validate_integrity(name)
+
+    def data_version(self, name: str) -> tuple[int, int, int]:
+        """One array's (incarnation uid, data version, storage epoch).
+
+        The triple changes whenever a cached plan over the array could
+        be stale — it is exactly what plan fingerprints embed.
+        """
+        uid, version = self.cluster.array_version(name)
+        return (uid, version, self.cluster.storage_epoch(name))
 
     def describe(self, name: str) -> str:
         """Human-readable summary of one array: schema, layout, skew."""

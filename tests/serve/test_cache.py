@@ -1,0 +1,120 @@
+"""PlanCache LRU mechanics and CounterSet bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.obs import CounterSet
+from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.fingerprint import Fingerprint
+
+
+def make_entry(tag, arrays=("A", "B")):
+    return CachedPlan(
+        join_schema=None,
+        logical_plan=None,
+        n_units=4,
+        slice_table=None,
+        assignment=np.zeros(4, dtype=np.int64),
+        physical_plan=None,
+        arrays=tuple(arrays),
+        fingerprint=Fingerprint(key=f"key-{tag}", text=f"text-{tag}"),
+    )
+
+
+class TestPlanCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlanCache(capacity=0)
+        with pytest.raises(ValueError, match="capacity"):
+            PlanCache(capacity=-3)
+
+    def test_get_counts_hits_and_misses(self):
+        cache = PlanCache(capacity=4)
+        entry = make_entry(1)
+        assert cache.get(entry.fingerprint) is None
+        cache.put(entry)
+        assert cache.get(entry.fingerprint) is entry
+        assert cache.stats() == {"misses": 1, "hits": 1, "entries": 1}
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = PlanCache(capacity=2)
+        first, second, third = make_entry(1), make_entry(2), make_entry(3)
+        cache.put(first)
+        cache.put(second)
+        cache.put(third)
+        assert len(cache) == 2
+        assert first.fingerprint.key not in cache
+        assert cache.counters.value("evictions") == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        first, second, third = make_entry(1), make_entry(2), make_entry(3)
+        cache.put(first)
+        cache.put(second)
+        cache.get(first.fingerprint)  # first is now the most recent
+        cache.put(third)
+        assert first.fingerprint.key in cache
+        assert second.fingerprint.key not in cache
+
+    def test_put_same_key_replaces_without_eviction(self):
+        cache = PlanCache(capacity=2)
+        stale, fresh = make_entry(1), make_entry(1)
+        cache.put(stale)
+        cache.put(fresh)
+        assert len(cache) == 1
+        assert cache.get(fresh.fingerprint) is fresh
+        assert cache.counters.value("evictions") == 0
+
+    def test_invalidate_array_removes_only_readers(self):
+        cache = PlanCache(capacity=8)
+        cache.put(make_entry(1, arrays=("A", "B")))
+        cache.put(make_entry(2, arrays=("B", "C")))
+        cache.put(make_entry(3, arrays=("C", "D")))
+        assert cache.invalidate_array("B") == 2
+        assert len(cache) == 1
+        assert cache.counters.value("invalidations") == 2
+        assert cache.invalidate_array("Z") == 0
+
+    def test_clear(self):
+        cache = PlanCache(capacity=4)
+        cache.put(make_entry(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["entries"] == 0
+
+    def test_shared_counters_instance(self):
+        counters = CounterSet()
+        cache = PlanCache(capacity=4, counters=counters)
+        cache.get(make_entry(1).fingerprint)
+        assert counters.value("misses") == 1
+
+
+class TestCounterSet:
+    def test_increment_value_snapshot(self):
+        counters = CounterSet()
+        counters.increment("hits")
+        counters.increment("misses", 2)
+        counters.increment("hits")
+        assert counters.value("hits") == 2
+        assert counters.value("absent") == 0
+        assert counters.snapshot() == {"hits": 2, "misses": 2}
+
+    def test_snapshot_is_a_copy(self):
+        counters = CounterSet()
+        counters.increment("hits")
+        snapshot = counters.snapshot()
+        snapshot["hits"] = 99
+        assert counters.value("hits") == 1
+
+    def test_reset(self):
+        counters = CounterSet()
+        counters.increment("hits")
+        counters.reset()
+        assert counters.snapshot() == {}
+
+    def test_describe(self):
+        counters = CounterSet()
+        assert counters.describe() == "(no events recorded)"
+        counters.increment("misses")
+        counters.increment("hits", 3)
+        assert counters.describe() == "hits=3 misses=1"

@@ -1,0 +1,120 @@
+"""Plan-fingerprint canonicalisation and sensitivity tests."""
+
+import numpy as np
+import pytest
+
+from repro.adm.cells import CellSet
+from repro.query.aql import parse_aql
+from repro.serve.fingerprint import array_token, canonical_query, plan_fingerprint
+from repro.session import Session
+
+
+def sample_cells(seed=0, n=200, extent=64):
+    gen = np.random.default_rng(seed)
+    coords = np.unique(gen.integers(1, extent + 1, size=(n, 2)), axis=0)
+    return CellSet(coords, {"v": gen.integers(0, 20, len(coords))})
+
+
+@pytest.fixture
+def session():
+    session = Session(n_nodes=3, selectivity_hint=0.3)
+    session.create_and_load("A<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(1))
+    session.create_and_load("B<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(2))
+    return session
+
+
+QUERY = "SELECT A.v, B.v FROM A JOIN B ON A.i = B.i AND A.j = B.j"
+
+
+def fingerprint_of(session, text, planner="tabu", join_algo=None):
+    return session.executor._plan_fingerprint(
+        parse_aql(text), planner, join_algo
+    )
+
+
+class TestCanonicalQuery:
+    def test_whitespace_and_keyword_case_collapse(self):
+        variants = [
+            QUERY,
+            "select  A.v ,  B.v  from A join B on A.i = B.i and A.j = B.j",
+            "SELECT A.v, B.v\nFROM A JOIN B\nWHERE A.i = B.i AND A.j = B.j",
+        ]
+        rendered = {canonical_query(parse_aql(text)) for text in variants}
+        assert len(rendered) == 1
+
+    def test_select_list_matters(self):
+        one = canonical_query(parse_aql(QUERY))
+        other = canonical_query(
+            parse_aql("SELECT A.v FROM A JOIN B ON A.i = B.i AND A.j = B.j")
+        )
+        assert one != other
+
+    def test_predicate_order_preserved(self):
+        flipped = "SELECT A.v, B.v FROM A JOIN B ON A.j = B.j AND A.i = B.i"
+        assert canonical_query(parse_aql(QUERY)) != canonical_query(
+            parse_aql(flipped)
+        )
+
+    def test_pushdown_filters_rendered(self):
+        filtered = (
+            "SELECT A.v, B.v FROM A JOIN B "
+            "WHERE A.i = B.i AND A.j = B.j AND A.v > 5"
+        )
+        assert canonical_query(parse_aql(QUERY)) != canonical_query(
+            parse_aql(filtered)
+        )
+
+
+class TestFingerprintSensitivity:
+    def test_identical_state_identical_key(self, session):
+        first = fingerprint_of(session, QUERY)
+        second = fingerprint_of(
+            session,
+            "  select A.v ,  B.v\nfrom A join B\n"
+            "on A.i = B.i and A.j = B.j  ",
+        )
+        assert first.key == second.key
+
+    def test_planner_and_algo_in_key(self, session):
+        base = fingerprint_of(session, QUERY)
+        assert fingerprint_of(session, QUERY, planner="mbh").key != base.key
+        assert fingerprint_of(session, QUERY, join_algo="hash").key != base.key
+
+    def test_load_changes_key(self, session):
+        before = fingerprint_of(session, QUERY)
+        session.load("A", sample_cells(9, n=40))
+        assert fingerprint_of(session, QUERY).key != before.key
+
+    def test_rebalance_changes_key(self, session):
+        before = fingerprint_of(session, QUERY)
+        session.rebalance("B")
+        assert fingerprint_of(session, QUERY).key != before.key
+
+    def test_drop_recreate_changes_key(self, session):
+        before = array_token(session.cluster, "A")
+        cells = session.array("A").cells()
+        session.execute("DROP ARRAY A")
+        session.create_and_load("A<v:int64>[i=1,64,8, j=1,64,8]", cells)
+        after = array_token(session.cluster, "A")
+        # Same name, same data, same version arithmetic — but a fresh
+        # incarnation uid, so cached plans for old A can never alias.
+        assert before != after
+
+    def test_executor_options_in_key(self, session):
+        before = fingerprint_of(session, QUERY)
+        session.executor.n_buckets = 77
+        assert fingerprint_of(session, QUERY).key != before.key
+
+    def test_direct_storage_write_changes_key(self, session):
+        before = fingerprint_of(session, QUERY)
+        node = session.cluster.nodes[0]
+        store = node.store("A")
+        chunk_id, chunk = next(iter(store.chunks.items()))
+        node.put_chunk("A", chunk)  # bypasses the catalog entirely
+        assert fingerprint_of(session, QUERY).key != before.key
+
+    def test_text_mentions_both_arrays(self, session):
+        text = plan_fingerprint(
+            parse_aql(QUERY), session.cluster, "tabu", None, {}
+        ).text
+        assert "left=A#" in text and "right=B#" in text

@@ -1,0 +1,75 @@
+"""Warm==cold equivalence: cached plans must never change results.
+
+For every physical planner and both join algorithms, three runs of the
+same query — cold (populates the cache), warm (served from the cache),
+and cache-disabled (full replan) — must produce byte-identical sorted
+output cells and the very same join-unit assignment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm.cells import CellSet
+from repro.session import Session
+
+PLANNERS = ("baseline", "mbh", "tabu", "ilp_coarse")
+
+MERGE_QUERY = "SELECT A.v, B.v FROM A JOIN B ON A.i = B.i AND A.j = B.j"
+HASH_QUERY = (
+    "SELECT A.v, B.v INTO T<av:int64, bv:int64>[] "
+    "FROM A, B WHERE A.v = B.v"
+)
+
+
+def sorted_cell_bytes(result):
+    packed = result.cells.to_structured(sorted(result.cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+def build_session(seed, n_cells):
+    gen = np.random.default_rng(seed)
+    session = Session(n_nodes=3, selectivity_hint=0.3)
+    for name, sub_seed in (("A", 2 * seed), ("B", 2 * seed + 1)):
+        sub = np.random.default_rng(sub_seed)
+        coords = np.unique(sub.integers(1, 33, size=(n_cells, 2)), axis=0)
+        session.create_and_load(
+            f"{name}<v:int64>[i=1,32,8, j=1,32,8]",
+            CellSet(coords, {"v": sub.integers(0, 8, len(coords))}),
+        )
+    return session
+
+
+@pytest.mark.parametrize("planner", PLANNERS)
+@pytest.mark.parametrize(
+    "query,join_algo", [(MERGE_QUERY, "merge"), (HASH_QUERY, "hash")]
+)
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_cells=st.integers(min_value=20, max_value=250),
+)
+def test_warm_equals_cold(planner, query, join_algo, seed, n_cells):
+    session = build_session(seed, n_cells)
+    options = {"planner": planner, "join_algo": join_algo}
+
+    cold = session.execute(query, **options)
+    warm = session.execute(query, **options)
+    replan = session.execute(query, use_cache=False, **options)
+
+    assert cold.report.cache.get("status") == "miss"
+    assert warm.report.cache.get("status") == "hit"
+    assert replan.report.cache == {}
+
+    cold_bytes = sorted_cell_bytes(cold)
+    assert sorted_cell_bytes(warm) == cold_bytes
+    assert sorted_cell_bytes(replan) == cold_bytes
+
+    if cold.physical_plan is not None:
+        assert np.array_equal(
+            cold.physical_plan.assignment, warm.physical_plan.assignment
+        )
+        assert np.array_equal(
+            cold.physical_plan.assignment, replan.physical_plan.assignment
+        )
