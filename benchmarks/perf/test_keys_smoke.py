@@ -1,0 +1,54 @@
+"""Smoke test for the packed-vs-structured key benchmark.
+
+Runs both skew workloads at a fraction of benchmark scale, exercising
+the full ``--keys`` harness path: per-arm prepare, warm-up, timed
+serial executions, and JSON serialisation. Unlike the parallel smoke
+test, this one DOES guard performance: packed keys replace structured
+dtype comparisons with primitive ``uint64`` comparisons in the very
+kernels the arms share, so packed execution being materially slower
+than structured is a genuine regression, not scheduling noise. The
+guard allows generous tolerance for timer jitter at smoke scale.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import WORKLOADS, run_keys_bench, write_results
+
+#: Packed may be at most this much slower than structured before the
+#: smoke test fails; at benchmark scale packed is expected to *win*.
+SLOWDOWN_TOLERANCE = 1.25
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_keys_smoke(workload, tmp_path):
+    result = run_keys_bench(
+        workload=workload,
+        planner="baseline",
+        cells_per_array=8_000,
+        n_nodes=4,
+        repeats=3,
+        seed=3,
+    )
+    assert result.outputs_identical
+    assert result.output_cells > 0
+    # Both skew workloads join on narrow-range keys: the codec must
+    # actually engage, not silently fall back to structured keys.
+    assert result.key_width is not None
+    assert 0 < result.key_width <= 64
+    assert result.structured_seconds > 0 and result.packed_seconds > 0
+    assert (
+        result.packed_seconds
+        <= result.structured_seconds * SLOWDOWN_TOLERANCE
+    ), (
+        f"packed keys slower than structured on {workload}: "
+        f"{result.packed_seconds:.3f}s vs {result.structured_seconds:.3f}s"
+    )
+
+    out = tmp_path / "bench.json"
+    write_results([], str(out), keys_results=[result])
+    payload = json.loads(out.read_text())
+    (entry,) = payload["keys"]
+    assert entry["workload"] == workload
+    assert entry["key_width"] == result.key_width

@@ -275,12 +275,30 @@ def partition_order(keys: np.ndarray, n_parts: int) -> tuple[np.ndarray, np.ndar
     return order, boundaries
 
 
+def float_key_bits(column: np.ndarray) -> np.ndarray:
+    """View a float column as comparable int64 key bits.
+
+    Negative zeros are normalised to ``+0.0`` first: ``-0.0 == +0.0``
+    numerically, but their IEEE bit patterns differ, so a raw
+    ``.view(np.int64)`` would silently split them into different key
+    values (and different hash buckets) and drop equi-join matches.
+    NaNs keep their bit patterns — ``NaN != NaN`` under every key
+    representation this library uses.
+    """
+    column = np.asarray(column)
+    if column.dtype != np.float64:
+        column = column.astype(np.float64)
+    column = np.where(column == 0.0, np.float64(0.0), column)
+    return column.view(np.int64)
+
+
 def composite_key(columns: Sequence[np.ndarray]) -> np.ndarray:
     """Collapse several columns into a single comparable key column.
 
-    Float columns participate via their bit patterns, which preserves
-    equality for the equi-join predicates this library supports. Returns a
-    1-D structured array usable with ``np.unique`` and ``np.searchsorted``.
+    Float columns participate via their bit patterns (negative zeros
+    normalised, see :func:`float_key_bits`), which preserves equality for
+    the equi-join predicates this library supports. Returns a 1-D
+    structured array usable with ``np.unique`` and ``np.searchsorted``.
     """
     if not columns:
         raise SchemaError("composite key needs at least one column")
@@ -289,9 +307,7 @@ def composite_key(columns: Sequence[np.ndarray]) -> np.ndarray:
     for i, col in enumerate(columns):
         col = np.asarray(col)
         if col.dtype.kind == "f":
-            col = col.view(np.int64) if col.dtype.itemsize == 8 else col.astype(
-                np.float64
-            ).view(np.int64)
+            col = float_key_bits(col)
         dtype.append((f"k{i}", col.dtype))
         converted.append(col)
     out = np.empty(len(converted[0]), dtype=dtype)

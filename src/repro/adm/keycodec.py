@@ -1,0 +1,184 @@
+"""Packed 64-bit composite join keys (exact, order-preserving).
+
+The join kernels compare composite keys for every sort, searchsorted,
+run-detection, and sortedness check they perform. Numpy's structured
+dtypes make those comparisons correct but slow: structured arrays fall
+off the primitive fast paths and compare field by field through generic
+code. This module collapses a multi-field composite key into a single
+primitive ``uint64`` column so every key consumer runs at primitive
+speed, without giving up exactness:
+
+- each field is **offset-encoded**: its int64 key bits (float fields via
+  :func:`repro.adm.cells.float_key_bits`, so ``-0.0 == +0.0``) are
+  biased by the field's minimum, yielding an unsigned value strictly
+  smaller than ``2**width`` where ``width`` covers the field's observed
+  min–max span, widened by the schema dimension bounds when the field is
+  a join dimension;
+- fields are concatenated most-significant-first into one ``uint64``.
+
+Because the per-field encoding is monotone in the int64 key bits and
+each field occupies a fixed bit slice, unsigned comparison of the packed
+keys equals lexicographic comparison of the structured key fields — the
+exact order ``np.sort``/``np.lexsort`` impose on the structured
+representation. Equality is likewise exact (the encoding is injective on
+the covered range), so hash joins need no collision verification.
+
+When the total width exceeds 64 bits, :func:`plan_codec` declines
+(returns ``None``) and callers fall back to structured keys — the
+correctness oracle kept behind the executor's ``packed_keys=False``
+knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.adm.cells import float_key_bits
+from repro.adm.schema import Dimension
+from repro.errors import SchemaError
+
+#: A packed key must fit one primitive lane; wider keys fall back to
+#: structured dtypes.
+MAX_PACKED_BITS = 64
+
+_U64_MASK = (1 << 64) - 1
+
+
+def key_bits(column: np.ndarray, is_float: bool) -> np.ndarray:
+    """One key column as contiguous int64 bits (the structured-field view)."""
+    if is_float:
+        return float_key_bits(column)
+    return np.ascontiguousarray(column, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class KeyCodec:
+    """An order-preserving bit layout for one join's composite key.
+
+    ``offsets[f]`` is the int64 bias subtracted from field ``f``'s key
+    bits and ``widths[f]`` the bit width of its slice; field 0 is the
+    most significant, matching the lexicographic significance order of
+    :func:`repro.adm.cells.composite_key`.
+    """
+
+    offsets: tuple[int, ...]
+    widths: tuple[int, ...]
+    is_float: tuple[bool, ...]
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.widths)
+
+    @property
+    def total_width(self) -> int:
+        return sum(self.widths)
+
+    def pack(self, columns: Sequence[np.ndarray]) -> np.ndarray:
+        """Collapse row-aligned key columns into one ``uint64`` column."""
+        if len(columns) != self.n_fields:
+            raise SchemaError(
+                f"codec packs {self.n_fields} fields, got {len(columns)} columns"
+            )
+        packed = np.zeros(len(columns[0]), dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            for column, offset, width, floaty in zip(
+                columns, self.offsets, self.widths, self.is_float
+            ):
+                bits = key_bits(column, floaty).view(np.uint64)
+                # Modular subtraction is exact: bits - offset < 2**width.
+                encoded = bits - np.uint64(offset & _U64_MASK)
+                packed = (packed << np.uint64(width)) | encoded
+        return packed
+
+    def unpack(self, packed: np.ndarray) -> list[np.ndarray]:
+        """Recover the original key columns from packed keys (roundtrip)."""
+        packed = np.asarray(packed, dtype=np.uint64)
+        columns: list[np.ndarray] = []
+        shift = self.total_width
+        with np.errstate(over="ignore"):
+            for offset, width, floaty in zip(
+                self.offsets, self.widths, self.is_float
+            ):
+                shift -= width
+                mask = np.uint64((1 << width) - 1)
+                encoded = (packed >> np.uint64(shift)) & mask
+                bits = (encoded + np.uint64(offset & _U64_MASK)).view(np.int64)
+                columns.append(bits.view(np.float64) if floaty else bits)
+        return columns
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        fields = ", ".join(
+            f"{'f' if floaty else 'i'}{width}b" for width, floaty in zip(
+                self.widths, self.is_float
+            )
+        )
+        return f"KeyCodec({self.total_width}b: {fields})"
+
+
+def plan_codec(
+    column_sets: Sequence[Sequence[np.ndarray]],
+    dims: Sequence[Dimension | None] | None = None,
+) -> KeyCodec | None:
+    """Derive a packed layout covering every given key-column set.
+
+    ``column_sets`` holds one row-aligned list of field columns per
+    source (typically each node-local chunk of both join sides); the
+    layout must cover their union so equal values pack equal across the
+    whole join. ``dims`` optionally supplies the join schema's dimension
+    per field — integer ranges are widened to the schema bounds, so the
+    layout stays valid for any in-range value, not just observed ones.
+
+    Returns ``None`` when the total width exceeds
+    :data:`MAX_PACKED_BITS` — the caller keeps structured keys.
+    """
+    if not column_sets:
+        raise SchemaError("codec planning needs at least one column set")
+    n_fields = len(column_sets[0])
+    if n_fields == 0:
+        raise SchemaError("codec planning needs at least one key field")
+    for columns in column_sets:
+        if len(columns) != n_fields:
+            raise SchemaError(
+                f"column sets disagree on field count: {n_fields} vs "
+                f"{len(columns)}"
+            )
+
+    offsets: list[int] = []
+    widths: list[int] = []
+    is_float: list[bool] = []
+    total = 0
+    for field in range(n_fields):
+        floaty = any(
+            np.asarray(columns[field]).dtype.kind == "f"
+            for columns in column_sets
+        )
+        lows: list[int] = []
+        highs: list[int] = []
+        for columns in column_sets:
+            column = np.asarray(columns[field])
+            if not len(column):
+                continue
+            bits = key_bits(column, floaty)
+            lows.append(int(bits.min()))
+            highs.append(int(bits.max()))
+        if dims is not None and dims[field] is not None and not floaty:
+            lows.append(int(dims[field].start))
+            highs.append(int(dims[field].end))
+        low = min(lows, default=0)
+        high = max(highs, default=low)
+        width = (high - low).bit_length()
+        total += width
+        if total > MAX_PACKED_BITS:
+            return None
+        offsets.append(low)
+        widths.append(width)
+        is_float.append(floaty)
+    return KeyCodec(
+        offsets=tuple(offsets), widths=tuple(widths), is_float=tuple(is_float)
+    )
+
+
+__all__ = ["KeyCodec", "MAX_PACKED_BITS", "key_bits", "plan_codec"]

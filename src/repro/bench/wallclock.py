@@ -326,6 +326,106 @@ def run_prepare_bench(
 
 
 @dataclass
+class KeysResult:
+    """Packed-vs-structured composite keys, one workload, serial path.
+
+    Both arms execute the identical prepared join end to end on the
+    serial per-unit path; the only difference is the key representation
+    the slice mapping derived (packed ``uint64`` via the key codec vs
+    structured dtype). The outputs must be byte-identical sorted cell
+    sets — the codec is a representation change, never a result change.
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    cells_per_array: int
+    n_nodes: int
+    n_units: int
+    alpha: float
+    repeats: int
+    cpu_count: int
+    platform: str
+    #: Total packed bit width, or None when the codec declined and the
+    #: packed arm silently fell back to structured keys.
+    key_width: int | None
+    structured_seconds: float
+    packed_seconds: float
+    structured_samples: list[float]
+    packed_samples: list[float]
+    speedup: float
+    structured_prepare_seconds: float
+    packed_prepare_seconds: float
+    output_cells: int
+    outputs_identical: bool
+
+
+def run_keys_bench(
+    workload: str = "fig7_merge_skew",
+    planner: str = "baseline",
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> KeysResult:
+    """Benchmark packed vs structured keys on one workload's native algo.
+
+    Each arm re-prepares (the key representation is fixed at slice
+    mapping), warms the caches with one untimed execution, then times
+    ``repeats`` serial executions — the per-unit path, where every sort,
+    searchsorted, and sortedness check runs on the arm's keys.
+    """
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+    )
+    arms: dict[bool, dict] = {}
+    for packed in (False, True):
+        executor.packed_keys = packed
+        started = time.perf_counter()
+        prepared = executor.prepare(query, join_algo=join_algo)
+        prepare_seconds = time.perf_counter() - started
+        warm = prepared.execute(planner)
+        samples, result = time_execute(prepared, planner, None, repeats)
+        arms[packed] = {
+            "prepared": prepared,
+            "prepare_seconds": prepare_seconds,
+            "warm": warm,
+            "samples": samples,
+            "bytes": sorted_cell_bytes(result),
+        }
+    codec = arms[True]["prepared"].slice_table.codec
+    structured_best = min(arms[False]["samples"])
+    packed_best = min(arms[True]["samples"])
+    return KeysResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        n_units=arms[True]["prepared"].n_units,
+        alpha=alpha,
+        repeats=repeats,
+        cpu_count=os.cpu_count() or 1,
+        platform=platform.platform(),
+        key_width=codec.total_width if codec is not None else None,
+        structured_seconds=structured_best,
+        packed_seconds=packed_best,
+        structured_samples=arms[False]["samples"],
+        packed_samples=arms[True]["samples"],
+        speedup=structured_best / packed_best if packed_best else float("inf"),
+        structured_prepare_seconds=arms[False]["prepare_seconds"],
+        packed_prepare_seconds=arms[True]["prepare_seconds"],
+        output_cells=arms[True]["warm"].report.output_cells,
+        outputs_identical=arms[True]["bytes"] == arms[False]["bytes"],
+    )
+
+
+@dataclass
 class StressResult:
     """Vectorized-vs-reference Tabu on a large synthetic instance."""
 
@@ -566,6 +666,7 @@ def write_results(
     prepare_results: list[PrepareResult] | None = None,
     stress_result: StressResult | None = None,
     serving_results: "list[ServingResult] | None" = None,
+    keys_results: "list[KeysResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -585,6 +686,8 @@ def write_results(
         payload["planner_stress"] = vars(stress_result)
     if serving_results:
         payload["serving"] = [vars(result) for result in serving_results]
+    if keys_results:
+        payload["keys"] = [vars(result) for result in keys_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -623,6 +726,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stress-units", type=int, default=8192)
     parser.add_argument("--stress-nodes", type=int, default=16)
     parser.add_argument("--stress-alpha", type=float, default=1.1)
+    parser.add_argument(
+        "--keys", action="store_true",
+        help="compare packed vs structured composite keys per workload",
+    )
     parser.add_argument(
         "--serving", action="store_true",
         help="repeated-query serving mode: cold vs warm (plan-cached) latency",
@@ -709,6 +816,30 @@ def main(argv: list[str] | None = None) -> int:
             f"identical={stress_result.assignments_identical}"
         )
 
+    keys_results = []
+    if args.keys:
+        for workload in args.workload or list(WORKLOADS):
+            keys = run_keys_bench(
+                workload=workload,
+                planner=args.planner,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+            keys_results.append(keys)
+            width = (
+                f"{keys.key_width}b" if keys.key_width is not None
+                else "fallback"
+            )
+            print(
+                f"{keys.workload} keys [{keys.planner}/{keys.join_algo}, "
+                f"{width}] structured {keys.structured_seconds:.3f}s vs "
+                f"packed {keys.packed_seconds:.3f}s -> {keys.speedup:.2f}x; "
+                f"identical={keys.outputs_identical}"
+            )
+
     serving_results = []
     if args.serving:
         for workload in args.workload or list(WORKLOADS):
@@ -739,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
             prepare_results=prepare_results or None,
             stress_result=stress_result,
             serving_results=serving_results or None,
+            keys_results=keys_results or None,
         )
         print(f"wrote {args.out}")
     return 0

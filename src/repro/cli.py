@@ -147,6 +147,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--prepare")
     if args.stress:
         forwarded.append("--stress")
+    if args.keys:
+        forwarded.append("--keys")
     if args.serving:
         forwarded.append("--serving")
     return wallclock_main(forwarded)
@@ -220,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--stress-units", type=int, default=8192)
     bench.add_argument("--stress-nodes", type=int, default=16)
     bench.add_argument("--stress-alpha", type=float, default=1.1)
+    bench.add_argument(
+        "--keys", action="store_true",
+        help="compare packed vs structured composite keys per workload",
+    )
     bench.add_argument(
         "--serving", action="store_true",
         help="repeated-query serving mode: cold vs warm (plan-cached) latency",

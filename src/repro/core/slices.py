@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.adm.cells import CellSet
+from repro.adm.cells import CellSet, float_key_bits
 from repro.adm.schema import ArraySchema
 from repro.core.join_schema import JoinSchema
 from repro.errors import PlanningError
@@ -202,24 +202,31 @@ def hash_unit_ids(
     source_schema: ArraySchema,
     n_buckets: int,
     columns: list[np.ndarray] | None = None,
+    packed: np.ndarray | None = None,
 ) -> np.ndarray:
     """Slice function for hash-bucketed join units.
 
     Hashes the full composite predicate key, so every cell pair that can
     match lands in the same bucket on both sides. ``columns`` may pass
-    precomputed :func:`key_columns` to skip re-extraction.
+    precomputed :func:`key_columns` to skip re-extraction; ``packed``
+    may pass the codec's packed ``uint64`` keys (see
+    :mod:`repro.adm.keycodec`), collapsing the per-field mixing loop to
+    one avalanche over the already-exact composite value.
     """
     if n_buckets <= 0:
         raise PlanningError(f"bucket count must be positive, got {n_buckets}")
+    if packed is not None:
+        combined = _mix(np.ascontiguousarray(packed, dtype=np.uint64))
+        return (combined % np.uint64(n_buckets)).astype(np.int64)
     if columns is None:
         columns = key_columns(schema, side, cells, source_schema)
     combined = np.full(len(cells), _HASH_SEED, dtype=np.uint64)
     with np.errstate(over="ignore"):
         for column in columns:
             bits = (
-                column.view(np.uint64)
+                float_key_bits(column).view(np.uint64)
                 if column.dtype == np.float64
-                else column.astype(np.int64).view(np.uint64)
+                else np.ascontiguousarray(column, dtype=np.int64).view(np.uint64)
             )
             combined ^= _mix(bits)
             combined *= _HASH_MULT
@@ -234,14 +241,21 @@ def unit_ids_for(
     unit_kind: str,
     n_buckets: int | None = None,
     columns: list[np.ndarray] | None = None,
+    packed: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Dispatch to the slice function matching the logical plan's units."""
+    """Dispatch to the slice function matching the logical plan's units.
+
+    ``packed`` optionally passes codec-packed composite keys; only the
+    hash slice function can consume them (chunk units need the raw
+    dimension columns, which callers already hold).
+    """
     if unit_kind == "chunk":
         return chunk_unit_ids(schema, side, cells, source_schema, columns=columns)
     if unit_kind == "bucket":
         if n_buckets is None:
             raise PlanningError("bucket units require an explicit bucket count")
         return hash_unit_ids(
-            schema, side, cells, source_schema, n_buckets, columns=columns
+            schema, side, cells, source_schema, n_buckets, columns=columns,
+            packed=packed,
         )
     raise PlanningError(f"unknown join unit kind {unit_kind!r}")

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.adm.array import LocalArray
 from repro.adm.cells import CellSet, composite_key
+from repro.adm.keycodec import KeyCodec, plan_codec
 from repro.adm.schema import ArraySchema
 from repro.adm.stats import Histogram
 from repro.cluster.cluster import Cluster
@@ -233,6 +234,10 @@ class _SliceTable:
     right: list[list[CellSet | None]] | None = None
     left_assembly: _SideAssembly | None = None
     right_assembly: _SideAssembly | None = None
+    #: The packed-key codec covering both assemblies' composite keys, or
+    #: None when keys are structured (packing disabled, reference slice
+    #: mapping, or a key wider than 64 bits).
+    codec: KeyCodec | None = None
     _assembled: dict[tuple[str, int], CellSet | None] = field(
         default_factory=dict, repr=False
     )
@@ -289,7 +294,12 @@ class _SliceTable:
     def unit_keys(
         self, side: str, unit: int, join_schema: JoinSchema
     ) -> tuple[list[np.ndarray], np.ndarray]:
-        """Cached (key columns, composite key) of one assembled unit side."""
+        """Cached (key columns, composite keys) of one assembled unit side.
+
+        The keys are packed ``uint64`` when :attr:`codec` is set (the
+        assemblies were built with packed keys) and structured otherwise;
+        every matcher accepts both representations.
+        """
         cache_key = (side, unit)
         if cache_key in self._keys:
             return self._keys[cache_key]
@@ -366,6 +376,7 @@ class ShuffleJoinExecutor:
         parallel_mode: str = "thread",
         profiler: PhaseProfiler | None = None,
         single_sort: bool = True,
+        packed_keys: bool = True,
         plan_cache: PlanCache | None = None,
         plan_cache_size: int = 0,
     ):
@@ -384,6 +395,12 @@ class ShuffleJoinExecutor:
         # re-derivation at match time). Kept as the reference arm for
         # the prepare benchmark and as an ablation/debug switch.
         self.single_sort = single_sort
+        # ``packed_keys=False`` keeps structured composite keys even when
+        # the join key would fit one packed uint64 lane — the reference
+        # oracle for the key codec (see repro.adm.keycodec). Packing only
+        # applies on the single-sort pipeline; the reference slice
+        # mapping always uses structured keys.
+        self.packed_keys = packed_keys
         # Enabled by default: the executor enters a handful of coarse
         # phases per query, so every report can carry the prepare
         # breakdown at negligible cost. Pass a disabled profiler to
@@ -643,6 +660,7 @@ class ShuffleJoinExecutor:
             "selectivity_hint": self.selectivity_hint,
             "shuffle_policy": self.shuffle_policy,
             "single_sort": self.single_sort,
+            "packed_keys": self.packed_keys,
             "tabu_max_rounds": self.tabu_max_rounds,
             "ilp_time_budget_s": self.ilp_time_budget_s,
             "cost": self.cost,
@@ -943,6 +961,14 @@ class ShuffleJoinExecutor:
             left_table = [[None] * k for _ in range(n_units)]
             right_table = [[None] * k for _ in range(n_units)]
 
+        # First pass: extract every node's local cells and key columns.
+        # Key derivation is deferred so the packed-key codec can be
+        # planned over the *union* of both sides' observed ranges — equal
+        # values must pack equal across the whole join.
+        side_chunks: dict[str, list[tuple[int, CellSet, list[np.ndarray]]]] = {
+            "left": [],
+            "right": [],
+        }
         for side, array_name, matrix, table in (
             ("left", query.left, s_left, left_table),
             ("right", query.right, s_right, right_table),
@@ -951,9 +977,6 @@ class ShuffleJoinExecutor:
                 join_schema.left_schema if side == "left" else join_schema.right_schema
             )
             ship = self._ship_fields(join_schema, side)
-            chunks: list[
-                tuple[CellSet, list[np.ndarray], np.ndarray, np.ndarray]
-            ] = []
             for node in self.cluster.nodes:
                 cells = self._node_cells(query, array_name, node)
                 if cells is None:
@@ -978,15 +1001,48 @@ class ShuffleJoinExecutor:
                 # One key-column extraction per (side, node); the sort is
                 # deferred to a single global pass over the whole side.
                 cols = key_columns(join_schema, side, cells, source_schema)
-                keys = composite_key(cols)
-                unit_ids = unit_ids_for(
-                    join_schema, side, cells, source_schema,
-                    logical_plan.join_unit_kind, n_buckets=n_buckets,
-                    columns=cols,
+                side_chunks[side].append((node_id, cells, cols))
+
+        codec: KeyCodec | None = None
+        if self.single_sort and self.packed_keys:
+            column_sets = [
+                cols
+                for chunks in side_chunks.values()
+                for _, _, cols in chunks
+            ]
+            if column_sets:
+                codec = plan_codec(
+                    column_sets, dims=[f.dim for f in join_schema.fields]
                 )
-                matrix[:, node_id] = np.bincount(unit_ids, minlength=n_units)
-                chunks.append((cells, cols, keys, unit_ids))
-            if self.single_sort:
+
+        if self.single_sort:
+            # Second pass: derive keys (packed when the codec applies,
+            # structured otherwise), slice, and assemble each side.
+            for side, matrix in (("left", s_left), ("right", s_right)):
+                source_schema = (
+                    join_schema.left_schema
+                    if side == "left"
+                    else join_schema.right_schema
+                )
+                chunks: list[
+                    tuple[CellSet, list[np.ndarray], np.ndarray, np.ndarray]
+                ] = []
+                for node_id, cells, cols in side_chunks[side]:
+                    if codec is not None:
+                        keys = codec.pack(cols)
+                        packed = keys
+                    else:
+                        keys = composite_key(cols)
+                        packed = None
+                    unit_ids = unit_ids_for(
+                        join_schema, side, cells, source_schema,
+                        logical_plan.join_unit_kind, n_buckets=n_buckets,
+                        columns=cols, packed=packed,
+                    )
+                    matrix[:, node_id] = np.bincount(
+                        unit_ids, minlength=n_units
+                    )
+                    chunks.append((cells, cols, keys, unit_ids))
                 assemblies[side] = self._assemble_side(
                     chunks, matrix, n_units, k
                 )
@@ -997,6 +1053,7 @@ class ShuffleJoinExecutor:
             right=right_table,
             left_assembly=assemblies["left"],
             right_assembly=assemblies["right"],
+            codec=codec,
         )
 
     @staticmethod
@@ -1169,6 +1226,9 @@ class ShuffleJoinExecutor:
         node_seconds = np.zeros(k, dtype=np.float64)
         node_output = np.zeros(k, dtype=np.int64)
         meta: dict = {}
+        if slice_table.codec is not None:
+            meta["packed_keys"] = True
+            meta["key_width"] = slice_table.codec.total_width
         algo = logical_plan.join_algo
         sort_inputs = logical_plan.join_algo == "merge" and (
             logical_plan.alpha_align == "redim" or logical_plan.beta_align == "redim"
@@ -1282,12 +1342,14 @@ class ShuffleJoinExecutor:
         workers: int,
     ) -> tuple[dict[int, int], dict]:
         """Batch matchable units per assigned node and run on the pool."""
+        codec = slice_table.codec
+        key_width = codec.total_width if codec is not None else None
         by_node: dict[int, UnitBatch] = {}
         for unit in matchable:
             node = int(assignment[unit])
             batch = by_node.get(node)
             if batch is None:
-                batch = by_node[node] = UnitBatch(node=node)
+                batch = by_node[node] = UnitBatch(node=node, key_width=key_width)
             left_key_cols, left_keys = slice_table.unit_keys(
                 "left", unit, join_schema
             )

@@ -12,8 +12,16 @@ and asymptotic cost:
 - **nested loop join**: compares every pair in blocks; polynomial,
   order-agnostic, never profitable — included as the paper's baseline.
 
-Keys are 1-D structured arrays (see :func:`repro.adm.cells.composite_key`)
-so multi-field equi-join predicates compare as single values.
+Keys are 1-D arrays comparing as single values: either packed ``uint64``
+primitives (see :mod:`repro.adm.keycodec`, the fast path) or structured
+arrays (see :func:`repro.adm.cells.composite_key`, the reference
+representation when a key does not fit 64 bits). Every matcher treats
+the two representations identically — only sortedness checking needs to
+distinguish them, because structured dtypes lack ordering ufuncs.
+
+Index arithmetic is pinned to ``int64`` throughout: ``np.arange`` and
+``np.cumsum`` default to the platform integer (int32 on Windows), which
+silently overflows once a skewed unit expands past 2^31 candidate pairs.
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ def _group_layout(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray,
         empty = np.array([], dtype=np.int64)
         return order, sorted_keys, empty, empty
     new_run = np.r_[True, sorted_keys[1:] != sorted_keys[:-1]]
-    run_starts = np.flatnonzero(new_run)
+    run_starts = np.flatnonzero(new_run).astype(np.int64)
     run_counts = np.diff(np.r_[run_starts, len(sorted_keys)])
     return order, sorted_keys[run_starts], run_starts, run_counts
 
@@ -53,14 +61,16 @@ def _expand_matches(
     right_counts: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Cartesian-expand matched key groups into index pairs, vectorised."""
-    pair_counts = left_counts * right_counts
+    pair_counts = left_counts.astype(np.int64) * right_counts
     total = int(pair_counts.sum())
     if total == 0:
         empty = np.array([], dtype=np.int64)
         return empty, empty
-    group_of_pair = np.repeat(np.arange(len(pair_counts)), pair_counts)
-    pair_offsets = np.arange(total) - np.repeat(
-        np.r_[0, np.cumsum(pair_counts)[:-1]], pair_counts
+    group_of_pair = np.repeat(
+        np.arange(len(pair_counts), dtype=np.int64), pair_counts
+    )
+    pair_offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.r_[0, np.cumsum(pair_counts, dtype=np.int64)[:-1]], pair_counts
     )
     nr = right_counts[group_of_pair]
     left_local = pair_offsets // nr
@@ -101,9 +111,9 @@ def hash_join_match(
         empty = np.array([], dtype=np.int64)
         return empty, empty
     # Each matched probe row fans out over its build group's duplicates.
-    probe_idx = np.repeat(probe_rows, counts)
-    offsets = np.arange(total) - np.repeat(
-        np.r_[0, np.cumsum(counts)[:-1]], counts
+    probe_idx = np.repeat(probe_rows.astype(np.int64), counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.r_[0, np.cumsum(counts, dtype=np.int64)[:-1]], counts
     )
     build_idx = b_order[np.repeat(b_starts[groups], counts) + offsets]
     if swapped:
@@ -112,13 +122,17 @@ def hash_join_match(
 
 
 def _is_key_sorted(keys: np.ndarray) -> bool:
-    """Lexicographic non-decreasing check for structured key arrays.
+    """Non-decreasing check for packed or structured key arrays.
 
-    Structured dtypes support ``==`` but not ordering ufuncs, so the
-    comparison walks the fields in significance order.
+    Packed primitive keys compare with one vectorised ``<=`` pass — the
+    payoff of the key codec. Structured dtypes support ``==`` but not
+    ordering ufuncs, so their comparison walks the fields in
+    significance order.
     """
     if len(keys) <= 1:
         return True
+    if keys.dtype.names is None:
+        return bool((keys[:-1] <= keys[1:]).all())
     prev, cur = keys[:-1], keys[1:]
     strictly_less = np.zeros(len(prev), dtype=bool)
     tied = np.ones(len(prev), dtype=bool)
@@ -147,11 +161,11 @@ def merge_join_match(
         return empty, empty
     # Runs of equal keys on each (already sorted) side.
     l_new = np.r_[True, left_keys[1:] != left_keys[:-1]]
-    l_starts = np.flatnonzero(l_new)
+    l_starts = np.flatnonzero(l_new).astype(np.int64)
     l_counts = np.diff(np.r_[l_starts, len(left_keys)])
     l_uniques = left_keys[l_starts]
     r_new = np.r_[True, right_keys[1:] != right_keys[:-1]]
-    r_starts = np.flatnonzero(r_new)
+    r_starts = np.flatnonzero(r_new).astype(np.int64)
     r_counts = np.diff(np.r_[r_starts, len(right_keys)])
     r_uniques = right_keys[r_starts]
     # Advance the "cursor" on the right for every left run (vectorised

@@ -7,14 +7,20 @@ one logical worker per simulated node — and each node's batch runs as
 one task on a ``concurrent.futures`` pool.
 
 Within a batch, matching is a single vectorised pass: every unit's
-composite keys are stacked field-wise and collapsed — together with the
-unit id, so equal keys only match inside their own join unit — into one
-64-bit hash column. One build/probe over the hashes covers all units
-the node owns, and the candidate pairs are then verified against the
-true key fields, which keeps the result exact under hash collisions.
-Plain-integer hashing replaces numpy's slow structured-dtype
-comparisons entirely, which is why the batched path is faster than the
-per-unit loop even on a single core.
+composite keys are stacked — together with the unit id, so equal keys
+only match inside their own join unit — into one 64-bit column. One
+build/probe over that column covers all units the node owns.
+
+When the key codec applies (see :mod:`repro.adm.keycodec`), the stacked
+column is **exact**: the unit id occupies the bits above the packed
+key, so equal column values are equal (unit, key) rows by construction
+and no verification pass is needed. Structured keys — the fallback for
+keys wider than 64 bits — are instead collapsed into a SplitMix64 hash
+column, and the candidate pairs are verified against the true key
+fields afterwards, which keeps the result exact under hash collisions.
+Either way, plain-integer comparison replaces numpy's slow
+structured-dtype kernels, which is why the batched path is faster than
+the per-unit loop even on a single core.
 
 Output parts are materialised by the workers without touching shared
 builder state (:meth:`OutputBuilder.materialise_matches` is pure) and
@@ -58,9 +64,12 @@ class UnitBatch:
     ``units[i]`` owns ``left_cells[i]``/``right_cells[i]`` and their
     precomputed key columns and composite keys (shared with the slice
     table's cache — building a batch never re-derives keys).
+    ``key_width`` is the packed-key bit width when the keys are
+    codec-packed ``uint64`` columns, and None for structured keys.
     """
 
     node: int
+    key_width: int | None = None
     units: list[int] = field(default_factory=list)
     left_cells: list[CellSet] = field(default_factory=list)
     right_cells: list[CellSet] = field(default_factory=list)
@@ -118,6 +127,19 @@ def stack_unit_keys(
     return unit_column, fields
 
 
+def stack_packed_keys(
+    units: list[int], keys_list: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack per-unit packed keys, with a row-aligned unit-id column.
+
+    Returns ``(unit_column, packed_column)``, both ``uint64``, covering
+    the batch's concatenated rows.
+    """
+    lengths = np.array([len(keys) for keys in keys_list], dtype=np.int64)
+    unit_column = np.repeat(np.asarray(units, dtype=np.uint64), lengths)
+    return unit_column, np.concatenate(keys_list)
+
+
 def hash_stacked_keys(
     unit_column: np.ndarray, fields: dict[str, np.ndarray]
 ) -> np.ndarray:
@@ -167,6 +189,36 @@ def _match_batch(
             np.concatenate(left_parts).astype(np.int64),
             np.concatenate(right_parts).astype(np.int64),
         )
+
+    if batch.key_width is not None:
+        left_units, left_packed = stack_packed_keys(
+            batch.units, batch.left_keys
+        )
+        right_units, right_packed = stack_packed_keys(
+            batch.units, batch.right_keys
+        )
+        unit_bits = max(batch.units).bit_length()
+        if unit_bits + batch.key_width <= 64:
+            # Exact composite: the unit id sits above the packed key, so
+            # equal column values are equal (unit, key) rows — one
+            # build/probe, no collisions, no verification pass.
+            shift = np.uint64(batch.key_width)
+            return hash_join_match(
+                (left_units << shift) | left_packed,
+                (right_units << shift) | right_packed,
+            )
+        # Unit ids overflow the spare bits: hash the two columns and
+        # verify candidates exactly (still only two comparisons per
+        # candidate, against one per key field for structured keys).
+        left_idx, right_idx = hash_join_match(
+            hash_stacked_keys(left_units, {"packed": left_packed}),
+            hash_stacked_keys(right_units, {"packed": right_packed}),
+        )
+        if len(left_idx):
+            genuine = left_units[left_idx] == right_units[right_idx]
+            genuine &= left_packed[left_idx] == right_packed[right_idx]
+            left_idx, right_idx = left_idx[genuine], right_idx[genuine]
+        return left_idx, right_idx
 
     left_units, left_fields = stack_unit_keys(batch.units, batch.left_keys)
     right_units, right_fields = stack_unit_keys(batch.units, batch.right_keys)

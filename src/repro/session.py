@@ -54,7 +54,9 @@ class Session:
         matching); None/0/1 keep the serial reference path. Sessions
         serve repeated queries from a plan cache by default
         (``plan_cache_size=64``); pass ``plan_cache_size=0`` to disable
-        it. Further ``executor_options`` pass straight to the executor."""
+        it. Further ``executor_options`` pass straight to the executor —
+        e.g. ``packed_keys=False`` keeps structured composite keys
+        instead of the packed 64-bit codec."""
         executor_options.setdefault("plan_cache_size", 64)
         self.cluster = Cluster(n_nodes=n_nodes, network=network)
         self.executor = ShuffleJoinExecutor(

@@ -171,6 +171,25 @@ class TestCompositeKey:
         assert len(np.unique(key)) == 3
         assert key[0] != key[1]
 
+    def test_negative_zero_equals_positive_zero(self):
+        """Regression: ``-0.0 == +0.0`` numerically but their IEEE bit
+        patterns differ, so the raw bit view used to split them into
+        distinct key values and silently drop equi-join matches."""
+        key = composite_key([np.array([-0.0, 0.0, 1.0])])
+        assert key[0] == key[1]
+        assert key[0] != key[2]
+        assert np.array_equal(
+            composite_key([np.array([-0.0, -0.0])]),
+            composite_key([np.array([0.0, 0.0])]),
+        )
+
+    def test_nan_bit_patterns_preserved(self):
+        # NaN != NaN numerically; the bit-pattern key keeps NaNs equal to
+        # themselves as key values, which is the documented behaviour.
+        key = composite_key([np.array([np.nan, np.nan, 0.0])])
+        assert key[0] == key[1]
+        assert key[0] != key[2]
+
 
 class TestCOrder:
     def test_sort_produces_c_order(self):

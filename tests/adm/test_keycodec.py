@@ -1,0 +1,212 @@
+"""Property tests for the packed 64-bit key codec.
+
+The codec's contract: packing is an exact, order-preserving collapse of
+a multi-field composite key — unsigned comparison of the packed column
+agrees with lexicographic comparison of the structured representation,
+roundtrips recover the original values, and layouts too wide for 64
+bits decline rather than truncate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adm.cells import composite_key, float_key_bits
+from repro.adm.keycodec import MAX_PACKED_BITS, KeyCodec, key_bits, plan_codec
+from repro.adm.schema import Dimension
+from repro.errors import SchemaError
+
+# Signed values spanning several byte widths, including the extremes
+# that expose off-by-one width planning.
+int_values = st.integers(-(2**40), 2**40) | st.sampled_from(
+    [0, -1, 1, -(2**31), 2**31 - 1]
+)
+float_values = st.floats(
+    allow_nan=False, allow_infinity=True, width=64
+) | st.sampled_from([0.0, -0.0, 1.5, -1.5])
+
+
+def int_column(draw, n):
+    return np.array([draw(int_values) for _ in range(n)], dtype=np.int64)
+
+
+def float_column(draw, n):
+    return np.array([draw(float_values) for _ in range(n)], dtype=np.float64)
+
+
+@st.composite
+def key_tables(draw):
+    """A pair of row-aligned key-column lists sharing a field signature."""
+    n_fields = draw(st.integers(1, 3))
+    floaty = [draw(st.booleans()) for _ in range(n_fields)]
+    tables = []
+    for _ in range(2):
+        n = draw(st.integers(1, 25))
+        tables.append(
+            [
+                float_column(draw, n) if is_f else int_column(draw, n)
+                for is_f in floaty
+            ]
+        )
+    return tables
+
+
+class TestRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(key_tables())
+    def test_pack_unpack_roundtrip(self, tables):
+        codec = plan_codec(tables)
+        if codec is None:
+            return  # too wide: fallback is exercised separately
+        for columns in tables:
+            unpacked = codec.unpack(codec.pack(columns))
+            for original, recovered in zip(columns, unpacked):
+                # Bit-pattern equality: -0.0 normalises to +0.0 by design.
+                assert np.array_equal(
+                    key_bits(original, original.dtype.kind == "f"),
+                    key_bits(recovered, recovered.dtype.kind == "f"),
+                )
+
+    def test_recovers_exact_values(self):
+        ints = [np.array([-5, 0, 17], dtype=np.int64)]
+        codec = plan_codec([ints])
+        assert codec is not None
+        np.testing.assert_array_equal(
+            codec.unpack(codec.pack(ints))[0], ints[0]
+        )
+        floats = [np.array([2.5, -0.0, 1e300])]
+        codec = plan_codec([floats])
+        assert codec is not None
+        np.testing.assert_array_equal(
+            codec.unpack(codec.pack(floats))[0], [2.5, 0.0, 1e300]
+        )
+
+
+class TestOrderPreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(key_tables())
+    def test_packed_order_matches_structured_order(self, tables):
+        """Stable argsort of the packed column equals stable argsort of
+        the structured composite key — every sort, searchsorted, and run
+        boundary the join kernels compute agrees between the two
+        representations."""
+        codec = plan_codec(tables)
+        if codec is None:
+            return
+        for columns in tables:
+            packed = codec.pack(columns)
+            structured = composite_key(columns)
+            np.testing.assert_array_equal(
+                np.argsort(packed, kind="stable"),
+                np.argsort(structured, kind="stable"),
+            )
+            # Equality structure agrees too (injective on the range).
+            np.testing.assert_array_equal(
+                packed[:, None] == packed[None, :],
+                structured[:, None] == structured[None, :],
+            )
+
+    def test_float_bit_order_not_numeric_order(self):
+        # Both representations order floats by int64 bit pattern, not
+        # numerically — what matters is that they agree.
+        columns = [np.array([-1.0, 2.0, -3.0, 0.0])]
+        codec = plan_codec([columns])
+        packed = codec.pack(columns)
+        structured = composite_key(columns)
+        np.testing.assert_array_equal(
+            np.argsort(packed, kind="stable"),
+            np.argsort(structured, kind="stable"),
+        )
+
+
+class TestPlanning:
+    def test_width_covers_union_of_sets(self):
+        left = [np.array([0, 10], dtype=np.int64)]
+        right = [np.array([100, 200], dtype=np.int64)]
+        codec = plan_codec([left, right])
+        assert codec.offsets == (0,)
+        assert codec.widths == ((200).bit_length(),)
+        # Equal values pack equal across the two sets.
+        assert codec.pack(left)[1] != codec.pack(right)[0]
+        both = [np.array([10], dtype=np.int64)]
+        assert codec.pack(both)[0] == codec.pack(left)[1]
+
+    def test_dims_widen_integer_ranges(self):
+        dim = Dimension("i", start=1, end=1000, chunk_interval=100)
+        observed = [np.array([5, 7], dtype=np.int64)]
+        codec = plan_codec([observed], dims=[dim])
+        assert codec.offsets == (1,)
+        assert codec.widths == ((999).bit_length(),)
+
+    def test_overflow_returns_none(self):
+        wide = [
+            np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max]),
+            np.array([0, 1], dtype=np.int64),
+        ]
+        assert plan_codec([wide]) is None
+
+    def test_float_field_always_needs_64_bits_plus_any(self):
+        # A full-range float field consumes 64 bits on its own, so any
+        # companion field with spread overflows the lane.
+        columns = [
+            np.array([-1.0, 1.0]),  # sign-bit spread: 64-bit span
+            np.array([0, 1], dtype=np.int64),
+        ]
+        assert plan_codec([columns]) is None
+
+    def test_constant_field_needs_zero_bits(self):
+        columns = [
+            np.array([42, 42], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+        ]
+        codec = plan_codec([columns])
+        assert codec.widths[0] == 0
+        assert codec.total_width == 1
+        packed = codec.pack(columns)
+        assert packed[0] != packed[1]
+
+    def test_empty_sets_use_dim_bounds(self):
+        dim = Dimension("i", start=0, end=63, chunk_interval=8)
+        codec = plan_codec(
+            [[np.array([], dtype=np.int64)]], dims=[dim]
+        )
+        assert codec.widths == (6,)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(SchemaError):
+            plan_codec([])
+        with pytest.raises(SchemaError):
+            plan_codec([[]])
+        with pytest.raises(SchemaError):
+            plan_codec(
+                [
+                    [np.array([1], dtype=np.int64)],
+                    [np.array([1], dtype=np.int64)] * 2,
+                ]
+            )
+        codec = KeyCodec(offsets=(0,), widths=(4,), is_float=(False,))
+        with pytest.raises(SchemaError):
+            codec.pack([np.array([1]), np.array([2])])
+
+    def test_max_width_exactly_64_accepted(self):
+        columns = [np.array([0.0, -0.0, 5.0])]
+        codec = plan_codec([columns])
+        assert codec is not None
+        assert codec.total_width <= MAX_PACKED_BITS
+
+    def test_negative_zero_packs_like_positive_zero(self):
+        columns = [np.array([-0.0, 0.0])]
+        codec = plan_codec([columns])
+        packed = codec.pack(columns)
+        assert packed[0] == packed[1]
+
+
+class TestKeyBits:
+    def test_float_key_bits_normalises_negative_zero(self):
+        bits = float_key_bits(np.array([-0.0, 0.0]))
+        assert bits[0] == bits[1] == 0
+
+    def test_int_passthrough(self):
+        col = np.array([1, -2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(key_bits(col, False), col)

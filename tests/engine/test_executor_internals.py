@@ -177,15 +177,21 @@ class TestSliceTableCaching:
     def test_reference_mapping_matches_single_sort(self, setup):
         """The pre-vectorization mapping (single_sort=False) must produce
         the same stats and the same assembled cells per unit — it is the
-        oracle the prepare benchmark races against."""
+        oracle the prepare benchmark races against. Packed keys are
+        pinned off: the reference mapping always hashes bucket units
+        per-column, so layout parity is defined on structured keys (the
+        packed-vs-structured equivalence has its own tests in
+        test_packed_join.py)."""
         cluster, executor = setup
         query = "SELECT A.v1 FROM A, B WHERE A.v1 = B.v1"
-        fast = executor.prepare(query, join_algo="hash")
-        executor.single_sort = False
+        executor.packed_keys = False
         try:
+            fast = executor.prepare(query, join_algo="hash")
+            executor.single_sort = False
             slow = executor.prepare(query, join_algo="hash")
         finally:
             executor.single_sort = True
+            executor.packed_keys = True
         assert np.array_equal(
             fast.slice_table.stats.s_left, slow.slice_table.stats.s_left
         )

@@ -18,6 +18,7 @@ from repro.engine.parallel import (
     _match_batch,
     hash_stacked_keys,
     resolve_workers,
+    stack_packed_keys,
     stack_unit_keys,
 )
 from repro.errors import ExecutionError
@@ -194,3 +195,70 @@ class TestBatchedMatching:
         assert set(zip(got_left.tolist(), got_right.tolist())) == set(
             zip(hash_left.tolist(), hash_right.tolist())
         )
+
+
+def _packed_batch_of(units, left_cols, right_cols, key_width):
+    """A UnitBatch over codec-packed keys (already-encoded uint64)."""
+    batch = UnitBatch(node=0, key_width=key_width)
+    for unit, left, right in zip(units, left_cols, right_cols):
+        left = np.asarray(left, dtype=np.uint64)
+        right = np.asarray(right, dtype=np.uint64)
+        batch.add_unit(
+            unit,
+            CellSet(np.zeros((len(left), 1), dtype=np.int64), {}),
+            CellSet(np.zeros((len(right), 1), dtype=np.int64), {}),
+            [left.view(np.int64)],
+            left,
+            right,
+        )
+    return batch
+
+
+class TestPackedBatchedMatching:
+    def test_stack_packed_keys_layout(self):
+        unit_column, packed = stack_packed_keys(
+            [7, 9],
+            [np.array([3, 4], dtype=np.uint64), np.array([5], dtype=np.uint64)],
+        )
+        assert unit_column.dtype == np.uint64
+        assert unit_column.tolist() == [7, 7, 9]
+        assert packed.tolist() == [3, 4, 5]
+
+    @pytest.mark.parametrize("algo", ["hash", "merge"])
+    def test_packed_batch_equals_structured_batch(self, rng, algo):
+        units = [4, 9, 17]
+        left_cols = [rng.integers(0, 12, size=n) for n in (20, 1, 35)]
+        right_cols = [rng.integers(0, 12, size=n) for n in (15, 40, 2)]
+        packed = _packed_batch_of(units, left_cols, right_cols, key_width=4)
+        structured = _batch_of(units, left_cols, right_cols)
+        got_left, got_right = _match_batch(packed, algo, {})
+        ref_left, ref_right = _match_batch(structured, algo, {})
+        assert set(zip(got_left.tolist(), got_right.tolist())) == set(
+            zip(ref_left.tolist(), ref_right.tolist())
+        )
+
+    @pytest.mark.parametrize("key_width", [60, 64])
+    def test_oversized_unit_ids_fall_back_to_hash_verify(self, rng, key_width):
+        # 60-bit keys + unit ids above 2**4 cannot share one lane; the
+        # packed branch must hash + verify and still match exactly.
+        units = [3, 1 << 50]
+        left_cols = [rng.integers(0, 9, size=12), rng.integers(0, 9, size=7)]
+        right_cols = [rng.integers(0, 9, size=10), rng.integers(0, 9, size=9)]
+        packed = _packed_batch_of(units, left_cols, right_cols, key_width)
+        structured = _batch_of(units, left_cols, right_cols)
+        got_left, got_right = _match_batch(packed, "hash", {})
+        ref_left, ref_right = _match_batch(structured, "hash", {})
+        assert set(zip(got_left.tolist(), got_right.tolist())) == set(
+            zip(ref_left.tolist(), ref_right.tolist())
+        )
+
+    def test_equal_keys_in_different_units_do_not_match(self):
+        # One shared key value, two units; the exact combined column must
+        # keep them apart.
+        packed = _packed_batch_of(
+            [0, 1], [[5], [5]], [[5], [5]], key_width=3
+        )
+        left_idx, right_idx = _match_batch(packed, "hash", {})
+        assert set(zip(left_idx.tolist(), right_idx.tolist())) == {
+            (0, 0), (1, 1)
+        }
