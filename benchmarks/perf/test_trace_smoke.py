@@ -1,0 +1,85 @@
+"""Smoke test for the tracing-overhead benchmark.
+
+Runs the trace harness at a fraction of benchmark scale on every CI
+run, asserting the properties the full BENCH_PR5 artifact certifies:
+the traced arm produces a structurally valid Chrome trace containing
+the full span vocabulary (plan phases, simulated transfers, worker
+batches), and both arms really executed. The <5% overhead bound is
+*not* asserted here — at smoke scale a single scheduler hiccup swamps
+the signal — but the recorded overhead is checked to be finite and the
+JSON artifact round-trips.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.wallclock import run_trace_bench, write_results
+from repro.obs.trace import validate_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def trace_result(tmp_path_factory):
+    trace_dir = str(tmp_path_factory.mktemp("trace-artifacts"))
+    return run_trace_bench(
+        workload="fig8_hash_skew",
+        planner="baseline",
+        n_workers=2,
+        cells_per_array=20_000,
+        n_nodes=6,
+        repeats=2,
+        seed=3,
+        trace_dir=trace_dir,
+    )
+
+
+def test_trace_file_is_valid_chrome_json(trace_result):
+    assert trace_result.trace_valid
+    assert os.path.exists(trace_result.trace_path)
+    payload = json.loads(open(trace_result.trace_path).read())
+    assert validate_chrome_trace(payload) == []
+
+
+def test_trace_covers_the_pipeline(trace_result):
+    payload = json.loads(open(trace_result.trace_path).read())
+    names = {
+        e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+    }
+    for expected in (
+        "physical_assign",
+        "data_alignment",
+        "cell_comparison",
+    ):
+        assert expected in names, f"missing span {expected}"
+    assert any(name.startswith("xfer ") for name in names)
+    assert any(name.startswith("batch n") for name in names)
+    lanes = {
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "M"
+    }
+    assert any(lane.startswith("net:recv n") for lane in lanes)
+    assert any(lane.startswith("worker:n") for lane in lanes)
+
+
+def test_both_arms_executed(trace_result):
+    assert trace_result.untraced_seconds > 0
+    assert trace_result.traced_seconds > 0
+    assert trace_result.n_spans > 0
+    assert trace_result.overhead_pct == pytest.approx(
+        100.0
+        * (trace_result.traced_seconds - trace_result.untraced_seconds)
+        / trace_result.untraced_seconds
+    )
+
+
+def test_trace_json_roundtrip(trace_result, tmp_path):
+    out = tmp_path / "bench.json"
+    write_results([], str(out), trace_results=[trace_result])
+    payload = json.loads(out.read_text())
+    assert "results" not in payload
+    (entry,) = payload["tracing"]
+    assert entry["workload"] == "fig8_hash_skew"
+    assert entry["trace_valid"] is True
+    assert entry["n_spans"] == trace_result.n_spans

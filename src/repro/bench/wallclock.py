@@ -42,6 +42,7 @@ from repro.core.cost_model import AnalyticalCostModel, CostParams
 from repro.core.planners.tabu import TabuPlanner
 from repro.core.slices import SliceStats
 from repro.engine.executor import PreparedJoin, ShuffleJoinExecutor
+from repro.obs.trace import Tracer, validate_chrome_trace
 
 #: Skew-workload builders, keyed by the figure whose data they reuse.
 #: Each returns (executor, query, join_algo) for the default paper-scale
@@ -528,6 +529,115 @@ def run_planner_stress(
 
 
 @dataclass
+class TraceResult:
+    """Instrumentation-overhead measurement of one traced workload.
+
+    The same prepared join runs ``repeats`` times untraced (the default
+    disabled-tracer path: every span site is one attribute check) and
+    ``repeats`` times with a live tracer collecting the full span set,
+    including per-worker and simulated-network spans. ``overhead_pct``
+    compares the best samples; the acceptance bar is < 5%. The last
+    traced run's Chrome trace JSON is written to ``trace_path`` and
+    structurally validated (``trace_valid``).
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    n_workers: int
+    cells_per_array: int
+    n_nodes: int
+    n_units: int
+    alpha: float
+    repeats: int
+    untraced_seconds: float
+    traced_seconds: float
+    untraced_samples: list[float]
+    traced_samples: list[float]
+    overhead_pct: float
+    n_spans: int
+    trace_path: str
+    trace_valid: bool
+
+
+def run_trace_bench(
+    workload: str = "fig8_hash_skew",
+    planner: str = "baseline",
+    n_workers: int = 4,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    repeats: int = 5,
+    seed: int = 0,
+    trace_dir: str = "trace-artifacts",
+) -> TraceResult:
+    """Measure span-tracing overhead and export one workload's trace.
+
+    Both arms execute the identical warmed prepared join; only the
+    executor's tracer differs (disabled vs collecting). The traced arm
+    clears the tracer between repeats so the exported file holds exactly
+    one execution's spans.
+    """
+    os.makedirs(trace_dir, exist_ok=True)
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+    )
+    prepared = executor.prepare(query, join_algo=join_algo)
+    prepared.execute(planner, n_workers=n_workers)  # warm the caches
+
+    untraced_samples, _ = time_execute(prepared, planner, n_workers, repeats)
+
+    tracer = Tracer()
+    saved_tracer = executor.tracer
+    executor.tracer = tracer
+    traced_samples: list[float] = []
+    try:
+        for _ in range(repeats):
+            tracer.clear()
+            started = time.perf_counter()
+            prepared.execute(planner, n_workers=n_workers)
+            traced_samples.append(time.perf_counter() - started)
+    finally:
+        executor.tracer = saved_tracer
+
+    trace_path = os.path.join(trace_dir, f"{workload}.trace.json")
+    n_spans = tracer.write_chrome(trace_path)
+    with open(trace_path, "r", encoding="utf-8") as handle:
+        errors = validate_chrome_trace(json.load(handle))
+
+    untraced_best = min(untraced_samples)
+    traced_best = min(traced_samples)
+    overhead = (
+        100.0 * (traced_best - untraced_best) / untraced_best
+        if untraced_best
+        else 0.0
+    )
+    return TraceResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        n_workers=n_workers,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        n_units=prepared.n_units,
+        alpha=alpha,
+        repeats=repeats,
+        untraced_seconds=untraced_best,
+        traced_seconds=traced_best,
+        untraced_samples=untraced_samples,
+        traced_samples=traced_samples,
+        overhead_pct=overhead,
+        n_spans=n_spans,
+        trace_path=trace_path,
+        trace_valid=not errors,
+    )
+
+
+@dataclass
 class ServingResult:
     """Cold-vs-warm latency of one repeated-query serving workload.
 
@@ -667,6 +777,7 @@ def write_results(
     stress_result: StressResult | None = None,
     serving_results: "list[ServingResult] | None" = None,
     keys_results: "list[KeysResult] | None" = None,
+    trace_results: "list[TraceResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -688,6 +799,8 @@ def write_results(
         payload["serving"] = [vars(result) for result in serving_results]
     if keys_results:
         payload["keys"] = [vars(result) for result in keys_results]
+    if trace_results:
+        payload["tracing"] = [vars(result) for result in trace_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -745,6 +858,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-capacity", type=int, default=32,
         help="plan-cache LRU capacity for the serving mode",
+    )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="also run each workload traced: write Chrome trace JSON per "
+        "workload into DIR and record the instrumentation overhead",
     )
     args = parser.parse_args(argv)
 
@@ -864,6 +982,30 @@ def main(argv: list[str] | None = None) -> int:
                 f"cache={serving.cache}"
             )
 
+    trace_results = []
+    if args.trace_dir:
+        for workload in args.workload or list(WORKLOADS):
+            traced = run_trace_bench(
+                workload=workload,
+                planner=args.planner,
+                n_workers=args.workers,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                repeats=args.repeats,
+                seed=args.seed,
+                trace_dir=args.trace_dir,
+            )
+            trace_results.append(traced)
+            print(
+                f"{traced.workload} tracing [{traced.planner}/"
+                f"{traced.join_algo}] untraced {traced.untraced_seconds:.3f}s "
+                f"vs traced {traced.traced_seconds:.3f}s -> "
+                f"{traced.overhead_pct:+.1f}% overhead; "
+                f"{traced.n_spans} spans -> {traced.trace_path} "
+                f"(valid={traced.trace_valid})"
+            )
+
     if args.out:
         write_results(
             results, args.out,
@@ -871,6 +1013,7 @@ def main(argv: list[str] | None = None) -> int:
             stress_result=stress_result,
             serving_results=serving_results or None,
             keys_results=keys_results or None,
+            trace_results=trace_results or None,
         )
         print(f"wrote {args.out}")
     return 0

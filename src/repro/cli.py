@@ -8,11 +8,16 @@ Commands:
 - ``report --out FILE [ids...]`` — regenerate a markdown results report;
 - ``query`` — run ad-hoc statements against a fresh session seeded with
   two demo arrays (reads statements from the arguments);
+- ``explain`` — plan a join against the demo session; ``--analyze``
+  additionally executes it and prints the per-node predicted-vs-actual
+  cost table (Equations 5-8 vs observed);
 - ``bench`` — wall-clock serial-vs-parallel benchmark of the join
   engine (see :mod:`repro.bench.wallclock`).
 
 ``demo`` and ``query`` accept ``--workers N`` to execute joins on a
-worker pool (N > 1) instead of the serial per-unit path.
+worker pool (N > 1) instead of the serial per-unit path, and
+``--trace FILE`` to record execution spans as Chrome trace-event JSON
+(load the file in Perfetto / ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -54,9 +59,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(session.explain(query, planner="tabu").describe())
     print()
-    result = session.execute(query, planner="tabu")
+    result = session.execute(query, planner="tabu", trace=args.trace)
     print(result.report.describe())
     print(f"output: {result.array.n_cells} joined cells")
+    if args.trace:
+        print(f"trace: {len(result.trace)} spans -> {args.trace}")
     return 0
 
 
@@ -104,17 +111,35 @@ def cmd_query(args: argparse.Namespace) -> int:
             parse_statement(statement), (JoinQuery, MultiJoinQuery)
         )
         options = {"planner": args.planner} if is_join else {}
+        if is_join and args.trace:
+            options["trace"] = args.trace
         result = session.execute(statement, **options)
         if result is None:
             print("ok")
         elif hasattr(result, "report"):
             print(result.report.describe())
             print(f"output cells: {result.array.n_cells}")
+            if getattr(result, "trace", None) is not None:
+                print(f"trace: {len(result.trace)} spans -> {args.trace}")
         elif hasattr(result, "n_cells"):
             print(f"{result.n_cells} cells")
         else:
             print(result)
         print()
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    session = _demo_session(n_nodes=args.nodes, n_workers=args.workers)
+    if args.analyze:
+        report = session.explain_analyze(
+            args.statement, planner=args.planner, trace=args.trace or None
+        )
+        print(report.describe())
+        if args.trace:
+            print(f"trace: {len(report.result.trace)} spans -> {args.trace}")
+    else:
+        print(session.explain(args.statement, planner=args.planner).describe())
     return 0
 
 
@@ -141,6 +166,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ]
     if args.out:
         forwarded += ["--out", args.out]
+    if args.trace_dir:
+        forwarded += ["--trace-dir", args.trace_dir]
     if args.skip_exec:
         forwarded.append("--skip-exec")
     if args.prepare:
@@ -167,6 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker-pool size for join execution (>1 enables batching)",
     )
+    demo.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the join's execution spans as Chrome trace JSON",
+    )
     demo.set_defaults(func=cmd_demo)
 
     experiments = sub.add_parser(
@@ -190,7 +221,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker-pool size for join execution (>1 enables batching)",
     )
+    query.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write each join's execution spans as Chrome trace JSON",
+    )
     query.set_defaults(func=cmd_query)
+
+    explain = sub.add_parser(
+        "explain", help="plan (and with --analyze, profile) a join query"
+    )
+    explain.add_argument("statement")
+    explain.add_argument("--nodes", type=int, default=4)
+    explain.add_argument("--planner", default="tabu")
+    explain.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size when --analyze executes the join",
+    )
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and print per-node predicted-vs-actual "
+        "costs (Eqs 5-8) with skew statistics",
+    )
+    explain.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="with --analyze: also write the Chrome trace JSON",
+    )
+    explain.set_defaults(func=cmd_explain)
 
     bench = sub.add_parser(
         "bench", help="wall-clock serial-vs-parallel join benchmark"
@@ -207,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=5)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default=None, help="write JSON here")
+    bench.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="also run each workload traced: write Chrome trace JSON per "
+        "workload into DIR and record the instrumentation overhead",
+    )
     bench.add_argument(
         "--skip-exec", action="store_true",
         help="skip the serial-vs-parallel execution comparison",

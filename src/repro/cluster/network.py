@@ -69,6 +69,15 @@ class ShuffleSchedule:
     events: list[TransferEvent] = field(default_factory=list)
     cells_sent: dict[int, int] = field(default_factory=dict)
     cells_received: dict[int, int] = field(default_factory=dict)
+    #: Memoised derived views (busy times, exportable spans): schedules
+    #: are immutable once built and get re-read on every traced or
+    #: analyzed execution of a cached alignment.
+    _busy_cache: "tuple[dict, dict] | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _span_cache: "list | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_transfers(self) -> int:
@@ -77,6 +86,71 @@ class ShuffleSchedule:
     @property
     def total_cells_moved(self) -> int:
         return sum(e.transfer.n_cells for e in self.events)
+
+    def busy_seconds(self) -> tuple[dict[int, float], dict[int, float]]:
+        """Per-node (send, receive) busy time summed over the events.
+
+        Busy time excludes lock waiting by construction — it is the
+        quantity Equations 5-6 predict (cells × t), so explain-analyze
+        compares it against the model; the schedule's ``total_time``
+        additionally contains the waiting the model ignores.
+        """
+        if self._busy_cache is not None:
+            return self._busy_cache
+        send_busy: dict[int, float] = {}
+        recv_busy: dict[int, float] = {}
+        for event in self.events:
+            elapsed = event.end - event.start
+            src, dst = event.transfer.src, event.transfer.dst
+            send_busy[src] = send_busy.get(src, 0.0) + elapsed
+            recv_busy[dst] = recv_busy.get(dst, 0.0) + elapsed
+        self._busy_cache = (send_busy, recv_busy)
+        return self._busy_cache
+
+    def export_spans(self, tracer, offset: float = 0.0) -> int:
+        """Emit every transfer event as a span on per-destination lanes.
+
+        The schedule's timestamps are *simulated* seconds starting at 0;
+        ``offset`` (typically ``tracer.now()`` when the alignment phase
+        ran) re-bases them onto the tracer's wall-clock timeline so the
+        network lanes sit alongside the measured spans. One lane per
+        destination keeps the write-lock invariant visible: spans on a
+        ``net:recv nK`` lane never overlap.
+
+        The span objects are built once per schedule and handed to the
+        tracer by reference with a deferred offset
+        (:meth:`repro.obs.trace.Tracer.extend_rebased`), so a traced
+        execution pays O(1) here rather than one allocation per event —
+        the schedules are cached across repeated executions and can hold
+        thousands of transfers.
+        """
+        if not getattr(tracer, "enabled", False) or not self.events:
+            return 0
+        if self._span_cache is None:
+            from repro.obs.trace import Span
+
+            self._span_cache = [
+                Span(
+                    name=f"xfer n{e.transfer.src}->n{e.transfer.dst}",
+                    start=e.start,
+                    end=e.end,
+                    path=(
+                        f"data_alignment/xfer "
+                        f"n{e.transfer.src}->n{e.transfer.dst}"
+                    ),
+                    lane=f"net:recv n{e.transfer.dst}",
+                    attrs={
+                        "src": e.transfer.src,
+                        "dst": e.transfer.dst,
+                        "cells": e.transfer.n_cells,
+                        "unit": e.transfer.tag,
+                        "simulated": True,
+                    },
+                )
+                for e in self.events
+            ]
+        tracer.extend_rebased(self._span_cache, offset)
+        return len(self._span_cache)
 
 
 #: Shuffle scheduling policies, for the Section-3.4 ablation:

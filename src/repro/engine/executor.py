@@ -41,7 +41,11 @@ from repro.engine.parallel import (
 )
 from repro.engine.simulation import SimulationParams
 from repro.errors import ExecutionError, PlanningError
+from repro.obs.counters import CounterSet
+from repro.obs.explain_analyze import ExplainAnalyzeReport
+from repro.obs.metrics import MetricsRegistry, record_execution
 from repro.obs.timers import PhaseProfiler
+from repro.obs.trace import Tracer
 from repro.query.aql import FilterQuery, JoinQuery, MultiJoinQuery, parse_aql
 from repro.query.afl import apply_filter
 from repro.serve.cache import CachedPlan, PlanCache
@@ -85,6 +89,13 @@ class ExecutionReport:
     #: fingerprint plus the cache's cumulative hit/miss/eviction counters.
     #: Empty when the executor runs without a plan cache.
     cache: dict = field(default_factory=dict)
+    #: Cells each node's matching emitted (parallel to the cluster's
+    #: node ids; ``per_node_compare`` carries the busy seconds).
+    per_node_output: np.ndarray | None = None
+    #: Per-node predicted (Eqs 5-8) and observed cost vectors, captured
+    #: by ``analyze``/traced executions; feeds
+    #: :class:`repro.obs.explain_analyze.ExplainAnalyzeReport`.
+    node_profile: dict | None = None
 
     @property
     def execute_seconds(self) -> float:
@@ -131,6 +142,8 @@ class JoinResult:
     logical_plan: LogicalPlan
     physical_plan: PhysicalPlan | None
     join_schema: JoinSchema
+    #: The per-query tracer when the query ran with ``trace=...``.
+    trace: Tracer | None = None
 
     @property
     def cells(self) -> CellSet:
@@ -375,6 +388,8 @@ class ShuffleJoinExecutor:
         n_workers: int | None = None,
         parallel_mode: str = "thread",
         profiler: PhaseProfiler | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
         single_sort: bool = True,
         packed_keys: bool = True,
         plan_cache: PlanCache | None = None,
@@ -406,6 +421,14 @@ class ShuffleJoinExecutor:
         # breakdown at negligible cost. Pass a disabled profiler to
         # switch the spans into shared no-op context managers.
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        # Span tracing is *off* by default (a disabled tracer's span()
+        # returns one shared no-op context manager); pass an enabled
+        # Tracer — or trace=... on execute — to record execution spans.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        # The metrics registry is always on: it only aggregates a few
+        # per-execution totals and skew gauges, negligible against the
+        # matching work, and gives the serving path standing telemetry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Worker-pool knobs for the cell-comparison phase: None/0/1 run
         # the serial per-unit path; >1 batches units per assigned node
         # and executes the batches on a pool (see repro.engine.parallel).
@@ -437,6 +460,8 @@ class ShuffleJoinExecutor:
         store_result: bool = False,
         n_workers: int | None = None,
         use_cache: bool | None = None,
+        analyze: bool = False,
+        trace: "str | bool | None" = None,
     ) -> JoinResult:
         """Run a join query end to end.
 
@@ -448,6 +473,12 @@ class ShuffleJoinExecutor:
         ``use_cache=False`` bypasses the plan cache for this query
         (both lookup and population); the default uses the cache
         whenever the executor has one.
+
+        ``analyze=True`` captures the per-node predicted-vs-actual cost
+        profile (``report.node_profile``) for explain-analyze.
+        ``trace`` records execution spans for this query onto a fresh
+        tracer attached to the result (``result.trace``); a string
+        value additionally writes the Chrome trace JSON to that path.
         """
         if isinstance(query, str):
             parsed = parse_aql(query)
@@ -458,6 +489,33 @@ class ShuffleJoinExecutor:
                 "ShuffleJoinExecutor.execute handles join queries; use "
                 "execute_filter for single-array queries"
             )
+        query_tracer = Tracer() if trace else None
+        saved_tracer = self.tracer
+        if query_tracer is not None:
+            self.tracer = query_tracer
+        try:
+            result = self._execute_parsed(
+                parsed, planner, join_algo, store_result, n_workers,
+                use_cache, analyze,
+            )
+        finally:
+            self.tracer = saved_tracer
+        if query_tracer is not None:
+            if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+                query_tracer.write_chrome(trace)
+            result.trace = query_tracer
+        return result
+
+    def _execute_parsed(
+        self,
+        parsed: JoinQuery | MultiJoinQuery,
+        planner: str,
+        join_algo: str | None,
+        store_result: bool,
+        n_workers: int | None,
+        use_cache: bool | None,
+        analyze: bool,
+    ) -> JoinResult:
         if isinstance(parsed, MultiJoinQuery):
             from repro.engine.multijoin import execute_multi_join
 
@@ -466,6 +524,11 @@ class ShuffleJoinExecutor:
                     "multi-join stages choose their own join algorithms; "
                     "join_algo cannot be pinned"
                 )
+            if analyze:
+                raise ExecutionError(
+                    "analyze covers two-array joins; multi-join stages "
+                    "report per-stage only"
+                )
             result = execute_multi_join(self, parsed, planner=planner)
             if store_result and not self.cluster.catalog.exists(
                 result.array.schema.name
@@ -473,11 +536,38 @@ class ShuffleJoinExecutor:
                 self.cluster.load_array(result.array)
             return result
         result = self._execute_join(
-            parsed, planner, join_algo, n_workers, use_cache=use_cache
+            parsed, planner, join_algo, n_workers, use_cache=use_cache,
+            analyze=analyze,
         )
         if store_result and not self.cluster.catalog.exists(result.array.schema.name):
             self.cluster.load_array(result.array)
         return result
+
+    def explain_analyze(
+        self,
+        query: str | JoinQuery,
+        planner: str = "tabu",
+        join_algo: str | None = None,
+        n_workers: int | None = None,
+        use_cache: bool | None = None,
+        trace: "str | bool | None" = None,
+    ) -> ExplainAnalyzeReport:
+        """Execute a join and report per-node predicted-vs-actual costs.
+
+        The query *really runs* (EXPLAIN ANALYZE semantics): the report
+        lines the physical cost model's per-node alignment/comparison
+        predictions (Equations 5-8) up against what the execution
+        observed, with skew statistics over the actual per-node loads.
+        The underlying :class:`JoinResult` rides along as
+        ``report.result``.
+        """
+        text = query if isinstance(query, str) else str(query)
+        result = self.execute(
+            query, planner=planner, join_algo=join_algo,
+            n_workers=n_workers, use_cache=use_cache,
+            analyze=True, trace=trace,
+        )
+        return ExplainAnalyzeReport.from_result(result, query=text)
 
     def explain(
         self,
@@ -689,6 +779,7 @@ class ShuffleJoinExecutor:
         join_algo: str | None,
         n_workers: int | None = None,
         use_cache: bool | None = None,
+        analyze: bool = False,
     ) -> JoinResult:
         # ---- plan-cache lookup (timed) ----
         cache = self.plan_cache if use_cache is not False else None
@@ -698,11 +789,16 @@ class ShuffleJoinExecutor:
         lookup_seconds = 0.0
         if cache is not None:
             lookup_started = time.perf_counter()
-            with self.profiler.phase("cache_lookup"):
-                fingerprint = self._plan_fingerprint(
-                    query, planner_name, join_algo
+            with self.tracer.span("cache_lookup") as lookup_span:
+                with self.profiler.phase("cache_lookup"):
+                    fingerprint = self._plan_fingerprint(
+                        query, planner_name, join_algo
+                    )
+                    entry = cache.get(fingerprint)
+                lookup_span.set(
+                    status="hit" if entry is not None else "miss",
+                    fingerprint=fingerprint.short,
                 )
-                entry = cache.get(fingerprint)
             lookup_seconds = time.perf_counter() - lookup_started
             cache_info = {
                 "status": "hit" if entry is not None else "miss",
@@ -722,20 +818,25 @@ class ShuffleJoinExecutor:
                 prepare_breakdown={"cache_lookup": lookup_seconds},
                 physical=(entry.assignment, entry.physical_plan),
                 cache_info=cache_info,
+                analyze=analyze,
             )
 
         # ---- logical planning (timed) ----
         snapshot = self.profiler.snapshot()
         plan_started = time.perf_counter()
-        with self.profiler.phase("logical_plan"):
-            join_schema, logical_plan = self._logical_phase(query, join_algo)
+        with self.tracer.span("logical_plan"):
+            with self.profiler.phase("logical_plan"):
+                join_schema, logical_plan = self._logical_phase(
+                    query, join_algo
+                )
         logical_seconds = time.perf_counter() - plan_started
 
         # ---- slice mapping ----
-        with self.profiler.phase("stats"):
-            n_units, slice_table = self._slice_mapping(
-                query, join_schema, logical_plan
-            )
+        with self.tracer.span("slice_mapping"):
+            with self.profiler.phase("stats"):
+                n_units, slice_table = self._slice_mapping(
+                    query, join_schema, logical_plan
+                )
 
         breakdown = self.profiler.since(snapshot)
         if cache is not None:
@@ -744,7 +845,7 @@ class ShuffleJoinExecutor:
             query, join_schema, logical_plan, n_units, slice_table,
             planner_name, logical_seconds + lookup_seconds,
             n_workers=n_workers, prepare_breakdown=breakdown,
-            cache_info=cache_info,
+            cache_info=cache_info, analyze=analyze,
         )
         if cache is not None:
             assignment = (
@@ -778,36 +879,84 @@ class ShuffleJoinExecutor:
         prepare_breakdown: dict[str, float] | None = None,
         physical: tuple[np.ndarray, PhysicalPlan | None] | None = None,
         cache_info: dict | None = None,
+        analyze: bool = False,
     ) -> JoinResult:
+        tracer = self.tracer
+        # The per-node profile is only assembled when someone will read
+        # it: an analyze execution or a traced one.
+        profile_nodes = analyze or tracer.enabled
         snapshot = self.profiler.snapshot()
         # ---- physical planning (timed; skipped when a cached plan's
         # assignment is handed in) ----
+        model: AnalyticalCostModel | None = None
         if physical is not None:
             assignment, physical_plan = physical
             physical_seconds = 0.0
         else:
             physical_started = time.perf_counter()
-            with self.profiler.phase("physical_assign"):
-                assignment, physical_plan, _model = self._physical_plan(
-                    slice_table.stats, logical_plan, planner_name
-                )
+            with tracer.span("physical_assign", planner=planner_name):
+                with self.profiler.phase("physical_assign"):
+                    assignment, physical_plan, model = self._physical_plan(
+                        slice_table.stats, logical_plan, planner_name
+                    )
             physical_seconds = time.perf_counter() - physical_started
+        if (
+            profile_nodes
+            and model is None
+            and logical_plan.join_algo in ("merge", "hash")
+        ):
+            # Cache hits hand in (assignment, plan) with no model, and
+            # single-node runs skip planning; the model is a pure
+            # function of the slice statistics, so recompute it here.
+            model = AnalyticalCostModel(
+                slice_table.stats, logical_plan.join_algo, self.cost
+            )
 
         # ---- data alignment (simulated) ----
-        align_seconds, shuffle = self._data_alignment(
-            query, slice_table, assignment
-        )
+        align_offset = tracer.now()
+        with tracer.span(
+            "data_alignment", policy=self.shuffle_policy
+        ) as align_span:
+            align_seconds, shuffle = self._data_alignment(
+                query, slice_table, assignment
+            )
+            align_span.set(
+                cells_moved=shuffle.total_cells_moved,
+                n_transfers=shuffle.n_transfers,
+                simulated_seconds=align_seconds,
+            )
+        # Transfer events land on per-destination network lanes, re-based
+        # from simulated time onto the tracer's timeline.
+        shuffle.export_spans(tracer, offset=align_offset)
         bytes_moved, bytes_full_width = self._traffic_bytes(
             query, slice_table, assignment
         )
 
         # ---- cell comparison (real matching, simulated timing) ----
-        compare_seconds, per_node_compare, output_cells, meta = (
-            self._cell_comparison(
+        with tracer.span(
+            "cell_comparison", algo=logical_plan.join_algo
+        ) as compare_span:
+            (
+                compare_seconds,
+                per_node_compare,
+                node_output,
+                output_cells,
+                meta,
+                match_counters,
+            ) = self._cell_comparison(
                 query, join_schema, logical_plan, slice_table, assignment,
                 n_workers=n_workers,
             )
-        )
+            compare_span.set(
+                output_cells=len(output_cells),
+                simulated_seconds=compare_seconds,
+            )
+
+        node_profile = None
+        if profile_nodes and model is not None:
+            node_profile = self._node_profile(
+                model, assignment, shuffle, per_node_compare, node_output
+            )
 
         report = ExecutionReport(
             planner=physical_plan.planner if physical_plan else "single-node",
@@ -833,7 +982,14 @@ class ShuffleJoinExecutor:
                 **self.profiler.since(snapshot),
             },
             cache=dict(cache_info or {}),
+            per_node_output=node_output,
+            node_profile=node_profile,
         )
+        # Standing telemetry: fold the match-path counters and the
+        # per-execution totals/skew gauges into the registry.
+        for name, count in match_counters.snapshot().items():
+            self.metrics.counter(name).inc(count)
+        record_execution(self.metrics, report)
         output_array = LocalArray.from_cells(join_schema.destination, output_cells)
         return JoinResult(
             array=output_array,
@@ -842,6 +998,49 @@ class ShuffleJoinExecutor:
             physical_plan=physical_plan,
             join_schema=join_schema,
         )
+
+    def _node_profile(
+        self,
+        model: AnalyticalCostModel,
+        assignment: np.ndarray,
+        shuffle,
+        per_node_compare: np.ndarray,
+        node_output: np.ndarray,
+    ) -> dict:
+        """Per-node predicted (Eqs 5-8) vs observed cost vectors.
+
+        Predicted alignment per node is ``max(send, recv) × t`` — the
+        Equation-8 alignment term "considering a single j at a time".
+        The observed counterpart is the node's busy time in the shuffle
+        schedule, which by construction excludes the lock waiting the
+        model ignores (the residual shows up in explain-analyze as
+        schedule wait).
+        """
+        send_pred, recv_pred, compare_pred = model.node_totals(assignment)
+        send_busy, recv_busy = shuffle.busy_seconds()
+        t = self.cost.t
+        k = self.cluster.n_nodes
+        return {
+            "pred_send_cells": send_pred.tolist(),
+            "pred_recv_cells": recv_pred.tolist(),
+            "pred_align_seconds": [
+                max(int(s), int(r)) * t
+                for s, r in zip(send_pred, recv_pred)
+            ],
+            "pred_compare_seconds": [float(c) for c in compare_pred],
+            "actual_sent_cells": [
+                int(shuffle.cells_sent.get(node, 0)) for node in range(k)
+            ],
+            "actual_recv_cells": [
+                int(shuffle.cells_received.get(node, 0)) for node in range(k)
+            ],
+            "actual_align_seconds": [
+                max(send_busy.get(node, 0.0), recv_busy.get(node, 0.0))
+                for node in range(k)
+            ],
+            "actual_compare_seconds": per_node_compare.tolist(),
+            "output_cells": node_output.tolist(),
+        }
 
     # ---------------------------------------------------------------- pieces
 
@@ -1219,12 +1418,16 @@ class ShuffleJoinExecutor:
         The simulated per-node durations derive purely from the slice
         statistics, so they are identical whichever real execution path
         (serial per-unit loop or batched worker pool) does the matching.
+        Returns the match-path :class:`CounterSet` alongside the result —
+        both paths count units matched, cells compared, and cells
+        emitted, so metrics agree serial vs parallel.
         """
         k = self.cluster.n_nodes
         stats = slice_table.stats
         builder = OutputBuilder(query, join_schema)
         node_seconds = np.zeros(k, dtype=np.float64)
         node_output = np.zeros(k, dtype=np.int64)
+        counters = CounterSet()
         meta: dict = {}
         if slice_table.codec is not None:
             meta["packed_keys"] = True
@@ -1262,7 +1465,7 @@ class ShuffleJoinExecutor:
         if workers > 1 and matchable:
             produced_by_node, match_meta = self._match_parallel(
                 matchable, assignment, slice_table, join_schema, builder,
-                algo, workers,
+                algo, workers, counters,
             )
             for node, produced in produced_by_node.items():
                 node_output[node] += produced
@@ -1270,7 +1473,7 @@ class ShuffleJoinExecutor:
         else:
             self._match_serial(
                 matchable, assignment, slice_table, join_schema, builder,
-                algo, meta, node_output,
+                algo, meta, node_output, counters,
             )
 
         # Output alignment and chunk management, per producing node.
@@ -1288,7 +1491,10 @@ class ShuffleJoinExecutor:
 
         output_cells = builder.finish()
         compare_seconds = float(node_seconds.max(initial=0.0))
-        return compare_seconds, node_seconds, output_cells, meta
+        return (
+            compare_seconds, node_seconds, node_output, output_cells,
+            meta, counters,
+        )
 
     def _match_serial(
         self,
@@ -1300,6 +1506,7 @@ class ShuffleJoinExecutor:
         algo: str,
         meta: dict,
         node_output: np.ndarray,
+        counters: CounterSet,
     ) -> None:
         """The reference path: match join units one at a time, in order."""
         for unit in matchable:
@@ -1330,6 +1537,10 @@ class ShuffleJoinExecutor:
                 left_cells, right_cells, li, ri, left_key_cols
             )
             node_output[node] += produced
+            counters.add("join_units_matched", 1)
+            counters.add("cells_compared", len(left_keys) + len(right_keys))
+            counters.add("matched_pairs", len(li))
+            counters.add("cells_emitted", produced)
 
     def _match_parallel(
         self,
@@ -1340,6 +1551,7 @@ class ShuffleJoinExecutor:
         builder: OutputBuilder,
         algo: str,
         workers: int,
+        counters: CounterSet,
     ) -> tuple[dict[int, int], dict]:
         """Batch matchable units per assigned node and run on the pool."""
         codec = slice_table.codec
@@ -1364,7 +1576,7 @@ class ShuffleJoinExecutor:
             )
         return run_batches(
             list(by_node.values()), builder, algo, workers,
-            mode=self.parallel_mode,
+            mode=self.parallel_mode, tracer=self.tracer, counters=counters,
         )
 
 
@@ -1395,13 +1607,18 @@ class PreparedJoin:
         return self.slice_table.stats
 
     def execute(
-        self, planner: str = "tabu", n_workers: int | None = None
+        self,
+        planner: str = "tabu",
+        n_workers: int | None = None,
+        analyze: bool = False,
     ) -> JoinResult:
         """Run the physical phases under one planner.
 
         ``n_workers`` overrides the executor's pool size for this run —
         the knob the wall-clock benchmarks use to time serial vs
         parallel execution of one identically prepared join.
+        ``analyze=True`` captures the per-node predicted-vs-actual
+        profile, as on :meth:`ShuffleJoinExecutor.execute`.
         """
         return self.executor._run_physical(
             self.query,
@@ -1413,6 +1630,7 @@ class PreparedJoin:
             self.logical_seconds,
             n_workers=n_workers,
             prepare_breakdown=self.prepare_breakdown,
+            analyze=analyze,
         )
 
     def compare(self, planners) -> dict[str, JoinResult]:

@@ -41,6 +41,8 @@ from repro.core.slices import _HASH_MULT, _HASH_SEED, _mix
 from repro.engine.joins import hash_join_match, match_pairs
 from repro.engine.output import OutputBuilder
 from repro.errors import ExecutionError
+from repro.obs.counters import CounterSet
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Pool flavours: threads share memory (numpy releases the GIL in the
 #: sort/searchsorted kernels that dominate matching); processes sidestep
@@ -96,12 +98,20 @@ class UnitBatch:
 
 @dataclass
 class BatchResult:
-    """One executed batch: the output part plus bookkeeping counters."""
+    """One executed batch: the output part plus bookkeeping counters.
+
+    ``counters`` and ``spans`` are the worker's observability harvest —
+    both plain picklable values, so they travel back from process-pool
+    workers and merge at the coordinator (``CounterSet.merge`` /
+    ``Tracer.extend``).
+    """
 
     node: int
     produced: int
     part: tuple[np.ndarray, dict[str, np.ndarray]] | None
     meta: dict
+    counters: CounterSet = field(default_factory=CounterSet)
+    spans: list = field(default_factory=list)
 
 
 def stack_unit_keys(
@@ -237,28 +247,66 @@ def _match_batch(
 
 
 def execute_batch(
-    batch: UnitBatch, builder: OutputBuilder, algo: str
+    batch: UnitBatch,
+    builder: OutputBuilder,
+    algo: str,
+    trace_epoch: float | None = None,
 ) -> BatchResult:
     """Run one node's batch: vectorised match + output materialisation.
 
     Reads the builder's spec but never mutates it, so any number of
     batches may execute concurrently against the same builder; the
     coordinator merges the returned parts afterwards.
+
+    ``trace_epoch`` (the coordinating tracer's epoch) switches on
+    per-worker span collection: the worker records onto its own tracer
+    — aligned to the coordinator's timeline — and ships the finished
+    spans back in the :class:`BatchResult`.
     """
-    meta: dict = {}
-    left_idx, right_idx = _match_batch(batch, algo, meta)
-    left_cells = CellSet.concat(batch.left_cells)
-    right_cells = CellSet.concat(batch.right_cells)
-    n_key_cols = len(batch.left_key_cols[0])
-    left_key_cols = [
-        np.concatenate([cols[i] for cols in batch.left_key_cols])
-        for i in range(n_key_cols)
-    ]
-    part = builder.materialise_matches(
-        left_cells, right_cells, left_idx, right_idx, left_key_cols
+    tracer = (
+        Tracer(epoch=trace_epoch, default_lane=f"worker:n{batch.node}")
+        if trace_epoch is not None
+        else NULL_TRACER
     )
-    produced = 0 if part is None else len(part[0])
-    return BatchResult(node=batch.node, produced=produced, part=part, meta=meta)
+    counters = CounterSet()
+    meta: dict = {}
+    rows_left = sum(len(keys) for keys in batch.left_keys)
+    rows_right = sum(len(keys) for keys in batch.right_keys)
+    with tracer.span(
+        f"batch n{batch.node}",
+        node=batch.node,
+        units=len(batch.units),
+        rows_left=rows_left,
+        rows_right=rows_right,
+    ) as batch_span:
+        with tracer.span("match"):
+            left_idx, right_idx = _match_batch(batch, algo, meta)
+        with tracer.span("materialise"):
+            left_cells = CellSet.concat(batch.left_cells)
+            right_cells = CellSet.concat(batch.right_cells)
+            n_key_cols = len(batch.left_key_cols[0])
+            left_key_cols = [
+                np.concatenate([cols[i] for cols in batch.left_key_cols])
+                for i in range(n_key_cols)
+            ]
+            part = builder.materialise_matches(
+                left_cells, right_cells, left_idx, right_idx, left_key_cols
+            )
+        produced = 0 if part is None else len(part[0])
+        batch_span.set(matched_pairs=len(left_idx), produced=produced)
+    counters.add("batches", 1)
+    counters.add("join_units_matched", len(batch.units))
+    counters.add("cells_compared", rows_left + rows_right)
+    counters.add("matched_pairs", len(left_idx))
+    counters.add("cells_emitted", produced)
+    return BatchResult(
+        node=batch.node,
+        produced=produced,
+        part=part,
+        meta=meta,
+        counters=counters,
+        spans=tracer.spans if tracer.enabled else [],
+    )
 
 
 def run_batches(
@@ -267,22 +315,36 @@ def run_batches(
     algo: str,
     n_workers: int,
     mode: str = "thread",
+    tracer: Tracer | None = None,
+    counters: CounterSet | None = None,
 ) -> tuple[dict[int, int], dict]:
     """Execute batches on a worker pool and merge deterministically.
 
     Parts are appended to ``builder`` in ascending node order regardless
     of completion order, so the output is independent of scheduling.
     Returns per-node produced-cell counts and merged execution metadata.
+
+    With an enabled ``tracer``, each worker collects spans onto its own
+    epoch-aligned tracer and the finished spans merge here, in node
+    order; per-worker counter sets likewise merge into ``counters``.
     """
     if mode not in PARALLEL_MODES:
         raise ExecutionError(
             f"unknown parallel mode {mode!r}; expected one of {PARALLEL_MODES}"
         )
+    trace_epoch = (
+        tracer.epoch if tracer is not None and tracer.enabled else None
+    )
     batches = sorted(batches, key=lambda b: b.node)
     if n_workers <= 1 or len(batches) <= 1:
-        results = [execute_batch(batch, builder, algo) for batch in batches]
+        results = [
+            execute_batch(batch, builder, algo, trace_epoch=trace_epoch)
+            for batch in batches
+        ]
     else:
-        results = _pool_map(batches, builder, algo, n_workers, mode)
+        results = _pool_map(
+            batches, builder, algo, n_workers, mode, trace_epoch
+        )
 
     node_output: dict[int, int] = {}
     meta: dict = {}
@@ -293,6 +355,10 @@ def run_batches(
             node_output.get(result.node, 0) + result.produced
         )
         meta.update(result.meta)
+        if counters is not None:
+            counters.merge(result.counters)
+        if trace_epoch is not None:
+            tracer.extend(result.spans)
     return node_output, meta
 
 
@@ -302,6 +368,7 @@ def _pool_map(
     algo: str,
     n_workers: int,
     mode: str,
+    trace_epoch: float | None = None,
 ) -> list[BatchResult]:
     workers = min(n_workers, len(batches))
     if mode == "process":
@@ -319,7 +386,9 @@ def _pool_map(
         pool = ThreadPoolExecutor(max_workers=workers)
     with pool:
         futures = [
-            pool.submit(execute_batch, batch, builder, algo)
+            pool.submit(
+                execute_batch, batch, builder, algo, trace_epoch=trace_epoch
+            )
             for batch in batches
         ]
         return [future.result() for future in futures]

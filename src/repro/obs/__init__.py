@@ -1,6 +1,34 @@
-"""Observability helpers: phase profiling and serving-path counters."""
+"""Observability: phase profiling, counters, spans, metrics, explain-analyze."""
 
 from repro.obs.counters import CounterSet
+from repro.obs.explain_analyze import ExplainAnalyzeReport, NodeDelta
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    gini,
+    record_execution,
+    skew_summary,
+)
 from repro.obs.timers import DISABLED_PROFILER, PhaseProfiler
+from repro.obs.trace import NULL_TRACER, Span, Tracer, validate_chrome_trace
 
-__all__ = ["PhaseProfiler", "DISABLED_PROFILER", "CounterSet"]
+__all__ = [
+    "PhaseProfiler",
+    "DISABLED_PROFILER",
+    "CounterSet",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "gini",
+    "skew_summary",
+    "record_execution",
+    "ExplainAnalyzeReport",
+    "NodeDelta",
+]

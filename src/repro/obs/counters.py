@@ -29,6 +29,20 @@ class CounterSet:
     def increment(self, name: str, amount: int = 1) -> None:
         self._counts[name] = self._counts.get(name, 0) + amount
 
+    #: ``add`` reads better at call sites that accumulate measured
+    #: quantities (``counters.add("rows", n)``) — same operation.
+    add = increment
+
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        """Fold another counter set in (summing shared names).
+
+        The combinator for per-worker counter sets: each worker counts
+        into its own set, the coordinator merges them at join.
+        """
+        for name, count in other._counts.items():
+            self.increment(name, count)
+        return self
+
     def value(self, name: str) -> int:
         return self._counts.get(name, 0)
 

@@ -1,0 +1,212 @@
+"""EXPLAIN ANALYZE: the cost model's per-node predictions vs actuals.
+
+The physical planners place join units by minimising Equation 8,
+``c = max(send, recv) × t + compare``, built from the per-node terms of
+Equations 5-7 (cells a node must send, cells it must receive, seconds it
+spends comparing). This module lines those *predictions* up against what
+one real execution *observed* — per-node cells actually shipped over the
+simulated write-lock schedule, per-node busy seconds in the alignment
+and comparison phases, cells emitted — and prints the per-node deltas,
+plus the skew statistics (:func:`repro.obs.metrics.skew_summary`) of the
+observed load vectors. Where the model misestimates under skew shows up
+as a large delta on exactly the overloaded node.
+
+The raw per-node vectors are captured by the executor during an
+``analyze`` execution (``ExecutionReport.node_profile``);
+:meth:`ExplainAnalyzeReport.from_result` does the delta arithmetic and
+rendering. Predicted and actual alignment numbers are both per-node
+*busy* views: the model ignores lock waiting by design (Section 5.1),
+so the observed phase duration can exceed every node's busy time — the
+report surfaces that residual as the schedule's ``wait`` share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError
+from repro.obs.metrics import skew_summary
+
+
+def _pct(delta: float, predicted: float) -> float:
+    """Delta as a percentage of the prediction (0 when nothing was
+    predicted and nothing happened; ±inf when the model said zero)."""
+    if predicted:
+        return 100.0 * delta / predicted
+    return 0.0 if delta == 0 else float("inf") if delta > 0 else float("-inf")
+
+
+@dataclass(frozen=True)
+class NodeDelta:
+    """One node's predicted-vs-observed execution profile."""
+
+    node: int
+    pred_send_cells: int
+    pred_recv_cells: int
+    pred_align_seconds: float
+    pred_compare_seconds: float
+    actual_sent_cells: int
+    actual_recv_cells: int
+    actual_align_seconds: float
+    actual_compare_seconds: float
+    output_cells: int
+
+    @property
+    def align_delta_seconds(self) -> float:
+        return self.actual_align_seconds - self.pred_align_seconds
+
+    @property
+    def compare_delta_seconds(self) -> float:
+        return self.actual_compare_seconds - self.pred_compare_seconds
+
+    @property
+    def align_error_pct(self) -> float:
+        return _pct(self.align_delta_seconds, self.pred_align_seconds)
+
+    @property
+    def compare_error_pct(self) -> float:
+        return _pct(self.compare_delta_seconds, self.pred_compare_seconds)
+
+
+@dataclass
+class ExplainAnalyzeReport:
+    """Per-node model-vs-actual cost deltas for one executed join."""
+
+    query: str
+    planner: str
+    join_algo: str
+    n_units: int
+    n_nodes: int
+    nodes: list[NodeDelta]
+    #: Equation-8 prediction for the whole plan and the observed
+    #: execute-phase duration (alignment + comparison).
+    predicted_total_seconds: float
+    actual_total_seconds: float
+    #: Observed phase durations (the actual includes lock waiting the
+    #: per-node busy views deliberately exclude).
+    actual_align_seconds: float
+    actual_compare_seconds: float
+    compare_skew: dict = field(default_factory=dict)
+    shuffle_skew: dict = field(default_factory=dict)
+    #: The underlying execution, for callers that want the output too.
+    result: object | None = None
+
+    @classmethod
+    def from_result(cls, result, query: str | None = None):
+        """Build the report from an ``analyze=True`` execution."""
+        report = result.report
+        profile = report.node_profile
+        if profile is None:
+            raise ExecutionError(
+                "no node profile captured; run the query with analyze=True "
+                "(executor.explain_analyze / Session.explain_analyze)"
+            )
+        n_nodes = len(profile["pred_send_cells"])
+        nodes = [
+            NodeDelta(
+                node=node,
+                pred_send_cells=int(profile["pred_send_cells"][node]),
+                pred_recv_cells=int(profile["pred_recv_cells"][node]),
+                pred_align_seconds=float(profile["pred_align_seconds"][node]),
+                pred_compare_seconds=float(
+                    profile["pred_compare_seconds"][node]
+                ),
+                actual_sent_cells=int(profile["actual_sent_cells"][node]),
+                actual_recv_cells=int(profile["actual_recv_cells"][node]),
+                actual_align_seconds=float(
+                    profile["actual_align_seconds"][node]
+                ),
+                actual_compare_seconds=float(
+                    profile["actual_compare_seconds"][node]
+                ),
+                output_cells=int(profile["output_cells"][node]),
+            )
+            for node in range(n_nodes)
+        ]
+        predicted_total = (
+            report.analytic_cost.total_seconds
+            if report.analytic_cost is not None
+            else max(
+                (
+                    n.pred_align_seconds + n.pred_compare_seconds
+                    for n in nodes
+                ),
+                default=0.0,
+            )
+        )
+        return cls(
+            query=query if query is not None else str(result.report.logical_afl),
+            planner=report.planner,
+            join_algo=report.join_algo,
+            n_units=report.n_units,
+            n_nodes=n_nodes,
+            nodes=nodes,
+            predicted_total_seconds=float(predicted_total),
+            actual_total_seconds=float(
+                report.align_seconds + report.compare_seconds
+            ),
+            actual_align_seconds=float(report.align_seconds),
+            actual_compare_seconds=float(report.compare_seconds),
+            compare_skew=skew_summary(
+                [n.actual_compare_seconds for n in nodes]
+            ),
+            shuffle_skew=skew_summary([n.actual_recv_cells for n in nodes]),
+            result=result,
+        )
+
+    @property
+    def total_error_pct(self) -> float:
+        return _pct(
+            self.actual_total_seconds - self.predicted_total_seconds,
+            self.predicted_total_seconds,
+        )
+
+    def describe(self) -> str:
+        """Render the per-node model-vs-actual table."""
+        header = (
+            f"EXPLAIN ANALYZE [{self.planner}/{self.join_algo}] "
+            f"{self.n_units} units over {self.n_nodes} nodes"
+        )
+        lines = [
+            header,
+            f"query: {self.query}",
+            "per-node predicted (Eqs 5-8) vs actual:",
+            "  node  send pred/act      recv pred/act      "
+            "align pred/act (Δ%)       compare pred/act (Δ%)      out",
+        ]
+        for n in self.nodes:
+            lines.append(
+                f"  {n.node:>4}"
+                f"  {n.pred_send_cells:>7}/{n.actual_sent_cells:<7}"
+                f"  {n.pred_recv_cells:>7}/{n.actual_recv_cells:<7}"
+                f"  {n.pred_align_seconds * 1000:>8.2f}/"
+                f"{n.actual_align_seconds * 1000:<8.2f}ms "
+                f"({n.align_error_pct:+6.1f}%)"
+                f"  {n.pred_compare_seconds * 1000:>8.2f}/"
+                f"{n.actual_compare_seconds * 1000:<8.2f}ms "
+                f"({n.compare_error_pct:+6.1f}%)"
+                f"  {n.output_cells:>7}"
+            )
+        lines.append(
+            "observed skew: compare imbalance="
+            f"{self.compare_skew.get('imbalance', 1.0):.2f} "
+            f"gini={self.compare_skew.get('gini', 0.0):.3f} | "
+            "shuffle-recv imbalance="
+            f"{self.shuffle_skew.get('imbalance', 1.0):.2f} "
+            f"gini={self.shuffle_skew.get('gini', 0.0):.3f}"
+        )
+        wait = self.actual_align_seconds - max(
+            (n.actual_align_seconds for n in self.nodes), default=0.0
+        )
+        lines.append(
+            f"totals: predicted={self.predicted_total_seconds:.4f}s "
+            f"observed={self.actual_total_seconds:.4f}s "
+            f"(error {self.total_error_pct:+.1f}%; "
+            f"align {self.actual_align_seconds:.4f}s of which "
+            f"~{max(wait, 0.0):.4f}s schedule wait/residual, "
+            f"compare {self.actual_compare_seconds:.4f}s)"
+        )
+        return "\n".join(lines)
+
+
+__all__ = ["NodeDelta", "ExplainAnalyzeReport"]

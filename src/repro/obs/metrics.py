@@ -1,0 +1,268 @@
+"""Metrics registry: counters, gauges, histograms, and skew statistics.
+
+Where :mod:`repro.obs.timers` answers "where did the time go" and
+:mod:`repro.obs.trace` answers "what happened when", this module answers
+"how much": a :class:`MetricsRegistry` aggregates named counters
+(monotonic totals — cells shuffled, matches emitted), gauges (last
+observed values — the latest query's imbalance), and fixed-bucket
+histograms (distributions — per-node busy seconds). Per-worker
+registries merge with :meth:`MetricsRegistry.merge`, mirroring
+:meth:`repro.obs.counters.CounterSet.merge`.
+
+The skew statistics the physical planners are judged by live here too:
+:func:`gini` and :func:`skew_summary` condense a per-node load vector
+into the imbalance numbers (max/mean ratio, Gini coefficient,
+coefficient of variation) that SharesSkew-style evaluations report, and
+that :class:`repro.obs.explain_analyze.ExplainAnalyzeReport` prints
+next to the cost model's per-node predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing named total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins observed value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+#: Default histogram bucket upper bounds: decade-spaced from 1ms up,
+#: suitable for per-node busy seconds and phase durations.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last edge.
+    An observation lands in the first bucket whose edge is >= the value
+    (the Prometheus ``le`` convention).
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS):
+        edges = [float(b) for b in bounds]
+        if not edges or sorted(edges) != edges or len(set(edges)) != len(edges):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing, got {bounds}"
+            )
+        self.bounds = tuple(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = 0
+        for edge in self.bounds:
+            if value <= edge:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    def observe_many(self, values) -> None:
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind get-or-create."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        return histogram
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in: counters/histograms add, gauges win
+        by last write (the merged-in registry's value)."""
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(name, histogram.bounds)
+            if mine.bounds != histogram.bounds:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds differ: "
+                    f"{mine.bounds} vs {histogram.bounds}"
+                )
+            for index, count in enumerate(histogram.counts):
+                mine.counts[index] += count
+            mine.total += histogram.total
+            mine.count += histogram.count
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of everything recorded so far."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def describe(self) -> str:
+        snapshot = self.snapshot()
+        lines = [
+            f"{name}={value}" for name, value in snapshot["counters"].items()
+        ]
+        lines += [
+            f"{name}={value:.6g}" for name, value in snapshot["gauges"].items()
+        ]
+        lines += [
+            f"{name}: n={h['count']} mean="
+            f"{(h['sum'] / h['count']) if h['count'] else 0.0:.6g}"
+            for name, h in snapshot["histograms"].items()
+        ]
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# ------------------------------------------------------------- skew statistics
+
+
+def gini(loads) -> float:
+    """Gini coefficient of a non-negative load vector (0 = perfectly
+    balanced, → 1 as one node carries everything).
+
+    Uses the sorted-rank identity
+    ``G = (2 Σ_i i·x_(i)) / (n Σ x) − (n + 1)/n`` with 1-based ranks
+    over the ascending-sorted loads.
+    """
+    values = np.sort(np.asarray(loads, dtype=np.float64).ravel())
+    if values.size == 0:
+        return 0.0
+    if np.any(values < 0):
+        raise ValueError("gini expects non-negative loads")
+    total = float(values.sum())
+    if total == 0.0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float(2.0 * (ranks * values).sum() / (n * total) - (n + 1) / n)
+
+
+def skew_summary(loads) -> dict:
+    """The load-distribution numbers skew-aware planners are judged by.
+
+    ``imbalance`` is max/mean (1.0 = perfectly balanced — the quantity
+    Equations 4-8 minimise the max of), ``gini`` the Gini coefficient,
+    ``cv`` the coefficient of variation. All are 0/1-neutral on an
+    all-zero vector so empty phases don't read as pathological.
+    """
+    values = np.asarray(loads, dtype=np.float64).ravel()
+    if values.size == 0:
+        return {"max": 0.0, "mean": 0.0, "imbalance": 1.0, "gini": 0.0, "cv": 0.0}
+    mean = float(values.mean())
+    peak = float(values.max())
+    if mean == 0.0:
+        return {"max": peak, "mean": 0.0, "imbalance": 1.0, "gini": 0.0, "cv": 0.0}
+    return {
+        "max": peak,
+        "mean": mean,
+        "imbalance": peak / mean,
+        "gini": gini(values),
+        "cv": float(values.std()) / mean if not math.isnan(mean) else 0.0,
+    }
+
+
+def record_execution(registry: MetricsRegistry, report) -> None:
+    """Fold one :class:`~repro.engine.executor.ExecutionReport` into the
+    registry: traffic and output counters, per-node busy-time histogram,
+    and the latest execution's skew gauges."""
+    registry.counter("queries_executed").inc()
+    registry.counter("cells_shuffled").inc(int(report.cells_moved))
+    registry.counter("bytes_on_wire").inc(int(report.bytes_moved))
+    registry.counter("network_transfers").inc(int(report.n_transfers))
+    registry.counter("matches_emitted").inc(int(report.output_cells))
+    registry.counter("join_units_planned").inc(int(report.n_units))
+    if report.per_node_compare is not None:
+        busy = np.asarray(report.per_node_compare, dtype=np.float64)
+        registry.histogram("node_busy_seconds").observe_many(busy)
+        summary = skew_summary(busy)
+        registry.gauge("last_compare_imbalance").set(summary["imbalance"])
+        registry.gauge("last_compare_gini").set(summary["gini"])
+    if report.cells_received:
+        received = np.asarray(list(report.cells_received.values()), np.float64)
+        summary = skew_summary(received)
+        registry.gauge("last_shuffle_imbalance").set(summary["imbalance"])
+        registry.gauge("last_shuffle_gini").set(summary["gini"])
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "gini",
+    "skew_summary",
+    "record_execution",
+]

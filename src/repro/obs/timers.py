@@ -11,6 +11,7 @@ it through hot call sites costs <1% even in tight loops.
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -32,24 +33,27 @@ _NOOP = _NoopTimer()
 class _PhaseTimer:
     """One active span: records elapsed monotonic time on exit."""
 
-    __slots__ = ("_profiler", "_name", "_started")
+    __slots__ = ("_profiler", "_name", "_stack", "_started")
 
     def __init__(self, profiler: "PhaseProfiler", name: str):
         self._profiler = profiler
         self._name = name
 
     def __enter__(self) -> "_PhaseTimer":
-        self._profiler._stack.append(self._name)
+        stack = self._profiler._thread_stack()
+        stack.append(self._name)
+        self._stack = stack
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> None:
         elapsed = time.perf_counter() - self._started
         profiler = self._profiler
-        path = "/".join(profiler._stack)
-        profiler._stack.pop()
-        profiler.totals[path] = profiler.totals.get(path, 0.0) + elapsed
-        profiler.counts[path] = profiler.counts.get(path, 0) + 1
+        path = "/".join(self._stack)
+        self._stack.pop()
+        with profiler._mutex:
+            profiler.totals[path] = profiler.totals.get(path, 0.0) + elapsed
+            profiler.counts[path] = profiler.counts.get(path, 0) + 1
 
 
 class PhaseProfiler:
@@ -63,13 +67,23 @@ class PhaseProfiler:
     ['prepare', 'prepare/stats']
     """
 
-    __slots__ = ("enabled", "totals", "counts", "_stack")
+    __slots__ = ("enabled", "totals", "counts", "_local", "_mutex")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
-        self._stack: list[str] = []
+        # Phases nest *per thread*: each thread carries its own stack, so
+        # phases entered from parallel workers never interleave into one
+        # another's paths, and totals are folded in under a mutex.
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+
+    def _thread_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def phase(self, name: str):
         """Context manager timing one phase (no-op when disabled)."""

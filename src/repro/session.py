@@ -35,7 +35,10 @@ from repro.query.ddl import (
 #: Options Session.execute accepts for join queries — everything else is
 #: rejected loudly instead of being silently dropped.
 JOIN_QUERY_OPTIONS = frozenset(
-    {"planner", "join_algo", "store_result", "n_workers", "use_cache"}
+    {
+        "planner", "join_algo", "store_result", "n_workers", "use_cache",
+        "analyze", "trace",
+    }
 )
 
 
@@ -78,7 +81,10 @@ class Session:
         for DROP ARRAY, a :class:`JoinResult` for join queries, and a
         :class:`LocalArray` for single-array queries. ``query_options``
         (``planner``, ``join_algo``, ``store_result``, ``n_workers``,
-        ``use_cache``) apply to join queries; unknown option names — and
+        ``use_cache``, ``analyze``, ``trace``) apply to join queries —
+        ``trace="out.json"`` records execution spans onto
+        ``result.trace`` and writes Chrome trace JSON, ``analyze=True``
+        captures the per-node profile; unknown option names — and
         any option on a statement that cannot honour it — raise
         :class:`~repro.errors.ExecutionError` instead of being silently
         dropped.
@@ -117,6 +123,21 @@ class Session:
     def explain(self, query: str, **options) -> ExplainReport:
         """Plan a join query without executing it."""
         return self.executor.explain(query, **options)
+
+    def explain_analyze(self, query: str, **options):
+        """Execute a join and report per-node predicted-vs-actual costs.
+
+        Accepts the executor's options (``planner``, ``join_algo``,
+        ``n_workers``, ``use_cache``, ``trace``); returns a
+        :class:`repro.obs.explain_analyze.ExplainAnalyzeReport` with the
+        underlying :class:`JoinResult` attached as ``report.result``.
+        """
+        return self.executor.explain_analyze(query, **options)
+
+    @property
+    def metrics(self):
+        """The executor's always-on metrics registry."""
+        return self.executor.metrics
 
     # ------------------------------------------------------------------ data
 

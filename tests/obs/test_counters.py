@@ -1,0 +1,54 @@
+"""Unit tests for CounterSet merge/add semantics."""
+
+from repro.obs.counters import CounterSet
+
+
+def test_increment_and_value():
+    counters = CounterSet()
+    counters.increment("hits")
+    counters.increment("hits", 2)
+    assert counters.value("hits") == 3
+    assert counters.value("missing") == 0
+
+
+def test_add_is_increment():
+    counters = CounterSet()
+    counters.add("rows", 5)
+    counters.increment("rows", 1)
+    assert counters.snapshot() == {"rows": 6}
+
+
+def test_merge_sums_shared_names():
+    left, right = CounterSet(), CounterSet()
+    left.add("cells_compared", 10)
+    left.add("matched_pairs", 2)
+    right.add("cells_compared", 7)
+    right.add("batches", 1)
+    result = left.merge(right)
+    assert result is left
+    assert left.snapshot() == {
+        "cells_compared": 17,
+        "matched_pairs": 2,
+        "batches": 1,
+    }
+    # The merged-in set is untouched.
+    assert right.snapshot() == {"cells_compared": 7, "batches": 1}
+
+
+def test_merge_chain_matches_sum():
+    total = CounterSet()
+    for i in range(4):
+        worker = CounterSet()
+        worker.add("cells_emitted", i + 1)
+        total.merge(worker)
+    assert total.value("cells_emitted") == 10
+
+
+def test_reset_and_describe():
+    counters = CounterSet()
+    assert counters.describe() == "(no events recorded)"
+    counters.add("misses", 1)
+    counters.add("hits", 3)
+    assert counters.describe() == "hits=3 misses=1"
+    counters.reset()
+    assert counters.snapshot() == {}

@@ -1,0 +1,127 @@
+"""Unit tests for explain-analyze delta arithmetic and rendering."""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.obs.explain_analyze import ExplainAnalyzeReport, NodeDelta, _pct
+
+
+class TestPct:
+    def test_relative_to_prediction(self):
+        assert _pct(0.5, 2.0) == pytest.approx(25.0)
+        assert _pct(-1.0, 4.0) == pytest.approx(-25.0)
+
+    def test_zero_prediction_edge_cases(self):
+        assert _pct(0.0, 0.0) == 0.0
+        assert _pct(1.0, 0.0) == math.inf
+        assert _pct(-1.0, 0.0) == -math.inf
+
+
+class TestNodeDelta:
+    def test_delta_and_error_arithmetic(self):
+        node = NodeDelta(
+            node=0,
+            pred_send_cells=100,
+            pred_recv_cells=200,
+            pred_align_seconds=0.010,
+            pred_compare_seconds=0.040,
+            actual_sent_cells=100,
+            actual_recv_cells=180,
+            actual_align_seconds=0.012,
+            actual_compare_seconds=0.030,
+            output_cells=50,
+        )
+        assert node.align_delta_seconds == pytest.approx(0.002)
+        assert node.compare_delta_seconds == pytest.approx(-0.010)
+        assert node.align_error_pct == pytest.approx(20.0)
+        assert node.compare_error_pct == pytest.approx(-25.0)
+
+
+def _fake_result(node_profile, analytic_cost=None, align=0.02, compare=0.05):
+    """A minimal stand-in for JoinResult with the fields from_result reads."""
+    report = SimpleNamespace(
+        node_profile=node_profile,
+        analytic_cost=analytic_cost,
+        planner="tabu",
+        join_algo="hash",
+        n_units=8,
+        align_seconds=align,
+        compare_seconds=compare,
+        logical_afl="join(A, B)",
+    )
+    return SimpleNamespace(report=report)
+
+
+def _two_node_profile():
+    return {
+        "pred_send_cells": [100, 300],
+        "pred_recv_cells": [200, 100],
+        "pred_align_seconds": [0.004, 0.006],
+        "pred_compare_seconds": [0.020, 0.030],
+        "actual_sent_cells": [110, 290],
+        "actual_recv_cells": [210, 90],
+        "actual_align_seconds": [0.005, 0.006],
+        "actual_compare_seconds": [0.022, 0.024],
+        "output_cells": [40, 60],
+    }
+
+
+class TestFromResult:
+    def test_raises_without_profile(self):
+        with pytest.raises(ExecutionError):
+            ExplainAnalyzeReport.from_result(_fake_result(None))
+
+    def test_builds_per_node_deltas(self):
+        report = ExplainAnalyzeReport.from_result(
+            _fake_result(_two_node_profile()), query="SELECT ..."
+        )
+        assert report.query == "SELECT ..."
+        assert report.n_nodes == 2
+        n0, n1 = report.nodes
+        assert (n0.pred_send_cells, n0.actual_sent_cells) == (100, 110)
+        assert n0.align_error_pct == pytest.approx(25.0)
+        assert n1.compare_error_pct == pytest.approx(-20.0)
+        assert report.actual_total_seconds == pytest.approx(0.07)
+        # No analytic cost attached: falls back to the bottleneck node's
+        # predicted align + compare (Eq 8 is a max over nodes).
+        assert report.predicted_total_seconds == pytest.approx(0.036)
+        assert report.total_error_pct == pytest.approx(
+            100.0 * (0.07 - 0.036) / 0.036
+        )
+
+    def test_prefers_model_total_when_present(self):
+        cost = SimpleNamespace(total_seconds=0.05)
+        report = ExplainAnalyzeReport.from_result(
+            _fake_result(_two_node_profile(), analytic_cost=cost)
+        )
+        assert report.predicted_total_seconds == pytest.approx(0.05)
+        assert report.query == "join(A, B)"
+
+    def test_skew_summaries_from_actual_vectors(self):
+        report = ExplainAnalyzeReport.from_result(
+            _fake_result(_two_node_profile())
+        )
+        # compare actuals [0.022, 0.024] → imbalance = max/mean
+        assert report.compare_skew["imbalance"] == pytest.approx(
+            0.024 / 0.023
+        )
+        # shuffle recv actuals [210, 90]
+        assert report.shuffle_skew["imbalance"] == pytest.approx(210 / 150)
+
+    def test_describe_renders_every_node_and_totals(self):
+        report = ExplainAnalyzeReport.from_result(
+            _fake_result(_two_node_profile()), query="Q"
+        )
+        text = report.describe()
+        assert "EXPLAIN ANALYZE [tabu/hash] 8 units over 2 nodes" in text
+        assert "query: Q" in text
+        lines = text.splitlines()
+        assert sum(line.strip().startswith(("0 ", "1 ")) for line in lines) == 2
+        assert "observed skew:" in text
+        assert "totals: predicted=0.0360s observed=0.0700s" in text
+        # Schedule wait residual: phase duration 0.02 minus the busiest
+        # node's align time 0.006.
+        assert "~0.0140s schedule wait" in text

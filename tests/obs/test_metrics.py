@@ -1,0 +1,147 @@
+"""Unit tests for the metrics registry and skew statistics."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    gini,
+    skew_summary,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        hist = Histogram(bounds=(1.0, 10.0))
+        # Exactly on an edge lands in that bucket (Prometheus "le").
+        hist.observe(1.0)
+        hist.observe(10.0)
+        # Strictly above the last edge overflows.
+        hist.observe(10.0000001)
+        hist.observe(0.5)
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(21.5000001)
+
+    def test_default_buckets_span_decades(self):
+        hist = Histogram()
+        assert hist.bounds == DEFAULT_BUCKETS
+        hist.observe(0.0005)
+        hist.observe(0.05)
+        hist.observe(500.0)
+        assert hist.counts[0] == 1
+        assert hist.counts[2] == 1
+        assert hist.counts[-1] == 1
+
+    def test_observe_many_and_mean(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.observe_many(np.array([0.5, 1.5, 2.0]))
+        assert hist.counts == [1, 2]
+        assert hist.mean == pytest.approx(4.0 / 3.0)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_merge_adds_counters_and_histograms(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("cells").inc(10)
+        right.counter("cells").inc(5)
+        right.counter("only_right").inc(1)
+        left.gauge("imbalance").set(2.0)
+        right.gauge("imbalance").set(3.0)
+        left.histogram("busy", bounds=(1.0,)).observe(0.5)
+        right.histogram("busy", bounds=(1.0,)).observe(2.0)
+        left.merge(right)
+        snap = left.snapshot()
+        assert snap["counters"] == {"cells": 15, "only_right": 1}
+        # Gauges: the merged-in value wins.
+        assert snap["gauges"]["imbalance"] == 3.0
+        assert snap["histograms"]["busy"]["counts"] == [1, 1]
+        assert snap["histograms"]["busy"]["sum"] == pytest.approx(2.5)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.histogram("busy", bounds=(1.0,)).observe(0.5)
+        right.histogram("busy", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_describe_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc(7)
+        registry.gauge("imbalance").set(1.25)
+        registry.histogram("busy").observe(0.5)
+        text = registry.describe()
+        assert "cells=7" in text
+        assert "imbalance=1.25" in text
+        assert "busy: n=1" in text
+        assert MetricsRegistry().describe() == "(no metrics recorded)"
+
+
+class TestSkewStatistics:
+    def test_gini_hand_computed_four_node_load(self):
+        # loads sorted ascending: [1, 2, 3, 10], total 16, n = 4.
+        # G = 2*(1*1 + 2*2 + 3*3 + 4*10) / (4*16) - 5/4
+        #   = 2*54/64 - 1.25 = 1.6875 - 1.25 = 0.4375
+        assert gini([10, 2, 1, 3]) == pytest.approx(0.4375)
+
+    def test_gini_balanced_and_degenerate(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+        # One node carries everything: G = (n-1)/n = 0.75 for n = 4.
+        assert gini([0, 0, 0, 8]) == pytest.approx(0.75)
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini([1, -1])
+
+    def test_skew_summary_four_node_load(self):
+        summary = skew_summary([10, 2, 1, 3])
+        assert summary["max"] == 10.0
+        assert summary["mean"] == 4.0
+        assert summary["imbalance"] == pytest.approx(2.5)
+        assert summary["gini"] == pytest.approx(0.4375)
+        assert summary["cv"] == pytest.approx(np.std([10, 2, 1, 3]) / 4.0)
+
+    def test_skew_summary_neutral_on_empty_and_zero(self):
+        for loads in ([], [0, 0, 0]):
+            summary = skew_summary(loads)
+            assert summary["imbalance"] == 1.0
+            assert summary["gini"] == 0.0
+            assert summary["cv"] == 0.0

@@ -113,3 +113,42 @@ class TestDisabled:
                 pass
         per_call = (time.perf_counter() - started) / n
         assert per_call < 5e-6
+
+
+class TestThreadSafety:
+    def test_nested_phases_from_four_threads(self):
+        """Regression: the profiler used to share one phase stack across
+        threads, so concurrent nesting interleaved into garbage paths
+        (e.g. "a/b" attributed to another thread's phase) and popped the
+        wrong frames. Each thread must see only its own nesting."""
+        import threading
+
+        profiler = PhaseProfiler()
+        barrier = threading.Barrier(4)
+        errors: list[BaseException] = []
+
+        def work(tid: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(200):
+                    with profiler.phase(f"outer{tid}"):
+                        with profiler.phase("inner"):
+                            pass
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(tid,)) for tid in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        expected = set()
+        for tid in range(4):
+            expected |= {f"outer{tid}", f"outer{tid}/inner"}
+        assert set(profiler.totals) == expected
+        for tid in range(4):
+            assert profiler.counts[f"outer{tid}"] == 200
+            assert profiler.counts[f"outer{tid}/inner"] == 200

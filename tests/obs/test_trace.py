@@ -1,0 +1,205 @@
+"""Unit tests for the span tracer and its Chrome trace-event export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, Span, Tracer, validate_chrome_trace
+
+
+class TestRecording:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("compare", algo="hash") as span:
+            span.set(units=3)
+        (span,) = tracer.spans
+        assert span.name == "compare"
+        assert span.end >= span.start
+        assert span.duration == span.end - span.start
+        assert span.attrs == {"algo": "hash", "units": 3}
+
+    def test_nesting_builds_slash_paths(self):
+        tracer = Tracer()
+        with tracer.span("execute"):
+            with tracer.span("align"):
+                pass
+            with tracer.span("compare"):
+                with tracer.span("match"):
+                    pass
+        paths = [span.path for span in tracer.spans]
+        assert paths == [
+            "execute",
+            "execute/align",
+            "execute/compare",
+            "execute/compare/match",
+        ]
+
+    def test_exception_still_publishes_and_pops(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("boom"):
+                    raise ValueError("x")
+        with tracer.span("after"):
+            pass
+        paths = {span.path for span in tracer.spans}
+        assert paths == {"outer", "outer/boom", "after"}
+
+    def test_add_span_inserts_raw_interval(self):
+        tracer = Tracer()
+        tracer.add_span("xfer", 1.0, 2.5, lane="net:recv n0", cells=10)
+        (span,) = tracer.spans
+        assert (span.start, span.end) == (1.0, 2.5)
+        assert span.lane == "net:recv n0"
+        assert span.attrs == {"cells": 10}
+
+    def test_spans_sorted_by_start(self):
+        tracer = Tracer()
+        tracer.add_span("b", 2.0, 3.0)
+        tracer.add_span("a", 1.0, 1.5)
+        assert [span.name for span in tracer.spans] == ["a", "b"]
+
+    def test_clear_and_len(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.spans == []
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            span.set(a=1)
+        tracer.add_span("y", 0.0, 1.0)
+        assert len(tracer) == 0
+
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+        assert tracer.span("a") is NULL_TRACER.span("c")
+
+
+class TestWorkers:
+    def test_worker_tracer_merges_onto_parent_timeline(self):
+        parent = Tracer()
+        worker = parent.worker("worker:n3")
+        assert worker.epoch == parent.epoch
+        with worker.span("batch n3", node=3):
+            pass
+        parent.extend(worker.spans)
+        (span,) = parent.spans
+        assert span.lane == "worker:n3"
+        assert span.attrs == {"node": 3}
+
+    def test_extend_rebased_shifts_lazily(self):
+        tracer = Tracer()
+        shared = [Span("xfer", 0.5, 1.0, "xfer", "net:recv n0")]
+        tracer.extend_rebased(shared, offset=10.0)
+        assert len(tracer) == 1
+        (span,) = tracer.spans
+        assert (span.start, span.end) == (10.5, 11.0)
+        # The shared originals are untouched (they may be re-exported
+        # onto other timelines).
+        assert (shared[0].start, shared[0].end) == (0.5, 1.0)
+
+    def test_threaded_recording_keeps_per_thread_nesting(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(tid: int) -> None:
+            barrier.wait(timeout=10)
+            for _ in range(100):
+                with tracer.span(f"outer{tid}"):
+                    with tracer.span("inner"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(tid,)) for tid in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        paths = {span.path for span in tracer.spans}
+        expected = set()
+        for tid in range(4):
+            expected |= {f"outer{tid}", f"outer{tid}/inner"}
+        assert paths == expected
+        assert len(tracer) == 4 * 100 * 2
+
+
+class TestChromeExport:
+    def golden(self):
+        """A deterministic two-lane trace used by the export tests."""
+        tracer = Tracer()
+        tracer.add_span("plan", 0.0, 0.001, lane="main")
+        tracer.add_span("xfer n0->n1", 0.001, 0.002, lane="net:recv n1", cells=7)
+        return tracer
+
+    def test_chrome_trace_structure(self):
+        payload = self.golden().chrome_trace()
+        assert validate_chrome_trace(payload) == []
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in metadata} == {"main", "net:recv n1"}
+        assert len(complete) == 2
+        # Lane names map to integer tids shared with the metadata events.
+        tids = {e["args"]["name"]: e["tid"] for e in metadata}
+        plan, xfer = complete
+        assert plan["tid"] == tids["main"]
+        assert xfer["tid"] == tids["net:recv n1"]
+        # Timestamps are microseconds.
+        assert plan["ts"] == 0.0 and plan["dur"] == pytest.approx(1000.0)
+        assert xfer["ts"] == pytest.approx(1000.0)
+        assert xfer["args"]["cells"] == 7
+
+    def test_write_chrome_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = self.golden().write_chrome(path)
+        assert n == 2
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_jsonl_lines(self):
+        lines = [json.loads(line) for line in self.golden().jsonl_lines()]
+        assert [line["name"] for line in lines] == ["plan", "xfer n0->n1"]
+        assert lines[1]["lane"] == "net:recv n1"
+        assert lines[1]["dur"] == pytest.approx(0.001)
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+
+    def test_rejects_bad_event_fields(self):
+        payload = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": "a", "ts": 0, "dur": 1},
+                {"name": "", "ph": "X", "pid": 1, "tid": 0, "ts": -1, "dur": 1},
+                {"name": "y", "ph": "Q", "pid": 1, "tid": 0},
+            ]
+        }
+        errors = validate_chrome_trace(payload)
+        assert any("tid must be an integer" in e for e in errors)
+        assert any("missing string name" in e for e in errors)
+        assert any("ts must be a number >= 0" in e for e in errors)
+        assert any("unsupported phase" in e for e in errors)
+
+    def test_rejects_metadata_only_trace(self):
+        payload = {
+            "traceEvents": [
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "main"}},
+            ]
+        }
+        assert validate_chrome_trace(payload) == [
+            "trace contains no complete (ph=X) events"
+        ]
