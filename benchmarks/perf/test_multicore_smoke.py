@@ -1,0 +1,69 @@
+"""Smoke test for the multicore (worker x mode x kernel) benchmark.
+
+Runs the fig8 hash workload through the full ``--multicore`` harness
+path at reduced scale: one prepared join, a serial baseline, then the
+thread pool and the shared-memory process backend at 4 workers. The
+scale is chosen large enough (~200k key rows) that the shm path splits
+into multiple chunks and genuinely exercises the fork pool, not just
+the in-process fallback.
+
+This smoke DOES guard performance: the shared-memory path exists to be
+faster than the serial per-unit oracle, and its batched slice-matching
+wins even on one CPU, so process-mode being materially slower than
+serial is a genuine regression. The tolerance absorbs timer jitter
+and box noise, not architectural slowdowns.
+"""
+
+import json
+
+from repro.bench.wallclock import run_multicore_bench, write_results
+
+#: Process-mode shm at 4 workers may be at most this much slower than
+#: serial before the smoke fails; at benchmark scale it is expected to
+#: *win* by a wide margin.
+SLOWDOWN_TOLERANCE = 1.25
+
+
+def test_multicore_smoke(tmp_path):
+    result = run_multicore_bench(
+        workload="fig8_hash_skew",
+        planner="baseline",
+        workers=(4,),
+        cells_per_array=100_000,
+        n_nodes=8,
+        repeats=3,
+        seed=3,
+    )
+    assert result.serial_seconds > 0
+    assert result.cpu_count >= 1
+    assert result.rows, "sweep produced no configurations"
+
+    # Every configuration must reproduce the serial output exactly.
+    for row in result.rows:
+        assert row["outputs_identical"], row
+        assert row["seconds"] > 0
+        assert row["reported_kernel"] in ("numpy", "numba")
+
+    shm_row = next(
+        row for row in result.rows
+        if row["mode"] == "process" and row["shm"] and row["n_workers"] == 4
+    )
+    # The backend the report claims must be the backend that ran.
+    assert shm_row["reported_mode"] == "process"
+    assert shm_row["reported_shm"] is True
+    assert shm_row["seconds"] <= result.serial_seconds * SLOWDOWN_TOLERANCE, (
+        f"process-mode shm slower than serial: "
+        f"{shm_row['seconds']:.3f}s vs {result.serial_seconds:.3f}s"
+    )
+
+    out = tmp_path / "bench.json"
+    write_results([], str(out), multicore_results=[result])
+    payload = json.loads(out.read_text())
+    (entry,) = payload["multicore"]
+    assert entry["workload"] == "fig8_hash_skew"
+    assert entry["serial_seconds"] == result.serial_seconds
+    row_keys = set(entry["rows"][0])
+    assert {
+        "mode", "shm", "kernel", "n_workers", "seconds", "speedup",
+        "outputs_identical",
+    } <= row_keys

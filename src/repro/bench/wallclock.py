@@ -42,6 +42,8 @@ from repro.core.cost_model import AnalyticalCostModel, CostParams
 from repro.core.planners.tabu import TabuPlanner
 from repro.core.slices import SliceStats
 from repro.engine.executor import PreparedJoin, ShuffleJoinExecutor
+from repro.engine.kernels import HAVE_NUMBA, resolve_kernel
+from repro.engine.parallel import available_cpus, shutdown_pools
 from repro.obs.trace import Tracer, validate_chrome_trace
 
 #: Skew-workload builders, keyed by the figure whose data they reuse.
@@ -125,6 +127,7 @@ class WallclockResult:
     alpha: float
     repeats: int
     cpu_count: int
+    worker_mode: str
     platform: str
     prepare_seconds: float
     serial_seconds: float
@@ -187,7 +190,8 @@ def run_wallclock(
         n_units=prepared.n_units,
         alpha=alpha,
         repeats=repeats,
-        cpu_count=os.cpu_count() or 1,
+        cpu_count=available_cpus(),
+        worker_mode=executor.parallel_mode,
         platform=platform.platform(),
         prepare_seconds=prepare_seconds,
         serial_seconds=serial_best,
@@ -346,6 +350,7 @@ class KeysResult:
     alpha: float
     repeats: int
     cpu_count: int
+    worker_mode: str
     platform: str
     #: Total packed bit width, or None when the codec declined and the
     #: packed arm silently fell back to structured keys.
@@ -411,7 +416,8 @@ def run_keys_bench(
         n_units=arms[True]["prepared"].n_units,
         alpha=alpha,
         repeats=repeats,
-        cpu_count=os.cpu_count() or 1,
+        cpu_count=available_cpus(),
+        worker_mode="serial",
         platform=platform.platform(),
         key_width=codec.total_width if codec is not None else None,
         structured_seconds=structured_best,
@@ -660,6 +666,7 @@ class ServingResult:
     repeats: int
     cache_capacity: int
     cpu_count: int
+    worker_mode: str
     platform: str
     #: prepare-inclusive latencies (seconds)
     cold_seconds: float
@@ -746,7 +753,11 @@ def run_serving_bench(
         n_workers=n_workers,
         repeats=repeats,
         cache_capacity=cache_capacity,
-        cpu_count=os.cpu_count() or 1,
+        cpu_count=available_cpus(),
+        worker_mode=(
+            "serial" if n_workers is None or n_workers <= 1
+            else executor.parallel_mode
+        ),
         platform=platform.platform(),
         cold_seconds=cold_seconds,
         warm_seconds=warm_best,
@@ -770,6 +781,121 @@ def run_serving_bench(
     )
 
 
+@dataclass
+class MulticoreResult:
+    """One workload's workers × mode × kernel execution sweep.
+
+    ``rows`` holds one entry per (mode, shm, kernel, n_workers)
+    configuration: best/means of the timed executions, the speedup
+    against the serial baseline measured in the same process, the
+    kernel and mode the execution actually reported, and a
+    byte-identical check of the sorted output cells against serial.
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    cells_per_array: int
+    n_nodes: int
+    n_units: int
+    alpha: float
+    repeats: int
+    cpu_count: int
+    platform: str
+    serial_seconds: float
+    serial_samples: list[float]
+    rows: list[dict] = dataclass_field(default_factory=list)
+
+
+def run_multicore_bench(
+    workload: str = "fig8_hash_skew",
+    planner: str = "tabu",
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> MulticoreResult:
+    """Sweep worker counts × parallel modes × kernels on one workload.
+
+    The join is prepared once and warmed; the serial baseline and every
+    configuration then time the identical prepared join, so the sweep
+    isolates the execution backend. Modes: ``thread`` (shared-address
+    pool) and ``process`` with the shared-memory arena (zero-copy
+    workers returning match indices). Kernels: numpy always, numba when
+    the optional extra is installed. Every row's sorted output cells
+    are checked byte-identical against serial.
+    """
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+    )
+    prepared = executor.prepare(query, join_algo=join_algo)
+    prepared.execute(planner)  # warm assembly/key/alignment caches
+
+    serial_samples, serial_result = time_execute(
+        prepared, planner, None, repeats
+    )
+    serial_best = min(serial_samples)
+    serial_bytes = sorted_cell_bytes(serial_result)
+
+    kernels = ("numpy", "numba") if HAVE_NUMBA else ("numpy",)
+    rows: list[dict] = []
+    for kernel in kernels:
+        for mode, shm in (("thread", False), ("process", True)):
+            for n_workers in workers:
+                executor.parallel_mode = mode
+                executor.shm = shm
+                executor.kernel = resolve_kernel(kernel)
+                # Warm this configuration once (pool fork, arena
+                # attach, JIT compile) before the timed repeats.
+                prepared.execute(planner, n_workers=n_workers)
+                samples, result = time_execute(
+                    prepared, planner, n_workers, repeats
+                )
+                best = min(samples)
+                meta = result.report.meta
+                rows.append(
+                    {
+                        "mode": mode,
+                        "shm": shm,
+                        "kernel": kernel,
+                        "n_workers": n_workers,
+                        "seconds": best,
+                        "samples": samples,
+                        "speedup": (
+                            serial_best / best if best else float("inf")
+                        ),
+                        "outputs_identical": (
+                            sorted_cell_bytes(result) == serial_bytes
+                        ),
+                        "reported_kernel": meta.get("kernel"),
+                        "reported_mode": meta.get("parallel_mode"),
+                        "reported_shm": bool(meta.get("shm", False)),
+                    }
+                )
+    shutdown_pools()
+    return MulticoreResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        n_units=prepared.n_units,
+        alpha=alpha,
+        repeats=repeats,
+        cpu_count=available_cpus(),
+        platform=platform.platform(),
+        serial_seconds=serial_best,
+        serial_samples=serial_samples,
+        rows=rows,
+    )
+
+
 def write_results(
     results: list[WallclockResult],
     path: str,
@@ -778,6 +904,7 @@ def write_results(
     serving_results: "list[ServingResult] | None" = None,
     keys_results: "list[KeysResult] | None" = None,
     trace_results: "list[TraceResult] | None" = None,
+    multicore_results: "list[MulticoreResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -801,6 +928,8 @@ def write_results(
         payload["keys"] = [vars(result) for result in keys_results]
     if trace_results:
         payload["tracing"] = [vars(result) for result in trace_results]
+    if multicore_results:
+        payload["multicore"] = [vars(result) for result in multicore_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -858,6 +987,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-capacity", type=int, default=32,
         help="plan-cache LRU capacity for the serving mode",
+    )
+    parser.add_argument(
+        "--multicore", action="store_true",
+        help="sweep worker counts x parallel modes x kernels per workload "
+        "(thread pool vs shared-memory process workers)",
+    )
+    parser.add_argument(
+        "--multicore-workers", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="worker counts for the --multicore sweep",
+    )
+    parser.add_argument(
+        "--multicore-planner", default="tabu",
+        help="physical planner for the --multicore sweep",
     )
     parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
@@ -982,6 +1124,34 @@ def main(argv: list[str] | None = None) -> int:
                 f"cache={serving.cache}"
             )
 
+    multicore_results = []
+    if args.multicore:
+        for workload in args.workload or list(WORKLOADS):
+            multi = run_multicore_bench(
+                workload=workload,
+                planner=args.multicore_planner,
+                workers=tuple(args.multicore_workers),
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+            multicore_results.append(multi)
+            print(
+                f"{multi.workload} multicore [{multi.planner}/"
+                f"{multi.join_algo}] serial {multi.serial_seconds:.3f}s "
+                f"({multi.cpu_count} cpus)"
+            )
+            for row in multi.rows:
+                shm_tag = "+shm" if row["shm"] else ""
+                print(
+                    f"  {row['mode']}{shm_tag}/{row['kernel']} "
+                    f"x{row['n_workers']}: {row['seconds']:.3f}s "
+                    f"-> {row['speedup']:.2f}x; "
+                    f"identical={row['outputs_identical']}"
+                )
+
     trace_results = []
     if args.trace_dir:
         for workload in args.workload or list(WORKLOADS):
@@ -1014,6 +1184,7 @@ def main(argv: list[str] | None = None) -> int:
             serving_results=serving_results or None,
             keys_results=keys_results or None,
             trace_results=trace_results or None,
+            multicore_results=multicore_results or None,
         )
         print(f"wrote {args.out}")
     return 0

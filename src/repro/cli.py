@@ -163,6 +163,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--serving-repeats", str(args.serving_repeats),
         "--serving-planner", args.serving_planner,
         "--cache-capacity", str(args.cache_capacity),
+        "--multicore-planner", args.multicore_planner,
+    ]
+    forwarded += ["--multicore-workers"] + [
+        str(count) for count in args.multicore_workers
     ]
     if args.out:
         forwarded += ["--out", args.out]
@@ -178,6 +182,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--keys")
     if args.serving:
         forwarded.append("--serving")
+    if args.multicore:
+        forwarded.append("--multicore")
     return wallclock_main(forwarded)
 
 
@@ -294,6 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--serving-repeats", type=int, default=15)
     bench.add_argument("--serving-planner", default="tabu")
     bench.add_argument("--cache-capacity", type=int, default=32)
+    bench.add_argument(
+        "--multicore", action="store_true",
+        help="sweep worker counts x parallel modes x kernels per workload "
+        "(thread pool vs shared-memory process workers)",
+    )
+    bench.add_argument(
+        "--multicore-workers", type=int, nargs="+", default=[1, 2, 4, 8],
+    )
+    bench.add_argument("--multicore-planner", default="tabu")
     bench.set_defaults(func=cmd_bench)
     return parser
 

@@ -78,6 +78,9 @@ class ShuffleSchedule:
     _span_cache: "list | None" = field(
         default=None, repr=False, compare=False
     )
+    _total_cells_cache: "int | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_transfers(self) -> int:
@@ -85,7 +88,14 @@ class ShuffleSchedule:
 
     @property
     def total_cells_moved(self) -> int:
-        return sum(e.transfer.n_cells for e in self.events)
+        # Memoised like busy_seconds: schedules are immutable once
+        # built, re-read at least twice per execution (span attrs and
+        # the report), and can hold thousands of events.
+        if self._total_cells_cache is None:
+            self._total_cells_cache = sum(
+                e.transfer.n_cells for e in self.events
+            )
+        return self._total_cells_cache
 
     def busy_seconds(self) -> tuple[dict[int, float], dict[int, float]]:
         """Per-node (send, receive) busy time summed over the events.

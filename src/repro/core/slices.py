@@ -12,7 +12,7 @@ form the :class:`SliceStats` matrices that physical planners consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,6 +33,13 @@ class SliceStats:
 
     s_left: np.ndarray
     s_right: np.ndarray
+    #: Memoised ``s_left + s_right``: the statistics are immutable once
+    #: built, and the executor's simulated-timing loop plus every
+    #: planner read the combined matrix far more often than it changes
+    #: (never).
+    _s_total_cache: "np.ndarray | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.s_left = np.asarray(self.s_left, dtype=np.int64)
@@ -56,7 +63,9 @@ class SliceStats:
     @property
     def s_total(self) -> np.ndarray:
         """Combined slice sizes, both sides: (n_units, n_nodes)."""
-        return self.s_left + self.s_right
+        if self._s_total_cache is None:
+            self._s_total_cache = self.s_left + self.s_right
+        return self._s_total_cache
 
     @property
     def unit_totals(self) -> np.ndarray:

@@ -19,9 +19,26 @@ from repro.engine.operators import between, redimension, regrid, subarray
 from repro.engine.aggregate import aggregate, apply_expression, window
 from repro.engine.multijoin import MultiJoinResult, execute_multi_join
 from repro.engine.joins import hash_join_match, merge_join_match, nested_loop_match
+from repro.engine.kernels import (
+    HAVE_NUMBA,
+    KERNELS,
+    packed_match,
+    packed_match_sorted,
+    resolve_kernel,
+)
+from repro.engine.shm import SharedArena, live_arena_names
+from repro.engine.parallel import shutdown_pools
 from repro.engine.simulation import SimulationParams
 
 __all__ = [
+    "HAVE_NUMBA",
+    "KERNELS",
+    "SharedArena",
+    "live_arena_names",
+    "packed_match",
+    "packed_match_sorted",
+    "resolve_kernel",
+    "shutdown_pools",
     "ExecutionReport",
     "ExplainReport",
     "redimension",

@@ -15,6 +15,7 @@ implementations.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,13 +33,17 @@ from repro.core.logical import LogicalPlan, LogicalPlanner, PlanInputs
 from repro.core.planners import PhysicalPlan, get_planner
 from repro.core.slices import SliceStats, key_columns, unit_ids_for
 from repro.engine.joins import hash_join_match, match_pairs
+from repro.engine.kernels import resolve_kernel
 from repro.engine.output import OutputBuilder, derive_destination
 from repro.engine.parallel import (
-    PARALLEL_MODES,
     UnitBatch,
+    resolve_mode,
     resolve_workers,
     run_batches,
+    run_shm_batches,
+    shutdown_pools,
 )
+from repro.engine.shm import SharedArena
 from repro.engine.simulation import SimulationParams
 from repro.errors import ExecutionError, PlanningError
 from repro.obs.counters import CounterSet
@@ -269,9 +274,53 @@ class _SliceTable:
     _alignment: dict[tuple[bytes, str], tuple[float, object]] = field(
         default_factory=dict, repr=False
     )
+    #: Physical plans keyed by (planner, join algo): like the shuffle
+    #: schedule, a physical plan is a function of the slice statistics
+    #: only, so re-executing a prepared join under the same planner
+    #: reuses the assignment instead of re-solving it per execution.
+    _physical_memo: dict[tuple[str, str], tuple[np.ndarray, object]] = field(
+        default_factory=dict, repr=False
+    )
+    #: Shared-memory arena over both assemblies' packed keys and bounds,
+    #: built lazily for process-mode execution and reused across
+    #: executions of the same prepared join. ``None`` until built (or
+    #: after release); ``_arena_failed`` latches allocation failures so
+    #: one failed segment doesn't retry per execution.
+    _arena: SharedArena | None = field(default=None, repr=False)
+    _arena_failed: bool = field(default=False, repr=False)
 
     def _side_assembly(self, side: str) -> _SideAssembly | None:
         return self.left_assembly if side == "left" else self.right_assembly
+
+    def shm_arena(self) -> SharedArena | None:
+        """Create-or-get the shared arena (packed single-sort joins only).
+
+        Returns None when the layout cannot be shared — structured keys,
+        reference slice mapping, or a shared-memory allocation failure —
+        and the caller falls back to the classic pickling path.
+        """
+        if self._arena is not None and not self._arena.closed:
+            return self._arena
+        if self._arena_failed or self.codec is None:
+            return None
+        left, right = self.left_assembly, self.right_assembly
+        if left is None or right is None:
+            return None
+        try:
+            self._arena = SharedArena.create(
+                left.keys, right.keys, left.bounds, right.bounds,
+                self.codec.total_width,
+            )
+        except (OSError, ValueError):
+            self._arena_failed = True
+            return None
+        return self._arena
+
+    def release_arena(self) -> None:
+        """Tear down the shared arena now (idempotent; GC also covers it)."""
+        arena, self._arena = self._arena, None
+        if arena is not None:
+            arena.release()
 
     def assembled(self, side: str, unit: int) -> CellSet | None:
         cache_key = (side, unit)
@@ -387,6 +436,8 @@ class ShuffleJoinExecutor:
         shuffle_policy: str = "greedy_lock",
         n_workers: int | None = None,
         parallel_mode: str = "thread",
+        shm: bool | None = None,
+        kernel: str = "auto",
         profiler: PhaseProfiler | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
@@ -433,12 +484,26 @@ class ShuffleJoinExecutor:
         # the serial per-unit path; >1 batches units per assigned node
         # and executes the batches on a pool (see repro.engine.parallel).
         self.n_workers = resolve_workers(n_workers)
-        if parallel_mode not in PARALLEL_MODES:
-            raise ExecutionError(
-                f"unknown parallel mode {parallel_mode!r}; expected one of "
-                f"{PARALLEL_MODES}"
+        self.parallel_mode = resolve_mode(parallel_mode)
+        # Zero-copy process workers: on by default in process mode (the
+        # whole point of the mode), meaningless for threads — which
+        # already share every array — so shm=True there is a warned
+        # no-op rather than a crash.
+        if shm is None:
+            shm = self.parallel_mode == "process"
+        elif shm and self.parallel_mode != "process":
+            warnings.warn(
+                "shm=True has no effect with parallel_mode="
+                f"{self.parallel_mode!r}: threads already share memory; "
+                "ignoring",
+                stacklevel=2,
             )
-        self.parallel_mode = parallel_mode
+            shm = False
+        self.shm = bool(shm)
+        # The packed-key match kernel: resolved once ("auto" → numba
+        # when installed, numpy otherwise) so every batch and report
+        # sees the implementation that actually runs.
+        self.kernel = resolve_kernel(kernel)
         self.cost = (
             cost_params
             if cost_params is not None
@@ -889,8 +954,21 @@ class ShuffleJoinExecutor:
         # ---- physical planning (timed; skipped when a cached plan's
         # assignment is handed in) ----
         model: AnalyticalCostModel | None = None
+        memo_key = (planner_name, logical_plan.join_algo)
         if physical is not None:
             assignment, physical_plan = physical
+            physical_seconds = 0.0
+        elif memo_key in slice_table._physical_memo:
+            # Re-execution of a prepared join under a planner it already
+            # ran: the plan is a pure function of the slice statistics,
+            # so reuse the solved assignment (the model, when needed for
+            # profiling, is recomputed below).
+            with tracer.span(
+                "physical_assign", planner=planner_name, memoized=True
+            ):
+                assignment, physical_plan = slice_table._physical_memo[
+                    memo_key
+                ]
             physical_seconds = 0.0
         else:
             physical_started = time.perf_counter()
@@ -900,6 +978,7 @@ class ShuffleJoinExecutor:
                         slice_table.stats, logical_plan, planner_name
                     )
             physical_seconds = time.perf_counter() - physical_started
+            slice_table._physical_memo[memo_key] = (assignment, physical_plan)
         if (
             profile_nodes
             and model is None
@@ -1439,25 +1518,32 @@ class ShuffleJoinExecutor:
 
         left_totals = stats.left_unit_totals
         right_totals = stats.right_unit_totals
+        # The timing model is evaluated vectorised over the whole unit
+        # population: per-unit scalar calls used to dominate the real
+        # wall-clock of small executions (hundreds of Python-level
+        # ``compare_time`` calls per query). ``np.add.at`` accumulates
+        # in ascending unit order, matching the old loop's traversal.
+        s_total = stats.s_total
+        active = np.nonzero((left_totals > 0) | (right_totals > 0))[0]
         matchable: list[int] = []
-        for unit in range(stats.n_units):
-            n_left = int(left_totals[unit])
-            n_right = int(right_totals[unit])
-            if n_left == 0 and n_right == 0:
-                continue
-            node = int(assignment[unit])
-            node_seconds[node] += self.sim.per_unit_overhead_s
-            node_seconds[node] += self.sim.local_read_per_cell * int(
-                stats.s_total[unit, node]
+        if active.size:
+            nodes = assignment[active].astype(np.int64)
+            n_left = left_totals[active]
+            n_right = right_totals[active]
+            contrib = np.full(
+                active.size, self.sim.per_unit_overhead_s, dtype=np.float64
             )
+            contrib += self.sim.local_read_per_cell * s_total[active, nodes]
             if sort_inputs:
-                node_seconds[node] += self.sim.sort_time(n_left)
-                node_seconds[node] += self.sim.sort_time(n_right)
-            node_seconds[node] += self.sim.compare_time(
+                contrib += self.sim.sort_time_vec(n_left)
+                contrib += self.sim.sort_time_vec(n_right)
+            contrib += self.sim.compare_time_vec(
                 algo, n_left, n_right, self.cost
             )
-            if n_left and n_right:
-                matchable.append(unit)
+            np.add.at(node_seconds, nodes, contrib)
+            matchable = [
+                int(unit) for unit in active[(n_left > 0) & (n_right > 0)]
+            ]
 
         workers = (
             self.n_workers if n_workers is None else resolve_workers(n_workers)
@@ -1471,6 +1557,10 @@ class ShuffleJoinExecutor:
                 node_output[node] += produced
             meta.update(match_meta)
         else:
+            # The serial oracle always matches through the portable
+            # numpy kernels — it is the reference everything else is
+            # byte-compared against.
+            meta["kernel"] = "numpy"
             self._match_serial(
                 matchable, assignment, slice_table, join_schema, builder,
                 algo, meta, node_output, counters,
@@ -1553,8 +1643,45 @@ class ShuffleJoinExecutor:
         workers: int,
         counters: CounterSet,
     ) -> tuple[dict[int, int], dict]:
-        """Batch matchable units per assigned node and run on the pool."""
+        """Batch matchable units per assigned node and run on the pool.
+
+        Process-mode executions with packed keys take the zero-copy
+        shared-memory path when an arena is available: workers attach
+        the slice table's arena and return only match indices, and any
+        mid-batch failure tears the arena and the pools down before the
+        error propagates (no leaked ``/dev/shm`` segments). Structured
+        keys, nested-loop plans, and arena allocation failures fall back
+        to the classic pickling path.
+        """
         codec = slice_table.codec
+        if (
+            self.shm
+            and self.parallel_mode == "process"
+            and codec is not None
+            and algo != "nested_loop"
+        ):
+            arena = slice_table.shm_arena()
+            if arena is not None:
+                left = slice_table.left_assembly
+                right = slice_table.right_assembly
+                self.metrics.gauge("shm_bytes_shared").set(arena.nbytes)
+                try:
+                    node_output, meta = run_shm_batches(
+                        arena, assignment, builder,
+                        left.cells, right.cells, left.key_cols,
+                        workers, kernel=self.kernel,
+                        tracer=self.tracer, counters=counters,
+                    )
+                except Exception:
+                    # Exception-safe teardown: unlink the segment and
+                    # recycle the pools before the error surfaces, so a
+                    # killed batch leaves nothing in /dev/shm.
+                    slice_table.release_arena()
+                    shutdown_pools()
+                    raise
+                meta["parallel_mode"] = self.parallel_mode
+                return node_output, meta
+
         key_width = codec.total_width if codec is not None else None
         by_node: dict[int, UnitBatch] = {}
         for unit in matchable:
@@ -1574,10 +1701,13 @@ class ShuffleJoinExecutor:
                 left_keys,
                 right_keys,
             )
-        return run_batches(
+        node_output, meta = run_batches(
             list(by_node.values()), builder, algo, workers,
             mode=self.parallel_mode, tracer=self.tracer, counters=counters,
+            kernel=self.kernel,
         )
+        meta["parallel_mode"] = self.parallel_mode
+        return node_output, meta
 
 
 @dataclass

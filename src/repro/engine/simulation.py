@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.cost_model import CostParams
 
 
@@ -76,4 +78,35 @@ class SimulationParams:
             return cost.b * build + cost.p * probe
         if algorithm == "nested_loop":
             return self.nested_loop_per_pair * n_left * n_right
+        raise ValueError(f"unknown join algorithm {algorithm!r}")
+
+    # The vectorised forms below evaluate whole unit populations at
+    # once; the executor's timing pass used to call the scalar methods
+    # hundreds of times per execution, which cost more wall-clock than
+    # the matching it was modelling.
+
+    def sort_time_vec(self, n_cells: np.ndarray) -> np.ndarray:
+        """:meth:`sort_time` (single chunk) over a vector of unit sizes."""
+        n = np.asarray(n_cells, dtype=np.float64)
+        per_chunk = np.maximum(n, 2.0)
+        return np.where(
+            n > 0, self.sort_per_cell_log * n * np.log2(per_chunk), 0.0
+        )
+
+    def compare_time_vec(
+        self,
+        algorithm: str,
+        n_left: np.ndarray,
+        n_right: np.ndarray,
+        cost: CostParams,
+    ) -> np.ndarray:
+        """:meth:`compare_time` over vectors of per-unit side sizes."""
+        nl = np.asarray(n_left, dtype=np.float64)
+        nr = np.asarray(n_right, dtype=np.float64)
+        if algorithm == "merge":
+            return cost.m * (nl + nr)
+        if algorithm == "hash":
+            return cost.b * np.minimum(nl, nr) + cost.p * np.maximum(nl, nr)
+        if algorithm == "nested_loop":
+            return self.nested_loop_per_pair * nl * nr
         raise ValueError(f"unknown join algorithm {algorithm!r}")

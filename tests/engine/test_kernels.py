@@ -1,0 +1,132 @@
+"""Tests for the packed-key match kernels (repro.engine.kernels).
+
+The contract: every kernel returns the same match *multiset* as the
+reference numpy implementation, ``resolve_kernel`` never silently runs
+a kernel the host can't provide, and the membership filter is a pure
+prefilter — false positives allowed, false negatives never.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.kernels import (
+    HAVE_NUMBA,
+    KERNELS,
+    build_key_filter,
+    filter_log2_for,
+    packed_match,
+    packed_match_sorted,
+    probe_key_filter,
+    resolve_kernel,
+)
+from repro.errors import ExecutionError
+
+
+class TestResolveKernel:
+    def test_auto_and_none_resolve_to_available(self):
+        expected = "numba" if HAVE_NUMBA else "numpy"
+        assert resolve_kernel(None) == expected
+        assert resolve_kernel("auto") == expected
+
+    def test_numpy_always_resolves(self):
+        assert resolve_kernel("numpy") == "numpy"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown kernel"):
+            resolve_kernel("fortran")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed")
+    def test_explicit_numba_without_numba_raises(self):
+        # The host (container default) has no numba: asking for the
+        # compiled kernel explicitly must fail loudly, not silently
+        # benchmark numpy.
+        with pytest.raises(ExecutionError, match="numba is not installed"):
+            resolve_kernel("numba")
+
+    def test_kernels_knob_values(self):
+        assert KERNELS == ("auto", "numba", "numpy")
+
+
+def _available_kernels():
+    return ("numpy", "numba") if HAVE_NUMBA else ("numpy",)
+
+
+def _pairs(left_idx, right_idx):
+    return set(zip(left_idx.tolist(), right_idx.tolist()))
+
+
+class TestPackedMatchSorted:
+    @pytest.mark.parametrize("kernel", _available_kernels())
+    def test_matches_unsorted_reference(self, rng, kernel):
+        left = np.sort(rng.integers(0, 50, size=200, dtype=np.uint64))
+        right = np.sort(rng.integers(0, 50, size=150, dtype=np.uint64))
+        got = packed_match_sorted(left, right, kernel)
+        ref = packed_match(left, right, "numpy")
+        assert _pairs(*got) == _pairs(*ref)
+
+    @pytest.mark.parametrize("kernel", _available_kernels())
+    def test_duplicate_runs_emit_cross_product(self, kernel):
+        left = np.array([3, 3, 7], dtype=np.uint64)
+        right = np.array([3, 3, 3, 9], dtype=np.uint64)
+        li, ri = packed_match_sorted(left, right, kernel)
+        assert _pairs(li, ri) == {
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)
+        }
+
+    @pytest.mark.parametrize("kernel", _available_kernels())
+    def test_empty_sides(self, kernel):
+        empty = np.empty(0, dtype=np.uint64)
+        some = np.array([1, 2], dtype=np.uint64)
+        for left, right in ((empty, some), (some, empty), (empty, empty)):
+            li, ri = packed_match_sorted(left, right, kernel)
+            assert li.size == 0 and ri.size == 0
+
+    def test_unresolved_kernel_rejected(self):
+        keys = np.array([1], dtype=np.uint64)
+        with pytest.raises(ExecutionError, match="resolved kernel"):
+            packed_match_sorted(keys, keys, "auto")
+
+    def test_disjoint_ranges_no_matches(self):
+        left = np.arange(0, 10, dtype=np.uint64)
+        right = np.arange(100, 110, dtype=np.uint64)
+        li, ri = packed_match_sorted(left, right, "numpy")
+        assert li.size == 0
+
+
+class TestKeyFilter:
+    def test_no_false_negatives(self, rng):
+        keys = rng.integers(0, 1 << 40, size=500, dtype=np.uint64)
+        log2 = filter_log2_for(keys.size)
+        filt = build_key_filter(keys, log2)
+        assert np.all(probe_key_filter(keys, filt, log2) == 1)
+
+    def test_absent_keys_mostly_rejected(self, rng):
+        present = rng.integers(0, 1 << 40, size=500, dtype=np.uint64)
+        absent = rng.integers(1 << 41, 1 << 42, size=2000, dtype=np.uint64)
+        log2 = filter_log2_for(present.size)
+        filt = build_key_filter(present, log2)
+        false_positives = int(probe_key_filter(absent, filt, log2).sum())
+        # ~32 bits/key keeps the FP rate a few percent; allow 10x slack.
+        assert false_positives < absent.size * 0.2
+
+    def test_filter_log2_bounds(self):
+        assert filter_log2_for(0) == 16
+        assert filter_log2_for(1) == 16
+        assert 16 <= filter_log2_for(150_000) <= 24
+        assert filter_log2_for(10**9) == 24
+
+    def test_prefiltered_match_equals_full_match(self, rng):
+        # The adaptive worker path: filter left needles, match only the
+        # candidates, map back. Must equal the unfiltered match exactly.
+        left = np.sort(rng.integers(0, 1 << 30, size=400, dtype=np.uint64))
+        right = np.sort(
+            np.concatenate(
+                [left[::50], rng.integers(0, 1 << 30, size=300).astype(np.uint64)]
+            )
+        )
+        log2 = filter_log2_for(right.size)
+        filt = build_key_filter(right, log2)
+        candidates = np.nonzero(probe_key_filter(left, filt, log2))[0]
+        li, ri = packed_match_sorted(left[candidates], right, "numpy")
+        got = _pairs(candidates[li], ri)
+        assert got == _pairs(*packed_match_sorted(left, right, "numpy"))

@@ -1,0 +1,185 @@
+"""Shared-memory process execution: equivalence, teardown, knobs.
+
+The tentpole guarantee: ``mode="process"`` with the shared-memory arena
+produces byte-identical sorted outputs to the serial reference and the
+thread pool, across key representations, join algorithms, and planners
+— and a worker that dies mid-batch leaves no segment behind in
+``/dev/shm``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ShuffleJoinExecutor
+from repro.engine.kernels import HAVE_NUMBA
+from repro.engine.parallel import shutdown_pools
+from repro.engine.shm import live_arena_names
+from repro.errors import ExecutionError
+
+DD_QUERY = "SELECT A.v1 FROM A, B WHERE A.i = B.i AND A.j = B.j"
+AA_QUERY = (
+    "SELECT A.i, A.j, B.i, B.j "
+    "INTO T<ai:int64, aj:int64, bi:int64, bj:int64>[] "
+    "FROM A, B WHERE A.v1 = B.v1"
+)
+
+PLANNERS = ["baseline", "mbh", "tabu", "ilp_coarse"]
+
+
+def sorted_cell_bytes(result) -> bytes:
+    packed = result.cells.to_structured(sorted(result.cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+def _executor(cluster, mode, packed, workers=4, **kwargs):
+    return ShuffleJoinExecutor(
+        cluster,
+        selectivity_hint=0.5,
+        n_workers=workers,
+        parallel_mode=mode,
+        packed_keys=packed,
+        **kwargs,
+    )
+
+
+class TestSerialThreadProcessEquivalence:
+    """Satellite: serial == thread == process(shm) everywhere."""
+
+    @pytest.mark.parametrize("packed", [True, False], ids=["packed", "structured"])
+    @pytest.mark.parametrize(
+        "algo,query", [("hash", AA_QUERY), ("merge", DD_QUERY)]
+    )
+    @pytest.mark.parametrize("planner", PLANNERS)
+    def test_all_modes_byte_identical(
+        self, small_cluster, planner, algo, query, packed
+    ):
+        serial = _executor(small_cluster, "thread", packed, workers=1)
+        threaded = _executor(small_cluster, "thread", packed)
+        process = _executor(small_cluster, "process", packed)
+        assert process.shm or not packed  # shm defaults on in process mode
+
+        reference = serial.execute(query, planner=planner, join_algo=algo)
+        via_threads = threaded.execute(query, planner=planner, join_algo=algo)
+        via_shm = process.execute(query, planner=planner, join_algo=algo)
+
+        expected = sorted_cell_bytes(reference)
+        assert sorted_cell_bytes(via_threads) == expected
+        assert sorted_cell_bytes(via_shm) == expected
+        assert (
+            reference.report.output_cells
+            == via_threads.report.output_cells
+            == via_shm.report.output_cells
+        )
+
+    def test_shm_path_reports_its_backend(self, small_cluster):
+        process = _executor(small_cluster, "process", True)
+        result = process.execute(AA_QUERY, planner="tabu", join_algo="hash")
+        meta = result.report.meta
+        assert meta.get("parallel_mode") == "process"
+        assert meta.get("shm") is True
+        assert meta.get("kernel") == ("numba" if HAVE_NUMBA else "numpy")
+        assert meta.get("shm_bytes", 0) > 0
+
+    def test_repeated_shm_runs_byte_identical(self, small_cluster):
+        process = _executor(small_cluster, "process", True)
+        prepared = process.prepare(AA_QUERY, join_algo="hash")
+        first = prepared.execute("tabu", n_workers=4)
+        second = prepared.execute("tabu", n_workers=4)
+        assert sorted_cell_bytes(first) == sorted_cell_bytes(second)
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="numba installed")
+    def test_auto_kernel_falls_back_to_numpy(self, small_cluster):
+        process = _executor(small_cluster, "process", True, kernel="auto")
+        assert process.kernel == "numpy"
+        result = process.execute(DD_QUERY, planner="baseline", join_algo="merge")
+        assert result.report.meta.get("kernel") == "numpy"
+
+
+class TestExceptionSafeTeardown:
+    def test_killed_batch_leaks_no_segments(self, small_cluster, monkeypatch):
+        """Fault injection: a worker batch raises mid-execution.
+
+        The pool forks lazily, so patching the module-global
+        ``execute_shm_batch`` *before* the first process execution (and
+        after shutting any cached pools down) plants the fault inside
+        the forked children as well as the in-process fallback.
+        """
+        shutdown_pools()
+        before = set(live_arena_names())
+
+        from repro.engine import parallel
+
+        def boom(task):
+            raise RuntimeError("injected mid-batch failure")
+
+        monkeypatch.setattr(parallel, "execute_shm_batch", boom)
+        process = _executor(small_cluster, "process", True)
+        with pytest.raises(ExecutionError, match="injected mid-batch"):
+            process.execute(AA_QUERY, planner="tabu", join_algo="hash")
+        # Exception-safe teardown: segment unlinked, nothing left behind.
+        assert set(live_arena_names()) == before
+
+        monkeypatch.undo()
+        shutdown_pools()
+        # The engine recovers on the next execution with healthy pools.
+        result = process.execute(AA_QUERY, planner="tabu", join_algo="hash")
+        assert result.report.output_cells >= 0
+        assert set(live_arena_names()) == before
+
+    def test_release_arena_after_execution(self, small_cluster):
+        process = _executor(small_cluster, "process", True)
+        prepared = process.prepare(AA_QUERY, join_algo="hash")
+        prepared.execute("tabu", n_workers=4)
+        table = prepared.slice_table
+        assert table._arena is not None
+        name = table._arena.layout.name
+        assert name in live_arena_names()
+        table.release_arena()
+        assert name not in live_arena_names()
+        table.release_arena()  # idempotent
+
+
+class TestKnobs:
+    def test_shm_with_thread_mode_warns_and_disables(self, small_cluster):
+        with pytest.warns(UserWarning, match="no effect"):
+            executor = ShuffleJoinExecutor(
+                small_cluster, selectivity_hint=0.5, shm=True,
+                parallel_mode="thread",
+            )
+        assert executor.shm is False
+        # Still executes fine on the thread path.
+        result = executor.execute(DD_QUERY, planner="baseline")
+        assert result.report.output_cells >= 0
+
+    def test_shm_defaults_by_mode(self, small_cluster):
+        threaded = ShuffleJoinExecutor(small_cluster, selectivity_hint=0.5)
+        forked = ShuffleJoinExecutor(
+            small_cluster, selectivity_hint=0.5, parallel_mode="process"
+        )
+        assert threaded.shm is False
+        assert forked.shm is True
+
+    def test_unknown_mode_is_clear_execution_error(self, small_cluster):
+        with pytest.raises(ExecutionError, match="unknown parallel mode"):
+            ShuffleJoinExecutor(small_cluster, parallel_mode="greenlets")
+
+    def test_kernel_and_shm_are_fingerprint_neutral(self, small_cluster):
+        """Plan-cache fingerprints must ignore execution-backend knobs.
+
+        The kernel and shm settings change how matches are computed,
+        never what the plan or the output is — a cached plan must hit
+        across backend changes.
+        """
+        base = ShuffleJoinExecutor(
+            small_cluster, selectivity_hint=0.5, plan_cache_size=8
+        )
+        shm_proc = ShuffleJoinExecutor(
+            small_cluster, selectivity_hint=0.5, plan_cache_size=8,
+            parallel_mode="process", kernel="numpy", n_workers=4,
+        )
+        from repro.query.aql import parse_aql
+
+        query = parse_aql(DD_QUERY)
+        fp_base = base._plan_fingerprint(query, "tabu", "merge")
+        fp_shm = shm_proc._plan_fingerprint(query, "tabu", "merge")
+        assert fp_base == fp_shm

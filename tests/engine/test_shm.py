@@ -1,0 +1,162 @@
+"""Tests for the shared-memory arena (repro.engine.shm).
+
+Lifecycle is the load-bearing concern: every segment an arena creates
+must be gone from ``/dev/shm`` after release — including when an
+execution dies mid-batch — and attached views must read exactly the
+unit-sorted key material the coordinator wrote.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.kernels import probe_key_filter
+from repro.engine.shm import (
+    ARENA_PREFIX,
+    ArenaLayout,
+    SharedArena,
+    live_arena_names,
+)
+
+
+def _arena_inputs(rng, n_units=6, left_n=40, right_n=30, key_width=16):
+    """Unit-major key columns + bounds tables, as the slice table builds."""
+    left_units = np.sort(rng.integers(0, n_units, size=left_n))
+    right_units = np.sort(rng.integers(0, n_units, size=right_n))
+    left_keys = rng.integers(0, 1 << key_width, size=left_n, dtype=np.uint64)
+    right_keys = rng.integers(0, 1 << key_width, size=right_n, dtype=np.uint64)
+    left_bounds = np.concatenate(
+        ([0], np.cumsum(np.bincount(left_units, minlength=n_units)))
+    ).astype(np.int64)
+    right_bounds = np.concatenate(
+        ([0], np.cumsum(np.bincount(right_units, minlength=n_units)))
+    ).astype(np.int64)
+    return left_keys, right_keys, left_bounds, right_bounds, key_width
+
+
+@pytest.fixture
+def arena_inputs(rng):
+    return _arena_inputs(rng)
+
+
+class TestArenaLifecycle:
+    def test_create_attach_release_unlink(self, arena_inputs):
+        before = set(live_arena_names())
+        arena = SharedArena.create(*arena_inputs)
+        assert arena.layout.name.startswith(ARENA_PREFIX)
+        assert set(live_arena_names()) - before == {arena.layout.name}
+
+        attached = SharedArena.attach(arena.layout)
+        assert np.array_equal(attached.left_keys, arena.left_keys)
+        assert np.array_equal(attached.right_order, arena.right_order)
+        attached.release()
+        # A non-owner close must not unlink the segment.
+        assert arena.layout.name in live_arena_names()
+
+        arena.release()
+        assert set(live_arena_names()) == before
+
+    def test_release_is_idempotent(self, arena_inputs):
+        arena = SharedArena.create(*arena_inputs)
+        arena.release()
+        arena.release()
+        assert arena.closed
+
+    def test_context_manager_releases(self, arena_inputs):
+        with SharedArena.create(*arena_inputs) as arena:
+            name = arena.layout.name
+            assert name in live_arena_names()
+        assert name not in live_arena_names()
+
+    def test_dropped_reference_is_collected(self, arena_inputs):
+        import gc
+
+        before = set(live_arena_names())
+        arena = SharedArena.create(*arena_inputs)
+        name = arena.layout.name
+        del arena
+        gc.collect()
+        assert name not in live_arena_names()
+        assert set(live_arena_names()) == before
+
+    def test_nbytes_covers_all_regions(self, arena_inputs):
+        arena = SharedArena.create(*arena_inputs)
+        layout = arena.layout
+        expected = 8 * (
+            2 * (layout.n_left + layout.n_right) + 2 * (layout.n_units + 1)
+        ) + layout.filter_bytes
+        assert layout.nbytes == expected
+        assert arena.nbytes == expected
+        arena.release()
+
+
+class TestArenaContents:
+    def test_fused_columns_sorted_and_order_maps_back(self, arena_inputs):
+        left_keys, right_keys, left_bounds, right_bounds, width = arena_inputs
+        arena = SharedArena.create(*arena_inputs)
+        assert arena.layout.fused
+        stored = np.asarray(arena.left_keys)
+        # Globally ascending: unit ids ride the high bits.
+        assert np.all(stored[:-1] <= stored[1:])
+        # order maps sorted positions back to the original rows, and the
+        # low bits of each stored key are the original key of that row.
+        order = np.asarray(arena.left_order)
+        mask = np.uint64((1 << width) - 1)
+        assert np.array_equal(stored & mask, left_keys[order])
+        # Per-unit bounds are preserved verbatim.
+        assert np.array_equal(arena.left_bounds, left_bounds)
+        assert np.array_equal(arena.right_bounds, right_bounds)
+        arena.release()
+
+    def test_unit_ranges_hold_their_units_rows(self, arena_inputs):
+        left_keys, _, left_bounds, _, width = arena_inputs
+        arena = SharedArena.create(*arena_inputs)
+        stored = np.asarray(arena.left_keys)
+        for unit in range(arena.layout.n_units):
+            lo, hi = int(left_bounds[unit]), int(left_bounds[unit + 1])
+            units_of = stored[lo:hi] >> np.uint64(width)
+            assert np.all(units_of == unit)
+        arena.release()
+
+    def test_filter_has_no_false_negatives(self, arena_inputs):
+        arena = SharedArena.create(*arena_inputs)
+        layout = arena.layout
+        assert layout.filter_log2 > 0
+        hits = probe_key_filter(
+            np.asarray(arena.right_keys), arena.right_filter,
+            layout.filter_log2,
+        )
+        # Every key that went into the filter must probe positive.
+        assert np.all(hits == 1)
+        arena.release()
+
+    def test_oversized_keys_fall_back_to_unfused(self, rng):
+        left_keys, right_keys, lb, rb, _ = _arena_inputs(rng, key_width=16)
+        arena = SharedArena.create(left_keys, right_keys, lb, rb, 64)
+        # 64-bit keys leave no room for unit bits: raw per-unit-sorted
+        # columns, no fusion, no membership filter.
+        assert not arena.layout.fused
+        assert arena.layout.filter_log2 == 0
+        assert arena.layout.filter_bytes == 0
+        for unit in range(arena.layout.n_units):
+            lo, hi = int(lb[unit]), int(lb[unit + 1])
+            segment = np.asarray(arena.left_keys)[lo:hi]
+            assert np.all(segment[:-1] <= segment[1:]) if hi > lo else True
+        arena.release()
+
+    def test_mismatched_bounds_rejected(self, rng):
+        left_keys, right_keys, lb, rb, width = _arena_inputs(rng)
+        with pytest.raises(ValueError):
+            SharedArena.create(left_keys, right_keys, lb, rb[:-1], width)
+
+
+class TestLayoutRoundTrip:
+    def test_layout_is_picklable_and_small(self, arena_inputs):
+        import pickle
+
+        arena = SharedArena.create(*arena_inputs)
+        payload = pickle.dumps(arena.layout)
+        assert len(payload) < 512
+        restored = pickle.loads(payload)
+        assert restored == arena.layout
+        assert isinstance(restored, ArenaLayout)
+        arena.release()
