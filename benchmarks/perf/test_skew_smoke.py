@@ -1,0 +1,71 @@
+"""Smoke test for the skew (alpha x split_units) benchmark.
+
+Runs one high-skew row of the ``--skew`` sweep at reduced scale: the
+fig8 hash workload at α=1.8 through split off / static / adaptive on
+the shared-memory process path. High α concentrates the join in a
+single hot hash bucket — the exact straggler the adaptive re-splitter
+exists for — so this smoke guards the PR's point: splitting must never
+change the output, and adaptive must not be materially slower than the
+unsplit dispatch even at smoke scale.
+"""
+
+import json
+
+from repro.bench.wallclock import run_skew_bench, write_results
+
+#: Adaptive splitting may be at most this much slower than the unsplit
+#: baseline before the smoke fails; with real cores it is expected to
+#: *win* on the hot-bucket straggler.
+SLOWDOWN_TOLERANCE = 1.25
+
+#: Absolute slack for the per-task dispatch round trips the dynamic
+#: path adds. On a 1-CPU CI box the whole smoke run finishes in a few
+#: milliseconds, so those fixed pipe latencies dominate the relative
+#: comparison; the slack keeps the guard about architectural slowdowns,
+#: not scheduler noise.
+DISPATCH_SLACK_SECONDS = 0.05
+
+
+def test_skew_smoke(tmp_path):
+    result = run_skew_bench(
+        workload="fig8_hash_skew",
+        planner="baseline",
+        alphas=(1.8,),
+        n_workers=4,
+        cells_per_array=100_000,
+        n_nodes=8,
+        repeats=3,
+        seed=3,
+    )
+    assert result.cpu_count >= 1
+    assert len(result.rows) == 3, "expected one row per split mode"
+
+    by_mode = {row["split_units"]: row for row in result.rows}
+    assert set(by_mode) == {"off", "static", "adaptive"}
+    for row in result.rows:
+        # Splitting is a performance knob: byte-identical outputs always.
+        assert row["outputs_identical"], row
+        assert row["seconds"] > 0
+
+    # At high alpha the heavy bucket is one hot key, so the run-time
+    # re-splitter must have engaged on the adaptive row.
+    adaptive = by_mode["adaptive"]
+    assert adaptive["runtime_resplits"] >= 1
+    unsplit = by_mode["off"]
+    bound = unsplit["seconds"] * SLOWDOWN_TOLERANCE + DISPATCH_SLACK_SECONDS
+    assert adaptive["seconds"] <= bound, (
+        f"adaptive splitting slower than unsplit: "
+        f"{adaptive['seconds']:.3f}s vs {unsplit['seconds']:.3f}s"
+    )
+
+    out = tmp_path / "bench.json"
+    write_results([], str(out), skew_results=[result])
+    payload = json.loads(out.read_text())
+    (entry,) = payload["skew"]
+    assert entry["workload"] == "fig8_hash_skew"
+    row_keys = set(entry["rows"][0])
+    assert {
+        "alpha", "split_units", "seconds", "speedup_vs_unsplit",
+        "outputs_identical", "units_split", "subunits_created",
+        "runtime_resplits", "steal_count",
+    } <= row_keys

@@ -59,12 +59,15 @@ def build_workload(
     alpha: float = 1.0,
     seed: int = 0,
     plan_cache_size: int = 0,
+    **executor_options,
 ) -> tuple[ShuffleJoinExecutor, str, str]:
     """Construct one skew workload's executor and pinned query.
 
     ``plan_cache_size`` > 0 equips the executor with a warm-path plan
     cache (used by the ``--serving`` repeated-query mode); the default
     keeps it off so the planning-cost benchmarks measure planning.
+    Extra keyword arguments pass straight to the executor (the ``--skew``
+    sweep sets ``split_units``/``parallel_mode`` per configuration).
     """
     if name == "fig8_hash_skew":
         array_a, array_b = skewed_hash_pair(
@@ -75,7 +78,7 @@ def build_workload(
         )
         executor = ShuffleJoinExecutor(
             cluster, selectivity_hint=0.0001, n_buckets=1024,
-            plan_cache_size=plan_cache_size,
+            plan_cache_size=plan_cache_size, **executor_options,
         )
         return executor, HASH_QUERY, "hash"
     if name == "fig7_merge_skew":
@@ -85,7 +88,7 @@ def build_workload(
         cluster = make_cluster([array_a, array_b], n_nodes, seed=seed)
         executor = ShuffleJoinExecutor(
             cluster, selectivity_hint=0.25,
-            plan_cache_size=plan_cache_size,
+            plan_cache_size=plan_cache_size, **executor_options,
         )
         return executor, MERGE_QUERY, "merge"
     raise ValueError(f"unknown workload {name!r}; choose from {WORKLOADS}")
@@ -896,6 +899,108 @@ def run_multicore_bench(
     )
 
 
+@dataclass
+class SkewResult:
+    """α sweep × ``split_units`` mode on one skewed workload.
+
+    Every (α, mode) cell executes the identical query on the process +
+    shared-memory path; within one α the three modes must produce
+    byte-identical sorted outputs (splitting is a performance knob,
+    never a result change), and each mode's speedup is measured against
+    the *unsplit* run at the same α — so the sweep shows exactly where
+    skew starts hurting and how much each splitting level claws back.
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    n_workers: int
+    cells_per_array: int
+    n_nodes: int
+    repeats: int
+    cpu_count: int
+    platform: str
+    #: One entry per (alpha, split_units) configuration.
+    rows: list[dict] = dataclass_field(default_factory=list)
+
+
+def run_skew_bench(
+    workload: str = "fig8_hash_skew",
+    planner: str = "tabu",
+    alphas: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0),
+    modes: tuple[str, ...] = ("off", "static", "adaptive"),
+    n_workers: int = 8,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    repeats: int = 5,
+    seed: int = 0,
+) -> SkewResult:
+    """Sweep skew levels × splitting modes on the shared-memory path.
+
+    The workload is rebuilt per α (skew changes the data, not just the
+    plan) and re-prepared per mode (``split_units`` is a plan-time knob,
+    fingerprinted into the plan cache); each configuration is warmed
+    once, timed ``repeats`` times, and byte-compared against the
+    unsplit run at the same α.
+    """
+    rows: list[dict] = []
+    join_algo = ""
+    for alpha in alphas:
+        baseline_best: float | None = None
+        baseline_bytes: bytes | None = None
+        for mode in modes:
+            executor, query, join_algo = build_workload(
+                workload,
+                cells_per_array=cells_per_array,
+                n_nodes=n_nodes,
+                alpha=alpha,
+                seed=seed,
+                parallel_mode="process",
+                split_units=mode,
+            )
+            prepared = executor.prepare(query, join_algo=join_algo)
+            # Warm pools, arena, and assembly caches before timing.
+            prepared.execute(planner, n_workers=n_workers)
+            samples, result = time_execute(
+                prepared, planner, n_workers, repeats
+            )
+            best = min(samples)
+            out_bytes = sorted_cell_bytes(result)
+            if baseline_best is None:
+                baseline_best, baseline_bytes = best, out_bytes
+            meta = result.report.meta
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "split_units": mode,
+                    "n_units": result.report.n_units,
+                    "seconds": best,
+                    "samples": samples,
+                    "speedup_vs_unsplit": (
+                        baseline_best / best if best else float("inf")
+                    ),
+                    "outputs_identical": out_bytes == baseline_bytes,
+                    "units_split": meta.get("units_split", 0),
+                    "subunits_created": meta.get("subunits_created", 0),
+                    "runtime_resplits": meta.get("runtime_resplits", 0),
+                    "steal_count": meta.get("steal_count", 0),
+                }
+            )
+    shutdown_pools()
+    return SkewResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        n_workers=n_workers,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        repeats=repeats,
+        cpu_count=available_cpus(),
+        platform=platform.platform(),
+        rows=rows,
+    )
+
+
 def write_results(
     results: list[WallclockResult],
     path: str,
@@ -905,6 +1010,7 @@ def write_results(
     keys_results: "list[KeysResult] | None" = None,
     trace_results: "list[TraceResult] | None" = None,
     multicore_results: "list[MulticoreResult] | None" = None,
+    skew_results: "list[SkewResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -930,6 +1036,8 @@ def write_results(
         payload["tracing"] = [vars(result) for result in trace_results]
     if multicore_results:
         payload["multicore"] = [vars(result) for result in multicore_results]
+    if skew_results:
+        payload["skew"] = [vars(result) for result in skew_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -1002,6 +1110,19 @@ def main(argv: list[str] | None = None) -> int:
         help="physical planner for the --multicore sweep",
     )
     parser.add_argument(
+        "--skew", action="store_true",
+        help="alpha sweep x split_units modes (off/static/adaptive) on the "
+        "shared-memory process path",
+    )
+    parser.add_argument(
+        "--skew-alphas", type=float, nargs="+", default=[0.5, 1.0, 1.5, 2.0],
+        help="Zipf alpha levels for the --skew sweep",
+    )
+    parser.add_argument(
+        "--skew-workers", type=int, default=8,
+        help="worker count for the --skew sweep",
+    )
+    parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
         help="also run each workload traced: write Chrome trace JSON per "
         "workload into DIR and record the instrumentation overhead",
@@ -1065,6 +1186,7 @@ def main(argv: list[str] | None = None) -> int:
             n_units=args.stress_units,
             n_nodes=args.stress_nodes,
             alpha=args.stress_alpha,
+            seed=args.seed,
             repeats=max(args.repeats // 2, 2),
         )
         print(
@@ -1152,6 +1274,37 @@ def main(argv: list[str] | None = None) -> int:
                     f"identical={row['outputs_identical']}"
                 )
 
+    skew_results = []
+    if args.skew:
+        for workload in args.workload or ["fig8_hash_skew"]:
+            skew = run_skew_bench(
+                workload=workload,
+                planner=args.multicore_planner,
+                alphas=tuple(args.skew_alphas),
+                n_workers=args.skew_workers,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                repeats=args.repeats,
+                seed=args.seed,
+            )
+            skew_results.append(skew)
+            print(
+                f"{skew.workload} skew sweep [{skew.planner}/"
+                f"{skew.join_algo}] x{skew.n_workers} workers "
+                f"({skew.cpu_count} cpus)"
+            )
+            for row in skew.rows:
+                print(
+                    f"  alpha={row['alpha']:<4} {row['split_units']:<8} "
+                    f"{row['seconds']:.3f}s -> "
+                    f"{row['speedup_vs_unsplit']:.2f}x vs unsplit; "
+                    f"{row['units_split']} units split into "
+                    f"{row['subunits_created']}, "
+                    f"{row['runtime_resplits']} re-splits "
+                    f"({row['steal_count']} stolen); "
+                    f"identical={row['outputs_identical']}"
+                )
+
     trace_results = []
     if args.trace_dir:
         for workload in args.workload or list(WORKLOADS):
@@ -1185,6 +1338,7 @@ def main(argv: list[str] | None = None) -> int:
             keys_results=keys_results or None,
             trace_results=trace_results or None,
             multicore_results=multicore_results or None,
+            skew_results=skew_results or None,
         )
         print(f"wrote {args.out}")
     return 0

@@ -164,9 +164,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--serving-planner", args.serving_planner,
         "--cache-capacity", str(args.cache_capacity),
         "--multicore-planner", args.multicore_planner,
+        "--skew-workers", str(args.skew_workers),
     ]
     forwarded += ["--multicore-workers"] + [
         str(count) for count in args.multicore_workers
+    ]
+    forwarded += ["--skew-alphas"] + [
+        str(alpha) for alpha in args.skew_alphas
     ]
     if args.out:
         forwarded += ["--out", args.out]
@@ -184,6 +188,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--serving")
     if args.multicore:
         forwarded.append("--multicore")
+    if args.skew:
+        forwarded.append("--skew")
     return wallclock_main(forwarded)
 
 
@@ -309,6 +315,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--multicore-workers", type=int, nargs="+", default=[1, 2, 4, 8],
     )
     bench.add_argument("--multicore-planner", default="tabu")
+    bench.add_argument(
+        "--skew", action="store_true",
+        help="alpha sweep x split_units modes (off/static/adaptive) on the "
+        "shared-memory process path",
+    )
+    bench.add_argument(
+        "--skew-alphas", type=float, nargs="+", default=[0.5, 1.0, 1.5, 2.0],
+    )
+    bench.add_argument("--skew-workers", type=int, default=8)
     bench.set_defaults(func=cmd_bench)
     return parser
 

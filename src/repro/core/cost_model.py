@@ -46,6 +46,32 @@ class CostParams:
         return replace(self, t=1.0 / cells_per_second)
 
 
+def unit_compare_costs(
+    stats: SliceStats, algorithm: str, params: CostParams
+) -> np.ndarray:
+    """C_i per join unit, in seconds (Section 5.1).
+
+    Merge join: ``C_i = m × S_i``. Hash join: ``C_i = b×t_i + p×u_i``
+    with ``t_i`` the smaller (build) side and ``u_i`` the larger (probe)
+    side — building a hash map costs much more per cell than probing
+    one. Shared between :class:`AnalyticalCostModel` and the plan-time
+    unit splitter (:mod:`repro.core.splitting`), which flags units whose
+    C_i dominates the mean.
+    """
+    if algorithm not in ("merge", "hash"):
+        raise PlanningError(
+            f"physical cost model supports merge and hash joins, "
+            f"got {algorithm!r}"
+        )
+    left = stats.left_unit_totals.astype(np.float64)
+    right = stats.right_unit_totals.astype(np.float64)
+    if algorithm == "merge":
+        return params.m * (left + right)
+    build = np.minimum(left, right)
+    probe = np.maximum(left, right)
+    return params.b * build + params.p * probe
+
+
 @dataclass(frozen=True)
 class PlanCost:
     """The cost model's decomposition of one candidate physical plan."""
@@ -74,35 +100,13 @@ class AnalyticalCostModel:
     """
 
     def __init__(self, stats: SliceStats, algorithm: str, params: CostParams):
-        if algorithm not in ("merge", "hash"):
-            # The nested loop join is never profitable (Sections 4, 6.1),
-            # so the physical model does not include it.
-            raise PlanningError(
-                f"physical cost model supports merge and hash joins, "
-                f"got {algorithm!r}"
-            )
+        # The nested loop join is never profitable (Sections 4, 6.1), so
+        # the physical model does not include it; unit_compare_costs
+        # rejects anything but merge/hash.
         self.stats = stats
         self.algorithm = algorithm
         self.params = params
-        self._unit_costs = self._compute_unit_costs()
-
-    # ------------------------------------------------------------ unit costs
-
-    def _compute_unit_costs(self) -> np.ndarray:
-        """C_i per join unit, in seconds (Section 5.1).
-
-        Merge join: ``C_i = m × S_i``. Hash join: ``C_i = b×t_i + p×u_i``
-        with ``t_i`` the smaller (build) side and ``u_i`` the larger
-        (probe) side — building a hash map costs much more per cell than
-        probing one.
-        """
-        left = self.stats.left_unit_totals.astype(np.float64)
-        right = self.stats.right_unit_totals.astype(np.float64)
-        if self.algorithm == "merge":
-            return self.params.m * (left + right)
-        build = np.minimum(left, right)
-        probe = np.maximum(left, right)
-        return self.params.b * build + self.params.p * probe
+        self._unit_costs = unit_compare_costs(stats, algorithm, params)
 
     @property
     def unit_costs(self) -> np.ndarray:

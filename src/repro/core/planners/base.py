@@ -25,12 +25,18 @@ class PhysicalPlan:
         return len(self.assignment)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.planner}: cost={self.cost.total_seconds:.3f}s "
             f"(align={self.cost.align_seconds:.3f}s, "
             f"compare={self.cost.compare_seconds:.3f}s), "
             f"planned in {self.plan_seconds:.3f}s"
         )
+        if self.meta.get("units_split"):
+            text += (
+                f", {self.meta['units_split']} heavy units split into "
+                f"{self.meta['subunits_created']} sub-units"
+            )
+        return text
 
 
 class PhysicalPlanner:

@@ -242,6 +242,29 @@ def hash_unit_ids(
     return (combined % np.uint64(n_buckets)).astype(np.int64)
 
 
+def refine_unit_ids(
+    unit_ids: np.ndarray,
+    keys: np.ndarray,
+    offsets: np.ndarray,
+    thresholds: dict[int, np.ndarray],
+) -> np.ndarray:
+    """Remap unit ids through a plan-time split (Section 5 extension).
+
+    ``offsets[u]`` is the first refined id of original unit ``u``;
+    ``thresholds[u]`` holds the sorted packed-key cut points of a split
+    unit. A row of unit ``u`` with key ``k`` lands in sub-unit
+    ``offsets[u] + #(cuts <= k)`` — ``side="right"`` so every row
+    carrying the same key lands in the same sub-unit on both sides,
+    which is what keeps split and unsplit outputs byte-identical.
+    """
+    refined = offsets[unit_ids]
+    for unit, cuts in thresholds.items():
+        mask = unit_ids == unit
+        if np.any(mask):
+            refined[mask] += np.searchsorted(cuts, keys[mask], side="right")
+    return refined
+
+
 def unit_ids_for(
     schema: JoinSchema,
     side: str,

@@ -32,6 +32,7 @@ from repro.core.join_schema import JoinSchema, infer_join_schema
 from repro.core.logical import LogicalPlan, LogicalPlanner, PlanInputs
 from repro.core.planners import PhysicalPlan, get_planner
 from repro.core.slices import SliceStats, key_columns, unit_ids_for
+from repro.core.splitting import SplitPlan, plan_unit_split
 from repro.engine.joins import hash_join_match, match_pairs
 from repro.engine.kernels import resolve_kernel
 from repro.engine.output import OutputBuilder, derive_destination
@@ -256,6 +257,10 @@ class _SliceTable:
     #: None when keys are structured (packing disabled, reference slice
     #: mapping, or a key wider than 64 bits).
     codec: KeyCodec | None = None
+    #: The plan-time unit split applied to this table's assemblies, or
+    #: None when splitting is off, declined (structured keys, no heavy
+    #: units, single-hot-key units), or not applicable to the plan.
+    split: SplitPlan | None = None
     _assembled: dict[tuple[str, int], CellSet | None] = field(
         default_factory=dict, repr=False
     )
@@ -438,6 +443,9 @@ class ShuffleJoinExecutor:
         parallel_mode: str = "thread",
         shm: bool | None = None,
         kernel: str = "auto",
+        split_units: str = "off",
+        split_threshold: float = 4.0,
+        split_factor: int = 8,
         profiler: PhaseProfiler | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
@@ -504,6 +512,28 @@ class ShuffleJoinExecutor:
         # when installed, numpy otherwise) so every batch and report
         # sees the implementation that actually runs.
         self.kernel = resolve_kernel(kernel)
+        # Skew splitting: "static" subdivides heavy units at plan time
+        # (key-boundary cuts through repro.core.splitting); "adaptive"
+        # additionally re-splits straggler ranges at run time on the
+        # shared-memory process path. Splitting needs packed keys on the
+        # single-sort pipeline; the structured fallback declines and
+        # stays the byte-exact oracle.
+        if split_units not in ("off", "static", "adaptive"):
+            raise ExecutionError(
+                f"unknown split_units {split_units!r}; expected 'off', "
+                "'static', or 'adaptive'"
+            )
+        if split_threshold <= 0:
+            raise ExecutionError(
+                f"split_threshold must be positive, got {split_threshold}"
+            )
+        if split_factor < 2:
+            raise ExecutionError(
+                f"split_factor must be at least 2, got {split_factor}"
+            )
+        self.split_units = split_units
+        self.split_threshold = float(split_threshold)
+        self.split_factor = int(split_factor)
         self.cost = (
             cost_params
             if cost_params is not None
@@ -705,7 +735,8 @@ class ShuffleJoinExecutor:
                     parsed, join_schema, chosen
                 )
                 _, physical_plan, _ = self._physical_plan(
-                    slice_table.stats, chosen, planner
+                    slice_table.stats, chosen, planner,
+                    split=slice_table.split,
                 )
         return ExplainReport(
             query=query if isinstance(query, str) else str(query),
@@ -816,6 +847,13 @@ class ShuffleJoinExecutor:
             "shuffle_policy": self.shuffle_policy,
             "single_sort": self.single_sort,
             "packed_keys": self.packed_keys,
+            # The split configuration changes the slice table's unit
+            # granularity, so cached plans must never cross it. (The
+            # runtime-only knobs — kernel, shm, parallel_mode — stay
+            # fingerprint-neutral: they don't change the plan.)
+            "split_units": self.split_units,
+            "split_threshold": self.split_threshold,
+            "split_factor": self.split_factor,
             "tabu_max_rounds": self.tabu_max_rounds,
             "ilp_time_budget_s": self.ilp_time_budget_s,
             "cost": self.cost,
@@ -975,7 +1013,8 @@ class ShuffleJoinExecutor:
             with tracer.span("physical_assign", planner=planner_name):
                 with self.profiler.phase("physical_assign"):
                     assignment, physical_plan, model = self._physical_plan(
-                        slice_table.stats, logical_plan, planner_name
+                        slice_table.stats, logical_plan, planner_name,
+                        split=slice_table.split,
                     )
             physical_seconds = time.perf_counter() - physical_started
             slice_table._physical_memo[memo_key] = (assignment, physical_plan)
@@ -1293,18 +1332,23 @@ class ShuffleJoinExecutor:
                     column_sets, dims=[f.dim for f in join_schema.fields]
                 )
 
+        split: SplitPlan | None = None
         if self.single_sort:
             # Second pass: derive keys (packed when the codec applies,
-            # structured otherwise), slice, and assemble each side.
-            for side, matrix in (("left", s_left), ("right", s_right)):
+            # structured otherwise) and slice each side. Assembly is
+            # deferred until after the split decision — the splitter
+            # reads both sides' (unit id, key) columns, and a split
+            # refines the ids before anything is sorted.
+            derived: dict[
+                str,
+                list[tuple[int, CellSet, list[np.ndarray], np.ndarray, np.ndarray]],
+            ] = {"left": [], "right": []}
+            for side in ("left", "right"):
                 source_schema = (
                     join_schema.left_schema
                     if side == "left"
                     else join_schema.right_schema
                 )
-                chunks: list[
-                    tuple[CellSet, list[np.ndarray], np.ndarray, np.ndarray]
-                ] = []
                 for node_id, cells, cols in side_chunks[side]:
                     if codec is not None:
                         keys = codec.pack(cols)
@@ -1317,6 +1361,26 @@ class ShuffleJoinExecutor:
                         logical_plan.join_unit_kind, n_buckets=n_buckets,
                         columns=cols, packed=packed,
                     )
+                    derived[side].append((node_id, cells, cols, keys, unit_ids))
+
+            split = self._plan_split(logical_plan, codec, derived, n_units)
+            if split is not None:
+                n_units = split.n_units
+                s_left = np.zeros((n_units, k), dtype=np.int64)
+                s_right = np.zeros((n_units, k), dtype=np.int64)
+                derived = {
+                    side: [
+                        (node_id, cells, cols, keys, split.remap(unit_ids, keys))
+                        for node_id, cells, cols, keys, unit_ids in chunks
+                    ]
+                    for side, chunks in derived.items()
+                }
+
+            for side, matrix in (("left", s_left), ("right", s_right)):
+                chunks: list[
+                    tuple[CellSet, list[np.ndarray], np.ndarray, np.ndarray]
+                ] = []
+                for node_id, cells, cols, keys, unit_ids in derived[side]:
                     matrix[:, node_id] = np.bincount(
                         unit_ids, minlength=n_units
                     )
@@ -1332,6 +1396,47 @@ class ShuffleJoinExecutor:
             left_assembly=assemblies["left"],
             right_assembly=assemblies["right"],
             codec=codec,
+            split=split,
+        )
+
+    def _plan_split(
+        self,
+        logical_plan: LogicalPlan,
+        codec: KeyCodec | None,
+        derived: dict,
+        n_units: int,
+    ) -> SplitPlan | None:
+        """Decide the plan-time unit split for this slice mapping.
+
+        Splitting needs packed ``uint64`` keys (sub-units are key-range
+        cuts of the globally sorted packed column) and a costable join
+        algorithm; the structured-key fallback and nested-loop plans
+        decline and keep exact parent-unit granularity.
+        """
+        if (
+            self.split_units == "off"
+            or codec is None
+            or logical_plan.join_algo not in ("merge", "hash")
+        ):
+            return None
+        totals = {
+            side: np.zeros(n_units, dtype=np.int64)
+            for side in ("left", "right")
+        }
+        key_chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        for side in ("left", "right"):
+            for _, _, _, keys, unit_ids in derived[side]:
+                totals[side] += np.bincount(unit_ids, minlength=n_units)
+                key_chunks.append((unit_ids, keys))
+        # The splitter only reads per-unit totals, so a single-column
+        # stats view is enough — the real (n_units, k) matrices are
+        # rebuilt after the remap.
+        provisional = SliceStats(
+            totals["left"][:, None], totals["right"][:, None]
+        )
+        return plan_unit_split(
+            provisional, logical_plan.join_algo, self.cost, key_chunks,
+            threshold=self.split_threshold, factor=self.split_factor,
         )
 
     @staticmethod
@@ -1381,6 +1486,7 @@ class ShuffleJoinExecutor:
         stats: SliceStats,
         logical_plan: LogicalPlan,
         planner_name: str,
+        split: SplitPlan | None = None,
     ) -> tuple[np.ndarray, PhysicalPlan | None, AnalyticalCostModel | None]:
         if self.cluster.n_nodes == 1:
             assignment = np.zeros(stats.n_units, dtype=np.int64)
@@ -1394,6 +1500,11 @@ class ShuffleJoinExecutor:
         model = AnalyticalCostModel(stats, logical_plan.join_algo, self.cost)
         planner = self._make_planner(planner_name)
         plan = planner.plan(model)
+        if split is not None:
+            # Placement saw the refined granularity; record how much of
+            # it came from the skew splitter.
+            plan.meta.setdefault("units_split", split.units_split)
+            plan.meta.setdefault("subunits_created", split.subunits_created)
         return plan.assignment, plan, model
 
     def _make_planner(self, name: str):
@@ -1511,6 +1622,11 @@ class ShuffleJoinExecutor:
         if slice_table.codec is not None:
             meta["packed_keys"] = True
             meta["key_width"] = slice_table.codec.total_width
+        if self.split_units != "off":
+            split = slice_table.split
+            meta["split_units"] = self.split_units
+            meta["units_split"] = split.units_split if split else 0
+            meta["subunits_created"] = split.subunits_created if split else 0
         algo = logical_plan.join_algo
         sort_inputs = logical_plan.join_algo == "merge" and (
             logical_plan.alpha_align == "redim" or logical_plan.beta_align == "redim"
@@ -1565,6 +1681,11 @@ class ShuffleJoinExecutor:
                 matchable, assignment, slice_table, join_schema, builder,
                 algo, meta, node_output, counters,
             )
+        if self.split_units == "adaptive":
+            # The shm coordinator fills these in; every other path
+            # (serial, threads, classic process) has no runtime splitter.
+            meta.setdefault("runtime_resplits", 0)
+            meta.setdefault("steal_count", 0)
 
         # Output alignment and chunk management, per producing node.
         dest_chunks = join_schema.destination.n_chunks
@@ -1671,6 +1792,7 @@ class ShuffleJoinExecutor:
                         left.cells, right.cells, left.key_cols,
                         workers, kernel=self.kernel,
                         tracer=self.tracer, counters=counters,
+                        split_units=self.split_units,
                     )
                 except Exception:
                     # Exception-safe teardown: unlink the segment and

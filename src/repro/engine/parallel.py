@@ -55,7 +55,8 @@ import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
@@ -68,7 +69,7 @@ from repro.engine.kernels import (
     probe_key_filter,
 )
 from repro.engine.output import OutputBuilder
-from repro.engine.shm import ArenaLayout, SharedArena
+from repro.engine.shm import ArenaLayout, SharedArena, split_row_range
 from repro.errors import ExecutionError
 from repro.obs.counters import CounterSet
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -749,6 +750,15 @@ class ShmTask:
     the range cost nothing (their fused keys cannot match the other
     side), so ranges cover every unit and per-node attribution happens
     at the coordinator from the returned global rows.
+
+    The adaptive re-splitter (:func:`_run_dynamic`) narrows a
+    single-unit task to a *row* sub-range via ``left_lo``..``right_hi``:
+    the left rows partition exactly while the right range covers the
+    left sub-range's key span (a key straddling the cut appears in both
+    halves' right ranges — matches stay disjoint because the left rows
+    are). ``order`` is the position in the split tree: halving a task
+    appends 0/1, and the coordinator merges results in lexicographic
+    ``order``, so output is deterministic whatever worker ran what.
     """
 
     chunk: int
@@ -757,6 +767,14 @@ class ShmTask:
     layout: ArenaLayout
     kernel: str
     trace_epoch: float | None
+    order: tuple[int, ...] = ()
+    #: Row overrides (fused arenas, single-unit tasks only): when set,
+    #: match rows ``[left_lo, left_hi)`` x ``[right_lo, right_hi)``
+    #: instead of the unit range's full bounds.
+    left_lo: int | None = None
+    left_hi: int | None = None
+    right_lo: int | None = None
+    right_hi: int | None = None
 
 
 @dataclass
@@ -775,6 +793,8 @@ class ShmBatchResult:
     meta: dict
     counters: CounterSet = field(default_factory=CounterSet)
     spans: list = field(default_factory=list)
+    #: The task's split-tree position; the coordinator's merge key.
+    order: tuple[int, ...] = ()
 
 
 #: Worker-side arena cache: attach once per (worker process, segment),
@@ -842,10 +862,18 @@ def execute_shm_batch(task: ShmTask) -> ShmBatchResult:
             arena = _attached_arena(task.layout)
         left_bounds = arena.left_bounds
         right_bounds = arena.right_bounds
-        left_lo = int(left_bounds[task.start])
-        left_hi = int(left_bounds[task.stop])
-        right_lo = int(right_bounds[task.start])
-        right_hi = int(right_bounds[task.stop])
+        # A row-scoped task (adaptive re-split) narrows the unit range's
+        # bounds to a sub-range of its rows; plain tasks span the full
+        # bounds of [start, stop).
+        scoped = task.left_lo is not None
+        if scoped:
+            left_lo, left_hi = int(task.left_lo), int(task.left_hi)
+            right_lo, right_hi = int(task.right_lo), int(task.right_hi)
+        else:
+            left_lo = int(left_bounds[task.start])
+            left_hi = int(left_bounds[task.stop])
+            right_lo = int(right_bounds[task.start])
+            right_hi = int(right_bounds[task.stop])
         with tracer.span("match", kernel=task.kernel):
             if task.layout.fused:
                 # The arena stores fused (unit << key_width) | key
@@ -900,20 +928,28 @@ def execute_shm_batch(task: ShmTask) -> ShmBatchResult:
         right_rows = arena.right_order[right_lo + right_idx]
         # Counter parity with the serial oracle: count only matchable
         # units (both sides populated) and their rows — the slice also
-        # spans units the serial loop would skip.
-        left_counts = np.diff(left_bounds[task.start:task.stop + 1])
-        right_counts = np.diff(right_bounds[task.start:task.stop + 1])
-        matchable = (left_counts > 0) & (right_counts > 0)
-        compared = int(
-            left_counts[matchable].sum() + right_counts[matchable].sum()
-        )
+        # spans units the serial loop would skip. A row-scoped task
+        # counts neither: the coordinator credited its parent unit once
+        # when it split the range (halves overlap on the straddling
+        # key's right rows, so summing per-half counts would overcount).
+        if scoped:
+            n_matchable = 0
+            compared = 0
+        else:
+            left_counts = np.diff(left_bounds[task.start:task.stop + 1])
+            right_counts = np.diff(right_bounds[task.start:task.stop + 1])
+            matchable = (left_counts > 0) & (right_counts > 0)
+            n_matchable = int(np.count_nonzero(matchable))
+            compared = int(
+                left_counts[matchable].sum() + right_counts[matchable].sum()
+            )
         batch_span.set(
             rows_left=left_hi - left_lo,
             rows_right=right_hi - right_lo,
             matched_pairs=len(left_idx),
         )
     counters.add("batches", 1)
-    counters.add("join_units_matched", int(np.count_nonzero(matchable)))
+    counters.add("join_units_matched", n_matchable)
     counters.add("cells_compared", compared)
     counters.add("matched_pairs", len(left_idx))
     return ShmBatchResult(
@@ -923,7 +959,220 @@ def execute_shm_batch(task: ShmTask) -> ShmBatchResult:
         meta=meta,
         counters=counters,
         spans=tracer.spans if tracer.enabled else [],
+        order=task.order,
     )
+
+
+#: Run-time re-split floor: a task is only worth halving while each half
+#: keeps at least this many key rows. Far below the dispatch floor
+#: (:data:`_MIN_CHUNK_ROWS`) on purpose — a re-split task goes to a
+#: worker that is already awake, so the break-even payload is the
+#: matching work itself, not a scheduling round trip.
+_RESPLIT_MIN_ROWS = 16384
+
+
+def _task_rows(
+    task: ShmTask, left_bounds: np.ndarray, right_bounds: np.ndarray
+) -> int:
+    """Key rows (both sides) a task will touch — the load estimate."""
+    if task.left_lo is not None:
+        return (task.left_hi - task.left_lo) + (task.right_hi - task.right_lo)
+    return int(
+        (left_bounds[task.stop] - left_bounds[task.start])
+        + (right_bounds[task.stop] - right_bounds[task.start])
+    )
+
+
+def split_shm_task(
+    task: ShmTask, arena: SharedArena
+) -> tuple[ShmTask, ShmTask] | None:
+    """Halve one shm task in place — new bounds over the same arena.
+
+    Zero-copy by construction: both halves reference the identical
+    shared segment, only their ``[start, stop)`` unit range or
+    ``left_lo``..``right_hi`` row windows differ. Three cases:
+
+    - multi-unit range: cut at the interior *unit boundary* nearest half
+      the cumulative rows — both halves stay plain tasks that count
+      their own units;
+    - single-unit plain task (fused arenas only): cut the unit's *rows*
+      via :func:`repro.engine.shm.split_row_range`, producing row-scoped
+      halves;
+    - already row-scoped task: cut the row window again the same way.
+
+    Returns ``None`` when the task cannot be cut (a sub-two-row left
+    range, or a single structured-key unit — that path stays the
+    oracle).
+    """
+    if task.left_lo is not None:
+        halves = split_row_range(
+            arena.left_keys, arena.right_keys,
+            task.left_lo, task.left_hi, task.right_lo, task.right_hi,
+        )
+        if halves is None:
+            return None
+        (a_llo, a_lhi, a_rlo, a_rhi), (b_llo, b_lhi, b_rlo, b_rhi) = halves
+        return (
+            replace(
+                task, order=task.order + (0,),
+                left_lo=a_llo, left_hi=a_lhi,
+                right_lo=a_rlo, right_hi=a_rhi,
+            ),
+            replace(
+                task, order=task.order + (1,),
+                left_lo=b_llo, left_hi=b_lhi,
+                right_lo=b_rlo, right_hi=b_rhi,
+            ),
+        )
+    if task.stop - task.start > 1:
+        left_bounds = np.asarray(arena.left_bounds)
+        right_bounds = np.asarray(arena.right_bounds)
+        lb = left_bounds[task.start:task.stop + 1]
+        rb = right_bounds[task.start:task.stop + 1]
+        cum = (lb - lb[0]) + (rb - rb[0])
+        mid = task.start + 1 + int(
+            np.argmin(np.abs(cum[1:-1] * 2 - cum[-1]))
+        )
+        return (
+            replace(task, stop=mid, order=task.order + (0,)),
+            replace(task, start=mid, order=task.order + (1,)),
+        )
+    if not arena.layout.fused:
+        return None
+    left_bounds = arena.left_bounds
+    right_bounds = arena.right_bounds
+    halves = split_row_range(
+        arena.left_keys, arena.right_keys,
+        int(left_bounds[task.start]), int(left_bounds[task.stop]),
+        int(right_bounds[task.start]), int(right_bounds[task.stop]),
+    )
+    if halves is None:
+        return None
+    (a_llo, a_lhi, a_rlo, a_rhi), (b_llo, b_lhi, b_rlo, b_rhi) = halves
+    return (
+        replace(
+            task, order=task.order + (0,),
+            left_lo=a_llo, left_hi=a_lhi, right_lo=a_rlo, right_hi=a_rhi,
+        ),
+        replace(
+            task, order=task.order + (1,),
+            left_lo=b_llo, left_hi=b_lhi, right_lo=b_rlo, right_hi=b_rhi,
+        ),
+    )
+
+
+def _run_dynamic(
+    pool: _ForkPool,
+    tasks: list[ShmTask],
+    arena: SharedArena,
+    counters: CounterSet | None,
+) -> tuple[list[ShmBatchResult], int, int]:
+    """Per-task dispatch with straggler re-splitting (adaptive mode).
+
+    Largest-pending-first dispatch over the fork pool's pipes, one task
+    per message. Before a task ships, it is halved (repeatedly) while it
+    dwarfs the fair share of the work still queued for the other
+    workers — so no worker ever holds a range bigger than what the rest
+    of the pool has left, which is exactly the straggler condition the
+    static plan cannot see. Second halves go back into the queue and are
+    re-examined at their own dispatch.
+
+    Deterministic despite the timing-dependent completion order: the
+    queue only changes at dispatch (pop largest, maybe push halves), so
+    the k-th dispatch always sees the same queue state, the split tree
+    is a pure function of the initial tasks, and the caller merges
+    results by ``order`` tuple.
+
+    Returns ``(results, resplits, steal_count)``; ``steal_count`` is how
+    many split halves ran on a different worker than their sibling.
+    """
+    left_bounds = np.asarray(arena.left_bounds)
+    right_bounds = np.asarray(arena.right_bounds)
+
+    def rows_of(task: ShmTask) -> int:
+        return _task_rows(task, left_bounds, right_bounds)
+
+    def compensate(task: ShmTask) -> None:
+        # The serial oracle counts a matchable unit and its rows exactly
+        # once; a row-scoped half counts nothing (halves overlap on the
+        # straddling key's right rows), so the parent unit is credited
+        # here, at its first row-split.
+        if counters is None:
+            return
+        l_rows = int(left_bounds[task.stop] - left_bounds[task.start])
+        r_rows = int(right_bounds[task.stop] - right_bounds[task.start])
+        if l_rows > 0 and r_rows > 0:
+            counters.add("join_units_matched", 1)
+            counters.add("cells_compared", l_rows + r_rows)
+
+    pending = sorted(tasks, key=rows_of, reverse=True)
+    idle = list(pool._conns)
+    n_workers = pool.workers
+    inflight: dict = {}
+    owner: dict[tuple[int, ...], object] = {}
+    results: list[ShmBatchResult] = []
+    failure: str | None = None
+    resplits = 0
+    steal_count = 0
+    while pending or inflight:
+        while idle and pending:
+            task = pending.pop(0)
+            while True:
+                rows = rows_of(task)
+                if rows < 2 * _RESPLIT_MIN_ROWS:
+                    break
+                remaining = sum(rows_of(t) for t in pending)
+                fair_share = remaining / max(n_workers - 1, 1)
+                if rows <= max(fair_share, 2 * _RESPLIT_MIN_ROWS):
+                    break
+                halves = split_shm_task(task, arena)
+                if halves is None:
+                    break
+                first, second = halves
+                if task.left_lo is None and first.left_lo is not None:
+                    compensate(task)
+                resplits += 1
+                pending.append(second)
+                pending.sort(key=rows_of, reverse=True)
+                task = first
+            conn = idle.pop()
+            if len(task.order) >= 2:
+                parent = task.order[:-1]
+                sibling_conn = owner.get(parent)
+                if sibling_conn is None:
+                    owner[parent] = conn
+                elif sibling_conn is not conn:
+                    steal_count += 1
+            try:
+                conn.send([task])
+            except (OSError, BrokenPipeError) as exc:
+                raise ExecutionError(
+                    f"process worker died mid-execution: {exc!r}"
+                ) from exc
+            inflight[conn] = task
+        if not inflight:
+            break
+        for conn in _conn_wait(list(inflight)):
+            try:
+                replies = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ExecutionError(
+                    f"process worker died mid-execution: {exc!r}"
+                ) from exc
+            del inflight[conn]
+            idle.append(conn)
+            for status, payload in replies:
+                if status == "err":
+                    failure = failure if failure is not None else payload
+                else:
+                    results.append(payload)
+        if failure is not None:
+            # Stop feeding work, but drain every in-flight pipe so the
+            # pool stays clean (same contract as _ForkPool.run).
+            pending.clear()
+    if failure is not None:
+        raise ExecutionError(f"shared-memory worker failed: {failure}")
+    return results, resplits, steal_count
 
 
 def run_shm_batches(
@@ -937,6 +1186,7 @@ def run_shm_batches(
     kernel: str = "numpy",
     tracer: Tracer | None = None,
     counters: CounterSet | None = None,
+    split_units: str = "off",
 ) -> tuple[dict[int, int], dict]:
     """Execute the shared-memory plan: index-only workers, local build.
 
@@ -947,6 +1197,12 @@ def run_shm_batches(
     node) only attributes produced counts afterwards: dispatch ignores
     the node plan entirely and splits units into contiguous,
     row-balanced ranges that workers match as views.
+
+    ``split_units="adaptive"`` (fused arenas, fork platforms) swaps the
+    one-chunk-per-worker dispatch for :func:`_run_dynamic`: tasks ship
+    one at a time, stragglers are halved zero-copy before they ship,
+    and idle workers steal the halves. Output stays byte-identical —
+    results merge by split-tree ``order``, not completion order.
     """
     trace_epoch = (
         tracer.epoch if tracer is not None and tracer.enabled else None
@@ -977,12 +1233,31 @@ def run_shm_batches(
             layout=arena.layout,
             kernel=kernel,
             trace_epoch=trace_epoch,
+            order=(index,),
         )
         for index, (start, stop) in enumerate(
             _range_chunks(unit_rows, pool_size)
         )
     ]
-    if n_workers <= 1 or len(tasks) <= 1:
+    adaptive = (
+        split_units == "adaptive"
+        and arena.layout.fused
+        and _FORK_AVAILABLE
+        and n_workers > 1
+        and pool_size > 1
+    )
+    if adaptive:
+        pool = _get_fork_pool(pool_size)
+        try:
+            results, resplits, steals = _run_dynamic(
+                pool, tasks, arena, counters
+            )
+        except ExecutionError:
+            _discard_fork_pool(pool_size)
+            raise
+        meta["runtime_resplits"] = resplits
+        meta["steal_count"] = steals
+    elif n_workers <= 1 or len(tasks) <= 1:
         try:
             results = [execute_shm_batch(task) for task in tasks]
         except ExecutionError:
@@ -1013,13 +1288,15 @@ def run_shm_batches(
                 f"process worker pool died mid-execution: {exc}"
             ) from exc
 
-    # Deterministic merge: ascending chunk order, whatever worker
-    # handled each chunk; one concatenated materialise pass builds the
-    # whole output at once (materialise_matches emits exactly one
-    # output row per match pair). Per-node produced counts fall out of
-    # the matched rows themselves: row -> unit via the bounds table,
-    # unit -> node via the plan's assignment.
-    results.sort(key=lambda result: result.chunk)
+    # Deterministic merge: lexicographic split-tree order — plain runs
+    # reduce to ascending chunk order, adaptive runs interleave halves
+    # exactly where their parent range sat — whatever worker handled
+    # each task; one concatenated materialise pass builds the whole
+    # output at once (materialise_matches emits exactly one output row
+    # per match pair). Per-node produced counts fall out of the matched
+    # rows themselves: row -> unit via the bounds table, unit -> node
+    # via the plan's assignment.
+    results.sort(key=lambda result: result.order)
     left_parts = [result.left_rows for result in results]
     right_parts = [result.right_rows for result in results]
     for result in results:

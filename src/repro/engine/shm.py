@@ -346,6 +346,47 @@ class SharedArena:
         self.release()
 
 
+def split_row_range(
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+    left_lo: int,
+    left_hi: int,
+    right_lo: int,
+    right_hi: int,
+) -> tuple[tuple[int, int, int, int], tuple[int, int, int, int]] | None:
+    """Halve one sorted key row range, zero-copy (adaptive re-split).
+
+    The *left* rows partition exactly at their midpoint; each half's
+    *right* range is the sub-range of the (sorted) right rows covering
+    that half's key span, found with two binary searches. A key
+    straddling the midpoint appears in **both** halves' right ranges —
+    the replication side of SharesSkew's split — which keeps every match
+    reachable while the disjoint left rows keep matches disjoint.
+
+    Operates on the arena's fused key columns (the unit bits above the
+    packed key are equal across sides within one unit, so cross-side
+    comparisons stay exact). Returns two ``(left_lo, left_hi, right_lo,
+    right_hi)`` row windows, or None when the left range has fewer than
+    two rows and cannot be cut.
+    """
+    if left_hi - left_lo < 2:
+        return None
+    mid = (left_lo + left_hi) // 2
+    cut_low = left_keys[mid - 1]
+    cut_high = left_keys[mid]
+    right_slice = right_keys[right_lo:right_hi]
+    first_hi = right_lo + int(
+        np.searchsorted(right_slice, cut_low, side="right")
+    )
+    second_lo = right_lo + int(
+        np.searchsorted(right_slice, cut_high, side="left")
+    )
+    return (
+        (left_lo, mid, right_lo, first_hi),
+        (mid, left_hi, second_lo, right_hi),
+    )
+
+
 def live_arena_names() -> list[str]:
     """Arena segments currently present on this host (leak check).
 
@@ -366,4 +407,5 @@ __all__ = [
     "ArenaLayout",
     "SharedArena",
     "live_arena_names",
+    "split_row_range",
 ]

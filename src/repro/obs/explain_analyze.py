@@ -88,6 +88,11 @@ class ExplainAnalyzeReport:
     actual_compare_seconds: float
     compare_skew: dict = field(default_factory=dict)
     shuffle_skew: dict = field(default_factory=dict)
+    #: Skew-splitting decisions (``split_units`` knob): how many heavy
+    #: units the plan-time splitter subdivided, into how many sub-units,
+    #: and how many run-time re-splits / work steals the adaptive
+    #: dispatcher performed. Empty when splitting is off.
+    split_stats: dict = field(default_factory=dict)
     #: The underlying execution, for callers that want the output too.
     result: object | None = None
 
@@ -151,6 +156,17 @@ class ExplainAnalyzeReport:
                 [n.actual_compare_seconds for n in nodes]
             ),
             shuffle_skew=skew_summary([n.actual_recv_cells for n in nodes]),
+            split_stats={
+                key: getattr(report, "meta", {}).get(key)
+                for key in (
+                    "split_units",
+                    "units_split",
+                    "subunits_created",
+                    "runtime_resplits",
+                    "steal_count",
+                )
+                if key in getattr(report, "meta", {})
+            },
             result=result,
         )
 
@@ -195,6 +211,20 @@ class ExplainAnalyzeReport:
             f"{self.shuffle_skew.get('imbalance', 1.0):.2f} "
             f"gini={self.shuffle_skew.get('gini', 0.0):.3f}"
         )
+        if self.split_stats:
+            line = (
+                f"skew splitting [{self.split_stats.get('split_units')}]: "
+                f"{self.split_stats.get('units_split', 0)} heavy units -> "
+                f"{self.split_stats.get('subunits_created', 0)} sub-units "
+                "at plan time"
+            )
+            if "runtime_resplits" in self.split_stats:
+                line += (
+                    f"; {self.split_stats['runtime_resplits']} run-time "
+                    f"re-splits, {self.split_stats['steal_count']} stolen "
+                    "halves"
+                )
+            lines.append(line)
         wait = self.actual_align_seconds - max(
             (n.actual_align_seconds for n in self.nodes), default=0.0
         )

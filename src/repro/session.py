@@ -59,7 +59,11 @@ class Session:
         (``plan_cache_size=64``); pass ``plan_cache_size=0`` to disable
         it. Further ``executor_options`` pass straight to the executor —
         e.g. ``packed_keys=False`` keeps structured composite keys
-        instead of the packed 64-bit codec."""
+        instead of the packed 64-bit codec, and
+        ``split_units="static"``/``"adaptive"`` turns on skew splitting
+        of heavy join units (plan-time key-range cuts; ``adaptive``
+        additionally re-splits straggler ranges at run time on the
+        shared-memory process path)."""
         executor_options.setdefault("plan_cache_size", 64)
         self.cluster = Cluster(n_nodes=n_nodes, network=network)
         self.executor = ShuffleJoinExecutor(

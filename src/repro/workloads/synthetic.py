@@ -16,13 +16,16 @@ from repro.errors import SchemaError
 
 
 def zipf_weights(
-    n: int, alpha: float, rng: np.random.Generator | None = None
+    n: int, alpha: float, rng: np.random.Generator | int | None = None
 ) -> np.ndarray:
     """Normalised Zipf(α) weights over ``n`` items, randomly permuted.
 
     α = 0 is uniform; larger α concentrates mass in fewer items. The
     permutation detaches an item's rank from its index, so skew location
-    is random rather than always hitting the first chunks.
+    is random rather than always hitting the first chunks. ``rng`` is an
+    explicit generator or integer seed; the permutation never touches
+    numpy's global RNG state, so every workload is reproducible from its
+    seed alone.
     """
     if n <= 0:
         raise SchemaError(f"need a positive item count, got {n}")
@@ -31,6 +34,8 @@ def zipf_weights(
     weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** alpha
     weights /= weights.sum()
     if rng is not None:
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
         weights = rng.permutation(weights)
     return weights
 

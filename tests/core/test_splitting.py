@@ -1,0 +1,172 @@
+"""Plan-time unit splitting: tiling, determinism, decline rules.
+
+The splitter's contract: refined unit ids are a pure function of
+``(parent unit, key)`` — both sides of a join partition identically —
+and each split parent's sub-units exactly tile its row range: every row
+lands in exactly one sub-unit whose id lies inside the parent's
+contiguous refined-id run. Units it cannot subdivide (single hot key,
+below the row floor) are left whole rather than split badly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost_model import CostParams, unit_compare_costs
+from repro.core.slices import SliceStats
+from repro.core.splitting import plan_unit_split
+from repro.errors import PlanningError
+
+PARAMS = CostParams(m=1e-6, b=4e-6, p=1e-6, t=5e-6)
+
+
+def make_instance(seed, n_units, n_rows, key_space, hot_share):
+    """One synthetic two-sided instance: stats + per-side key chunks.
+
+    ``hot_share`` of the rows pile onto unit 0 so the heavy-unit branch
+    actually triggers; small ``key_space`` values force duplicate keys
+    (including the single-hot-key degenerate case at key_space=1).
+    """
+    rng = np.random.default_rng(seed)
+    chunks = []
+    per_unit = []
+    for _ in range(2):
+        n_hot = int(n_rows * hot_share)
+        unit_ids = np.concatenate(
+            [
+                np.zeros(n_hot, dtype=np.int64),
+                rng.integers(0, n_units, n_rows - n_hot),
+            ]
+        )
+        keys = rng.integers(0, key_space, n_rows).astype(np.uint64)
+        chunks.append((unit_ids, keys))
+        per_unit.append(np.bincount(unit_ids, minlength=n_units))
+    stats = SliceStats(per_unit[0][:, None], per_unit[1][:, None])
+    return stats, chunks
+
+
+@st.composite
+def instances(draw):
+    return make_instance(
+        seed=draw(st.integers(0, 2**32 - 1)),
+        n_units=draw(st.integers(2, 8)),
+        n_rows=draw(st.integers(30, 400)),
+        key_space=draw(st.integers(1, 60)),
+        hot_share=draw(st.sampled_from([0.3, 0.6, 0.9])),
+    )
+
+
+class TestTilingProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(instances())
+    def test_subunits_exactly_tile_each_parent(self, instance):
+        """Every row of a split parent lands in exactly one of its
+        contiguous refined ids, and the refined id is monotone in the
+        key — the sub-units are a partition of the parent's key range.
+        """
+        stats, chunks = instance
+        plan = plan_unit_split(
+            stats, "hash", PARAMS, chunks, threshold=0.5, factor=4, min_rows=1
+        )
+        if plan is None:
+            return  # nothing heavy or nothing cuttable: trivially tiled
+        counts = np.diff(np.concatenate((plan.offsets, [plan.n_units])))
+        assert int(counts.sum()) == plan.n_units
+        assert np.array_equal(
+            plan.parent,
+            np.repeat(np.arange(stats.n_units, dtype=np.int64), counts),
+        )
+        assert plan.units_split == sum(counts > 1)
+        assert plan.subunits_created == int(counts[counts > 1].sum())
+        for unit_ids, keys in chunks:
+            refined = plan.remap(unit_ids, keys)
+            # Exactly one refined id per row, inside the parent's run.
+            assert refined.shape == unit_ids.shape
+            assert np.array_equal(plan.parent[refined], unit_ids)
+            assert np.all(refined >= plan.offsets[unit_ids])
+            assert np.all(refined < plan.offsets[unit_ids] + counts[unit_ids])
+            # Within one parent, the refined id is monotone in the key:
+            # sorting by key sorts the refined ids too (contiguous
+            # sub-unit key ranges, in key order).
+            for unit in np.unique(unit_ids):
+                unit_keys = keys[unit_ids == unit]
+                unit_refined = refined[unit_ids == unit]
+                order = np.argsort(unit_keys, kind="stable")
+                assert np.all(np.diff(unit_refined[order]) >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances())
+    def test_refined_id_is_pure_function_of_unit_and_key(self, instance):
+        """Equal (unit, key) rows — wherever they occur, either side —
+        always land in the same sub-unit, so no matching pair is torn
+        apart by a split."""
+        stats, chunks = instance
+        plan = plan_unit_split(
+            stats, "hash", PARAMS, chunks, threshold=0.5, factor=4, min_rows=1
+        )
+        if plan is None:
+            return
+        all_units = np.concatenate([ids for ids, _ in chunks])
+        all_keys = np.concatenate([keys for _, keys in chunks])
+        refined = plan.remap(all_units, all_keys)
+        seen: dict[tuple[int, int], int] = {}
+        for unit, key, sub in zip(all_units, all_keys, refined):
+            assert seen.setdefault((int(unit), int(key)), int(sub)) == int(sub)
+
+
+class TestDeclineRules:
+    def test_single_hot_key_unit_declines(self):
+        """A unit whose weight is one key value has no interior key
+        boundary; the splitter must leave it whole (the run-time
+        re-splitter owns that case)."""
+        stats, chunks = make_instance(
+            seed=1, n_units=4, n_rows=200, key_space=1, hot_share=0.9
+        )
+        plan = plan_unit_split(
+            stats, "hash", PARAMS, chunks, threshold=0.5, factor=8, min_rows=1
+        )
+        assert plan is None or 0 not in plan.thresholds
+
+    def test_min_rows_floor_respected(self):
+        stats, chunks = make_instance(
+            seed=2, n_units=4, n_rows=100, key_space=50, hot_share=0.8
+        )
+        plan = plan_unit_split(
+            stats, "hash", PARAMS, chunks, threshold=0.5, factor=8,
+            min_rows=10_000,
+        )
+        assert plan is None
+
+    def test_no_heavy_units_declines(self):
+        stats, chunks = make_instance(
+            seed=3, n_units=6, n_rows=300, key_space=50, hot_share=0.0
+        )
+        plan = plan_unit_split(
+            stats, "hash", PARAMS, chunks, threshold=1e9, factor=8, min_rows=1
+        )
+        assert plan is None
+
+
+class TestUnitCompareCosts:
+    def test_merge_and_hash_formulas(self):
+        stats, _ = make_instance(
+            seed=4, n_units=3, n_rows=90, key_space=20, hot_share=0.5
+        )
+        left = stats.left_unit_totals
+        right = stats.right_unit_totals
+        merge = unit_compare_costs(stats, "merge", PARAMS)
+        assert np.allclose(merge, PARAMS.m * (left + right))
+        hashed = unit_compare_costs(stats, "hash", PARAMS)
+        assert np.allclose(
+            hashed,
+            PARAMS.b * np.minimum(left, right)
+            + PARAMS.p * np.maximum(left, right),
+        )
+
+    def test_unknown_algorithm_rejected(self):
+        stats, _ = make_instance(
+            seed=5, n_units=2, n_rows=40, key_space=10, hot_share=0.5
+        )
+        with pytest.raises(PlanningError):
+            unit_compare_costs(stats, "nested_loop", PARAMS)

@@ -1,0 +1,75 @@
+"""Synthetic-workload seeding: reproducible from the seed alone.
+
+Every Zipf generator must accept an explicit seed (integer or
+Generator), never draw from numpy's global RNG, and produce identical
+arrays for identical seeds — perturbing the global state between two
+builds must not change a single cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.workloads.synthetic import (
+    skewed_hash_pair,
+    skewed_merge_pair,
+    zipf_weights,
+)
+
+
+def array_bytes(array) -> bytes:
+    cells = array.cells()
+    packed = cells.to_structured(sorted(cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+class TestZipfWeights:
+    def test_accepts_int_seed_and_matches_generator(self):
+        from_int = zipf_weights(64, 1.3, rng=42)
+        from_gen = zipf_weights(64, 1.3, rng=np.random.default_rng(42))
+        assert np.array_equal(from_int, from_gen)
+
+    def test_unpermuted_without_rng(self):
+        weights = zipf_weights(16, 1.0)
+        assert np.all(np.diff(weights) <= 0)  # rank order preserved
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_never_touches_global_rng(self):
+        np.random.seed(7)
+        before = np.random.get_state()[1].copy()
+        zipf_weights(128, 1.5, rng=3)
+        after = np.random.get_state()[1].copy()
+        assert np.array_equal(before, after)
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(SchemaError):
+            zipf_weights(8, -0.1)
+
+
+class TestGeneratorsReproducible:
+    @pytest.mark.parametrize(
+        "factory", [skewed_hash_pair, skewed_merge_pair],
+        ids=["hash", "merge"],
+    )
+    def test_same_seed_same_arrays_despite_global_rng(self, factory):
+        first = factory(1.2, cells_per_array=3_000, seed=11)
+        # Perturb the global RNG between builds: a generator that leaks
+        # global draws would produce different arrays here.
+        np.random.seed(999)
+        np.random.random(1000)
+        second = factory(1.2, cells_per_array=3_000, seed=11)
+        for a, b in zip(first, second):
+            assert array_bytes(a) == array_bytes(b)
+
+    @pytest.mark.parametrize(
+        "factory", [skewed_hash_pair, skewed_merge_pair],
+        ids=["hash", "merge"],
+    )
+    def test_different_seeds_differ(self, factory):
+        one = factory(1.2, cells_per_array=3_000, seed=1)
+        two = factory(1.2, cells_per_array=3_000, seed=2)
+        assert any(
+            array_bytes(a) != array_bytes(b) for a, b in zip(one, two)
+        )
