@@ -1,0 +1,93 @@
+"""Smoke test for the concurrent serving-load benchmark.
+
+Runs the serving-load harness at a fraction of benchmark scale on every
+CI run, asserting the properties the full BENCH_PR8 artifact certifies:
+sustained throughput is positive and latency quantiles finite for every
+closed-loop client count, the open-loop run accounts for every request
+(completed + shed + errors), every served result is byte-identical to
+serial execution, and per-tenant cache hit rates are present for every
+tenant in the mix.  The >=3x multi-client speedup is *not* asserted —
+on a single-CPU CI box the achievable ratio depends on how much
+coalescing the draw happens to produce at smoke scale — but the
+machinery that produces it (coalescing counters, admission accounting)
+is checked.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.wallclock import run_serving_load_bench, write_results
+
+
+@pytest.fixture(scope="module")
+def load_result():
+    return run_serving_load_bench(
+        workload="fig8_hash_skew",
+        planner="tabu",
+        clients=(1, 4),
+        requests_per_client=8,
+        n_tenants=3,
+        tenant_alpha=1.2,
+        cells_per_array=20_000,
+        n_nodes=6,
+        seed=3,
+        cache_capacity=16,
+        queue_depth=8,
+        open_requests=10,
+    )
+
+
+def test_serving_load_correctness(load_result):
+    assert load_result.all_outputs_identical
+    assert load_result.cold_pass["requests"] == 3 * 3  # tenants x statements
+    assert load_result.baseline_qps > 0
+    assert len(load_result.rows) == 2
+    for row in load_result.rows:
+        assert row["mode"] == "closed"
+        assert row["completed"] == row["clients"] * 8
+        assert row["errors"] == 0
+        assert row["qps"] > 0
+        assert row["outputs_identical"]
+        for quantile in ("latency_p50", "latency_p95", "latency_p99"):
+            assert math.isfinite(row[quantile]) and row[quantile] > 0
+        assert row["latency_p50"] <= row["latency_p99"]
+        assert row["speedup_vs_single_client"] > 0
+
+
+def test_serving_load_open_loop_accounts_for_everything(load_result):
+    row = load_result.open_loop
+    assert row is not None
+    assert row["mode"] == "open"
+    assert row["rate_qps"] > 0
+    assert row["completed"] + row["shed"] + row["errors"] == 10
+    assert row["errors"] == 0
+    assert row["outputs_identical"]
+    assert math.isfinite(row["latency_p99"])
+
+
+def test_serving_load_tenant_stats(load_result):
+    assert set(load_result.tenant_cache) == {"tenant0", "tenant1", "tenant2"}
+    for entry in load_result.tenant_cache.values():
+        # The cold pass guarantees every tenant at least one miss per
+        # statement; the timed runs then hit.
+        assert entry["misses"] >= 3
+        assert 0.0 <= entry["hit_rate"] <= 1.0
+    assert load_result.plan_cache["entries"] <= load_result.cache_capacity
+
+
+def test_serving_load_json_roundtrip(load_result, tmp_path):
+    out = tmp_path / "bench.json"
+    write_results([], str(out), serving_load_results=[load_result])
+    payload = json.loads(out.read_text())
+    assert "results" not in payload
+    (entry,) = payload["serving_load"]
+    assert entry["workload"] == "fig8_hash_skew"
+    assert entry["n_tenants"] == 3
+    assert {"baseline_qps", "rows", "open_loop", "tenant_cache",
+            "cold_pass", "all_outputs_identical"} <= set(entry)
+    row_keys = set(entry["rows"][0])
+    assert {"clients", "qps", "latency_p50", "latency_p95", "latency_p99",
+            "latency_max", "coalesced", "speedup_vs_single_client",
+            "outputs_identical"} <= row_keys

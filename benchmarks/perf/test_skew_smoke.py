@@ -12,6 +12,7 @@ unsplit dispatch even at smoke scale.
 import json
 
 from repro.bench.wallclock import run_skew_bench, write_results
+from repro.engine.parallel import available_cpus
 
 #: Adaptive splitting may be at most this much slower than the unsplit
 #: baseline before the smoke fails; with real cores it is expected to
@@ -48,9 +49,14 @@ def test_skew_smoke(tmp_path):
         assert row["seconds"] > 0
 
     # At high alpha the heavy bucket is one hot key, so the run-time
-    # re-splitter must have engaged on the adaptive row.
+    # re-splitter must have engaged on the adaptive row — unless the
+    # host grants a single effective slot, where adaptive dispatch
+    # gates itself back to the static split by design.
     adaptive = by_mode["adaptive"]
-    assert adaptive["runtime_resplits"] >= 1
+    if min(4, available_cpus()) > 1:
+        assert adaptive["runtime_resplits"] >= 1
+    else:
+        assert adaptive["runtime_resplits"] == 0
     unsplit = by_mode["off"]
     bound = unsplit["seconds"] * SLOWDOWN_TOLERANCE + DISPATCH_SLACK_SECONDS
     assert adaptive["seconds"] <= bound, (

@@ -45,6 +45,14 @@ from repro.engine.executor import PreparedJoin, ShuffleJoinExecutor
 from repro.engine.kernels import HAVE_NUMBA, resolve_kernel
 from repro.engine.parallel import available_cpus, shutdown_pools
 from repro.obs.trace import Tracer, validate_chrome_trace
+from repro.serve import (
+    JoinServer,
+    QueryMix,
+    run_closed_loop,
+    run_open_loop,
+    serial_references,
+    tenant_cache_stats,
+)
 
 #: Skew-workload builders, keyed by the figure whose data they reuse.
 #: Each returns (executor, query, join_algo) for the default paper-scale
@@ -784,6 +792,213 @@ def run_serving_bench(
     )
 
 
+#: Query mixes for the serving-load harness: the pinned figure query
+#: plus variants that reorder or project the select list. Same join
+#: structure and planning cost, distinct content fingerprints — so a
+#: tenant's working set is several cache entries, not one.
+SERVING_MIXES: dict[str, tuple[str, ...]] = {
+    "fig8_hash_skew": (
+        HASH_QUERY,
+        "SELECT B.i, B.j, A.i, A.j INTO T<bi:int64, bj:int64, ai:int64, "
+        "aj:int64>[] FROM A, B WHERE A.v1 = B.v1 AND A.v2 = B.v2",
+        "SELECT A.i, B.j INTO T<ai:int64, bj:int64>[] FROM A, B "
+        "WHERE A.v1 = B.v1 AND A.v2 = B.v2",
+    ),
+    "fig7_merge_skew": (
+        MERGE_QUERY,
+        "SELECT A.v2 - B.v2 AS d2, A.v1 - B.v1 AS d1 FROM A, B "
+        "WHERE A.i = B.i AND A.j = B.j",
+        "SELECT B.v1 - A.v1 AS r1 FROM A, B WHERE A.i = B.i AND A.j = B.j",
+    ),
+}
+
+
+@dataclass
+class ServingLoadResult:
+    """One workload's concurrent serving-load sweep.
+
+    ``rows`` holds one closed-loop entry per client count (sustained
+    q/s, latency quantiles, admission/coalescing counters, byte-identity
+    verdict, speedup vs the single-client row); ``open_loop`` the
+    fixed-rate run against a shedding server. The cold pass (one
+    execution per tenant × statement, pre-clock) warms every cache
+    namespace so the timed rows measure sustained *warm* throughput —
+    the cold side of the blend is reported on its own.
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    cells_per_array: int
+    n_nodes: int
+    alpha: float
+    seed: int
+    n_statements: int
+    n_tenants: int
+    tenant_alpha: float
+    statement_alpha: float
+    cache_capacity: int
+    max_in_flight: int
+    queue_depth: int
+    coalesce: bool
+    requests_per_client: int
+    cpu_count: int
+    platform: str
+    cold_pass: dict
+    baseline_qps: float
+    rows: list[dict]
+    open_loop: dict | None
+    tenant_cache: dict
+    plan_cache: dict
+    all_outputs_identical: bool
+
+
+def run_serving_load_bench(
+    workload: str = "fig8_hash_skew",
+    planner: str = "tabu",
+    clients: tuple[int, ...] = (1, 2, 4, 8),
+    requests_per_client: int = 25,
+    n_tenants: int = 4,
+    tenant_alpha: float = 1.2,
+    statement_alpha: float = 2.5,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    seed: int = 0,
+    cache_capacity: int = 32,
+    max_in_flight: int | None = None,
+    queue_depth: int = 8,
+    coalesce: bool = True,
+    open_rate_qps: float = 0.0,
+    open_requests: int = 40,
+) -> ServingLoadResult:
+    """Drive one workload's query mix through a :class:`JoinServer`.
+
+    Closed-loop client counts run in sequence against one server (block
+    policy: closed-loop clients self-pace); each row's throughput is
+    compared to the single-client (lowest-client-count) row measured in
+    the same process. The open-loop run uses a fresh shedding server
+    over the same session at ``open_rate_qps`` (default: 1.5x the best
+    closed-loop q/s, deliberately past capacity so admission control
+    fires). Every distinct served result is byte-checked against a
+    serial cache-bypassing reference.
+    """
+    if not clients:
+        raise ValueError("need at least one client count")
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+        plan_cache_size=cache_capacity,
+    )
+    statements = list(SERVING_MIXES[workload])
+    assert statements[0] == query
+    options = {"planner": planner, "join_algo": join_algo}
+    references = serial_references(executor, statements, **options)
+    tenants = [f"tenant{index}" for index in range(n_tenants)]
+    # Statement popularity is Zipf-skewed by default: serving traffic
+    # repeats its hot queries, which is what makes the server's
+    # single-flight coalescing (and hence multi-client throughput on a
+    # CPU-bound box) representative rather than a lucky collision.
+    mix = QueryMix(
+        statements=statements, tenants=tenants,
+        tenant_alpha=tenant_alpha, statement_alpha=statement_alpha,
+        seed=seed, options=options,
+    )
+
+    rows: list[dict] = []
+    all_identical = True
+    with JoinServer(
+        executor, max_in_flight=max_in_flight, queue_depth=queue_depth,
+        overload="block", coalesce=coalesce,
+    ) as server:
+        # Cold pass: touch every (tenant, statement) fingerprint once so
+        # the timed rows below measure sustained warm throughput.
+        cold_started = time.perf_counter()
+        cold_latencies = []
+        for tenant in tenants:
+            for statement in statements:
+                one_started = time.perf_counter()
+                cold = server.execute(statement, tenant=tenant, **options)
+                cold_latencies.append(time.perf_counter() - one_started)
+                all_identical = all_identical and (
+                    sorted_cell_bytes(cold) == references[statement]
+                )
+        cold_pass = {
+            "requests": len(cold_latencies),
+            "seconds": time.perf_counter() - cold_started,
+            "mean_latency": sum(cold_latencies) / len(cold_latencies),
+            "max_latency": max(cold_latencies),
+        }
+
+        baseline_qps = 0.0
+        for count in clients:
+            report = run_closed_loop(
+                server, mix, clients=count,
+                requests_per_client=requests_per_client,
+                references=references, seed=seed + count,
+            )
+            if not baseline_qps:
+                baseline_qps = report.qps
+            row = report.row()
+            row["speedup_vs_single_client"] = (
+                report.qps / baseline_qps if baseline_qps else 0.0
+            )
+            rows.append(row)
+            all_identical = all_identical and report.outputs_identical
+        resolved_in_flight = server.max_in_flight
+
+    open_row = None
+    if open_requests > 0:
+        rate = (
+            open_rate_qps if open_rate_qps > 0
+            else 1.5 * max(row["qps"] for row in rows)
+        )
+        with JoinServer(
+            executor, max_in_flight=resolved_in_flight,
+            queue_depth=queue_depth, overload="shed", coalesce=coalesce,
+        ) as open_server:
+            report = run_open_loop(
+                open_server, mix, rate_qps=rate,
+                total_requests=open_requests,
+                references=references, seed=seed + 991,
+            )
+        open_row = {**report.row(), "rate_qps": rate}
+        all_identical = all_identical and report.outputs_identical
+
+    return ServingLoadResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+        n_statements=len(statements),
+        n_tenants=n_tenants,
+        tenant_alpha=tenant_alpha,
+        statement_alpha=statement_alpha,
+        cache_capacity=cache_capacity,
+        max_in_flight=resolved_in_flight,
+        queue_depth=queue_depth,
+        coalesce=coalesce,
+        requests_per_client=requests_per_client,
+        cpu_count=available_cpus(),
+        platform=platform.platform(),
+        cold_pass=cold_pass,
+        baseline_qps=baseline_qps,
+        rows=rows,
+        open_loop=open_row,
+        tenant_cache=tenant_cache_stats(
+            executor.metrics.snapshot()["counters"]
+        ),
+        plan_cache=dict(executor.plan_cache.stats()),
+        all_outputs_identical=all_identical,
+    )
+
+
 @dataclass
 class MulticoreResult:
     """One workload's workers × mode × kernel execution sweep.
@@ -1011,6 +1226,7 @@ def write_results(
     trace_results: "list[TraceResult] | None" = None,
     multicore_results: "list[MulticoreResult] | None" = None,
     skew_results: "list[SkewResult] | None" = None,
+    serving_load_results: "list[ServingLoadResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -1038,6 +1254,10 @@ def write_results(
         payload["multicore"] = [vars(result) for result in multicore_results]
     if skew_results:
         payload["skew"] = [vars(result) for result in skew_results]
+    if serving_load_results:
+        payload["serving_load"] = [
+            vars(result) for result in serving_load_results
+        ]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -1121,6 +1341,51 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skew-workers", type=int, default=8,
         help="worker count for the --skew sweep",
+    )
+    parser.add_argument(
+        "--serving-load", action="store_true",
+        help="concurrent serving-load harness: closed-loop client sweep "
+        "plus a fixed-rate open-loop run through a JoinServer",
+    )
+    parser.add_argument(
+        "--load-clients", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="closed-loop client counts for the --serving-load sweep",
+    )
+    parser.add_argument(
+        "--load-requests", type=int, default=25,
+        help="requests per closed-loop client",
+    )
+    parser.add_argument(
+        "--load-tenants", type=int, default=4,
+        help="tenant count for the --serving-load mix",
+    )
+    parser.add_argument(
+        "--load-tenant-alpha", type=float, default=1.2,
+        help="Zipf skew of tenant popularity in the --serving-load mix",
+    )
+    parser.add_argument(
+        "--load-statement-alpha", type=float, default=2.5,
+        help="Zipf skew of statement popularity (0 = uniform)",
+    )
+    parser.add_argument(
+        "--load-inflight", type=int, default=0,
+        help="JoinServer max_in_flight (0 = auto from cpu count)",
+    )
+    parser.add_argument(
+        "--load-queue-depth", type=int, default=8,
+        help="admitted-but-unstarted queue bound for the JoinServer",
+    )
+    parser.add_argument(
+        "--load-no-coalesce", action="store_true",
+        help="disable single-flight request coalescing in the JoinServer",
+    )
+    parser.add_argument(
+        "--load-open-rate", type=float, default=0.0,
+        help="open-loop arrival rate in q/s (0 = 1.5x best closed-loop q/s)",
+    )
+    parser.add_argument(
+        "--load-open-requests", type=int, default=40,
+        help="open-loop request count (0 skips the open-loop run)",
     )
     parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
@@ -1305,6 +1570,66 @@ def main(argv: list[str] | None = None) -> int:
                     f"identical={row['outputs_identical']}"
                 )
 
+    serving_load_results = []
+    if args.serving_load:
+        for workload in args.workload or ["fig8_hash_skew"]:
+            load = run_serving_load_bench(
+                workload=workload,
+                planner=args.serving_planner,
+                clients=tuple(args.load_clients),
+                requests_per_client=args.load_requests,
+                n_tenants=args.load_tenants,
+                tenant_alpha=args.load_tenant_alpha,
+                statement_alpha=args.load_statement_alpha,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                seed=args.seed,
+                cache_capacity=args.cache_capacity,
+                max_in_flight=args.load_inflight or None,
+                queue_depth=args.load_queue_depth,
+                coalesce=not args.load_no_coalesce,
+                open_rate_qps=args.load_open_rate,
+                open_requests=args.load_open_requests,
+            )
+            serving_load_results.append(load)
+            print(
+                f"{load.workload} serving-load [{load.planner}/"
+                f"{load.join_algo}] {load.n_tenants} tenants "
+                f"(alpha={load.tenant_alpha}), in-flight "
+                f"{load.max_in_flight}+{load.queue_depth} queued "
+                f"({load.cpu_count} cpus); cold pass "
+                f"{load.cold_pass['requests']} queries in "
+                f"{load.cold_pass['seconds']:.3f}s"
+            )
+            for row in load.rows:
+                print(
+                    f"  closed x{row['clients']}: {row['qps']:.1f} q/s "
+                    f"-> {row['speedup_vs_single_client']:.2f}x vs 1 client; "
+                    f"p50={row['latency_p50'] * 1000:.1f}ms "
+                    f"p95={row['latency_p95'] * 1000:.1f}ms "
+                    f"p99={row['latency_p99'] * 1000:.1f}ms "
+                    f"max={row['latency_max'] * 1000:.1f}ms; "
+                    f"{row['coalesced']} coalesced; "
+                    f"identical={row['outputs_identical']}"
+                )
+            if load.open_loop is not None:
+                row = load.open_loop
+                print(
+                    f"  open @{row['rate_qps']:.1f} q/s offered: "
+                    f"{row['qps']:.1f} q/s served, {row['shed']} shed; "
+                    f"p99={row['latency_p99'] * 1000:.1f}ms "
+                    f"max={row['latency_max'] * 1000:.1f}ms; "
+                    f"identical={row['outputs_identical']}"
+                )
+            for tenant in sorted(load.tenant_cache):
+                entry = load.tenant_cache[tenant]
+                print(
+                    f"  {tenant}: {entry['hits']} hits / "
+                    f"{entry['misses']} misses "
+                    f"(rate={entry['hit_rate']:.2f})"
+                )
+
     trace_results = []
     if args.trace_dir:
         for workload in args.workload or list(WORKLOADS):
@@ -1339,6 +1664,7 @@ def main(argv: list[str] | None = None) -> int:
             trace_results=trace_results or None,
             multicore_results=multicore_results or None,
             skew_results=skew_results or None,
+            serving_load_results=serving_load_results or None,
         )
         print(f"wrote {args.out}")
     return 0

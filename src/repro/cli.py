@@ -165,6 +165,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--cache-capacity", str(args.cache_capacity),
         "--multicore-planner", args.multicore_planner,
         "--skew-workers", str(args.skew_workers),
+        "--load-requests", str(args.load_requests),
+        "--load-tenants", str(args.load_tenants),
+        "--load-tenant-alpha", str(args.load_tenant_alpha),
+        "--load-statement-alpha", str(args.load_statement_alpha),
+        "--load-inflight", str(args.load_inflight),
+        "--load-queue-depth", str(args.load_queue_depth),
+        "--load-open-rate", str(args.load_open_rate),
+        "--load-open-requests", str(args.load_open_requests),
+    ]
+    forwarded += ["--load-clients"] + [
+        str(count) for count in args.load_clients
     ]
     forwarded += ["--multicore-workers"] + [
         str(count) for count in args.multicore_workers
@@ -190,6 +201,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--multicore")
     if args.skew:
         forwarded.append("--skew")
+    if args.serving_load:
+        forwarded.append("--serving-load")
+    if args.load_no_coalesce:
+        forwarded.append("--load-no-coalesce")
     return wallclock_main(forwarded)
 
 
@@ -324,6 +339,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--skew-alphas", type=float, nargs="+", default=[0.5, 1.0, 1.5, 2.0],
     )
     bench.add_argument("--skew-workers", type=int, default=8)
+    bench.add_argument(
+        "--serving-load", action="store_true",
+        help="concurrent serving-load harness: closed-loop client sweep "
+        "plus a fixed-rate open-loop run through a JoinServer",
+    )
+    bench.add_argument(
+        "--load-clients", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="closed-loop client counts for the --serving-load sweep",
+    )
+    bench.add_argument("--load-requests", type=int, default=25)
+    bench.add_argument("--load-tenants", type=int, default=4)
+    bench.add_argument("--load-tenant-alpha", type=float, default=1.2)
+    bench.add_argument("--load-statement-alpha", type=float, default=2.5)
+    bench.add_argument(
+        "--load-inflight", type=int, default=0,
+        help="JoinServer max_in_flight (0 = auto from cpu count)",
+    )
+    bench.add_argument("--load-queue-depth", type=int, default=8)
+    bench.add_argument("--load-no-coalesce", action="store_true")
+    bench.add_argument(
+        "--load-open-rate", type=float, default=0.0,
+        help="open-loop arrival rate in q/s (0 = 1.5x best closed-loop q/s)",
+    )
+    bench.add_argument(
+        "--load-open-requests", type=int, default=40,
+        help="open-loop request count (0 skips the open-loop run)",
+    )
     bench.set_defaults(func=cmd_bench)
     return parser
 

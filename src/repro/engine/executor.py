@@ -14,6 +14,7 @@ implementations.
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -293,6 +294,12 @@ class _SliceTable:
     #: one failed segment doesn't retry per execution.
     _arena: SharedArena | None = field(default=None, repr=False)
     _arena_failed: bool = field(default=False, repr=False)
+    #: Serialises arena creation/release: two concurrent process-mode
+    #: executions of one cached plan must share one segment, not race
+    #: check-then-create and leak the loser's /dev/shm allocation.
+    _arena_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     def _side_assembly(self, side: str) -> _SideAssembly | None:
         return self.left_assembly if side == "left" else self.right_assembly
@@ -304,26 +311,28 @@ class _SliceTable:
         reference slice mapping, or a shared-memory allocation failure —
         and the caller falls back to the classic pickling path.
         """
-        if self._arena is not None and not self._arena.closed:
+        with self._arena_lock:
+            if self._arena is not None and not self._arena.closed:
+                return self._arena
+            if self._arena_failed or self.codec is None:
+                return None
+            left, right = self.left_assembly, self.right_assembly
+            if left is None or right is None:
+                return None
+            try:
+                self._arena = SharedArena.create(
+                    left.keys, right.keys, left.bounds, right.bounds,
+                    self.codec.total_width,
+                )
+            except (OSError, ValueError):
+                self._arena_failed = True
+                return None
             return self._arena
-        if self._arena_failed or self.codec is None:
-            return None
-        left, right = self.left_assembly, self.right_assembly
-        if left is None or right is None:
-            return None
-        try:
-            self._arena = SharedArena.create(
-                left.keys, right.keys, left.bounds, right.bounds,
-                self.codec.total_width,
-            )
-        except (OSError, ValueError):
-            self._arena_failed = True
-            return None
-        return self._arena
 
     def release_arena(self) -> None:
         """Tear down the shared arena now (idempotent; GC also covers it)."""
-        arena, self._arena = self._arena, None
+        with self._arena_lock:
+            arena, self._arena = self._arena, None
         if arena is not None:
             arena.release()
 
@@ -557,6 +566,7 @@ class ShuffleJoinExecutor:
         use_cache: bool | None = None,
         analyze: bool = False,
         trace: "str | bool | None" = None,
+        tenant: str | None = None,
     ) -> JoinResult:
         """Run a join query end to end.
 
@@ -574,7 +584,19 @@ class ShuffleJoinExecutor:
         ``trace`` records execution spans for this query onto a fresh
         tracer attached to the result (``result.trace``); a string
         value additionally writes the Chrome trace JSON to that path.
+
+        ``tenant`` namespaces the plan-cache entry: the token is folded
+        into the content fingerprint, so tenants never share cached
+        plans (the LRU budget stays shared) and the metrics registry
+        accumulates per-tenant ``tenant_cache_hits.<t>`` /
+        ``tenant_cache_misses.<t>`` counters.
         """
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant
+        ):
+            raise ExecutionError(
+                f"tenant must be a non-empty string or None, got {tenant!r}"
+            )
         if isinstance(query, str):
             parsed = parse_aql(query)
         else:
@@ -591,7 +613,7 @@ class ShuffleJoinExecutor:
         try:
             result = self._execute_parsed(
                 parsed, planner, join_algo, store_result, n_workers,
-                use_cache, analyze,
+                use_cache, analyze, tenant,
             )
         finally:
             self.tracer = saved_tracer
@@ -610,6 +632,7 @@ class ShuffleJoinExecutor:
         n_workers: int | None,
         use_cache: bool | None,
         analyze: bool,
+        tenant: str | None = None,
     ) -> JoinResult:
         if isinstance(parsed, MultiJoinQuery):
             from repro.engine.multijoin import execute_multi_join
@@ -624,6 +647,12 @@ class ShuffleJoinExecutor:
                     "analyze covers two-array joins; multi-join stages "
                     "report per-stage only"
                 )
+            if tenant is not None:
+                raise ExecutionError(
+                    "tenant namespacing covers two-array joins; multi-join "
+                    "stages run through per-stage temporaries that are "
+                    "never plan-cached"
+                )
             result = execute_multi_join(self, parsed, planner=planner)
             if store_result and not self.cluster.catalog.exists(
                 result.array.schema.name
@@ -632,7 +661,7 @@ class ShuffleJoinExecutor:
             return result
         result = self._execute_join(
             parsed, planner, join_algo, n_workers, use_cache=use_cache,
-            analyze=analyze,
+            analyze=analyze, tenant=tenant,
         )
         if store_result and not self.cluster.catalog.exists(result.array.schema.name):
             self.cluster.load_array(result.array)
@@ -838,10 +867,18 @@ class ShuffleJoinExecutor:
         return join_schema, logical_plan
 
     def _plan_fingerprint(
-        self, query: JoinQuery, planner: str, join_algo: str | None
+        self,
+        query: JoinQuery,
+        planner: str,
+        join_algo: str | None,
+        tenant: str | None = None,
     ) -> Fingerprint:
         """Content fingerprint of one (query, data, cluster, options)."""
         options = {
+            # Per-tenant cache namespacing: the tenant token changes the
+            # fingerprint, so tenants never hit each other's entries —
+            # one shared LRU budget, disjoint key spaces.
+            "tenant": tenant,
             "n_buckets": self.n_buckets,
             "selectivity_hint": self.selectivity_hint,
             "shuffle_policy": self.shuffle_policy,
@@ -883,6 +920,7 @@ class ShuffleJoinExecutor:
         n_workers: int | None = None,
         use_cache: bool | None = None,
         analyze: bool = False,
+        tenant: str | None = None,
     ) -> JoinResult:
         # ---- plan-cache lookup (timed) ----
         cache = self.plan_cache if use_cache is not False else None
@@ -895,7 +933,7 @@ class ShuffleJoinExecutor:
             with self.tracer.span("cache_lookup") as lookup_span:
                 with self.profiler.phase("cache_lookup"):
                     fingerprint = self._plan_fingerprint(
-                        query, planner_name, join_algo
+                        query, planner_name, join_algo, tenant
                     )
                     entry = cache.get(fingerprint)
                 lookup_span.set(
@@ -908,6 +946,9 @@ class ShuffleJoinExecutor:
                 "fingerprint": fingerprint.short,
                 **cache.stats(),
             }
+            if tenant is not None:
+                suffix = "hits" if entry is not None else "misses"
+                self.metrics.counter(f"tenant_cache_{suffix}.{tenant}").inc()
 
         if entry is not None:
             # Warm path: every prepare artifact — logical plan, slice

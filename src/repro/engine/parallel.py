@@ -243,6 +243,12 @@ class _ForkPool:
     def __init__(self, workers: int):
         ctx = _mp.get_context("fork")
         self.workers = workers
+        # One query at a time per pool: the pipes carry no request ids,
+        # so two concurrent queries interleaving sends over the same
+        # connections would cross-deliver results. The serving front
+        # end runs many queries concurrently against one executor;
+        # whichever reaches the pool second blocks here.
+        self._lock = threading.Lock()
         self._conns = []
         self._procs = []
         for _ in range(workers):
@@ -268,32 +274,33 @@ class _ForkPool:
         reusable. A dead worker raises immediately — the caller
         discards the pool.
         """
-        active = [
-            (conn, chunk)
-            for conn, chunk in zip(self._conns, chunks)
-            if chunk
-        ]
-        for conn, chunk in active:
-            conn.send(chunk)
-        results: list = []
-        failure: str | None = None
-        for conn, _ in active:
-            try:
-                replies = conn.recv()
-            except (EOFError, OSError) as exc:
+        with self._lock:
+            active = [
+                (conn, chunk)
+                for conn, chunk in zip(self._conns, chunks)
+                if chunk
+            ]
+            for conn, chunk in active:
+                conn.send(chunk)
+            results: list = []
+            failure: str | None = None
+            for conn, _ in active:
+                try:
+                    replies = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ExecutionError(
+                        f"process worker died mid-execution: {exc!r}"
+                    ) from exc
+                for status, payload in replies:
+                    if status == "err":
+                        failure = failure if failure is not None else payload
+                    else:
+                        results.append(payload)
+            if failure is not None:
                 raise ExecutionError(
-                    f"process worker died mid-execution: {exc!r}"
-                ) from exc
-            for status, payload in replies:
-                if status == "err":
-                    failure = failure if failure is not None else payload
-                else:
-                    results.append(payload)
-        if failure is not None:
-            raise ExecutionError(
-                f"shared-memory worker failed: {failure}"
-            )
-        return results
+                    f"shared-memory worker failed: {failure}"
+                )
+            return results
 
     def shutdown(self) -> None:
         for conn in self._conns:
@@ -1106,6 +1113,22 @@ def _run_dynamic(
             counters.add("cells_compared", l_rows + r_rows)
 
     pending = sorted(tasks, key=rows_of, reverse=True)
+    # Same exclusivity as _ForkPool.run: the dynamic dispatcher owns
+    # every pipe until the run drains, so concurrent queries serialise
+    # at the pool instead of interleaving messages.
+    with pool._lock:
+        return _run_dynamic_locked(pool, pending, arena, counters, rows_of,
+                                   compensate)
+
+
+def _run_dynamic_locked(
+    pool: _ForkPool,
+    pending: list[ShmTask],
+    arena: SharedArena,
+    counters: CounterSet | None,
+    rows_of,
+    compensate,
+) -> tuple[list[ShmBatchResult], int, int]:
     idle = list(pool._conns)
     n_workers = pool.workers
     inflight: dict = {}
@@ -1225,6 +1248,14 @@ def run_shm_batches(
     # keeps real process workers engaged whenever parallelism was
     # requested, whatever the affinity mask says.
     pool_size = min(n_workers, max(available_cpus(), 2))
+    # Effective slots: parallelism the host can really deliver. The
+    # pool-size floor of 2 above keeps process workers engaged for the
+    # *static* path (isolation still pays for itself), but adaptive
+    # re-splitting only converts stragglers into speedup when split
+    # halves can run concurrently — on one effective slot every extra
+    # dispatch round trip is pure loss, so adaptive falls back to the
+    # static split there.
+    effective_slots = min(n_workers, available_cpus())
     tasks = [
         ShmTask(
             chunk=index,
@@ -1245,6 +1276,7 @@ def run_shm_batches(
         and _FORK_AVAILABLE
         and n_workers > 1
         and pool_size > 1
+        and effective_slots > 1
     )
     if adaptive:
         pool = _get_fork_pool(pool_size)

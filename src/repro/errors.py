@@ -29,5 +29,15 @@ class ExecutionError(ReproError):
     """Shuffle join execution failed."""
 
 
+class Overloaded(ExecutionError):
+    """The serving front end refused a query under admission control.
+
+    Raised by :class:`repro.serve.server.JoinServer` when the in-flight
+    plus queued query count has reached the configured bound and the
+    overload policy is ``"shed"``, or when a query arrives after
+    shutdown. Callers should treat it as retryable back-pressure.
+    """
+
+
 class SolverError(ReproError):
     """The MILP solver substrate hit an unrecoverable condition."""

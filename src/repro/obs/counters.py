@@ -6,9 +6,18 @@ wall-clock seconds per phase, a counter set accumulates event counts per
 name (cache hits, misses, evictions, invalidations). Like the profiler
 it is deliberately tiny — a dict of ints behind increment/snapshot — so
 it can sit on the warm query path at negligible cost.
+
+Counter sets are thread-safe: the serving front end
+(:mod:`repro.serve.server`) drives one executor's caches and metrics
+from many dispatch threads, so every read-modify-write here holds a
+lock. Instances still pickle cleanly (the lock is dropped and re-created
+on unpickle) because per-worker counter sets cross process boundaries in
+``BatchResult``/``ShmBatchResult``.
 """
 
 from __future__ import annotations
+
+import threading
 
 
 class CounterSet:
@@ -21,17 +30,20 @@ class CounterSet:
     {'hits': 1, 'misses': 2}
     """
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_lock")
 
     def __init__(self) -> None:
         self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def increment(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
 
-    #: ``add`` reads better at call sites that accumulate measured
-    #: quantities (``counters.add("rows", n)``) — same operation.
-    add = increment
+    def add(self, name: str, amount: int = 1) -> None:
+        """Alias of :meth:`increment` — reads better at call sites that
+        accumulate measured quantities (``counters.add("rows", n)``)."""
+        self.increment(name, amount)
 
     def merge(self, other: "CounterSet") -> "CounterSet":
         """Fold another counter set in (summing shared names).
@@ -39,27 +51,40 @@ class CounterSet:
         The combinator for per-worker counter sets: each worker counts
         into its own set, the coordinator merges them at join.
         """
-        for name, count in other._counts.items():
+        for name, count in other.snapshot().items():
             self.increment(name, count)
         return self
 
     def value(self, name: str) -> int:
-        return self._counts.get(name, 0)
+        with self._lock:
+            return self._counts.get(name, 0)
 
     def snapshot(self) -> dict[str, int]:
         """Copy of the current counts (stable key order: first increment)."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def reset(self) -> None:
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def describe(self) -> str:
         """Human-readable one-liner: ``hits=3 misses=1 evictions=0``."""
-        if not self._counts:
+        counts = self.snapshot()
+        if not counts:
             return "(no events recorded)"
         return " ".join(
-            f"{name}={count}" for name, count in sorted(self._counts.items())
+            f"{name}={count}" for name, count in sorted(counts.items())
         )
+
+    # Locks do not pickle; per-worker counter sets ride home through
+    # multiprocessing pipes, so strip the lock and rebuild it.
+    def __getstate__(self) -> dict[str, int]:
+        return self.snapshot()
+
+    def __setstate__(self, counts: dict[str, int]) -> None:
+        self._counts = dict(counts)
+        self._lock = threading.Lock()
 
 
 __all__ = ["CounterSet"]

@@ -20,22 +20,36 @@ next to the cost model's per-node predictions.
 from __future__ import annotations
 
 import math
+import threading
 
 import numpy as np
 
 
 class Counter:
-    """A monotonically increasing named total."""
+    """A monotonically increasing named total.
 
-    __slots__ = ("value",)
+    Increments are atomic (lock-guarded): the serving front end updates
+    one registry from many dispatch threads concurrently.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counters only increase, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+    def __getstate__(self) -> int:
+        return self.value
+
+    def __setstate__(self, value: int) -> None:
+        self.value = value
+        self._lock = threading.Lock()
 
 
 class Gauge:
@@ -54,6 +68,16 @@ class Gauge:
 #: suitable for per-node busy seconds and phase durations.
 DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
 
+#: Finer-grained bounds for serving latencies (seconds): roughly
+#: 1.6x-geometric from 0.5 ms to ~60 s, so p99 interpolation from the
+#: bucket counts stays within a fraction of a bucket width.
+LATENCY_BUCKETS = (
+    0.0005, 0.0008, 0.00128, 0.002048, 0.003277, 0.005243, 0.008389,
+    0.013422, 0.021475, 0.03436, 0.054976, 0.087961, 0.140737, 0.22518,
+    0.360288, 0.57646, 0.922337, 1.475739, 2.361183, 3.777893, 6.044629,
+    9.671407, 15.474251, 24.758801, 39.614081, 63.38253,
+)
+
 
 class Histogram:
     """Fixed-bucket histogram of observed values.
@@ -64,7 +88,7 @@ class Histogram:
     (the Prometheus ``le`` convention).
     """
 
-    __slots__ = ("bounds", "counts", "total", "count")
+    __slots__ = ("bounds", "counts", "total", "count", "_lock")
 
     def __init__(self, bounds=DEFAULT_BUCKETS):
         edges = [float(b) for b in bounds]
@@ -76,6 +100,7 @@ class Histogram:
         self.counts = [0] * (len(edges) + 1)
         self.total = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -84,9 +109,10 @@ class Histogram:
             if value <= edge:
                 break
             index += 1
-        self.counts[index] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[index] += 1
+            self.total += value
+            self.count += 1
 
     def observe_many(self, values) -> None:
         for value in np.asarray(values, dtype=np.float64).ravel():
@@ -96,42 +122,94 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the covering bucket, the Prometheus
+        ``histogram_quantile`` convention: the answer is exact at bucket
+        edges and off by at most one bucket width inside. Observations
+        in the overflow bucket clamp to the last finite edge; an empty
+        histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                low = 0.0 if index == 0 else self.bounds[index - 1]
+                high = self.bounds[index]
+                if bucket_count == 0:
+                    return high
+                return low + (high - low) * (rank - previous) / bucket_count
+        return self.bounds[-1]
+
     def snapshot(self) -> dict:
-        return {
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "count": self.count,
-            "sum": self.total,
-        }
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.total,
+            }
+
+    def __getstate__(self) -> dict:
+        return self.snapshot()
+
+    def __setstate__(self, state: dict) -> None:
+        self.bounds = tuple(state["bounds"])
+        self.counts = list(state["counts"])
+        self.total = float(state["sum"])
+        self.count = int(state["count"])
+        self._lock = threading.Lock()
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and histograms behind get-or-create."""
+    """Named counters, gauges, and histograms behind get-or-create.
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    Get-or-create is lock-guarded so two threads asking for the same
+    name always share one instrument (the instruments themselves are
+    individually atomic); without it, concurrent first touches of a name
+    could each create an instrument and drop the other's counts.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter()
-        return counter
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
 
     def gauge(self, name: str) -> Gauge:
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            gauge = self._gauges[name] = Gauge()
-        return gauge
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
 
     def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> Histogram:
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(bounds)
-        return histogram
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(bounds)
+            return histogram
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry in: counters/histograms add, gauges win
@@ -155,19 +233,37 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """Plain-dict view of everything recorded so far."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         return {
             "counters": {
                 name: counter.value
-                for name, counter in sorted(self._counters.items())
+                for name, counter in sorted(counters.items())
             },
             "gauges": {
-                name: gauge.value for name, gauge in sorted(self._gauges.items())
+                name: gauge.value for name, gauge in sorted(gauges.items())
             },
             "histograms": {
                 name: histogram.snapshot()
-                for name, histogram in sorted(self._histograms.items())
+                for name, histogram in sorted(histograms.items())
             },
         }
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": dict(self._histograms),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self._counters = dict(state["counters"])
+        self._gauges = dict(state["gauges"])
+        self._histograms = dict(state["histograms"])
+        self._lock = threading.Lock()
 
     def describe(self) -> str:
         snapshot = self.snapshot()
@@ -262,6 +358,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "gini",
     "skew_summary",
     "record_execution",

@@ -1,7 +1,10 @@
-"""Warm-path query serving: fingerprinted plan/statistics caching.
+"""Warm-path query serving: plan caching and the concurrent front end.
 
-See :mod:`repro.serve.cache` for the bounded-LRU :class:`PlanCache` and
-:mod:`repro.serve.fingerprint` for the content fingerprints that key it.
+See :mod:`repro.serve.cache` for the bounded-LRU :class:`PlanCache`,
+:mod:`repro.serve.fingerprint` for the content fingerprints that key it,
+:mod:`repro.serve.server` for the admission-controlled
+:class:`JoinServer` front end, and :mod:`repro.serve.load` for the
+closed-/open-loop load generator that drives it.
 """
 
 from repro.serve.cache import CachedPlan, PlanCache
@@ -11,6 +14,15 @@ from repro.serve.fingerprint import (
     canonical_query,
     plan_fingerprint,
 )
+from repro.serve.load import (
+    LoadReport,
+    QueryMix,
+    result_bytes,
+    run_closed_loop,
+    run_open_loop,
+    serial_references,
+)
+from repro.serve.server import JoinServer, tenant_cache_stats
 
 __all__ = [
     "CachedPlan",
@@ -19,4 +31,12 @@ __all__ = [
     "array_token",
     "canonical_query",
     "plan_fingerprint",
+    "JoinServer",
+    "tenant_cache_stats",
+    "QueryMix",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "serial_references",
+    "result_bytes",
 ]

@@ -19,6 +19,7 @@ counts accumulate in a :class:`repro.obs.CounterSet` and surface in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -55,7 +56,16 @@ class CachedPlan:
 
 
 class PlanCache:
-    """Bounded LRU mapping plan fingerprints to :class:`CachedPlan`."""
+    """Bounded LRU mapping plan fingerprints to :class:`CachedPlan`.
+
+    Thread-safe: one lock serialises every lookup/insert/evict/purge so
+    concurrent ``Session.execute`` calls (the serving front end drives
+    one executor from many dispatch threads) cannot corrupt the LRU
+    order or race a move-to-end against an eviction. Counter updates go
+    through :class:`CounterSet`, which is atomic on its own; lookups
+    count the hit/miss while still holding the cache lock so
+    ``hits + misses`` always equals the number of completed lookups.
+    """
 
     def __init__(self, capacity: int = 64, counters: CounterSet | None = None):
         if capacity <= 0:
@@ -63,53 +73,61 @@ class PlanCache:
         self.capacity = capacity
         self.counters = counters if counters is not None else CounterSet()
         self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, fingerprint: Fingerprint) -> CachedPlan | None:
         """Look one fingerprint up; counts a hit or a miss."""
-        entry = self._entries.get(fingerprint.key)
-        if entry is None:
-            self.counters.increment("misses")
-            return None
-        self._entries.move_to_end(fingerprint.key)
-        self.counters.increment("hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint.key)
+            if entry is None:
+                self.counters.increment("misses")
+                return None
+            self._entries.move_to_end(fingerprint.key)
+            self.counters.increment("hits")
+            return entry
 
     def put(self, entry: CachedPlan) -> None:
         """Insert one prepared plan, evicting the LRU entry when full."""
         key = entry.fingerprint.key
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.counters.increment("evictions")
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.counters.increment("evictions")
 
     def invalidate_array(self, name: str) -> int:
         """Eagerly drop every entry that reads ``name``; returns count."""
-        stale = [
-            key
-            for key, entry in self._entries.items()
-            if name in entry.arrays
-        ]
-        for key in stale:
-            del self._entries[key]
-        if stale:
-            self.counters.increment("invalidations", len(stale))
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if name in entry.arrays
+            ]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.counters.increment("invalidations", len(stale))
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Counter snapshot plus the current entry count."""
         snapshot = self.counters.snapshot()
-        snapshot["entries"] = len(self._entries)
+        with self._lock:
+            snapshot["entries"] = len(self._entries)
         return snapshot
 
 

@@ -1,0 +1,371 @@
+"""Closed- and open-loop load generation against a :class:`JoinServer`.
+
+The Locust-style driver for the serving front end: N concurrent clients
+drive a query mix (a handful of join statements over one workload's
+arrays — first touches are cold plans, repeats are warm) with
+Zipf-weighted tenant selection, so popular tenants hammer their cache
+namespace while the tail stays cold — exactly the skew the shared LRU
+budget has to absorb.
+
+Two arrival disciplines:
+
+- **closed loop** (:func:`run_closed_loop`): each client issues its next
+  query the moment the previous one returns. Throughput self-paces to
+  the server's capacity; latency measures service time.
+- **open loop** (:func:`run_open_loop`): queries arrive on a fixed
+  schedule (``rate_qps``) regardless of completions, the production
+  model where traffic does not wait for you. Latency is measured from
+  the *scheduled* arrival, so queue wait counts; when arrivals outrun
+  capacity the server's overload policy (shed) is what keeps the queue
+  bounded.
+
+Every request's latency lands in the backend registry's
+``serve_latency_seconds`` histogram; a :class:`LoadReport` condenses one
+run into sustained q/s, p50/p95/p99/max latency (quantiles from the
+same fixed-bucket histogram instrument the registry uses), admission
+counters, per-tenant cache hit rates, and a byte-identity verdict of
+every distinct served result against serial references.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.errors import Overloaded
+from repro.obs.metrics import LATENCY_BUCKETS, Histogram
+from repro.serve.server import JoinServer, tenant_cache_stats
+from repro.workloads.synthetic import zipf_weights
+
+#: Admission/serving counters whose per-run deltas a LoadReport records.
+_SERVE_COUNTERS = (
+    "serve_queries_admitted",
+    "serve_queries_completed",
+    "serve_queries_failed",
+    "serve_queries_shed",
+    "serve_queries_coalesced",
+)
+
+
+def result_bytes(result) -> bytes:
+    """Canonical byte representation of a join output: sorted cells.
+
+    Parallelism, coalescing, and cache warmth may reorder rows; they
+    must never change the cells, so identity is judged on the sorted
+    structured representation.
+    """
+    packed = result.cells.to_structured(sorted(result.cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+@dataclass
+class QueryMix:
+    """The statements one load run draws from, plus popularity skew.
+
+    ``tenants`` are drawn with Zipf(``tenant_alpha``) weights
+    (permutation seeded by ``seed``), so tenant popularity is skewed
+    but reproducible. ``statement_alpha`` does the same for the
+    statements — 0.0 keeps them uniform; positive values model the
+    dashboard-style repetition real serving traffic has, where a few
+    hot queries dominate (and where the server's single-flight
+    coalescing earns its keep).
+    """
+
+    statements: list[str]
+    tenants: list[str]
+    tenant_alpha: float = 1.2
+    statement_alpha: float = 0.0
+    seed: int = 0
+    #: executor options forwarded with every request (planner etc.)
+    options: dict = dataclass_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.statements:
+            raise ValueError("a query mix needs at least one statement")
+        if not self.tenants:
+            raise ValueError("a query mix needs at least one tenant")
+        self.tenant_weights = zipf_weights(
+            len(self.tenants), self.tenant_alpha, rng=self.seed
+        )
+        if self.statement_alpha > 0:
+            self.statement_weights = zipf_weights(
+                len(self.statements), self.statement_alpha, rng=self.seed + 1
+            )
+        else:
+            self.statement_weights = np.full(
+                len(self.statements), 1.0 / len(self.statements)
+            )
+
+    def draw(self, rng: np.random.Generator) -> tuple[str, str]:
+        """One (statement, tenant) request drawn from the mix."""
+        statement = self.statements[
+            int(rng.choice(len(self.statements), p=self.statement_weights))
+        ]
+        tenant = self.tenants[
+            int(rng.choice(len(self.tenants), p=self.tenant_weights))
+        ]
+        return statement, tenant
+
+
+@dataclass
+class LoadReport:
+    """One load run's results: throughput, latency tail, verification."""
+
+    mode: str
+    clients: int
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    coalesced: int
+    duration_seconds: float
+    qps: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    latency_mean: float
+    outputs_identical: bool
+    distinct_results_verified: int
+    per_tenant: dict
+    counters: dict
+
+    def row(self) -> dict:
+        """Flat JSON-ready dict (the BENCH artifact row shape)."""
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "duration_seconds": self.duration_seconds,
+            "qps": self.qps,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
+            "latency_mean": self.latency_mean,
+            "outputs_identical": self.outputs_identical,
+            "distinct_results_verified": self.distinct_results_verified,
+        }
+
+
+def serial_references(backend, statements, **options) -> dict[str, bytes]:
+    """Byte-identity oracles: each statement executed once, serially.
+
+    Runs outside any server (and outside the timed window) with the
+    cache bypassed, so the references are the plain single-caller
+    executions every served result must match.
+    """
+    return {
+        statement: result_bytes(
+            backend.execute(statement, use_cache=False, **options)
+        )
+        for statement in statements
+    }
+
+
+def _verify(collected, references) -> tuple[bool, int]:
+    """Byte-check every *distinct* served result (coalesced requests
+    share one result object; it only needs checking once)."""
+    seen: set[int] = set()
+    identical = True
+    for statement, result in collected:
+        if id(result) in seen:
+            continue
+        seen.add(id(result))
+        identical = identical and (
+            result_bytes(result) == references[statement]
+        )
+    return identical, len(seen)
+
+
+def _counter_snapshot(metrics) -> dict:
+    counters = metrics.snapshot()["counters"]
+    return {name: counters.get(name, 0) for name in _SERVE_COUNTERS}
+
+
+def _build_report(
+    mode: str,
+    clients: int,
+    latencies: list[float],
+    shed: int,
+    errors: int,
+    duration: float,
+    collected,
+    references,
+    metrics,
+    before: dict,
+) -> LoadReport:
+    histogram = Histogram(LATENCY_BUCKETS)
+    histogram.observe_many(latencies)
+    after = _counter_snapshot(metrics)
+    deltas = {name: after[name] - before[name] for name in _SERVE_COUNTERS}
+    completed = len(latencies)
+    if references is not None:
+        identical, verified = _verify(collected, references)
+    else:
+        identical, verified = True, 0
+    return LoadReport(
+        mode=mode,
+        clients=clients,
+        requests=completed + shed + errors,
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        coalesced=deltas["serve_queries_coalesced"],
+        duration_seconds=duration,
+        qps=completed / duration if duration > 0 else 0.0,
+        latency_p50=histogram.quantile(0.50),
+        latency_p95=histogram.quantile(0.95),
+        latency_p99=histogram.quantile(0.99),
+        latency_max=max(latencies) if latencies else 0.0,
+        latency_mean=histogram.mean,
+        outputs_identical=identical,
+        distinct_results_verified=verified,
+        per_tenant=tenant_cache_stats(metrics.snapshot()["counters"]),
+        counters=deltas,
+    )
+
+
+def run_closed_loop(
+    server: JoinServer,
+    mix: QueryMix,
+    clients: int,
+    requests_per_client: int,
+    references: dict[str, bytes] | None = None,
+    seed: int = 0,
+) -> LoadReport:
+    """N closed-loop clients, each issuing its next query on completion."""
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("need at least one client and one request each")
+    before = _counter_snapshot(server.metrics)
+    barrier = threading.Barrier(clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    collected: list[list] = [[] for _ in range(clients)]
+    shed = [0] * clients
+    errors = [0] * clients
+
+    def client_loop(index: int) -> None:
+        rng = np.random.default_rng((mix.seed, seed, index))
+        barrier.wait()
+        for _ in range(requests_per_client):
+            statement, tenant = mix.draw(rng)
+            started = time.perf_counter()
+            try:
+                result = server.execute(
+                    statement, tenant=tenant, **mix.options
+                )
+            except Overloaded:
+                shed[index] += 1
+                continue
+            except Exception:
+                errors[index] += 1
+                continue
+            latencies[index].append(time.perf_counter() - started)
+            if references is not None:
+                collected[index].append((statement, result))
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    return _build_report(
+        "closed", clients,
+        [sample for chunk in latencies for sample in chunk],
+        sum(shed), sum(errors), duration,
+        [pair for chunk in collected for pair in chunk],
+        references, server.metrics, before,
+    )
+
+
+def run_open_loop(
+    server: JoinServer,
+    mix: QueryMix,
+    rate_qps: float,
+    total_requests: int,
+    references: dict[str, bytes] | None = None,
+    seed: int = 0,
+) -> LoadReport:
+    """Fixed-rate arrivals; latency counts from the *scheduled* arrival.
+
+    A dispatcher thread submits on schedule (never waiting for
+    completions); when the scheduled moment has already passed — e.g.
+    a ``"block"`` server exerting back-pressure — the submission goes
+    out immediately but the latency clock still starts at the schedule,
+    so queueing delay is charged to the request, the way an external
+    client would experience it. Run open-loop servers with
+    ``overload="shed"`` to see admission control actually fire.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+    if total_requests < 1:
+        raise ValueError("need at least one request")
+    before = _counter_snapshot(server.metrics)
+    rng = np.random.default_rng((mix.seed, seed))
+    latencies: list[float] = []
+    collected: list = []
+    record_lock = threading.Lock()
+    pending = []
+    shed = 0
+    errors = 0
+    start = time.perf_counter()
+    for index in range(total_requests):
+        scheduled = start + index / rate_qps
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        statement, tenant = mix.draw(rng)
+        try:
+            future = server.submit(statement, tenant=tenant, **mix.options)
+        except Overloaded:
+            shed += 1
+            continue
+        except Exception:
+            errors += 1
+            continue
+
+        def record(done, scheduled=scheduled, statement=statement):
+            # Failures are counted once, in the drain loop below.
+            if done.cancelled() or done.exception() is not None:
+                return
+            finished = time.perf_counter()
+            with record_lock:
+                latencies.append(finished - scheduled)
+                if references is not None:
+                    collected.append((statement, done.result()))
+
+        future.add_done_callback(record)
+        pending.append(future)
+    for future in pending:
+        try:
+            future.result()
+        except Exception:
+            errors += 1
+    duration = time.perf_counter() - start
+    return _build_report(
+        "open", 1, latencies, shed, errors, duration,
+        collected, references, server.metrics, before,
+    )
+
+
+__all__ = [
+    "QueryMix",
+    "LoadReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "serial_references",
+    "result_bytes",
+]

@@ -1,0 +1,337 @@
+"""Concurrent query front end: admission control over one Session.
+
+A :class:`JoinServer` turns the single-caller :class:`repro.session.Session`
+into a serving endpoint: many clients submit join statements
+concurrently, a bounded thread pool dispatches them against the shared
+session, and admission control keeps the outstanding work finite — the
+difference between a system that degrades gracefully under load and one
+that queues without bound.
+
+The moving parts:
+
+- **Dispatch**: a ``ThreadPoolExecutor`` of ``max_in_flight`` threads.
+  Each request runs ``session.execute`` on a pool thread; the plan
+  cache, counters, and metrics registry underneath are all
+  individually thread-safe (PR 8), and process-mode shared-memory
+  joins stay per-query — concurrent queries serialise at the fork
+  pool's pipes, never interleave on them.
+- **Admission control**: a semaphore of ``max_in_flight + queue_depth``
+  permits bounds running + waiting requests. When permits run out the
+  ``overload`` policy decides: ``"block"`` makes ``submit`` wait
+  (closed-loop clients self-pace), ``"shed"`` raises the typed
+  :class:`repro.errors.Overloaded` immediately (open-loop traffic gets
+  back-pressure instead of unbounded queues).
+- **Coalescing** (on by default): concurrent requests for the same
+  ``(statement, options)`` share one in-flight execution's future —
+  the classic single-flight pattern. The key deliberately excludes the
+  tenant: a join result is a pure function of the statement, the
+  stored data, and the plan-affecting options, while ``tenant`` is
+  accounting metadata (cache namespace + counters), so handing the
+  same immutable result to waiters from different tenants is
+  semantically identical to running each of them. Under a hot query
+  mix this is where most of the multi-client throughput comes from.
+  Per-tenant cache counters move only for requests that actually
+  consult the cache — a coalesced follower performed no lookup, and
+  its tenant's namespace statistics honestly say so.
+- **Tenants**: ``tenant=`` flows through to the executor, which folds
+  the token into the plan-cache fingerprint — per-tenant cache
+  namespaces over one shared LRU budget, with per-tenant hit/miss
+  counters in the metrics registry.
+- **Lifecycle**: ``drain()`` stops admissions and waits for in-flight
+  work; ``shutdown()`` additionally tears the pool down. The server is
+  a context manager.
+
+Serving metrics accumulate in the backend's registry:
+``serve_latency_seconds`` (histogram over
+:data:`repro.obs.metrics.LATENCY_BUCKETS`), the
+``serve_queries_{admitted,completed,failed,shed,coalesced}`` counters,
+and the ``serve_in_flight`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+
+from repro.engine.parallel import available_cpus
+from repro.errors import ExecutionError, Overloaded
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+
+#: Options JoinServer.submit refuses. ``trace`` swaps the executor's
+#: tracer for the query's duration — a per-executor mutation that would
+#: cross-attribute spans between concurrent queries; ``store_result``
+#: mutates the cluster catalog, which the serving path keeps read-only.
+REJECTED_OPTIONS = frozenset({"trace", "store_result"})
+
+
+class JoinServer:
+    """Bounded concurrent dispatch of join statements over one backend.
+
+    ``backend`` is typically a :class:`repro.session.Session`; anything
+    exposing ``execute(statement, **options)`` works (the bench harness
+    passes a bare executor). ``max_in_flight`` bounds concurrently
+    executing queries (and sizes the dispatch pool), ``queue_depth`` how
+    many more may wait admitted-but-unstarted; beyond that the
+    ``overload`` policy applies. ``coalesce=False`` disables
+    single-flight request sharing (every request then executes).
+    """
+
+    def __init__(
+        self,
+        backend,
+        max_in_flight: int | None = None,
+        queue_depth: int = 0,
+        overload: str = "block",
+        coalesce: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if overload not in ("block", "shed"):
+            raise ExecutionError(
+                f"unknown overload policy {overload!r}; expected 'block' "
+                "or 'shed'"
+            )
+        if max_in_flight is None:
+            max_in_flight = max(2, available_cpus())
+        if max_in_flight < 1:
+            raise ExecutionError(
+                f"max_in_flight must be at least 1, got {max_in_flight}"
+            )
+        if queue_depth < 0:
+            raise ExecutionError(
+                f"queue_depth must be non-negative, got {queue_depth}"
+            )
+        self.backend = backend
+        self.max_in_flight = int(max_in_flight)
+        self.queue_depth = int(queue_depth)
+        self.overload = overload
+        self.coalesce = bool(coalesce)
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            backend_metrics = getattr(backend, "metrics", None)
+            self.metrics = (
+                backend_metrics
+                if isinstance(backend_metrics, MetricsRegistry)
+                else MetricsRegistry()
+            )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_in_flight, thread_name_prefix="join-serve"
+        )
+        self._admission = threading.BoundedSemaphore(
+            self.max_in_flight + self.queue_depth
+        )
+        # Reentrant: submit registers done-callbacks while holding the
+        # lock, and a future that finished already runs its callback
+        # synchronously on the registering thread.
+        self._lock = threading.RLock()
+        self._singleflight: dict[tuple, Future] = {}
+        self._outstanding: set[Future] = set()
+        self._in_flight = 0
+        self._closed = False
+
+    # ------------------------------------------------------------- submission
+
+    def submit(self, statement: str, tenant: str | None = None, **options) -> Future:
+        """Admit one join statement; returns a future of its JoinResult.
+
+        Honours the admission bound and overload policy; raises
+        :class:`Overloaded` when shed or when the server is closed.
+        Coalesced requests (identical statement + options already in
+        flight, any tenant) share the leader's future without consuming
+        an admission permit.
+        """
+        rejected = sorted(REJECTED_OPTIONS & set(options))
+        if rejected:
+            raise ExecutionError(
+                f"option(s) {rejected} are not servable: trace swaps the "
+                "executor's tracer and store_result mutates the catalog; "
+                "run them through Session.execute directly"
+            )
+        arrival = time.perf_counter()
+        if self._closed:
+            raise Overloaded("server is closed to new queries")
+        key = self._coalesce_key(statement, options)
+        if key is not None:
+            with self._lock:
+                leader = self._singleflight.get(key)
+                if leader is not None:
+                    self.metrics.counter("serve_queries_coalesced").inc()
+                    self._record_on_done(leader, arrival)
+                    return leader
+        if not self._admission.acquire(blocking=self.overload == "block"):
+            self.metrics.counter("serve_queries_shed").inc()
+            raise Overloaded(
+                f"admission bound reached ({self.max_in_flight} in flight "
+                f"+ {self.queue_depth} queued); query shed"
+            )
+        if self._closed:
+            self._admission.release()
+            raise Overloaded("server is closed to new queries")
+        with self._lock:
+            if key is not None:
+                # Re-check under the lock: an identical request may have
+                # become leader while this one waited on admission.
+                leader = self._singleflight.get(key)
+                if leader is not None:
+                    self._admission.release()
+                    self.metrics.counter("serve_queries_coalesced").inc()
+                    self._record_on_done(leader, arrival)
+                    return leader
+            try:
+                future = self._pool.submit(
+                    self._run, statement, tenant, options
+                )
+            except RuntimeError as exc:  # pool already shut down
+                self._admission.release()
+                raise Overloaded("server is closed to new queries") from exc
+            self.metrics.counter("serve_queries_admitted").inc()
+            self._in_flight += 1
+            self.metrics.gauge("serve_in_flight").set(self._in_flight)
+            self._outstanding.add(future)
+            if key is not None:
+                self._singleflight[key] = future
+            future.add_done_callback(
+                lambda done, key=key: self._release(key, done)
+            )
+        self._record_on_done(future, arrival)
+        return future
+
+    def execute(self, statement: str, tenant: str | None = None, **options):
+        """Blocking submit: returns the JoinResult (or raises)."""
+        return self.submit(statement, tenant=tenant, **options).result()
+
+    def _run(self, statement: str, tenant: str | None, options: dict):
+        if tenant is not None:
+            options = {**options, "tenant": tenant}
+        return self.backend.execute(statement, **options)
+
+    def _coalesce_key(self, statement: str, options: dict) -> tuple | None:
+        if not self.coalesce:
+            return None
+        try:
+            # tenant is deliberately absent: it namespaces cache entries
+            # and counters but never changes the result, so identical
+            # statements from different tenants share one execution.
+            return (str(statement), tuple(sorted(options.items())))
+        except TypeError:
+            # Unhashable/unorderable option values: skip coalescing for
+            # this request rather than refusing it.
+            return None
+
+    def _release(self, key: tuple | None, future: Future) -> None:
+        with self._lock:
+            if key is not None and self._singleflight.get(key) is future:
+                del self._singleflight[key]
+            self._outstanding.discard(future)
+            self._in_flight -= 1
+            self.metrics.gauge("serve_in_flight").set(self._in_flight)
+        self._admission.release()
+
+    def _record_on_done(self, future: Future, arrival: float) -> None:
+        def record(done: Future) -> None:
+            latency = time.perf_counter() - arrival
+            self.metrics.histogram(
+                "serve_latency_seconds", LATENCY_BUCKETS
+            ).observe(latency)
+            failed = done.cancelled() or done.exception() is not None
+            name = "serve_queries_failed" if failed else "serve_queries_completed"
+            self.metrics.counter(name).inc()
+
+        future.add_done_callback(record)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting queries and wait for in-flight ones to finish.
+
+        Returns True when everything outstanding completed within the
+        timeout. Idempotent; the dispatch pool stays usable for nothing
+        — drained servers refuse new submissions with ``Overloaded``.
+        """
+        self._closed = True
+        with self._lock:
+            pending = list(self._outstanding)
+        done, not_done = futures_wait(pending, timeout=timeout)
+        return not not_done
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain (when ``wait``) and tear the dispatch pool down."""
+        self._closed = True
+        if wait:
+            self.drain()
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JoinServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    # ------------------------------------------------------------ observation
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_flight(self) -> int:
+        """Currently admitted-and-unfinished queries (running + queued)."""
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> dict:
+        """Serving counters, latency quantiles, and per-tenant cache rates."""
+        counters = self.metrics.snapshot()["counters"]
+        histogram = self.metrics.histogram(
+            "serve_latency_seconds", LATENCY_BUCKETS
+        )
+        stats = {
+            "in_flight": self.in_flight,
+            "closed": self._closed,
+            "max_in_flight": self.max_in_flight,
+            "queue_depth": self.queue_depth,
+            "overload": self.overload,
+            "coalesce": self.coalesce,
+            "admitted": counters.get("serve_queries_admitted", 0),
+            "completed": counters.get("serve_queries_completed", 0),
+            "failed": counters.get("serve_queries_failed", 0),
+            "shed": counters.get("serve_queries_shed", 0),
+            "coalesced": counters.get("serve_queries_coalesced", 0),
+            "latency_p50": histogram.quantile(0.50),
+            "latency_p95": histogram.quantile(0.95),
+            "latency_p99": histogram.quantile(0.99),
+            "latency_mean": histogram.mean,
+            "tenants": tenant_cache_stats(counters),
+        }
+        plan_cache = getattr(self.backend, "plan_cache", None)
+        if plan_cache is not None:
+            stats["plan_cache"] = plan_cache.stats()
+        return stats
+
+
+def tenant_cache_stats(counters: dict) -> dict:
+    """Per-tenant hit/miss/hit-rate table from a counter snapshot.
+
+    Reads the ``tenant_cache_hits.<t>`` / ``tenant_cache_misses.<t>``
+    counters the executor maintains for tenant-scoped queries.
+    """
+    tenants: dict[str, dict] = {}
+    for prefix, field in (
+        ("tenant_cache_hits.", "hits"),
+        ("tenant_cache_misses.", "misses"),
+    ):
+        for name, value in counters.items():
+            if name.startswith(prefix):
+                entry = tenants.setdefault(
+                    name[len(prefix):], {"hits": 0, "misses": 0}
+                )
+                entry[field] = value
+    for entry in tenants.values():
+        lookups = entry["hits"] + entry["misses"]
+        entry["hit_rate"] = entry["hits"] / lookups if lookups else 0.0
+    return tenants
+
+
+__all__ = ["JoinServer", "REJECTED_OPTIONS", "tenant_cache_stats"]

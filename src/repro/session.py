@@ -37,7 +37,7 @@ from repro.query.ddl import (
 JOIN_QUERY_OPTIONS = frozenset(
     {
         "planner", "join_algo", "store_result", "n_workers", "use_cache",
-        "analyze", "trace",
+        "analyze", "trace", "tenant",
     }
 )
 
@@ -85,11 +85,13 @@ class Session:
         for DROP ARRAY, a :class:`JoinResult` for join queries, and a
         :class:`LocalArray` for single-array queries. ``query_options``
         (``planner``, ``join_algo``, ``store_result``, ``n_workers``,
-        ``use_cache``, ``analyze``, ``trace``) apply to join queries —
-        ``trace="out.json"`` records execution spans onto
+        ``use_cache``, ``analyze``, ``trace``, ``tenant``) apply to join
+        queries — ``trace="out.json"`` records execution spans onto
         ``result.trace`` and writes Chrome trace JSON, ``analyze=True``
-        captures the per-node profile; unknown option names — and
-        any option on a statement that cannot honour it — raise
+        captures the per-node profile, ``tenant="name"`` namespaces the
+        plan-cache entry per tenant (shared LRU budget, per-tenant
+        hit/miss counters in ``session.metrics``); unknown option names
+        — and any option on a statement that cannot honour it — raise
         :class:`~repro.errors.ExecutionError` instead of being silently
         dropped.
         """

@@ -104,9 +104,15 @@ class TestSplitUnsplitEquivalence:
             )
             assert sorted_cell_bytes(result) == expected, (split, mode, workers)
 
-    def test_adaptive_resplits_the_hot_bucket(self, hash_cluster):
+    def test_adaptive_resplits_the_hot_bucket(self, hash_cluster, monkeypatch):
         """The single-hot-key straggler defeats key-range cuts; the
         run-time row-halving must pick it up on the shm path."""
+        import repro.engine.parallel as parallel
+
+        # Adaptive dispatch gates itself off when the host grants a
+        # single effective slot; pretend the CPUs are there so the
+        # resplitter is exercised on any machine.
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 4)
         serial = _executor(hash_cluster, 0.0001, n_buckets=1024).execute(
             HASH_QUERY, planner="tabu", join_algo="hash"
         )
@@ -119,6 +125,27 @@ class TestSplitUnsplitEquivalence:
         assert meta["steal_count"] >= 0
         assert sorted_cell_bytes(adaptive) == sorted_cell_bytes(serial)
 
+    def test_single_slot_gates_adaptive_to_static(
+        self, hash_cluster, monkeypatch
+    ):
+        """One effective worker slot cannot run split halves
+        concurrently, so adaptive dispatch must fall back to the static
+        split: zero re-splits, byte-identical output."""
+        import repro.engine.parallel as parallel
+
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 1)
+        serial = _executor(hash_cluster, 0.0001, n_buckets=1024).execute(
+            HASH_QUERY, planner="tabu", join_algo="hash"
+        )
+        gated = _executor(
+            hash_cluster, 0.0001, mode="process", workers=4,
+            split_units="adaptive", n_buckets=1024,
+        ).execute(HASH_QUERY, planner="tabu", join_algo="hash")
+        meta = gated.report.meta
+        assert meta["runtime_resplits"] == 0
+        assert meta["steal_count"] == 0
+        assert sorted_cell_bytes(gated) == sorted_cell_bytes(serial)
+
     def test_deep_resplit_tree_stays_byte_identical(
         self, hash_cluster, monkeypatch
     ):
@@ -127,6 +154,7 @@ class TestSplitUnsplitEquivalence:
         import repro.engine.parallel as parallel
 
         monkeypatch.setattr(parallel, "_RESPLIT_MIN_ROWS", 64)
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 4)
         serial = _executor(hash_cluster, 0.0001, n_buckets=1024).execute(
             HASH_QUERY, planner="tabu", join_algo="hash"
         )

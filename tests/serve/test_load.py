@@ -1,0 +1,213 @@
+"""Load-generator tests: mix determinism, both arrival disciplines,
+report accounting, and verification against serial references.
+
+The fast half uses a synthetic backend (instant joins, controllable
+failures); the real half drives a small Session through closed- and
+open-loop runs and checks the reports end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    JoinServer,
+    LoadReport,
+    QueryMix,
+    run_closed_loop,
+    run_open_loop,
+    serial_references,
+)
+from tests.serve.test_server import HASH_QUERY, MERGE_QUERY, build_session
+
+QUERIES = (MERGE_QUERY, HASH_QUERY)
+
+
+class InstantBackend:
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+
+    def execute(self, statement, **options):
+        return (statement, options.get("tenant"))
+
+
+class TestQueryMix:
+    def test_requires_statements_and_tenants(self):
+        with pytest.raises(ValueError, match="statement"):
+            QueryMix(statements=[], tenants=["t"])
+        with pytest.raises(ValueError, match="tenant"):
+            QueryMix(statements=["Q"], tenants=[])
+
+    def test_draws_are_deterministic_per_seed(self):
+        mix = QueryMix(
+            statements=["Q0", "Q1"], tenants=["a", "b", "c"], seed=3
+        )
+        first = [mix.draw(np.random.default_rng(0)) for _ in range(20)]
+        second = [mix.draw(np.random.default_rng(0)) for _ in range(20)]
+        assert first == second
+        assert {tenant for _, tenant in first} <= {"a", "b", "c"}
+
+    def test_statement_skew_defaults_uniform(self):
+        mix = QueryMix(statements=["Q0", "Q1", "Q2"], tenants=["a"])
+        assert np.allclose(mix.statement_weights, 1 / 3)
+        hot = QueryMix(
+            statements=["Q0", "Q1", "Q2"], tenants=["a"],
+            statement_alpha=2.0, seed=0,
+        )
+        weights = sorted(hot.statement_weights, reverse=True)
+        assert weights[0] > 0.5 > weights[-1]
+        assert abs(sum(hot.statement_weights) - 1.0) < 1e-9
+
+    def test_tenant_weights_are_zipf_skewed(self):
+        mix = QueryMix(
+            statements=["Q"], tenants=[f"t{i}" for i in range(6)],
+            tenant_alpha=1.5, seed=0,
+        )
+        weights = sorted(mix.tenant_weights, reverse=True)
+        assert weights[0] > weights[-1]
+        assert abs(sum(mix.tenant_weights) - 1.0) < 1e-9
+
+
+class TestClosedLoop:
+    def test_counts_and_report_shape(self):
+        backend = InstantBackend()
+        mix = QueryMix(statements=["Q0", "Q1"], tenants=["a", "b"])
+        with JoinServer(backend, max_in_flight=2, coalesce=False) as server:
+            report = run_closed_loop(
+                server, mix, clients=3, requests_per_client=5
+            )
+        assert isinstance(report, LoadReport)
+        assert report.mode == "closed"
+        assert report.clients == 3
+        assert report.requests == 15
+        assert report.completed == 15
+        assert report.shed == 0 and report.errors == 0
+        assert report.qps > 0
+        assert report.latency_p50 <= report.latency_p99
+        assert report.counters["serve_queries_admitted"] == 15
+        row = report.row()
+        assert row["mode"] == "closed" and row["qps"] == report.qps
+        assert {"latency_p50", "latency_p95", "latency_p99",
+                "latency_max"} <= set(row)
+
+    def test_validates_arguments(self):
+        backend = InstantBackend()
+        mix = QueryMix(statements=["Q"], tenants=["a"])
+        with JoinServer(backend) as server:
+            with pytest.raises(ValueError):
+                run_closed_loop(server, mix, clients=0,
+                                requests_per_client=1)
+            with pytest.raises(ValueError):
+                run_closed_loop(server, mix, clients=1,
+                                requests_per_client=0)
+
+    def test_errors_are_counted_not_raised(self):
+        class Flaky:
+            metrics = MetricsRegistry()
+
+            def execute(self, statement, **options):
+                raise ExecutionError("nope")
+
+        mix = QueryMix(statements=["Q"], tenants=["a"])
+        with JoinServer(Flaky(), coalesce=False) as server:
+            report = run_closed_loop(
+                server, mix, clients=2, requests_per_client=3
+            )
+        assert report.errors == 6
+        assert report.completed == 0
+        assert report.requests == 6
+
+
+class TestOpenLoop:
+    def test_counts_and_schedule(self):
+        backend = InstantBackend()
+        mix = QueryMix(statements=["Q"], tenants=["a"])
+        with JoinServer(backend, max_in_flight=2, coalesce=False) as server:
+            report = run_open_loop(
+                server, mix, rate_qps=500.0, total_requests=20
+            )
+        assert report.mode == "open"
+        assert report.completed == 20
+        assert report.shed == 0 and report.errors == 0
+        # 20 arrivals at 500 q/s occupy at least ~38ms of schedule.
+        assert report.duration_seconds >= 19 / 500.0
+
+    def test_sheds_when_offered_load_exceeds_capacity(self):
+        import threading
+
+        class Slow:
+            metrics = MetricsRegistry()
+            gate = threading.Event()
+
+            def execute(self, statement, **options):
+                self.gate.wait(timeout=10)
+                return statement
+
+        backend = Slow()
+        mix = QueryMix(statements=["Q0", "Q1", "Q2"], tenants=["a"])
+        with JoinServer(
+            backend, max_in_flight=1, queue_depth=0, overload="shed",
+            coalesce=False,
+        ) as server:
+            # Arrivals far outrun the (parked) server: everything past
+            # the single admitted query must shed, not queue.
+            opened = threading.Timer(0.3, backend.gate.set)
+            opened.start()
+            report = run_open_loop(
+                server, mix, rate_qps=200.0, total_requests=12
+            )
+            opened.join()
+        assert report.shed > 0
+        assert report.completed + report.shed + report.errors == 12
+        assert report.counters["serve_queries_shed"] == report.shed
+
+    def test_validates_arguments(self):
+        backend = InstantBackend()
+        mix = QueryMix(statements=["Q"], tenants=["a"])
+        with JoinServer(backend) as server:
+            with pytest.raises(ValueError, match="rate_qps"):
+                run_open_loop(server, mix, rate_qps=0.0, total_requests=1)
+            with pytest.raises(ValueError, match="request"):
+                run_open_loop(server, mix, rate_qps=1.0, total_requests=0)
+
+
+class TestAgainstRealSession:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return build_session(seed=11, n_cells=120)
+
+    def test_closed_loop_verifies_byte_identity(self, session):
+        references = serial_references(session, list(QUERIES))
+        session.executor.plan_cache.clear()
+        mix = QueryMix(
+            statements=list(QUERIES), tenants=["t0", "t1"], seed=5
+        )
+        with JoinServer(session, max_in_flight=4, queue_depth=8) as server:
+            report = run_closed_loop(
+                server, mix, clients=4, requests_per_client=4,
+                references=references,
+            )
+        assert report.completed == 16
+        assert report.outputs_identical
+        assert report.distinct_results_verified >= 1
+        # Coalesced requests share results, so distinct results never
+        # exceed completions.
+        assert report.distinct_results_verified <= report.completed
+        assert set(report.per_tenant) == {"t0", "t1"}
+
+    def test_open_loop_verifies_byte_identity(self, session):
+        references = serial_references(session, list(QUERIES))
+        mix = QueryMix(
+            statements=list(QUERIES), tenants=["t0", "t1"], seed=6
+        )
+        with JoinServer(
+            session, max_in_flight=2, queue_depth=4, overload="shed"
+        ) as server:
+            report = run_open_loop(
+                server, mix, rate_qps=50.0, total_requests=12,
+                references=references,
+            )
+        assert report.completed + report.shed + report.errors == 12
+        assert report.errors == 0
+        assert report.outputs_identical

@@ -115,3 +115,72 @@ class TestSessionLifecycle:
         session.execute("CREATE ARRAY A<v:int64>[i=1,8,2]")
         with pytest.raises(CatalogError):
             session.execute("CREATE ARRAY A<v:int64>[i=1,8,2]")
+
+
+class TestTenantOption:
+    """tenant= on Session.execute: validation and cache namespacing."""
+
+    QUERY = "SELECT A.v, B.v FROM A JOIN B ON A.i = B.i AND A.j = B.j"
+
+    def build(self):
+        session = Session(n_nodes=2, selectivity_hint=0.3)
+        session.create_and_load(
+            "A<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=21)
+        )
+        session.create_and_load(
+            "B<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=22)
+        )
+        return session
+
+    def test_tenant_namespaces_the_plan_cache(self):
+        session = self.build()
+        first = session.execute(self.QUERY, tenant="acme")
+        assert first.report.cache.get("status") == "miss"
+        warm = session.execute(self.QUERY, tenant="acme")
+        assert warm.report.cache.get("status") == "hit"
+        # A different tenant never sees acme's entry.
+        other = session.execute(self.QUERY, tenant="rival")
+        assert other.report.cache.get("status") == "miss"
+        # ...and neither does the tenantless namespace.
+        plain = session.execute(self.QUERY)
+        assert plain.report.cache.get("status") == "miss"
+
+    def test_per_tenant_counters_accumulate(self):
+        session = self.build()
+        for _ in range(3):
+            session.execute(self.QUERY, tenant="acme")
+        session.execute(self.QUERY, tenant="rival")
+        counters = session.executor.metrics.snapshot()["counters"]
+        assert counters["tenant_cache_misses.acme"] == 1
+        assert counters["tenant_cache_hits.acme"] == 2
+        assert counters["tenant_cache_misses.rival"] == 1
+        assert counters.get("tenant_cache_hits.rival", 0) == 0
+
+    def test_invalid_tenant_rejected(self):
+        from repro.errors import ExecutionError
+
+        session = self.build()
+        for bad in (123, "", b"acme", ["acme"]):
+            with pytest.raises(ExecutionError, match="tenant"):
+                session.execute(self.QUERY, tenant=bad)
+
+    def test_unknown_option_message_lists_tenant(self):
+        from repro.errors import ExecutionError
+
+        session = self.build()
+        with pytest.raises(ExecutionError, match="tenant"):
+            session.execute(self.QUERY, tenannt="oops")
+
+    def test_multi_join_rejects_tenant(self):
+        from repro.errors import ExecutionError
+
+        session = self.build()
+        session.create_and_load(
+            "C<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=23)
+        )
+        with pytest.raises(ExecutionError, match="tenant"):
+            session.execute(
+                "SELECT A.v FROM A, B, C "
+                "WHERE A.i = B.i AND A.j = B.j AND B.i = C.i AND B.j = C.j",
+                tenant="acme",
+            )
