@@ -1,0 +1,75 @@
+"""Smoke test for the multiway pipeline benchmark.
+
+Runs the ``--multiway`` harness at a fraction of benchmark scale on
+every CI run, asserting the properties the full BENCH_PR9 artifact
+certifies: the parallel-stage and warm outputs are byte-identical to
+serial, the first pipeline execution is a cold miss, every repeat is a
+warm hit that replays only the final cached stage, and warm execution
+beats cold by the no-slower floor (>= 5x on the chain workload — the
+warm path skips the ordering DP, per-stage planning, simulation, and
+all but the last stage's execution, a gap that is CPU-count
+independent).
+"""
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import run_multiway_bench, write_results
+from repro.engine.parallel import shutdown_pools
+
+
+@pytest.fixture(scope="module")
+def multiway_result():
+    result = run_multiway_bench(
+        shape="chain",
+        planner="tabu",
+        n_arrays=4,
+        alpha=1.0,
+        n_workers=2,
+        cells_per_array=1_500,
+        n_nodes=4,
+        repeats=3,
+        seed=3,
+        cache_capacity=8,
+    )
+    shutdown_pools()
+    return result
+
+
+def test_multiway_correctness(multiway_result):
+    assert multiway_result.parallel_identical
+    assert multiway_result.warm_identical
+    assert multiway_result.nocache_identical
+    assert multiway_result.n_stages == 3
+    assert multiway_result.stages_cached == 3
+    assert multiway_result.cache["misses"] == 1
+    assert multiway_result.cache["hits"] == multiway_result.repeats
+    assert multiway_result.cache["entries"] == 1
+
+
+def test_warm_pipeline_at_least_5x_cold(multiway_result):
+    assert multiway_result.cold_seconds > 0
+    assert multiway_result.warm_speedup >= 5.0
+
+
+def test_warm_planning_beats_cold_planning(multiway_result):
+    # Cold planning runs the ordering DP plus per-stage logical +
+    # physical planning and the shuffle simulation; warm planning is one
+    # fingerprint lookup.
+    assert multiway_result.cold_plan_seconds > 0
+    assert multiway_result.warm_plan_seconds < (
+        multiway_result.cold_plan_seconds / 5
+    )
+
+
+def test_multiway_json_roundtrip(multiway_result, tmp_path):
+    out = tmp_path / "bench.json"
+    write_results([], str(out), multiway_results=[multiway_result])
+    payload = json.loads(out.read_text())
+    assert "results" not in payload
+    (entry,) = payload["multiway"]
+    assert entry["shape"] == "chain"
+    assert entry["parallel_identical"] is True
+    assert entry["warm_identical"] is True
+    assert entry["warm_speedup"] >= 5.0

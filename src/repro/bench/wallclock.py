@@ -53,6 +53,12 @@ from repro.serve import (
     serial_references,
     tenant_cache_stats,
 )
+from repro.workloads.synthetic import (
+    chain_arrays,
+    chain_query,
+    star_arrays,
+    star_query,
+)
 
 #: Skew-workload builders, keyed by the figure whose data they reuse.
 #: Each returns (executor, query, join_algo) for the default paper-scale
@@ -1216,6 +1222,182 @@ def run_skew_bench(
     )
 
 
+# ---------------------------------------------------- multiway pipeline mode
+
+
+@dataclass
+class MultiwayResult:
+    """Parallel-stage and pipeline-cache gains for one N-way pipeline.
+
+    Two comparisons on the same generated workload, each on a fresh
+    cluster: (1) *parallel stages* — the full pipeline with the plan
+    cache disabled, serial vs shared-memory process workers, outputs
+    byte-compared; (2) *pipeline caching* — cold (whole-pipeline
+    fingerprint miss: ordering DP, per-stage planning, simulation) vs
+    warm (fingerprint hit: only the final cached stage replays), again
+    byte-compared, plus a cache-disabled rerun as the control.
+    """
+
+    shape: str
+    planner: str
+    n_arrays: int
+    n_stages: int
+    alpha: float
+    cells_per_array: int
+    n_nodes: int
+    n_workers: int
+    repeats: int
+    cache_capacity: int
+    cpu_count: int
+    worker_mode: str
+    platform: str
+    output_cells: int
+    #: serial vs parallel stages (plan cache disabled on both sides)
+    serial_seconds: float
+    parallel_seconds: float
+    parallel_speedup: float
+    parallel_identical: bool
+    #: cold vs warm through the whole-pipeline plan cache
+    cold_seconds: float
+    warm_seconds: float
+    warm_mean_seconds: float
+    warm_samples: list[float]
+    warm_speedup: float
+    cold_plan_seconds: float
+    warm_plan_seconds: float
+    stages_cached: int
+    cache: dict
+    warm_identical: bool
+    nocache_identical: bool
+
+
+def _multiway_workload(
+    shape: str, n_arrays: int, alpha: float, cells_per_array: int, seed: int
+) -> tuple[list, str]:
+    """Generated arrays plus the matching multi-join statement."""
+    if shape == "chain":
+        arrays = chain_arrays(
+            n_arrays, alpha, cells_per_array=cells_per_array, rng=seed
+        )
+        return arrays, chain_query(n_arrays)
+    if shape == "star":
+        n_dims = n_arrays - 1
+        arrays = star_arrays(
+            n_dims,
+            alpha,
+            fact_cells=cells_per_array,
+            dim_cells=max(cells_per_array // 4, 64),
+            rng=seed,
+        )
+        return arrays, star_query(n_dims)
+    raise ValueError(
+        f"unknown multiway shape {shape!r}; choose 'chain' or 'star'"
+    )
+
+
+def run_multiway_bench(
+    shape: str = "chain",
+    planner: str = "tabu",
+    n_arrays: int = 4,
+    alpha: float = 1.0,
+    n_workers: int = 4,
+    cells_per_array: int = 4_000,
+    n_nodes: int = 4,
+    repeats: int = 5,
+    seed: int = 0,
+    cache_capacity: int = 32,
+) -> MultiwayResult:
+    """Measure one N-way pipeline's parallel-stage and warm-cache gains.
+
+    Every execution goes through the public ``execute`` entry point.
+    The cold sample is a genuine first-pipeline latency (ordering DP +
+    per-stage planning + simulation + execution); the warm samples must
+    be fingerprint hits, and every variant's sorted output must be
+    byte-identical to the serial reference.
+    """
+
+    def fresh_executor(**options) -> tuple[ShuffleJoinExecutor, str]:
+        arrays, query = _multiway_workload(
+            shape, n_arrays, alpha, cells_per_array, seed
+        )
+        cluster = make_cluster(arrays, n_nodes, seed=seed, placement="block")
+        return ShuffleJoinExecutor(cluster, **options), query
+
+    # -- parallel stages: serial vs shm process workers, cache off -------
+    executor, query = fresh_executor(parallel_mode="process", shm=True)
+    serial_samples: list[float] = []
+    serial_result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        serial_result = executor.execute(query, planner=planner, use_cache=False)
+        serial_samples.append(time.perf_counter() - started)
+    parallel_samples: list[float] = []
+    parallel_result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        parallel_result = executor.execute(
+            query, planner=planner, n_workers=n_workers, use_cache=False
+        )
+        parallel_samples.append(time.perf_counter() - started)
+    serial_bytes = sorted_cell_bytes(serial_result)
+    serial_best = min(serial_samples)
+    parallel_best = min(parallel_samples)
+
+    # -- pipeline cache: cold vs warm on a fresh cluster -----------------
+    executor, query = fresh_executor(plan_cache_size=cache_capacity)
+    started = time.perf_counter()
+    cold = executor.execute(query, planner=planner)
+    cold_seconds = time.perf_counter() - started
+    if cold.report.cache.get("status") != "miss":
+        raise RuntimeError("first pipeline execution must be a cache miss")
+    warm_samples: list[float] = []
+    warm = cold
+    for _ in range(repeats):
+        started = time.perf_counter()
+        warm = executor.execute(query, planner=planner)
+        warm_samples.append(time.perf_counter() - started)
+        if warm.report.cache.get("status") != "hit":
+            raise RuntimeError(
+                "repeated pipeline execution must be a cache hit"
+            )
+    nocache = executor.execute(query, planner=planner, use_cache=False)
+    warm_best = min(warm_samples)
+
+    return MultiwayResult(
+        shape=shape,
+        planner=planner,
+        n_arrays=n_arrays,
+        n_stages=cold.plan.n_stages,
+        alpha=alpha,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        n_workers=n_workers,
+        repeats=repeats,
+        cache_capacity=cache_capacity,
+        cpu_count=available_cpus(),
+        worker_mode="process+shm",
+        platform=platform.platform(),
+        output_cells=int(cold.array.n_cells),
+        serial_seconds=serial_best,
+        parallel_seconds=parallel_best,
+        parallel_speedup=(
+            serial_best / parallel_best if parallel_best else float("inf")
+        ),
+        parallel_identical=sorted_cell_bytes(parallel_result) == serial_bytes,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_best,
+        warm_mean_seconds=sum(warm_samples) / len(warm_samples),
+        warm_samples=warm_samples,
+        warm_speedup=cold_seconds / warm_best if warm_best else float("inf"),
+        cold_plan_seconds=cold.report.plan_seconds,
+        warm_plan_seconds=warm.report.plan_seconds,
+        stages_cached=int(warm.report.meta.get("stages_cached", 0)),
+        cache=dict(executor.plan_cache.stats()),
+        warm_identical=sorted_cell_bytes(warm) == serial_bytes,
+        nocache_identical=sorted_cell_bytes(nocache) == serial_bytes,
+    )
+
+
 def write_results(
     results: list[WallclockResult],
     path: str,
@@ -1227,6 +1409,7 @@ def write_results(
     multicore_results: "list[MulticoreResult] | None" = None,
     skew_results: "list[SkewResult] | None" = None,
     serving_load_results: "list[ServingLoadResult] | None" = None,
+    multiway_results: "list[MultiwayResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -1258,6 +1441,8 @@ def write_results(
         payload["serving_load"] = [
             vars(result) for result in serving_load_results
         ]
+    if multiway_results:
+        payload["multiway"] = [vars(result) for result in multiway_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -1386,6 +1571,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--load-open-requests", type=int, default=40,
         help="open-loop request count (0 skips the open-loop run)",
+    )
+    parser.add_argument(
+        "--multiway", action="store_true",
+        help="N-way pipeline mode: parallel stages vs serial and warm "
+        "(pipeline-cached) vs cold, per shape x stage count x alpha",
+    )
+    parser.add_argument(
+        "--multiway-shapes", choices=("chain", "star"), nargs="+",
+        default=["chain"], help="pipeline shapes for the --multiway sweep",
+    )
+    parser.add_argument(
+        "--multiway-arrays", type=int, nargs="+", default=[4],
+        help="array counts (stage counts + 1) for the --multiway sweep",
+    )
+    parser.add_argument(
+        "--multiway-alphas", type=float, nargs="+", default=[0.0, 1.0],
+        help="Zipf alpha levels of the foreign-key skew for --multiway",
+    )
+    parser.add_argument(
+        "--multiway-workers", type=int, default=4,
+        help="worker count for the --multiway parallel-stage comparison",
+    )
+    parser.add_argument(
+        "--multiway-cells", type=int, default=4_000,
+        help="cells per generated array for the --multiway sweep",
+    )
+    parser.add_argument(
+        "--multiway-planner", default="tabu",
+        help="physical planner for the --multiway pipeline stages",
     )
     parser.add_argument(
         "--trace-dir", default=None, metavar="DIR",
@@ -1630,6 +1844,42 @@ def main(argv: list[str] | None = None) -> int:
                     f"(rate={entry['hit_rate']:.2f})"
                 )
 
+    multiway_results = []
+    if args.multiway:
+        for shape in args.multiway_shapes:
+            for n_arrays in args.multiway_arrays:
+                for alpha in args.multiway_alphas:
+                    row = run_multiway_bench(
+                        shape=shape,
+                        planner=args.multiway_planner,
+                        n_arrays=n_arrays,
+                        alpha=alpha,
+                        n_workers=args.multiway_workers,
+                        cells_per_array=args.multiway_cells,
+                        n_nodes=args.nodes,
+                        repeats=args.repeats,
+                        seed=args.seed,
+                        cache_capacity=args.cache_capacity,
+                    )
+                    multiway_results.append(row)
+                    print(
+                        f"{row.shape} x{row.n_arrays} multiway "
+                        f"[{row.planner}] alpha={row.alpha} "
+                        f"({row.n_stages} stages, {row.output_cells} cells, "
+                        f"{row.cpu_count} cpus): serial "
+                        f"{row.serial_seconds:.3f}s vs "
+                        f"{row.n_workers}-worker "
+                        f"{row.parallel_seconds:.3f}s -> "
+                        f"{row.parallel_speedup:.2f}x "
+                        f"(identical={row.parallel_identical}); cold "
+                        f"{row.cold_seconds:.3f}s vs warm "
+                        f"{row.warm_seconds:.3f}s -> "
+                        f"{row.warm_speedup:.2f}x "
+                        f"({row.stages_cached} stages cached, identical="
+                        f"{row.warm_identical and row.nocache_identical})"
+                    )
+        shutdown_pools()
+
     trace_results = []
     if args.trace_dir:
         for workload in args.workload or list(WORKLOADS):
@@ -1665,6 +1915,7 @@ def main(argv: list[str] | None = None) -> int:
             multicore_results=multicore_results or None,
             skew_results=skew_results or None,
             serving_load_results=serving_load_results or None,
+            multiway_results=multiway_results or None,
         )
         print(f"wrote {args.out}")
     return 0

@@ -173,6 +173,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--load-queue-depth", str(args.load_queue_depth),
         "--load-open-rate", str(args.load_open_rate),
         "--load-open-requests", str(args.load_open_requests),
+        "--multiway-workers", str(args.multiway_workers),
+        "--multiway-cells", str(args.multiway_cells),
+        "--multiway-planner", args.multiway_planner,
+    ]
+    forwarded += ["--multiway-shapes"] + list(args.multiway_shapes)
+    forwarded += ["--multiway-arrays"] + [
+        str(count) for count in args.multiway_arrays
+    ]
+    forwarded += ["--multiway-alphas"] + [
+        str(alpha) for alpha in args.multiway_alphas
     ]
     forwarded += ["--load-clients"] + [
         str(count) for count in args.load_clients
@@ -205,6 +215,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--serving-load")
     if args.load_no_coalesce:
         forwarded.append("--load-no-coalesce")
+    if args.multiway:
+        forwarded.append("--multiway")
     return wallclock_main(forwarded)
 
 
@@ -366,6 +378,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--load-open-requests", type=int, default=40,
         help="open-loop request count (0 skips the open-loop run)",
     )
+    bench.add_argument(
+        "--multiway", action="store_true",
+        help="N-way pipeline mode: parallel stages vs serial and warm "
+        "(pipeline-cached) vs cold, per shape x stage count x alpha",
+    )
+    bench.add_argument(
+        "--multiway-shapes", choices=("chain", "star"), nargs="+",
+        default=["chain"],
+    )
+    bench.add_argument("--multiway-arrays", type=int, nargs="+", default=[4])
+    bench.add_argument(
+        "--multiway-alphas", type=float, nargs="+", default=[0.0, 1.0],
+    )
+    bench.add_argument("--multiway-workers", type=int, default=4)
+    bench.add_argument("--multiway-cells", type=int, default=4_000)
+    bench.add_argument("--multiway-planner", default="tabu")
     bench.set_defaults(func=cmd_bench)
     return parser
 

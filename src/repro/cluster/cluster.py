@@ -12,7 +12,7 @@ from repro.adm.cells import CellSet
 from repro.adm.chunk import build_chunks
 from repro.adm.parser import parse_schema
 from repro.adm.schema import ArraySchema
-from repro.cluster.catalog import SystemCatalog
+from repro.cluster.catalog import ArrayEntry, SystemCatalog
 from repro.cluster.network import NetworkParams
 from repro.cluster.node import Node
 from repro.errors import CatalogError, SchemaError
@@ -46,6 +46,10 @@ class Cluster:
         )
         self.nodes = [Node(node_id) for node_id in range(n_nodes)]
         self.catalog = SystemCatalog()
+        #: ephemeral (pipeline-intermediate) arrays: resolved before the
+        #: catalog by ``catalog_entry`` but invisible to ``array_names``,
+        #: version counters, and plan fingerprints
+        self._ephemeral: dict[str, ArrayEntry] = {}
 
     @property
     def n_nodes(self) -> int:
@@ -202,14 +206,64 @@ class Cluster:
         for node in self.nodes:
             node.drop_array(name)
 
+    # ------------------------------------------- ephemeral (pipeline) arrays
+
+    def attach_ephemeral(
+        self, schema: ArraySchema, node_cells: Sequence[CellSet]
+    ) -> ArrayEntry:
+        """Attach a pipeline-intermediate array already partitioned per node.
+
+        Ephemeral arrays back materialised multi-join intermediates: each
+        node receives its piece as one dimensionless chunk, and the entry
+        lives in a side registry rather than the system catalog — so
+        attaching/detaching intermediates never mints catalog uids, never
+        bumps version counters, and can never invalidate cached plans over
+        unrelated arrays. ``node_cells`` must have one CellSet per node
+        (empty pieces allowed).
+        """
+        from repro.adm.chunk import Chunk
+
+        name = schema.name
+        if name in self._ephemeral or self.catalog.exists(name):
+            raise CatalogError(f"array {name!r} already exists")
+        if len(node_cells) != self.n_nodes:
+            raise SchemaError(
+                f"ephemeral array {name!r} needs one cell piece per node "
+                f"({self.n_nodes}), got {len(node_cells)}"
+            )
+        chunk_locations: dict[int, int] = {}
+        for node, piece in zip(self.nodes, node_cells):
+            node.create_store(schema)
+            if len(piece):
+                node.put_chunk(
+                    name, Chunk(chunk_id=node.node_id, corner=(), cells=piece)
+                )
+                chunk_locations[node.node_id] = node.node_id
+        entry = ArrayEntry(schema=schema, chunk_locations=chunk_locations)
+        self._ephemeral[name] = entry
+        return entry
+
+    def detach_ephemeral(self, name: str) -> None:
+        """Drop an ephemeral array's entry and node partitions (idempotent)."""
+        if self._ephemeral.pop(name, None) is not None:
+            for node in self.nodes:
+                node.drop_array(name)
+
+    def catalog_entry(self, name: str) -> ArrayEntry:
+        """Resolve an array entry: ephemeral registry first, then catalog."""
+        entry = self._ephemeral.get(name)
+        if entry is not None:
+            return entry
+        return self.catalog.entry(name)
+
     # ------------------------------------------------------------ inspection
 
     def schema(self, name: str) -> ArraySchema:
-        return self.catalog.schema(name)
+        return self.catalog_entry(name).schema
 
     def array_cells(self, name: str) -> CellSet:
         """Gather every cell of an array from all nodes (for tests/results)."""
-        schema = self.catalog.schema(name)
+        schema = self.catalog_entry(name).schema
         parts = [
             node.store(name).cells()
             for node in self.nodes
@@ -223,7 +277,7 @@ class Cluster:
 
     def gather_array(self, name: str) -> LocalArray:
         """Materialise a distributed array as a single LocalArray."""
-        schema = self.catalog.schema(name)
+        schema = self.catalog_entry(name).schema
         return LocalArray(schema, build_chunks(schema, self.array_cells(name)))
 
     def array_cell_count(self, name: str) -> int:
@@ -344,7 +398,7 @@ class Cluster:
         from repro.adm.stats import Histogram
         from repro.cluster.catalog import ArrayStatistics
 
-        entry = self.catalog.entry(name)
+        entry = self.catalog_entry(name)
         schema = entry.schema
         histograms: dict[str, Histogram] = {}
         for attr in schema.attrs:
@@ -382,7 +436,7 @@ class Cluster:
 
     def statistics(self, name: str) -> "ArrayStatistics":
         """Fresh statistics for an array, analyzing on demand."""
-        entry = self.catalog.entry(name)
+        entry = self.catalog_entry(name)
         if entry.statistics_fresh:
             return entry.statistics
         return self.analyze(name)

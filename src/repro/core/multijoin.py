@@ -52,6 +52,11 @@ class MultiJoinPlan:
     steps: list[JoinStep] = field(default_factory=list)
     total_cost: float = 0.0
 
+    @property
+    def n_stages(self) -> int:
+        """Number of 2-way joins the chained executor will run."""
+        return len(self.steps)
+
     def describe(self) -> str:
         lines = [f"join order: {' ⋈ '.join(self.order)} "
                  f"(total cost {self.total_cost:.3g})"]

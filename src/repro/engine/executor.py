@@ -642,18 +642,10 @@ class ShuffleJoinExecutor:
                     "multi-join stages choose their own join algorithms; "
                     "join_algo cannot be pinned"
                 )
-            if analyze:
-                raise ExecutionError(
-                    "analyze covers two-array joins; multi-join stages "
-                    "report per-stage only"
-                )
-            if tenant is not None:
-                raise ExecutionError(
-                    "tenant namespacing covers two-array joins; multi-join "
-                    "stages run through per-stage temporaries that are "
-                    "never plan-cached"
-                )
-            result = execute_multi_join(self, parsed, planner=planner)
+            result = execute_multi_join(
+                self, parsed, planner=planner, n_workers=n_workers,
+                use_cache=use_cache, analyze=analyze, tenant=tenant,
+            )
             if store_result and not self.cluster.catalog.exists(
                 result.array.schema.name
             ):
@@ -691,6 +683,14 @@ class ShuffleJoinExecutor:
             n_workers=n_workers, use_cache=use_cache,
             analyze=True, trace=trace,
         )
+        from repro.engine.multijoin import MultiJoinResult
+
+        if isinstance(result, MultiJoinResult):
+            from repro.obs.explain_analyze import MultiJoinExplainAnalyzeReport
+
+            return MultiJoinExplainAnalyzeReport.from_result(
+                result, query=text
+            )
         return ExplainAnalyzeReport.from_result(result, query=text)
 
     def explain(
@@ -708,6 +708,18 @@ class ShuffleJoinExecutor:
         parsed = parse_aql(query) if isinstance(query, str) else query
         if isinstance(parsed, FilterQuery):
             raise ExecutionError("explain covers join queries")
+        if isinstance(parsed, MultiJoinQuery):
+            from repro.engine.multijoin import explain_multi_join
+
+            if join_algo is not None:
+                raise ExecutionError(
+                    "multi-join stages choose their own join algorithms; "
+                    "join_algo cannot be pinned"
+                )
+            return explain_multi_join(
+                self, parsed, planner=planner,
+                text=query if isinstance(query, str) else str(query),
+            )
         alpha = self.cluster.schema(parsed.left)
         beta = self.cluster.schema(parsed.right)
         destination = derive_destination(parsed, alpha, beta)
@@ -719,8 +731,8 @@ class ShuffleJoinExecutor:
         inputs = PlanInputs(
             n_alpha=self.cluster.array_cell_count(parsed.left),
             n_beta=self.cluster.array_cell_count(parsed.right),
-            c_alpha=max(self.cluster.catalog.entry(parsed.left).n_chunks, 1),
-            c_beta=max(self.cluster.catalog.entry(parsed.right).n_chunks, 1),
+            c_alpha=max(self.cluster.catalog_entry(parsed.left).n_chunks, 1),
+            c_beta=max(self.cluster.catalog_entry(parsed.right).n_chunks, 1),
             selectivity=self._selectivity(parsed, join_schema),
             n_nodes=self.cluster.n_nodes,
         )
@@ -807,7 +819,10 @@ class ShuffleJoinExecutor:
     # ------------------------------------------------------------- internals
 
     def prepare(
-        self, query: str | JoinQuery, join_algo: str | None = None
+        self,
+        query: str | JoinQuery,
+        join_algo: str | None = None,
+        selectivity_hint: float | None = None,
     ) -> "PreparedJoin":
         """Run the planner-independent phases once and keep the result.
 
@@ -815,7 +830,9 @@ class ShuffleJoinExecutor:
         planner, so a prepared join can be executed under several
         planners (:meth:`PreparedJoin.execute`,
         :meth:`PreparedJoin.compare`) without repeating them — the shape
-        planner-comparison studies take.
+        planner-comparison studies take. ``selectivity_hint`` overrides
+        the sampling estimator for this query only (the multi-join
+        pipeline hands each stage the ordering DP's output estimate).
         """
         parsed = parse_aql(query) if isinstance(query, str) else query
         if not isinstance(parsed, JoinQuery):
@@ -823,7 +840,9 @@ class ShuffleJoinExecutor:
         snapshot = self.profiler.snapshot()
         plan_started = time.perf_counter()
         with self.profiler.phase("logical_plan"):
-            join_schema, logical_plan = self._logical_phase(parsed, join_algo)
+            join_schema, logical_plan = self._logical_phase(
+                parsed, join_algo, selectivity_hint=selectivity_hint
+            )
         logical_seconds = time.perf_counter() - plan_started
         with self.profiler.phase("stats"):
             n_units, slice_table = self._slice_mapping(
@@ -841,7 +860,10 @@ class ShuffleJoinExecutor:
         )
 
     def _logical_phase(
-        self, query: JoinQuery, join_algo: str | None
+        self,
+        query: JoinQuery,
+        join_algo: str | None,
+        selectivity_hint: float | None = None,
     ) -> tuple[JoinSchema, LogicalPlan]:
         cluster = self.cluster
         alpha = cluster.schema(query.left)
@@ -854,9 +876,11 @@ class ShuffleJoinExecutor:
         inputs = PlanInputs(
             n_alpha=self._filtered_count(query, query.left),
             n_beta=self._filtered_count(query, query.right),
-            c_alpha=max(cluster.catalog.entry(query.left).n_chunks, 1),
-            c_beta=max(cluster.catalog.entry(query.right).n_chunks, 1),
-            selectivity=self._selectivity(query, join_schema),
+            c_alpha=max(cluster.catalog_entry(query.left).n_chunks, 1),
+            c_beta=max(cluster.catalog_entry(query.right).n_chunks, 1),
+            selectivity=self._selectivity(
+                query, join_schema, hint=selectivity_hint
+            ),
             n_nodes=cluster.n_nodes,
         )
         logical_planner = LogicalPlanner(join_schema, inputs)
@@ -866,15 +890,9 @@ class ShuffleJoinExecutor:
             logical_plan = logical_planner.plan_named(join_algo)
         return join_schema, logical_plan
 
-    def _plan_fingerprint(
-        self,
-        query: JoinQuery,
-        planner: str,
-        join_algo: str | None,
-        tenant: str | None = None,
-    ) -> Fingerprint:
-        """Content fingerprint of one (query, data, cluster, options)."""
-        options = {
+    def _fingerprint_options(self, tenant: str | None) -> dict:
+        """Every planner-relevant executor knob, for plan fingerprints."""
+        return {
             # Per-tenant cache namespacing: the tenant token changes the
             # fingerprint, so tenants never hit each other's entries —
             # one shared LRU budget, disjoint key spaces.
@@ -896,7 +914,39 @@ class ShuffleJoinExecutor:
             "cost": self.cost,
             "sim": self.sim,
         }
-        return plan_fingerprint(query, self.cluster, planner, join_algo, options)
+
+    def _plan_fingerprint(
+        self,
+        query: JoinQuery,
+        planner: str,
+        join_algo: str | None,
+        tenant: str | None = None,
+    ) -> Fingerprint:
+        """Content fingerprint of one (query, data, cluster, options)."""
+        return plan_fingerprint(
+            query, self.cluster, planner, join_algo,
+            self._fingerprint_options(tenant),
+        )
+
+    def _pipeline_fingerprint(
+        self,
+        query: MultiJoinQuery,
+        planner: str,
+        tenant: str | None = None,
+    ) -> Fingerprint:
+        """Whole-pipeline fingerprint for a multi-join query.
+
+        Embeds one ``uid.version.epoch@schema`` token per *base* array
+        (intermediates are ephemeral and derived), the cluster shape,
+        and the same option set as binary plans — the ordering DP reads
+        those knobs through each stage's planner. A version or epoch
+        bump on any base array changes the key, so stale pipelines can
+        never be replayed.
+        """
+        return plan_fingerprint(
+            query, self.cluster, planner, None,
+            self._fingerprint_options(tenant),
+        )
 
     def invalidate_cached_plans(self, array_name: str | None = None) -> int:
         """Purge cached plans reading one array (or all); returns count.
@@ -1228,14 +1278,22 @@ class ShuffleJoinExecutor:
                     histograms[key] = stats.histograms[field_name]
         return histograms
 
-    def _selectivity(self, query: JoinQuery, join_schema: JoinSchema) -> float:
+    def _selectivity(
+        self,
+        query: JoinQuery,
+        join_schema: JoinSchema,
+        hint: float | None = None,
+    ) -> float:
         """The output-cardinality knob for the logical cost model.
 
-        An explicit hint wins; otherwise a sampling estimate is taken
-        (see :mod:`repro.engine.estimate`). The planner only needs the
-        estimate's order of magnitude — it decides whether the output or
-        the inputs are cheaper to sort.
+        An explicit hint wins — a per-call one (pipeline stages pass the
+        ordering DP's estimate) over the executor-level knob; otherwise
+        a sampling estimate is taken (see :mod:`repro.engine.estimate`).
+        The planner only needs the estimate's order of magnitude — it
+        decides whether the output or the inputs are cheaper to sort.
         """
+        if hint is not None:
+            return hint
         if self.selectivity_hint is not None:
             return self.selectivity_hint
         from repro.engine.estimate import estimate_selectivity

@@ -1,18 +1,41 @@
 """Chained execution of ordered multi-joins.
 
 Runs a :class:`MultiJoinPlan` as a sequence of 2-way shuffle joins:
-every intermediate result is materialised as a temporary dimensionless
+every intermediate result is materialised as an *ephemeral* dimensionless
 array whose attributes carry the qualified source fields (``A_x``), so
 later predicates and the final SELECT can be rewritten against it. Each
 stage goes through the full shuffle-join pipeline — logical planning,
 slice mapping, physical planning, alignment, comparison — and its
-report is preserved.
+report is preserved; a pipeline-level report aggregates the stages.
+
+Three acceleration layers ride on top of the chain:
+
+- **Parallel stages** — every stage runs through
+  :meth:`ShuffleJoinExecutor.prepare` + :meth:`PreparedJoin.execute`, so
+  the per-query ``n_workers`` override (and the executor's
+  ``parallel_mode``/``kernel``/``split_units`` knobs) applies to every
+  stage, with a ``pipeline_stage`` tracer span per stage.
+- **Intermediate reuse** — intermediates attach through
+  :meth:`Cluster.attach_ephemeral` (block-partitioned across nodes, one
+  dimensionless chunk per node) instead of the catalog: no uid minting,
+  no version bumps, no stale binary-cache entries. The ordering DP's
+  per-step output estimate is handed to each stage as its selectivity
+  hint, so stages skip the 20k-cell sampling pass entirely.
+- **Whole-pipeline plan caching** — the pipeline is fingerprinted over
+  every base array's ``uid.version.epoch@schema`` token; a hit replays
+  only the final stage from its cached prepared state (the cached slice
+  table already holds the materialised intermediate's unit-major
+  assembly), skipping ordering, sampling, and every earlier stage.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.adm.cells import CellSet
 from repro.adm.schema import ArraySchema, Attribute
 from repro.core.join_schema import infer_join_schema
 from repro.core.multijoin import MultiJoinPlan, MultiJoinPlanner, _pair_key
@@ -21,15 +44,25 @@ from repro.errors import PlanningError
 from repro.query.aql import JoinQuery, MultiJoinQuery, SelectItem
 from repro.query.expressions import BinOp, Const, Expression, Field, Neg
 from repro.query.predicates import FieldRef, JoinPredicate
+from repro.serve.cache import CachedPipeline, CachedStage
 
 
 @dataclass
 class MultiJoinResult:
-    """The final join output plus per-stage execution reports."""
+    """The final join output plus per-stage execution reports.
+
+    ``report`` is the pipeline-level :class:`ExecutionReport` aggregating
+    the executed stages (plan/align/compare seconds, traffic, cache
+    outcome); ``stage_results`` holds the per-stage :class:`JoinResult`
+    objects — on a warm (pipeline-cached) run only the final stage
+    executes, so the list has a single entry and
+    ``report.meta["stages_cached"]`` records the skipped count.
+    """
 
     array: object  # LocalArray
     plan: MultiJoinPlan
     stage_results: list = field(default_factory=list)
+    report: object | None = None  # pipeline-level ExecutionReport
 
     @property
     def cells(self):
@@ -37,12 +70,40 @@ class MultiJoinResult:
 
     @property
     def total_seconds(self) -> float:
+        if self.report is not None:
+            return self.report.total_seconds
         return sum(r.report.total_seconds for r in self.stage_results)
 
     def describe(self) -> str:
         lines = [self.plan.describe()]
+        if self.report is not None:
+            lines.append(f"pipeline: {self.report.describe()}")
         for index, stage in enumerate(self.stage_results):
             lines.append(f"stage {index}: {stage.report.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class MultiJoinExplainReport:
+    """EXPLAIN output for a multi-join: the DP order plus cache outcome."""
+
+    query: str
+    plan: MultiJoinPlan
+    n_stages: int
+    cache_status: str | None = None
+    cache_fingerprint: str | None = None
+
+    def describe(self) -> str:
+        lines = [
+            f"multi-join pipeline: {self.n_stages} stages",
+            f"query: {self.query}",
+            self.plan.describe(),
+        ]
+        if self.cache_status is not None:
+            lines.append(
+                f"pipeline plan cache: {self.cache_status} "
+                f"[{self.cache_fingerprint}]"
+            )
         return "\n".join(lines)
 
 
@@ -174,16 +235,173 @@ class _StageState:
         return predicates
 
 
+def _attach_intermediate(cluster, schema: ArraySchema, cells: CellSet) -> None:
+    """Attach a stage's output as an ephemeral array, block-partitioned.
+
+    Rows are cut into ``n_nodes`` contiguous blocks — deterministic given
+    the output's row order, and the sort-based engine makes the *sorted*
+    output identical across execution modes, which is the identity the
+    pipeline guarantees end to end.
+    """
+    k = cluster.n_nodes
+    counts = [len(block) for block in np.array_split(np.arange(len(cells)), k)]
+    node_ids = np.repeat(np.arange(k), counts)
+    cluster.attach_ephemeral(schema, cells.partition(node_ids, k))
+
+
+def _pipeline_report(
+    planner: str,
+    plan: MultiJoinPlan,
+    stage_reports: list,
+    extra_plan_seconds: float,
+    prepare_extra: dict,
+    cache_info: dict,
+    n_stages: int,
+    stages_cached: int,
+):
+    """Aggregate per-stage reports into one pipeline ExecutionReport.
+
+    Phase seconds, traffic, and per-node vectors are summed across the
+    executed stages; ``extra_plan_seconds`` adds the pipeline-only work
+    (ordering DP + pair sampling, cache lookup) to the planning total.
+    The report is *not* re-recorded into the metrics registry — each
+    stage's execution already was.
+    """
+    from repro.engine.executor import ExecutionReport
+
+    breakdown: dict[str, float] = dict(prepare_extra)
+    for report in stage_reports:
+        for stage_name, seconds in report.prepare_breakdown.items():
+            breakdown[stage_name] = breakdown.get(stage_name, 0.0) + seconds
+    per_node_compare = None
+    compare_vectors = [
+        r.per_node_compare for r in stage_reports
+        if r.per_node_compare is not None
+    ]
+    if compare_vectors:
+        per_node_compare = np.sum(compare_vectors, axis=0)
+    per_node_output = None
+    output_vectors = [
+        r.per_node_output for r in stage_reports
+        if r.per_node_output is not None
+    ]
+    if output_vectors:
+        per_node_output = np.sum(output_vectors, axis=0)
+    cells_sent: dict[int, int] = {}
+    cells_received: dict[int, int] = {}
+    for report in stage_reports:
+        for node, count in report.cells_sent.items():
+            cells_sent[node] = cells_sent.get(node, 0) + count
+        for node, count in report.cells_received.items():
+            cells_received[node] = cells_received.get(node, 0) + count
+    return ExecutionReport(
+        planner=planner,
+        join_algo="multiway",
+        unit_kind="stage",
+        n_units=sum(r.n_units for r in stage_reports),
+        logical_afl="multijoin(" + " ⋈ ".join(plan.order) + ")",
+        plan_seconds=extra_plan_seconds
+        + sum(r.plan_seconds for r in stage_reports),
+        align_seconds=sum(r.align_seconds for r in stage_reports),
+        compare_seconds=sum(r.compare_seconds for r in stage_reports),
+        cells_moved=sum(r.cells_moved for r in stage_reports),
+        n_transfers=sum(r.n_transfers for r in stage_reports),
+        output_cells=stage_reports[-1].output_cells,
+        bytes_moved=sum(r.bytes_moved for r in stage_reports),
+        bytes_moved_full_width=sum(
+            r.bytes_moved_full_width for r in stage_reports
+        ),
+        per_node_compare=per_node_compare,
+        cells_sent=cells_sent,
+        cells_received=cells_received,
+        meta={
+            "stages": n_stages,
+            "stages_executed": len(stage_reports),
+            "stages_cached": stages_cached,
+            "stage_algos": [r.join_algo for r in stage_reports],
+        },
+        prepare_breakdown=breakdown,
+        cache=dict(cache_info),
+        per_node_output=per_node_output,
+    )
+
+
+def _run_warm_pipeline(
+    executor,
+    entry: CachedPipeline,
+    planner: str,
+    lookup_seconds: float,
+    cache_info: dict,
+    n_workers: int | None = None,
+    analyze: bool = False,
+) -> MultiJoinResult:
+    """Serve a pipeline-cache hit: replay only the final cached stage.
+
+    The final stage's slice table already holds the materialised last
+    intermediate (its unit-major assemblies bake the cells in), so the
+    earlier stages need not re-run — the fingerprint match guarantees
+    every base array, and therefore every intermediate, is unchanged.
+    Only a schema-only ephemeral shell is re-attached so name resolution
+    (traffic accounting reads the left schema) works during the replay.
+    """
+    cluster = executor.cluster
+    final = entry.stages[-1]
+    left_schema = final.join_schema.left_schema
+    empty = CellSet.empty(
+        left_schema.ndims, {a.name: a.dtype for a in left_schema.attrs}
+    )
+    cluster.attach_ephemeral(left_schema, [empty] * cluster.n_nodes)
+    try:
+        with executor.tracer.span(
+            "pipeline_stage",
+            stage=len(entry.stages) - 1,
+            left=final.query.left,
+            right=final.query.right,
+            cached=True,
+        ):
+            result = executor._run_physical(
+                final.query, final.join_schema, final.logical_plan,
+                final.n_units, final.slice_table, planner,
+                lookup_seconds, n_workers=n_workers,
+                prepare_breakdown={"cache_lookup": lookup_seconds},
+                physical=(final.assignment, final.physical_plan),
+                cache_info=cache_info, analyze=analyze,
+            )
+    finally:
+        cluster.detach_ephemeral(left_schema.name)
+    report = _pipeline_report(
+        planner, entry.plan, [result.report],
+        extra_plan_seconds=0.0, prepare_extra={},
+        cache_info=cache_info, n_stages=len(entry.stages),
+        stages_cached=len(entry.stages),
+    )
+    return MultiJoinResult(
+        array=result.array,
+        plan=entry.plan,
+        stage_results=[result],
+        report=report,
+    )
+
+
 def execute_multi_join(
     executor,
     query: MultiJoinQuery,
     planner: str = "tabu",
     plan: MultiJoinPlan | None = None,
+    n_workers: int | None = None,
+    use_cache: bool | None = None,
+    analyze: bool = False,
+    tenant: str | None = None,
 ) -> MultiJoinResult:
     """Plan and run a multi-join query end to end.
 
     ``plan`` overrides the DP-chosen order (used by the ordering
-    ablation and by callers that have already planned).
+    ablation and by callers that have already planned); an explicit plan
+    bypasses the pipeline cache entirely, since the fingerprint covers
+    only DP-ordered pipelines. ``n_workers`` applies to *every* stage's
+    comparison phase; ``analyze=True`` captures each executed stage's
+    per-node profile; ``tenant`` namespaces the pipeline cache entry
+    exactly as it does binary plans.
     """
     if query.into_schema is not None and not query.into_schema.is_dimensionless():
         raise PlanningError(
@@ -191,15 +409,69 @@ def execute_multi_join(
             "the result separately"
         )
     cluster = executor.cluster
+    tracer = executor.tracer
+
+    # ---- whole-pipeline cache lookup (timed) ----
+    cache = (
+        executor.plan_cache
+        if use_cache is not False and plan is None
+        else None
+    )
+    cache_info: dict = {}
+    entry = None
+    fingerprint = None
+    lookup_seconds = 0.0
+    if cache is not None:
+        lookup_started = time.perf_counter()
+        with tracer.span("cache_lookup") as lookup_span:
+            with executor.profiler.phase("cache_lookup"):
+                fingerprint = executor._pipeline_fingerprint(
+                    query, planner, tenant
+                )
+                candidate = cache.get(fingerprint)
+                entry = (
+                    candidate
+                    if isinstance(candidate, CachedPipeline)
+                    else None
+                )
+            lookup_span.set(
+                status="hit" if entry is not None else "miss",
+                fingerprint=fingerprint.short,
+            )
+        lookup_seconds = time.perf_counter() - lookup_started
+        cache_info = {
+            "status": "hit" if entry is not None else "miss",
+            "fingerprint": fingerprint.short,
+            **cache.stats(),
+        }
+        if tenant is not None:
+            suffix = "hits" if entry is not None else "misses"
+            executor.metrics.counter(f"tenant_cache_{suffix}.{tenant}").inc()
+
+    if entry is not None:
+        return _run_warm_pipeline(
+            executor, entry, planner, lookup_seconds, cache_info,
+            n_workers=n_workers, analyze=analyze,
+        )
+
+    # ---- ordering (timed): DP over pair-sampled selectivities ----
+    ordering_started = time.perf_counter()
     if plan is None:
-        sizes = {name: cluster.array_cell_count(name) for name in query.arrays}
-        selectivities = estimate_pair_selectivities(executor, query)
-        plan = MultiJoinPlanner(sizes, selectivities).plan(query)
+        with tracer.span("pipeline_ordering"):
+            with executor.profiler.phase("ordering"):
+                sizes = {
+                    name: cluster.array_cell_count(name)
+                    for name in query.arrays
+                }
+                selectivities = estimate_pair_selectivities(executor, query)
+                plan = MultiJoinPlanner(sizes, selectivities).plan(query)
+    ordering_seconds = time.perf_counter() - ordering_started
 
     state = _StageState(cluster, query)
     needed = state.needed_fields()
     temp_names: list[str] = []
     stage_results = []
+    cached_stages: list[CachedStage] = []
     try:
         for stage_index, step in enumerate(plan.steps):
             is_last = stage_index == len(plan.steps) - 1
@@ -212,6 +484,7 @@ def execute_multi_join(
                 stage_query = _final_stage_query(
                     query, state, left_name, right, predicates
                 )
+                carried = None
             else:
                 stage_query, carried = _intermediate_stage_query(
                     query, state, left_name, right, predicates,
@@ -227,25 +500,121 @@ def execute_multi_join(
             if right in query.filters:
                 stage_query.filters[right] = query.filters[right]
 
-            result = executor.execute(
-                stage_query, planner=planner, store_result=not is_last
+            # The ordering DP already estimated this step's output; hand
+            # it down as the stage's selectivity hint (|out| / (nα + nβ))
+            # so no stage re-runs the sampling estimator. Actual input
+            # counts are mode-independent, keeping stage plans
+            # deterministic across serial/thread/process execution.
+            input_cells = cluster.array_cell_count(
+                left_name
+            ) + cluster.array_cell_count(right)
+            hint = max(
+                step.estimated_output / max(input_cells, 1), 1e-6
             )
+
+            with tracer.span(
+                "pipeline_stage",
+                stage=stage_index, left=left_name, right=right,
+            ):
+                prepared = executor.prepare(
+                    stage_query, selectivity_hint=hint
+                )
+                result = prepared.execute(
+                    planner, n_workers=n_workers, analyze=analyze
+                )
             stage_results.append(result)
 
+            if cache is not None:
+                assignment = (
+                    result.physical_plan.assignment
+                    if result.physical_plan is not None
+                    else np.zeros(prepared.n_units, dtype=np.int64)
+                )
+                cached_stages.append(CachedStage(
+                    query=stage_query,
+                    join_schema=prepared.join_schema,
+                    logical_plan=prepared.logical_plan,
+                    n_units=prepared.n_units,
+                    slice_table=prepared.slice_table,
+                    assignment=assignment,
+                    physical_plan=result.physical_plan,
+                ))
+
             if not is_last:
-                temp = stage_query.into_schema.name
-                temp_names.append(temp)
-                state.current = temp
+                temp_schema = stage_query.into_schema
+                _attach_intermediate(
+                    cluster, temp_schema, result.array.cells()
+                )
+                temp_names.append(temp_schema.name)
+                state.current = temp_schema.name
                 state.mapping = {source: alias for source, alias, _ in carried}
     finally:
         for name in temp_names:
-            if cluster.catalog.exists(name):
-                cluster.drop_array(name)
+            cluster.detach_ephemeral(name)
 
+    if cache is not None:
+        cache.put(CachedPipeline(
+            plan=plan,
+            stages=cached_stages,
+            arrays=tuple(query.arrays),
+            fingerprint=fingerprint,
+            prepare_breakdown={
+                "cache_lookup": lookup_seconds,
+                "ordering": ordering_seconds,
+            },
+        ))
+
+    prepare_extra = {"ordering": ordering_seconds}
+    if cache is not None:
+        prepare_extra["cache_lookup"] = lookup_seconds
+    report = _pipeline_report(
+        planner, plan, [r.report for r in stage_results],
+        extra_plan_seconds=ordering_seconds + lookup_seconds,
+        prepare_extra=prepare_extra,
+        cache_info=cache_info,
+        n_stages=len(plan.steps),
+        stages_cached=0,
+    )
     return MultiJoinResult(
         array=stage_results[-1].array,
         plan=plan,
         stage_results=stage_results,
+        report=report,
+    )
+
+
+def explain_multi_join(
+    executor,
+    query: MultiJoinQuery,
+    planner: str | None = None,
+    text: str | None = None,
+) -> MultiJoinExplainReport:
+    """Plan a multi-join without executing it: the DP order per stage.
+
+    With ``planner`` given, the pipeline cache is consulted read-only
+    (mirroring two-array explain): the report shows whether an execution
+    under that planner would replay a cached pipeline.
+    """
+    cluster = executor.cluster
+    sizes = {name: cluster.array_cell_count(name) for name in query.arrays}
+    selectivities = estimate_pair_selectivities(executor, query)
+    plan = MultiJoinPlanner(sizes, selectivities).plan(query)
+    cache_status = None
+    cache_fingerprint = None
+    if planner is not None and executor.plan_cache is not None:
+        with executor.profiler.phase("cache_lookup"):
+            fingerprint = executor._pipeline_fingerprint(query, planner, None)
+            entry = executor.plan_cache.get(fingerprint)
+        if not isinstance(entry, CachedPipeline):
+            entry = None
+        cache_status = "hit" if entry is not None else "miss"
+        cache_fingerprint = fingerprint.short
+    return MultiJoinExplainReport(
+        query=text if text is not None else str(query),
+        plan=plan,
+        n_stages=len(plan.steps),
+        cache_status=cache_status,
+        cache_fingerprint=cache_fingerprint,
     )
 
 

@@ -1,7 +1,11 @@
 """Observability: phase profiling, counters, spans, metrics, explain-analyze."""
 
 from repro.obs.counters import CounterSet
-from repro.obs.explain_analyze import ExplainAnalyzeReport, NodeDelta
+from repro.obs.explain_analyze import (
+    ExplainAnalyzeReport,
+    MultiJoinExplainAnalyzeReport,
+    NodeDelta,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -30,5 +34,6 @@ __all__ = [
     "skew_summary",
     "record_execution",
     "ExplainAnalyzeReport",
+    "MultiJoinExplainAnalyzeReport",
     "NodeDelta",
 ]

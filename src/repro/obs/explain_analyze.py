@@ -239,4 +239,84 @@ class ExplainAnalyzeReport:
         return "\n".join(lines)
 
 
-__all__ = ["NodeDelta", "ExplainAnalyzeReport"]
+@dataclass
+class MultiJoinExplainAnalyzeReport:
+    """EXPLAIN ANALYZE for a multi-join pipeline.
+
+    The DP's join order with each step's *estimated* output lined up
+    against the stage's *observed* output cells, plus the full per-node
+    Eq 5-8 report for every executed stage. On a warm (pipeline-cached)
+    run only the final stage executes; the skipped count is recorded in
+    ``stages_cached`` and the per-stage list covers the executed tail.
+    """
+
+    query: str
+    plan: object  # MultiJoinPlan
+    stages: list[ExplainAnalyzeReport]
+    stages_cached: int
+    result: object | None = None
+
+    @classmethod
+    def from_result(cls, result, query: str | None = None):
+        """Build the report from an ``analyze=True`` multi-join run."""
+        steps = _executed_steps(result)
+        offset = len(result.plan.steps) - len(steps)
+        stages = [
+            ExplainAnalyzeReport.from_result(
+                stage,
+                query=f"stage {offset + index}: "
+                f"({' ⋈ '.join(step.placed)}) ⋈ {step.array}",
+            )
+            for index, (step, stage) in enumerate(
+                zip(steps, result.stage_results)
+            )
+        ]
+        meta = result.report.meta if result.report is not None else {}
+        return cls(
+            query=query if query is not None else result.plan.describe(),
+            plan=result.plan,
+            stages=stages,
+            stages_cached=int(meta.get("stages_cached", 0)),
+            result=result,
+        )
+
+    def describe(self) -> str:
+        steps = _executed_steps(self.result)
+        lines = [
+            f"EXPLAIN ANALYZE [multi-join, {len(self.plan.steps)} stages]",
+            f"query: {self.query}",
+            self.plan.describe(),
+        ]
+        if self.stages_cached:
+            lines.append(
+                f"pipeline cache hit: {self.stages_cached} stages served "
+                f"from the cached plan; only the final stage re-executed"
+            )
+        offset = len(self.plan.steps) - len(steps)
+        for index, (step, stage) in enumerate(zip(steps, self.stages)):
+            observed = stage.result.report.output_cells
+            error = _pct(
+                observed - step.estimated_output, step.estimated_output
+            )
+            lines.append(
+                f"stage {offset + index}: "
+                f"estimated ~{step.estimated_output:.3g} "
+                f"output cells, observed {observed} ({error:+.1f}%)"
+            )
+            lines.append(stage.describe())
+        return "\n".join(lines)
+
+
+def _executed_steps(result) -> list:
+    """The plan steps matching ``result.stage_results`` (warm runs only
+    execute the pipeline's tail)."""
+    if result is None:
+        return []
+    return result.plan.steps[-len(result.stage_results):]
+
+
+__all__ = [
+    "NodeDelta",
+    "ExplainAnalyzeReport",
+    "MultiJoinExplainAnalyzeReport",
+]

@@ -7,7 +7,7 @@ See :mod:`repro.serve.cache` for the bounded-LRU :class:`PlanCache`,
 closed-/open-loop load generator that drives it.
 """
 
-from repro.serve.cache import CachedPlan, PlanCache
+from repro.serve.cache import CachedPipeline, CachedPlan, CachedStage, PlanCache
 from repro.serve.fingerprint import (
     Fingerprint,
     array_token,
@@ -26,6 +26,8 @@ from repro.serve.server import JoinServer, tenant_cache_stats
 
 __all__ = [
     "CachedPlan",
+    "CachedStage",
+    "CachedPipeline",
     "PlanCache",
     "Fingerprint",
     "array_token",

@@ -55,8 +55,53 @@ class CachedPlan:
     prepare_breakdown: dict[str, float] = field(default_factory=dict)
 
 
+@dataclass
+class CachedStage:
+    """One pipeline stage's prepared state, cached inside a pipeline entry.
+
+    ``query`` is the stage's rewritten two-array :class:`JoinQuery` (over
+    the ephemeral intermediate name for stages past the first), and the
+    rest mirrors :class:`CachedPlan` minus the cache-bookkeeping fields —
+    stages are cached only as members of a :class:`CachedPipeline`, never
+    under their own fingerprints.
+    """
+
+    query: Any
+    join_schema: Any
+    logical_plan: Any
+    n_units: int
+    slice_table: Any
+    assignment: np.ndarray
+    physical_plan: Any
+
+
+@dataclass
+class CachedPipeline:
+    """A whole multi-join pipeline's plan + per-stage prepared state.
+
+    Shares the :class:`PlanCache` LRU with binary :class:`CachedPlan`
+    entries: the cache only touches ``fingerprint`` and ``arrays``, so
+    both entry kinds coexist behind one budget and one invalidation
+    path. ``arrays`` lists the *base* arrays (intermediates are
+    ephemeral and cannot be dropped), so DROP of any input purges the
+    pipeline eagerly; version/epoch bumps invalidate by fingerprint
+    mismatch as usual.
+    """
+
+    plan: Any
+    stages: list[CachedStage]
+    arrays: tuple[str, ...]
+    fingerprint: Fingerprint
+    prepare_breakdown: dict[str, float] = field(default_factory=dict)
+
+
 class PlanCache:
-    """Bounded LRU mapping plan fingerprints to :class:`CachedPlan`.
+    """Bounded LRU mapping plan fingerprints to cached plans.
+
+    Values are :class:`CachedPlan` (binary joins) or
+    :class:`CachedPipeline` (multi-join pipelines) — the cache itself is
+    agnostic, keying on ``entry.fingerprint`` and purging on
+    ``entry.arrays``.
 
     Thread-safe: one lock serialises every lookup/insert/evict/purge so
     concurrent ``Session.execute`` calls (the serving front end drives
@@ -72,7 +117,7 @@ class PlanCache:
             raise ValueError(f"plan cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.counters = counters if counters is not None else CounterSet()
-        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._entries: OrderedDict[str, CachedPlan | CachedPipeline] = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -83,7 +128,7 @@ class PlanCache:
         with self._lock:
             return key in self._entries
 
-    def get(self, fingerprint: Fingerprint) -> CachedPlan | None:
+    def get(self, fingerprint: Fingerprint) -> CachedPlan | CachedPipeline | None:
         """Look one fingerprint up; counts a hit or a miss."""
         with self._lock:
             entry = self._entries.get(fingerprint.key)
@@ -94,7 +139,7 @@ class PlanCache:
             self.counters.increment("hits")
             return entry
 
-    def put(self, entry: CachedPlan) -> None:
+    def put(self, entry: CachedPlan | CachedPipeline) -> None:
         """Insert one prepared plan, evicting the LRU entry when full."""
         key = entry.fingerprint.key
         with self._lock:
@@ -131,4 +176,4 @@ class PlanCache:
         return snapshot
 
 
-__all__ = ["CachedPlan", "PlanCache"]
+__all__ = ["CachedPlan", "CachedStage", "CachedPipeline", "PlanCache"]

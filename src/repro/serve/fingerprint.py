@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from repro.query.aql import JoinQuery
+from repro.query.aql import JoinQuery, MultiJoinQuery
 
 
 @dataclass(frozen=True)
@@ -49,13 +49,16 @@ class Fingerprint:
         return self.key[:12]
 
 
-def canonical_query(query: JoinQuery) -> str:
+def canonical_query(query: JoinQuery | MultiJoinQuery) -> str:
     """Render a parsed join query into one canonical string.
 
     Two textually different statements that parse to the same query
     (whitespace, keyword case, ``ON`` vs ``WHERE``) render identically;
     anything that changes the output (select list, INTO target,
-    predicate order, pushdown filters) changes the rendering.
+    predicate order, pushdown filters) changes the rendering. Multi-join
+    queries render their FROM list in statement order (``FROM A, B, C``)
+    — the ordering DP sees the same inputs either way, but the statement
+    order shapes the default output name.
     """
     if query.select_star or not query.select:
         select = "*"
@@ -66,7 +69,10 @@ def canonical_query(query: JoinQuery) -> str:
         parts.append(f"INTO {query.into_schema.to_literal()}")
     elif query.into_name is not None:
         parts.append(f"INTO {query.into_name}")
-    parts.append(f"FROM {query.left} JOIN {query.right}")
+    if isinstance(query, MultiJoinQuery):
+        parts.append(f"FROM {', '.join(query.arrays)}")
+    else:
+        parts.append(f"FROM {query.left} JOIN {query.right}")
     if query.predicates:
         rendered = " AND ".join(
             f"{pred.left.qualified()} = {pred.right.qualified()}"
@@ -93,17 +99,32 @@ def array_token(cluster, name: str) -> str:
 
 
 def plan_fingerprint(
-    query: JoinQuery,
+    query: JoinQuery | MultiJoinQuery,
     cluster,
     planner: str,
     join_algo: str | None,
     options: dict,
 ) -> Fingerprint:
-    """Fingerprint one (query, data, cluster, options) configuration."""
+    """Fingerprint one (query, data, cluster, options) configuration.
+
+    Binary joins embed ``left=``/``right=`` array tokens; multi-join
+    pipelines embed one ``array{i}=`` token per base array in statement
+    order, so any base array's uid/version/epoch bump invalidates the
+    whole pipeline entry.
+    """
+    if isinstance(query, MultiJoinQuery):
+        array_sections = [
+            f"array{i}={array_token(cluster, name)}"
+            for i, name in enumerate(query.arrays)
+        ]
+    else:
+        array_sections = [
+            f"left={array_token(cluster, query.left)}",
+            f"right={array_token(cluster, query.right)}",
+        ]
     sections = [
         f"query={canonical_query(query)}",
-        f"left={array_token(cluster, query.left)}",
-        f"right={array_token(cluster, query.right)}",
+        *array_sections,
         f"cluster=k{cluster.n_nodes}/{cluster.network!r}",
         f"planner={planner}",
         f"join_algo={join_algo}",

@@ -82,11 +82,17 @@ class Session:
         """Run any statement: DDL, a join query, or a filter query.
 
         Returns the created :class:`ArraySchema` for CREATE ARRAY, None
-        for DROP ARRAY, a :class:`JoinResult` for join queries, and a
+        for DROP ARRAY, a :class:`JoinResult` (or
+        :class:`~repro.engine.multijoin.MultiJoinResult` for N-way
+        ``FROM A, B, C`` pipelines) for join queries, and a
         :class:`LocalArray` for single-array queries. ``query_options``
         (``planner``, ``join_algo``, ``store_result``, ``n_workers``,
-        ``use_cache``, ``analyze``, ``trace``, ``tenant``) apply to join
-        queries — ``trace="out.json"`` records execution spans onto
+        ``use_cache``, ``analyze``, ``trace``, ``tenant``) apply to both
+        2-way and multiway join queries — multiway pipelines thread
+        ``n_workers`` through every stage, cache the whole pipeline
+        behind one fingerprint, and honour ``tenant`` namespaces
+        (``join_algo`` alone stays 2-way-only: pipeline stages pick
+        their own algorithms) —``trace="out.json"`` records execution spans onto
         ``result.trace`` and writes Chrome trace JSON, ``analyze=True``
         captures the per-node profile, ``tenant="name"`` namespaces the
         plan-cache entry per tenant (shared LRU budget, per-tenant
@@ -137,6 +143,11 @@ class Session:
         ``n_workers``, ``use_cache``, ``trace``); returns a
         :class:`repro.obs.explain_analyze.ExplainAnalyzeReport` with the
         underlying :class:`JoinResult` attached as ``report.result``.
+        Multiway ``FROM A, B, C`` statements return a
+        :class:`~repro.obs.explain_analyze.MultiJoinExplainAnalyzeReport`
+        with one per-stage section per executed stage (a warm pipeline
+        cache hit executes — and therefore profiles — only the final
+        stage, and says so).
         """
         return self.executor.explain_analyze(query, **options)
 

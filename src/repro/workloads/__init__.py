@@ -13,14 +13,20 @@ from repro.workloads.ais import ais_tracks
 from repro.workloads.modis import modis_band, modis_pair
 from repro.workloads.skysurvey import epoch_pair, sky_catalog
 from repro.workloads.synthetic import (
+    chain_arrays,
+    chain_query,
     selectivity_pair,
     skewed_hash_pair,
     skewed_merge_pair,
+    star_arrays,
+    star_query,
     zipf_weights,
 )
 
 __all__ = [
     "ais_tracks",
+    "chain_arrays",
+    "chain_query",
     "epoch_pair",
     "modis_band",
     "modis_pair",
@@ -28,5 +34,7 @@ __all__ = [
     "sky_catalog",
     "skewed_hash_pair",
     "skewed_merge_pair",
+    "star_arrays",
+    "star_query",
     "zipf_weights",
 ]

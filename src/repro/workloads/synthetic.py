@@ -334,3 +334,171 @@ def selectivity_pair(
     array_a = LocalArray.from_cells(schema_a, CellSet(coords, {"v": values_a}))
     array_b = LocalArray.from_cells(schema_b, CellSet(coords, {"w": values_b}))
     return array_a, array_b
+
+
+# ------------------------------------------------------ multiway workloads
+
+
+def _as_rng(rng: np.random.Generator | int) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _keyed_array(
+    name: str, attrs: dict[str, np.ndarray], n_chunks: int
+) -> LocalArray:
+    """1-D array over a regular grid carrying the given key columns."""
+    n_cells = len(next(iter(attrs.values())))
+    interval = max(n_cells // n_chunks, 1)
+    decl = ", ".join(f"{attr}:int64" for attr in attrs)
+    schema = parse_schema(f"{name}<{decl}>[i=1,{n_cells},{interval}]")
+    coords = np.arange(1, n_cells + 1, dtype=np.int64).reshape(-1, 1)
+    return LocalArray.from_cells(schema, CellSet(coords, attrs))
+
+
+def _own_keys(
+    n_cells: int, fanout: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A uniform key column where every domain value appears exactly
+    ``fanout`` times (shuffled): the referenced side of a bounded join."""
+    domain = max(n_cells // fanout, 1)
+    keys = np.resize(np.arange(domain, dtype=np.int64), n_cells)
+    rng.shuffle(keys)
+    return keys
+
+
+def _foreign_keys(
+    n_cells: int,
+    referenced_cells: int,
+    fanout: int,
+    alpha: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A Zipf(α)-skewed key column drawn from the referenced side's key
+    domain. Skew concentrates *which* keys are hot (uneven join units)
+    without changing the per-cell match count (always ``fanout``)."""
+    domain = max(referenced_cells // fanout, 1)
+    weights = zipf_weights(domain, alpha, rng)
+    return rng.choice(domain, size=n_cells, p=weights).astype(np.int64)
+
+
+def chain_arrays(
+    n_arrays: int,
+    alpha: float,
+    cells_per_array: int = 4_000,
+    fanout: int = 2,
+    n_chunks: int = 16,
+    rng: np.random.Generator | int = 0,
+    names: tuple[str, ...] | None = None,
+) -> list[LocalArray]:
+    """A chain-schema pipeline workload: T0 ⋈ T1 ⋈ … ⋈ T(M-1).
+
+    Array ``Tm`` carries a uniform *own* key ``k{m}`` (every value appears
+    exactly ``fanout`` times) and a Zipf(α) *foreign* key ``k{m+1}`` drawn
+    from the next array's own-key domain; the join predicate is
+    ``Tm.k{m+1} = T{m+1}.k{m+1}``. Every foreign-key occurrence matches
+    exactly ``fanout`` cells, so an M-array chain emits
+    ``cells_per_array × fanout^(M-1)`` cells at *every* α — skew moves
+    which join units are heavy, never the output size. The last array
+    additionally carries a ``payload`` column. ``rng`` is an explicit
+    generator or integer seed (global RNG state is never touched).
+    """
+    if n_arrays < 3:
+        raise SchemaError(f"a chain needs at least 3 arrays, got {n_arrays}")
+    if names is None:
+        names = tuple(f"T{m}" for m in range(n_arrays))
+    if len(names) != n_arrays:
+        raise SchemaError(
+            f"got {len(names)} names for {n_arrays} chain arrays"
+        )
+    rng = _as_rng(rng)
+    arrays = []
+    for m, name in enumerate(names):
+        attrs = {f"k{m}": _own_keys(cells_per_array, fanout, rng)}
+        if m + 1 < n_arrays:
+            attrs[f"k{m + 1}"] = _foreign_keys(
+                cells_per_array, cells_per_array, fanout, alpha, rng
+            )
+        else:
+            attrs["payload"] = rng.integers(0, 1_000_000, cells_per_array)
+        arrays.append(_keyed_array(name, attrs, n_chunks))
+    return arrays
+
+
+def chain_query(
+    n_arrays: int, names: tuple[str, ...] | None = None
+) -> str:
+    """The multi-join statement matching :func:`chain_arrays`."""
+    if names is None:
+        names = tuple(f"T{m}" for m in range(n_arrays))
+    predicates = " AND ".join(
+        f"{names[m]}.k{m + 1} = {names[m + 1]}.k{m + 1}"
+        for m in range(n_arrays - 1)
+    )
+    return (
+        f"SELECT {names[0]}.k0, {names[-1]}.payload "
+        f"FROM {', '.join(names)} WHERE {predicates}"
+    )
+
+
+def star_arrays(
+    n_dims: int,
+    alpha: float,
+    fact_cells: int = 4_000,
+    dim_cells: int = 1_000,
+    fanout: int = 2,
+    n_chunks: int = 16,
+    rng: np.random.Generator | int = 0,
+    names: tuple[str, ...] | None = None,
+) -> list[LocalArray]:
+    """A star-schema pipeline workload: fact ⋈ D0 ⋈ … ⋈ D(K-1).
+
+    The fact array ``F`` carries one Zipf(α) foreign key ``d{i}`` per
+    dimension plus a ``measure`` column; dimension ``Di`` carries a
+    uniform own key ``d{i}`` (each value exactly ``fanout`` times) and a
+    payload ``p{i}``. Joining all K dimensions emits
+    ``fact_cells × fanout^K`` cells independent of α. The first returned
+    array is the fact. ``rng`` is an explicit generator or integer seed.
+    """
+    if n_dims < 2:
+        raise SchemaError(f"a star needs at least 2 dimensions, got {n_dims}")
+    if names is None:
+        names = ("F",) + tuple(f"D{i}" for i in range(n_dims))
+    if len(names) != n_dims + 1:
+        raise SchemaError(
+            f"got {len(names)} names for a fact plus {n_dims} dimensions"
+        )
+    rng = _as_rng(rng)
+    fact_attrs = {
+        f"d{i}": _foreign_keys(fact_cells, dim_cells, fanout, alpha, rng)
+        for i in range(n_dims)
+    }
+    fact_attrs["measure"] = rng.integers(0, 1_000_000, fact_cells)
+    arrays = [_keyed_array(names[0], fact_attrs, n_chunks)]
+    for i in range(n_dims):
+        arrays.append(
+            _keyed_array(
+                names[i + 1],
+                {
+                    f"d{i}": _own_keys(dim_cells, fanout, rng),
+                    f"p{i}": rng.integers(0, 1_000_000, dim_cells),
+                },
+                n_chunks,
+            )
+        )
+    return arrays
+
+
+def star_query(n_dims: int, names: tuple[str, ...] | None = None) -> str:
+    """The multi-join statement matching :func:`star_arrays`."""
+    if names is None:
+        names = ("F",) + tuple(f"D{i}" for i in range(n_dims))
+    fact = names[0]
+    predicates = " AND ".join(
+        f"{fact}.d{i} = {names[i + 1]}.d{i}" for i in range(n_dims)
+    )
+    selected = ", ".join(
+        [f"{fact}.measure"] + [f"{names[i + 1]}.p{i}" for i in range(n_dims)]
+    )
+    return f"SELECT {selected} FROM {', '.join(names)} WHERE {predicates}"

@@ -1,0 +1,162 @@
+"""Multiway pipeline acceleration: parallel stages and catalog hygiene.
+
+The pipeline executor must produce byte-identical sorted outputs no
+matter how each stage runs (serial / thread pool / shared-memory process
+workers) and which physical planner places the units — and its
+materialised intermediates must never leak into the catalog, bump a
+version, or pollute the binary plan cache.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import make_cluster
+from repro.engine.executor import ShuffleJoinExecutor
+from repro.engine.parallel import shutdown_pools
+from repro.serve.fingerprint import array_token
+from repro.workloads import (
+    chain_arrays,
+    chain_query,
+    star_arrays,
+    star_query,
+)
+
+PLANNERS = ("baseline", "mbh", "tabu", "ilp_coarse")
+
+
+def chain_executor(
+    n_arrays=3, alpha=1.0, cells=300, seed=11, n_nodes=4, **options
+):
+    arrays = chain_arrays(n_arrays, alpha, cells_per_array=cells, rng=seed)
+    cluster = make_cluster(arrays, n_nodes, seed=seed, placement="block")
+    return ShuffleJoinExecutor(cluster, **options), chain_query(n_arrays)
+
+
+def sorted_bytes(result) -> bytes:
+    cells = result.cells
+    return np.sort(cells.to_structured(sorted(cells.attrs))).tobytes()
+
+
+def brute_force_chain(cluster, n_arrays: int) -> int:
+    """Reference row count for the chain workload: every foreign key of
+    T(m) matches the own-key multiplicity of T(m+1), folded left."""
+    first = cluster.array_cells("T0")
+    total_by_key = Counter(first.attrs["k1"].tolist())
+    for m in range(1, n_arrays):
+        cells = cluster.array_cells(f"T{m}")
+        own = cells.attrs[f"k{m}"].tolist()
+        if m == n_arrays - 1:
+            return sum(total_by_key[k] for k in own)
+        nxt = Counter()
+        for own_key, foreign in zip(own, cells.attrs[f"k{m + 1}"].tolist()):
+            nxt[foreign] += total_by_key[own_key]
+        total_by_key = nxt
+    raise AssertionError("unreachable")
+
+
+class TestParallelStages:
+    @pytest.mark.parametrize("planner", PLANNERS)
+    def test_serial_thread_process_identical(self, planner):
+        executor, query = chain_executor(parallel_mode="thread")
+        serial = executor.execute(query, planner=planner, use_cache=False)
+        threaded = executor.execute(
+            query, planner=planner, n_workers=3, use_cache=False
+        )
+        assert sorted_bytes(threaded) == sorted_bytes(serial)
+
+    @pytest.mark.parametrize("planner", ("tabu", "mbh"))
+    def test_process_shm_identical(self, planner):
+        executor, query = chain_executor(parallel_mode="process", shm=True)
+        serial = executor.execute(query, planner=planner, use_cache=False)
+        try:
+            parallel = executor.execute(
+                query, planner=planner, n_workers=2, use_cache=False
+            )
+        finally:
+            shutdown_pools()
+        assert sorted_bytes(parallel) == sorted_bytes(serial)
+
+    def test_worker_pool_threads_through_all_stages(self):
+        executor, query = chain_executor(n_arrays=4, parallel_mode="thread")
+        result = executor.execute(
+            query, planner="tabu", n_workers=3, use_cache=False
+        )
+        assert len(result.stage_results) == 3
+        # Every stage ran through the batched parallel path.
+        assert all(
+            stage.report.meta.get("parallel_mode") == "thread"
+            for stage in result.stage_results
+        )
+
+
+class TestChainOracle:
+    @pytest.mark.parametrize("n_arrays", (3, 4))
+    @pytest.mark.parametrize("alpha", (0.0, 1.2))
+    def test_chain_matches_brute_force(self, n_arrays, alpha):
+        executor, query = chain_executor(n_arrays=n_arrays, alpha=alpha)
+        result = executor.execute(query, planner="mbh", use_cache=False)
+        expected = brute_force_chain(executor.cluster, n_arrays)
+        assert result.array.n_cells == expected
+        # The generators engineer exactly fanout matches per foreign key.
+        assert expected == 300 * 2 ** (n_arrays - 1)
+
+    def test_star_matches_fanout_invariant(self):
+        arrays = star_arrays(2, 0.9, fact_cells=250, dim_cells=120, rng=4)
+        cluster = make_cluster(arrays, 4, seed=4, placement="block")
+        executor = ShuffleJoinExecutor(cluster)
+        result = executor.execute(star_query(2), planner="tabu")
+        assert result.array.n_cells == 250 * 4
+
+
+class TestCatalogHygiene:
+    def test_intermediates_never_touch_the_catalog(self):
+        executor, query = chain_executor(n_arrays=4)
+        cluster = executor.cluster
+        names_before = set(cluster.catalog.array_names())
+        state_before = {
+            name: (
+                cluster.catalog.entry(name).uid,
+                cluster.catalog.entry(name).version,
+                cluster.storage_epoch(name),
+                array_token(cluster, name),
+            )
+            for name in names_before
+        }
+        executor.execute(query, planner="mbh", use_cache=False)
+        assert set(cluster.catalog.array_names()) == names_before
+        for name in names_before:
+            assert state_before[name] == (
+                cluster.catalog.entry(name).uid,
+                cluster.catalog.entry(name).version,
+                cluster.storage_epoch(name),
+                array_token(cluster, name),
+            )
+        # No `_mj*` temporary survives on any node store.
+        for node in cluster.nodes:
+            leftovers = [
+                name for name in node._stores if name.startswith("_mj")
+            ]
+            assert leftovers == []
+
+    def test_store_result_registers_only_the_named_output(self):
+        executor, query = chain_executor()
+        into = query.replace(
+            "SELECT T0.k0, T2.payload",
+            "SELECT T0.k0, T2.payload INTO Out<k:int64, p:int64>[]",
+        )
+        before = set(executor.cluster.catalog.array_names())
+        executor.execute(
+            into, planner="mbh", use_cache=False, store_result=True
+        )
+        after = set(executor.cluster.catalog.array_names())
+        assert after - before == {"Out"}
+
+    def test_stages_do_not_pollute_binary_plan_cache(self):
+        executor, query = chain_executor(plan_cache_size=8)
+        executor.execute(query, planner="tabu")
+        cache = executor.plan_cache
+        # One entry: the whole-pipeline plan. Stage joins must not have
+        # inserted their own per-stage entries.
+        assert cache.stats()["entries"] == 1

@@ -194,7 +194,13 @@ class TestAgainstRealSession:
         # Coalesced requests share results, so distinct results never
         # exceed completions.
         assert report.distinct_results_verified <= report.completed
-        assert set(report.per_tenant) == {"t0", "t1"}
+        # Coalescing is tenant-agnostic, so every request of a tenant
+        # can be absorbed into the other tenant's in-flight executions
+        # without ever touching the plan cache — per_tenant then lists
+        # only the tenants that actually executed, which is at least
+        # one and never an unknown name.
+        assert report.per_tenant
+        assert set(report.per_tenant) <= {"t0", "t1"}
 
     def test_open_loop_verifies_byte_identity(self, session):
         references = serial_references(session, list(QUERIES))

@@ -171,16 +171,19 @@ class TestTenantOption:
         with pytest.raises(ExecutionError, match="tenant"):
             session.execute(self.QUERY, tenannt="oops")
 
-    def test_multi_join_rejects_tenant(self):
-        from repro.errors import ExecutionError
-
+    def test_multi_join_honors_tenant_namespaces(self):
         session = self.build()
         session.create_and_load(
             "C<v:int64>[i=1,64,8, j=1,64,8]", sample_cells(seed=23)
         )
-        with pytest.raises(ExecutionError, match="tenant"):
-            session.execute(
-                "SELECT A.v FROM A, B, C "
-                "WHERE A.i = B.i AND A.j = B.j AND B.i = C.i AND B.j = C.j",
-                tenant="acme",
-            )
+        query = (
+            "SELECT A.v FROM A, B, C "
+            "WHERE A.i = B.i AND A.j = B.j AND B.i = C.i AND B.j = C.j"
+        )
+        first = session.execute(query, tenant="acme")
+        assert first.report.cache.get("status") == "miss"
+        warm = session.execute(query, tenant="acme")
+        assert warm.report.cache.get("status") == "hit"
+        # A different tenant never sees acme's pipeline entry.
+        other = session.execute(query, tenant="rival")
+        assert other.report.cache.get("status") == "miss"

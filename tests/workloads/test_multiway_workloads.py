@@ -1,0 +1,96 @@
+"""Chain- and star-schema generators: seeding and fanout invariants.
+
+The multiway generators must be reproducible from their explicit ``rng``
+seed alone (never touching numpy's global state), and must engineer
+exactly ``fanout`` matches per foreign-key occurrence so pipeline output
+sizes stay bounded at every skew level.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.workloads.synthetic import (
+    chain_arrays,
+    chain_query,
+    star_arrays,
+    star_query,
+)
+
+
+def array_bytes(array) -> bytes:
+    cells = array.cells()
+    packed = cells.to_structured(sorted(cells.attrs))
+    return np.sort(packed).tobytes()
+
+
+class TestChainArrays:
+    def test_reproducible_from_int_or_generator(self):
+        from_int = chain_arrays(3, 0.8, cells_per_array=200, rng=42)
+        from_gen = chain_arrays(
+            3, 0.8, cells_per_array=200, rng=np.random.default_rng(42)
+        )
+        for a, b in zip(from_int, from_gen):
+            assert array_bytes(a) == array_bytes(b)
+
+    def test_never_touches_global_rng(self):
+        np.random.seed(7)
+        before = np.random.get_state()[1].copy()
+        chain_arrays(3, 1.5, cells_per_array=150, rng=3)
+        assert np.array_equal(np.random.get_state()[1], before)
+
+    def test_own_keys_have_exact_fanout_multiplicity(self):
+        arrays = chain_arrays(4, 1.0, cells_per_array=240, fanout=3, rng=1)
+        for m, array in enumerate(arrays):
+            counts = Counter(array.cells().attrs[f"k{m}"].tolist())
+            assert set(counts.values()) == {3}
+
+    def test_foreign_keys_stay_in_referenced_domain(self):
+        arrays = chain_arrays(3, 2.0, cells_per_array=200, rng=5)
+        for m in (0, 1):
+            foreign = arrays[m].cells().attrs[f"k{m + 1}"]
+            own = arrays[m + 1].cells().attrs[f"k{m + 1}"]
+            assert set(foreign.tolist()) <= set(own.tolist())
+
+    def test_skew_concentrates_foreign_keys(self):
+        uniform = chain_arrays(3, 0.0, cells_per_array=2000, rng=2)
+        skewed = chain_arrays(3, 1.8, cells_per_array=2000, rng=2)
+        top = lambda arr: max(
+            Counter(arr.cells().attrs["k1"].tolist()).values()
+        )
+        assert top(skewed[0]) > 3 * top(uniform[0])
+
+    def test_query_matches_schema(self):
+        query = chain_query(4)
+        assert "FROM T0, T1, T2, T3" in query
+        assert "T2.k3 = T3.k3" in query
+
+    def test_too_few_arrays_rejected(self):
+        with pytest.raises(SchemaError):
+            chain_arrays(2, 1.0, rng=0)
+
+
+class TestStarArrays:
+    def test_reproducible_and_shapes(self):
+        first = star_arrays(3, 1.0, fact_cells=300, dim_cells=120, rng=9)
+        second = star_arrays(3, 1.0, fact_cells=300, dim_cells=120, rng=9)
+        assert len(first) == 4  # fact + 3 dims
+        for a, b in zip(first, second):
+            assert array_bytes(a) == array_bytes(b)
+
+    def test_dimension_keys_have_exact_fanout(self):
+        arrays = star_arrays(2, 0.5, fact_cells=200, dim_cells=120, rng=3)
+        for i, dim in enumerate(arrays[1:]):
+            counts = Counter(dim.cells().attrs[f"d{i}"].tolist())
+            assert set(counts.values()) == {2}
+
+    def test_query_joins_every_dimension(self):
+        query = star_query(3)
+        for i in range(3):
+            assert f"F.d{i} = D{i}.d{i}" in query
+
+    def test_too_few_dimensions_rejected(self):
+        with pytest.raises(SchemaError):
+            star_arrays(1, 1.0, rng=0)
