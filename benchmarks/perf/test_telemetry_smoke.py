@@ -1,0 +1,85 @@
+"""Smoke test for the telemetry-plane overhead benchmark.
+
+Runs the telemetry bench (bare vs fully instrumented closed-loop sweep
+against one warmed executor) at a fraction of benchmark scale on every
+CI run, asserting the properties the full BENCH_PR10 artifact
+certifies: one query-log record landed per served request, every
+mid-run ``/metrics`` scrape parsed as valid exposition, trace sampling
+fired at the configured 1-in-N rate, and all instrumented outputs stay
+byte-identical to the bare run.  The <=5% overhead bound is asserted
+only with a generous smoke-scale tolerance — at 20k cells per array the
+queries are so fast that fixed per-request logging costs are a much
+larger fraction of latency than at benchmark scale, and a loaded
+single-CPU CI box adds noise on top.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import run_telemetry_bench, write_results
+
+# At full benchmark scale the acceptance bound is 5%; smoke scale keeps
+# the machinery honest without flaking on scheduler noise.
+SMOKE_OVERHEAD_TOLERANCE_PCT = 40.0
+
+
+@pytest.fixture(scope="module")
+def telemetry_result(tmp_path_factory):
+    return run_telemetry_bench(
+        workload="fig8_hash_skew",
+        planner="tabu",
+        clients=2,
+        requests_per_client=8,
+        repeats=2,
+        n_tenants=3,
+        cells_per_array=20_000,
+        n_nodes=6,
+        seed=3,
+        cache_capacity=16,
+        queue_depth=8,
+        trace_sample=4,
+        telemetry_dir=str(tmp_path_factory.mktemp("telemetry")),
+    )
+
+
+def test_telemetry_accounting_is_exact(telemetry_result):
+    result = telemetry_result
+    assert result.requests_served == 2 * 2 * 8  # repeats x clients x requests
+    assert result.requests_logged == result.requests_served
+    assert result.query_log_complete
+    assert result.scrapes >= 1
+    assert result.scrape_errors == []
+    assert result.exposition_valid
+    # 1-in-4 head sampling: sequence numbers cover every request, but
+    # coalesced followers skip the sampler (the leader's trace covers
+    # them), so the count is bounded, not exact.
+    assert 0 < result.traces_sampled <= result.requests_served // 4
+    assert result.all_outputs_identical
+
+
+def test_telemetry_overhead_within_smoke_tolerance(telemetry_result):
+    result = telemetry_result
+    assert result.bare_qps > 0
+    assert result.telemetry_qps > 0
+    assert result.overhead_pct <= SMOKE_OVERHEAD_TOLERANCE_PCT
+
+
+def test_telemetry_json_roundtrip(telemetry_result, tmp_path):
+    out = tmp_path / "bench.json"
+    write_results([], str(out), telemetry_results=[telemetry_result])
+    payload = json.loads(out.read_text())
+    assert "results" not in payload
+    (entry,) = payload["telemetry"]
+    assert entry["workload"] == "fig8_hash_skew"
+    assert {"bare_qps", "telemetry_qps", "overhead_pct", "requests_logged",
+            "requests_served", "query_log_complete", "exposition_valid",
+            "traces_sampled", "all_outputs_identical"} <= set(entry)
+    for side in ("bare", "telemetry"):
+        assert entry[side]["mode"] == "closed"
+        assert entry[side]["completed"] == 2 * 8
+        assert entry[side]["errors"] == 0
+    assert entry["telemetry"]["query_log"]["records"] == entry[
+        "requests_served"
+    ]
+    assert entry["telemetry"]["metrics_path"].endswith(".prom")

@@ -1006,6 +1006,187 @@ def run_serving_load_bench(
 
 
 @dataclass
+class TelemetryResult:
+    """Telemetry-plane overhead on the warm serving workload.
+
+    The same closed-loop client sweep runs twice against one warmed
+    executor: bare (no telemetry) and fully instrumented (monitor
+    thread scraped under load, JSONL query log, 1-in-``trace_sample``
+    trace sampling). ``overhead_pct`` is the throughput cost of the
+    instrumented run against the bare one, best-of-``repeats`` on both
+    sides; the accounting fields certify that one log record landed per
+    request and that every mid-run exposition parsed cleanly.
+    """
+
+    workload: str
+    planner: str
+    join_algo: str
+    cells_per_array: int
+    n_nodes: int
+    alpha: float
+    seed: int
+    n_tenants: int
+    clients: int
+    requests_per_client: int
+    repeats: int
+    trace_sample: int
+    cpu_count: int
+    platform: str
+    bare: dict
+    telemetry: dict
+    bare_qps: float
+    telemetry_qps: float
+    overhead_pct: float
+    requests_logged: int
+    requests_served: int
+    query_log_complete: bool
+    scrapes: int
+    scrape_errors: list
+    exposition_valid: bool
+    traces_sampled: int
+    all_outputs_identical: bool
+
+
+def run_telemetry_bench(
+    workload: str = "fig8_hash_skew",
+    planner: str = "tabu",
+    clients: int = 4,
+    requests_per_client: int = 25,
+    repeats: int = 3,
+    n_tenants: int = 4,
+    tenant_alpha: float = 1.2,
+    statement_alpha: float = 2.5,
+    cells_per_array: int = 150_000,
+    n_nodes: int = 12,
+    alpha: float = 1.0,
+    seed: int = 0,
+    cache_capacity: int = 32,
+    max_in_flight: int | None = None,
+    queue_depth: int = 8,
+    trace_sample: int = 100,
+    telemetry_dir: str | None = None,
+) -> TelemetryResult:
+    """Measure the cost of the full telemetry plane on warm serving.
+
+    ``telemetry_dir`` (default: a fresh temp directory) receives the
+    JSONL query log and the final scraped ``/metrics`` exposition
+    (``metrics.prom``) so CI can re-validate both out of process.
+    """
+    import tempfile
+
+    from repro.obs.telemetry import validate_exposition
+    from repro.serve.monitor import scrape
+
+    executor, query, join_algo = build_workload(
+        workload,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+        plan_cache_size=cache_capacity,
+    )
+    statements = list(SERVING_MIXES[workload])
+    options = {"planner": planner, "join_algo": join_algo}
+    references = serial_references(executor, statements, **options)
+    tenants = [f"tenant{index}" for index in range(n_tenants)]
+    mix = QueryMix(
+        statements=statements, tenants=tenants,
+        tenant_alpha=tenant_alpha, statement_alpha=statement_alpha,
+        seed=seed, options=options,
+    )
+    # Warm every (tenant, statement) cache namespace outside the clock:
+    # both configurations then measure sustained warm throughput, which
+    # is where a telemetry tax would actually hurt.
+    for tenant in tenants:
+        for statement in statements:
+            executor.execute(statement, tenant=tenant, **options)
+
+    def timed_sweep(server, monitor=None):
+        best = None
+        identical = True
+        for repeat in range(repeats):
+            report = run_closed_loop(
+                server, mix, clients=clients,
+                requests_per_client=requests_per_client,
+                references=references, seed=seed + repeat,
+                monitor=monitor,
+            )
+            identical = identical and report.outputs_identical
+            if best is None or report.qps > best.qps:
+                best = report
+        return best, identical
+
+    with JoinServer(
+        executor, max_in_flight=max_in_flight, queue_depth=queue_depth,
+        overload="block",
+    ) as bare_server:
+        bare, bare_identical = timed_sweep(bare_server)
+        resolved_in_flight = bare_server.max_in_flight
+
+    if telemetry_dir is None:
+        telemetry_dir = tempfile.mkdtemp(prefix="repro-telemetry-")
+    os.makedirs(telemetry_dir, exist_ok=True)
+    log_path = os.path.join(telemetry_dir, f"{workload}-queries.jsonl")
+    scrapes = 0
+    scrape_errors: list[str] = []
+    with JoinServer(
+        executor, max_in_flight=resolved_in_flight,
+        queue_depth=queue_depth, overload="block",
+        query_log=log_path, trace_sample=trace_sample,
+    ) as telemetry_server:
+        with telemetry_server.monitor() as monitor:
+            telem, telem_identical = timed_sweep(telemetry_server, monitor)
+            metrics_text = scrape(monitor.url)
+            telemetry_stats = telemetry_server.stats()["telemetry"]
+        scrapes = telem.scrapes
+        scrape_errors = list(telem.scrape_errors)
+    metrics_path = os.path.join(telemetry_dir, f"{workload}-metrics.prom")
+    with open(metrics_path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_text)
+
+    with open(log_path, encoding="utf-8") as handle:
+        requests_logged = sum(1 for line in handle if line.strip())
+    requests_served = repeats * clients * requests_per_client
+    overhead_pct = (
+        (bare.qps - telem.qps) / bare.qps * 100.0 if bare.qps else 0.0
+    )
+    return TelemetryResult(
+        workload=workload,
+        planner=planner,
+        join_algo=join_algo,
+        cells_per_array=cells_per_array,
+        n_nodes=n_nodes,
+        alpha=alpha,
+        seed=seed,
+        n_tenants=n_tenants,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        repeats=repeats,
+        trace_sample=trace_sample,
+        cpu_count=available_cpus(),
+        platform=platform.platform(),
+        bare=bare.row(),
+        telemetry={
+            **telem.row(),
+            "query_log_path": log_path,
+            "metrics_path": metrics_path,
+            "query_log": telemetry_stats["query_log"],
+        },
+        bare_qps=bare.qps,
+        telemetry_qps=telem.qps,
+        overhead_pct=overhead_pct,
+        requests_logged=requests_logged,
+        requests_served=requests_served,
+        query_log_complete=requests_logged == requests_served,
+        scrapes=scrapes,
+        scrape_errors=scrape_errors,
+        exposition_valid=not validate_exposition(metrics_text),
+        traces_sampled=telemetry_stats["sampled"],
+        all_outputs_identical=bare_identical and telem_identical,
+    )
+
+
+@dataclass
 class MulticoreResult:
     """One workload's workers × mode × kernel execution sweep.
 
@@ -1410,6 +1591,7 @@ def write_results(
     skew_results: "list[SkewResult] | None" = None,
     serving_load_results: "list[ServingLoadResult] | None" = None,
     multiway_results: "list[MultiwayResult] | None" = None,
+    telemetry_results: "list[TelemetryResult] | None" = None,
 ) -> None:
     """Serialise whatever sections actually ran.
 
@@ -1443,6 +1625,8 @@ def write_results(
         ]
     if multiway_results:
         payload["multiway"] = [vars(result) for result in multiway_results]
+    if telemetry_results:
+        payload["telemetry"] = [vars(result) for result in telemetry_results]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -1571,6 +1755,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--load-open-requests", type=int, default=40,
         help="open-loop request count (0 skips the open-loop run)",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="telemetry-overhead mode: warm serving throughput bare vs "
+        "fully instrumented (monitor scraped under load + query log + "
+        "sampled tracing)",
+    )
+    parser.add_argument(
+        "--telemetry-clients", type=int, default=4,
+        help="closed-loop client count for the --telemetry comparison",
+    )
+    parser.add_argument(
+        "--telemetry-requests", type=int, default=25,
+        help="requests per client per repeat in the --telemetry comparison",
+    )
+    parser.add_argument(
+        "--telemetry-repeats", type=int, default=3,
+        help="timed sweeps per configuration (best q/s wins)",
+    )
+    parser.add_argument(
+        "--telemetry-sample", type=int, default=100,
+        help="head-based trace sampling rate (1 in N) for --telemetry",
+    )
+    parser.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="write the --telemetry query log and scraped exposition here "
+        "(default: a temp directory)",
     )
     parser.add_argument(
         "--multiway", action="store_true",
@@ -1844,6 +2055,44 @@ def main(argv: list[str] | None = None) -> int:
                     f"(rate={entry['hit_rate']:.2f})"
                 )
 
+    telemetry_results = []
+    if args.telemetry:
+        for workload in args.workload or ["fig8_hash_skew"]:
+            telem = run_telemetry_bench(
+                workload=workload,
+                planner=args.serving_planner,
+                clients=args.telemetry_clients,
+                requests_per_client=args.telemetry_requests,
+                repeats=args.telemetry_repeats,
+                n_tenants=args.load_tenants,
+                tenant_alpha=args.load_tenant_alpha,
+                statement_alpha=args.load_statement_alpha,
+                cells_per_array=args.cells,
+                n_nodes=args.nodes,
+                alpha=args.alpha,
+                seed=args.seed,
+                cache_capacity=args.cache_capacity,
+                max_in_flight=args.load_inflight or None,
+                queue_depth=args.load_queue_depth,
+                trace_sample=args.telemetry_sample,
+                telemetry_dir=args.telemetry_dir,
+            )
+            telemetry_results.append(telem)
+            print(
+                f"{telem.workload} telemetry [{telem.planner}/"
+                f"{telem.join_algo}] x{telem.clients} clients "
+                f"({telem.cpu_count} cpus): bare {telem.bare_qps:.1f} q/s "
+                f"vs instrumented {telem.telemetry_qps:.1f} q/s -> "
+                f"{telem.overhead_pct:+.1f}% overhead; "
+                f"{telem.requests_logged}/{telem.requests_served} requests "
+                f"logged, {telem.scrapes} scrapes "
+                f"(valid={telem.exposition_valid}), "
+                f"{telem.traces_sampled} traces sampled; "
+                f"identical={telem.all_outputs_identical}"
+            )
+            if telem.scrape_errors:
+                print(f"  scrape errors: {telem.scrape_errors[:5]}")
+
     multiway_results = []
     if args.multiway:
         for shape in args.multiway_shapes:
@@ -1916,6 +2165,7 @@ def main(argv: list[str] | None = None) -> int:
             skew_results=skew_results or None,
             serving_load_results=serving_load_results or None,
             multiway_results=multiway_results or None,
+            telemetry_results=telemetry_results or None,
         )
         print(f"wrote {args.out}")
     return 0

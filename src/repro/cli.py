@@ -12,7 +12,11 @@ Commands:
   additionally executes it and prints the per-node predicted-vs-actual
   cost table (Equations 5-8 vs observed);
 - ``bench`` — wall-clock serial-vs-parallel benchmark of the join
-  engine (see :mod:`repro.bench.wallclock`).
+  engine (see :mod:`repro.bench.wallclock`);
+- ``monitor URL`` — snapshot (or ``--watch``) a running
+  :class:`repro.serve.server.JoinServer` monitor endpoint: condensed
+  ``/statz`` serving stats with rolling-window latency, or the raw
+  Prometheus ``/metrics`` exposition with ``--metrics``.
 
 ``demo`` and ``query`` accept ``--workers N`` to execute joins on a
 worker pool (N > 1) instead of the serial per-unit path, and
@@ -143,6 +147,50 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Watch (or snapshot) a running JoinServer's monitor endpoint."""
+    import time
+
+    from repro.serve.monitor import scrape, scrape_statz
+
+    def show_once() -> None:
+        if args.metrics:
+            sys.stdout.write(scrape(args.url))
+            return
+        statz = scrape_statz(args.url)
+        window = statz.get("window", {})
+        print(
+            f"in_flight={statz.get('in_flight', 0)} "
+            f"queued={statz.get('queued', 0)} "
+            f"running={statz.get('running', 0)} | "
+            f"admitted={statz.get('admitted', 0)} "
+            f"completed={statz.get('completed', 0)} "
+            f"failed={statz.get('failed', 0)} "
+            f"shed={statz.get('shed', 0)} "
+            f"coalesced={statz.get('coalesced', 0)} | "
+            f"window[{window.get('seconds', 0):g}s] "
+            f"n={window.get('count', 0)} "
+            f"p50={window.get('p50', 0) * 1000:.1f}ms "
+            f"p95={window.get('p95', 0) * 1000:.1f}ms "
+            f"p99={window.get('p99', 0) * 1000:.1f}ms"
+        )
+        for tenant, entry in sorted(window.get("tenants", {}).items()):
+            print(
+                f"  {tenant}: n={entry.get('count', 0)} "
+                f"p50={entry.get('p50', 0) * 1000:.1f}ms "
+                f"p99={entry.get('p99', 0) * 1000:.1f}ms"
+            )
+
+    remaining = args.count if args.count > 0 else (1 if not args.watch else 0)
+    while True:
+        show_once()
+        if remaining:
+            remaining -= 1
+            if not remaining:
+                return 0
+        time.sleep(args.watch)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.wallclock import main as wallclock_main
 
@@ -217,6 +265,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         forwarded.append("--load-no-coalesce")
     if args.multiway:
         forwarded.append("--multiway")
+    if args.telemetry:
+        forwarded.append("--telemetry")
+    forwarded += [
+        "--telemetry-clients", str(args.telemetry_clients),
+        "--telemetry-requests", str(args.telemetry_requests),
+        "--telemetry-repeats", str(args.telemetry_repeats),
+        "--telemetry-sample", str(args.telemetry_sample),
+    ]
+    if args.telemetry_dir:
+        forwarded += ["--telemetry-dir", args.telemetry_dir]
     return wallclock_main(forwarded)
 
 
@@ -394,7 +452,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--multiway-workers", type=int, default=4)
     bench.add_argument("--multiway-cells", type=int, default=4_000)
     bench.add_argument("--multiway-planner", default="tabu")
+    bench.add_argument(
+        "--telemetry", action="store_true",
+        help="telemetry-overhead mode: warm serving throughput bare vs "
+        "fully instrumented (monitor + query log + sampled tracing)",
+    )
+    bench.add_argument("--telemetry-clients", type=int, default=4)
+    bench.add_argument("--telemetry-requests", type=int, default=25)
+    bench.add_argument("--telemetry-repeats", type=int, default=3)
+    bench.add_argument("--telemetry-sample", type=int, default=100)
+    bench.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="write the --telemetry query log and scraped exposition here",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="watch a running JoinServer's /statz (or dump /metrics)",
+    )
+    monitor.add_argument(
+        "url", help="monitor base URL, e.g. http://127.0.0.1:9464"
+    )
+    monitor.add_argument(
+        "--watch", type=float, default=0.0, metavar="SECONDS",
+        help="refresh every SECONDS (default: one snapshot and exit)",
+    )
+    monitor.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="stop after N snapshots (default: 1, or unbounded with --watch)",
+    )
+    monitor.add_argument(
+        "--metrics", action="store_true",
+        help="print the raw Prometheus /metrics exposition instead",
+    )
+    monitor.set_defaults(func=cmd_monitor)
     return parser
 
 

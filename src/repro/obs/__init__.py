@@ -1,4 +1,4 @@
-"""Observability: phase profiling, counters, spans, metrics, explain-analyze."""
+"""Observability: profiling, counters, spans, metrics, telemetry export."""
 
 from repro.obs.counters import CounterSet
 from repro.obs.explain_analyze import (
@@ -11,9 +11,16 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RollingHistogram,
     gini,
     record_execution,
     skew_summary,
+)
+from repro.obs.telemetry import (
+    QueryLog,
+    parse_exposition,
+    render_prometheus,
+    validate_exposition,
 )
 from repro.obs.timers import DISABLED_PROFILER, PhaseProfiler
 from repro.obs.trace import NULL_TRACER, Span, Tracer, validate_chrome_trace
@@ -30,6 +37,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RollingHistogram",
+    "QueryLog",
+    "render_prometheus",
+    "parse_exposition",
+    "validate_exposition",
     "gini",
     "skew_summary",
     "record_execution",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 
 import numpy as np
 
@@ -53,15 +54,37 @@ class Counter:
 
 
 class Gauge:
-    """A last-write-wins observed value."""
+    """A current observed value: set outright or moved up and down.
 
-    __slots__ = ("value",)
+    ``inc``/``dec`` make a gauge usable as a live occupancy count (the
+    serving front end's in-flight and queue depth), which many dispatch
+    threads adjust concurrently — hence the same lock discipline (and
+    the same lock-dropping pickling) as :class:`Counter`.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def __getstate__(self) -> float:
+        return self.value
+
+    def __setstate__(self, value: float) -> None:
         self.value = float(value)
+        self._lock = threading.Lock()
 
 
 #: Default histogram bucket upper bounds: decade-spaced from 1ms up,
@@ -173,6 +196,155 @@ class Histogram:
         self._lock = threading.Lock()
 
 
+class RollingHistogram:
+    """A fixed-bucket histogram over the last ``window_seconds`` only.
+
+    A ring of ``slots`` epoch-bucketed sub-histograms: each slot covers
+    ``window_seconds / slots`` of wall time, an observation lands in the
+    slot owning the current epoch (recycling it in place if its epoch
+    has expired), and every read merges the slots still inside the
+    window. Quantiles therefore describe *recent* traffic — the rolling
+    p99 an SLO dashboard wants — instead of the lifetime distribution a
+    plain :class:`Histogram` accumulates.
+
+    ``clock`` is injectable (defaults to ``time.monotonic``) so tests
+    can march time forward deterministically.
+    """
+
+    __slots__ = (
+        "bounds", "window_seconds", "slots", "_slot_seconds",
+        "_epochs", "_counts", "_totals", "_ns", "_clock", "_lock",
+    )
+
+    def __init__(
+        self,
+        bounds=LATENCY_BUCKETS,
+        window_seconds: float = 60.0,
+        slots: int = 6,
+        clock=time.monotonic,
+    ):
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        if slots < 1:
+            raise ValueError(f"need at least one slot, got {slots}")
+        # Borrow Histogram's bounds validation.
+        self.bounds = Histogram(bounds).bounds
+        self.window_seconds = float(window_seconds)
+        self.slots = int(slots)
+        self._slot_seconds = self.window_seconds / self.slots
+        self._epochs = [-1] * self.slots
+        self._counts = [[0] * (len(self.bounds) + 1) for _ in range(self.slots)]
+        self._totals = [0.0] * self.slots
+        self._ns = [0] * self.slots
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _epoch(self) -> int:
+        return int(self._clock() / self._slot_seconds)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = 0
+        for edge in self.bounds:
+            if value <= edge:
+                break
+            index += 1
+        epoch = self._epoch()
+        slot = epoch % self.slots
+        with self._lock:
+            if self._epochs[slot] != epoch:
+                self._counts[slot] = [0] * (len(self.bounds) + 1)
+                self._totals[slot] = 0.0
+                self._ns[slot] = 0
+                self._epochs[slot] = epoch
+            self._counts[slot][index] += 1
+            self._totals[slot] += value
+            self._ns[slot] += 1
+
+    def extend(self, window: Histogram) -> None:
+        """Fold a plain histogram's counts into the current slot.
+
+        Used when merging registries: the other ring was bucketed
+        against a different clock, so slot-by-slot alignment is
+        meaningless — its live window arrives here as "just seen".
+        """
+        if window.bounds != self.bounds:
+            raise ValueError(
+                f"bucket bounds differ: {self.bounds} vs {window.bounds}"
+            )
+        if not window.count:
+            return
+        epoch = self._epoch()
+        slot = epoch % self.slots
+        with self._lock:
+            if self._epochs[slot] != epoch:
+                self._counts[slot] = [0] * (len(self.bounds) + 1)
+                self._totals[slot] = 0.0
+                self._ns[slot] = 0
+                self._epochs[slot] = epoch
+            for index, count in enumerate(window.counts):
+                self._counts[slot][index] += count
+            self._totals[slot] += window.total
+            self._ns[slot] += window.count
+
+    def merged(self) -> Histogram:
+        """The live window folded into one plain :class:`Histogram`."""
+        horizon = self._epoch() - self.slots + 1
+        merged = Histogram(self.bounds)
+        with self._lock:
+            for slot in range(self.slots):
+                if self._epochs[slot] < horizon:
+                    continue
+                for index, count in enumerate(self._counts[slot]):
+                    merged.counts[index] += count
+                merged.total += self._totals[slot]
+                merged.count += self._ns[slot]
+        return merged
+
+    def quantile(self, q: float) -> float:
+        return self.merged().quantile(q)
+
+    @property
+    def count(self) -> int:
+        return self.merged().count
+
+    def snapshot(self) -> dict:
+        merged = self.merged()
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(merged.counts),
+            "count": merged.count,
+            "sum": merged.total,
+            "window_seconds": self.window_seconds,
+        }
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "window_seconds": self.window_seconds,
+                "slots": self.slots,
+                "epochs": list(self._epochs),
+                "slot_counts": [list(counts) for counts in self._counts],
+                "totals": list(self._totals),
+                "ns": list(self._ns),
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.bounds = tuple(state["bounds"])
+        self.window_seconds = float(state["window_seconds"])
+        self.slots = int(state["slots"])
+        self._slot_seconds = self.window_seconds / self.slots
+        self._epochs = list(state["epochs"])
+        self._counts = [list(counts) for counts in state["slot_counts"]]
+        self._totals = list(state["totals"])
+        self._ns = list(state["ns"])
+        self._clock = time.monotonic
+        self._lock = threading.Lock()
+
+
 class MetricsRegistry:
     """Named counters, gauges, and histograms behind get-or-create.
 
@@ -182,12 +354,13 @@ class MetricsRegistry:
     could each create an instrument and drop the other's counts.
     """
 
-    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
+    __slots__ = ("_counters", "_gauges", "_histograms", "_rolling", "_lock")
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._rolling: dict[str, RollingHistogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -211,6 +384,21 @@ class MetricsRegistry:
                 histogram = self._histograms[name] = Histogram(bounds)
             return histogram
 
+    def rolling_histogram(
+        self,
+        name: str,
+        bounds=LATENCY_BUCKETS,
+        window_seconds: float = 60.0,
+        slots: int = 6,
+    ) -> RollingHistogram:
+        with self._lock:
+            rolling = self._rolling.get(name)
+            if rolling is None:
+                rolling = self._rolling[name] = RollingHistogram(
+                    bounds, window_seconds=window_seconds, slots=slots
+                )
+            return rolling
+
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry in: counters/histograms add, gauges win
         by last write (the merged-in registry's value)."""
@@ -229,14 +417,26 @@ class MetricsRegistry:
                 mine.counts[index] += count
             mine.total += histogram.total
             mine.count += histogram.count
+        for name, rolling in other._rolling.items():
+            mine = self.rolling_histogram(
+                name, rolling.bounds,
+                window_seconds=rolling.window_seconds, slots=rolling.slots,
+            )
+            mine.extend(rolling.merged())
         return self
 
     def snapshot(self) -> dict:
-        """Plain-dict view of everything recorded so far."""
+        """Plain-dict view of everything recorded so far.
+
+        Every section is sorted by metric name, so two registries that
+        recorded the same facts in any order serialise byte-identically
+        — CI artifacts containing snapshots diff cleanly.
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            rolling = dict(self._rolling)
         return {
             "counters": {
                 name: counter.value
@@ -249,6 +449,10 @@ class MetricsRegistry:
                 name: histogram.snapshot()
                 for name, histogram in sorted(histograms.items())
             },
+            "rolling": {
+                name: window.snapshot()
+                for name, window in sorted(rolling.items())
+            },
         }
 
     def __getstate__(self) -> dict:
@@ -257,12 +461,16 @@ class MetricsRegistry:
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
                 "histograms": dict(self._histograms),
+                "rolling": dict(self._rolling),
             }
 
     def __setstate__(self, state: dict) -> None:
         self._counters = dict(state["counters"])
         self._gauges = dict(state["gauges"])
         self._histograms = dict(state["histograms"])
+        # Registries pickled before rolling windows existed restore
+        # without them.
+        self._rolling = dict(state.get("rolling", {}))
         self._lock = threading.Lock()
 
     def describe(self) -> str:
@@ -277,6 +485,11 @@ class MetricsRegistry:
             f"{name}: n={h['count']} mean="
             f"{(h['sum'] / h['count']) if h['count'] else 0.0:.6g}"
             for name, h in snapshot["histograms"].items()
+        ]
+        lines += [
+            f"{name}[{h['window_seconds']:g}s]: n={h['count']} mean="
+            f"{(h['sum'] / h['count']) if h['count'] else 0.0:.6g}"
+            for name, h in snapshot["rolling"].items()
         ]
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
@@ -356,6 +569,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "RollingHistogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "LATENCY_BUCKETS",

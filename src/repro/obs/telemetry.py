@@ -1,0 +1,602 @@
+"""Telemetry exposition: Prometheus text rendering and the query log.
+
+This module turns the in-process instruments of
+:class:`repro.obs.metrics.MetricsRegistry` into the two artifacts a
+production monitoring loop consumes:
+
+- :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4) over a registry snapshot: counters (``_total``),
+  gauges, histograms (cumulative ``_bucket``/``_sum``/``_count``), and
+  rolling windows as summaries with ``quantile`` labels. Dotted-suffix
+  names the executor mints per tenant (``tenant_cache_hits.<t>``) map
+  to label pairs (``tenant_cache_hits_total{tenant="<t>"}``) via
+  :data:`DEFAULT_LABEL_RULES`; metric names are sanitised to the
+  exposition charset, label values escaped, and a cardinality guard
+  caps per-family series — the long tail beyond ``max_series``
+  aggregates into one ``_overflow`` series so a tenant explosion can
+  never balloon the scrape.
+- :class:`QueryLog` — a structured JSONL log, one record per served
+  request, with size-based rotation (``query.log`` → ``query.log.1`` →
+  …) so a long-running server's disk use stays bounded.
+
+A deliberately small exposition parser (:func:`parse_exposition` /
+:func:`validate_exposition`) closes the loop: CI scrapes a live
+``/metrics`` endpoint and validates the grammar — TYPE declarations,
+sample syntax, label quoting, histogram bucket monotonicity — with the
+same code tests use. ``python -m repro.obs.telemetry FILE`` validates a
+scraped exposition file, mirroring ``python -m repro.obs.trace``.
+
+Rendering reads one consistent registry snapshot, so scraping a server
+under load is safe — the instruments themselves are individually
+atomic (PR 8) and the snapshot sorts every section, making consecutive
+scrapes of a quiesced server byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Dotted-suffix metric names mapped to (label name) — the renderer
+#: splits ``<family>.<value>`` at the first dot and emits the tail as a
+#: label. Families not listed here keep their dots sanitised to ``_``.
+DEFAULT_LABEL_RULES: dict[str, str] = {
+    "tenant_cache_hits": "tenant",
+    "tenant_cache_misses": "tenant",
+    "serve_latency_window": "tenant",
+}
+
+#: Window quantiles exposed for rolling histograms (summary families).
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+#: Label value the cardinality guard aggregates the long tail into.
+OVERFLOW_LABEL = "_overflow"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name into the exposition charset.
+
+    Invalid characters become ``_``; a leading digit gains a ``_``
+    prefix. Idempotent, and the identity on names that are already
+    valid.
+    """
+    cleaned = _SANITIZE_RE.sub("_", str(name))
+    if not cleaned:
+        return "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def split_labeled_name(
+    name: str, label_rules: dict[str, str] | None = None
+) -> tuple[str, dict[str, str]]:
+    """Resolve one internal metric name to (family, labels).
+
+    ``tenant_cache_hits.t0`` splits at the first dot when the head has a
+    label rule; anything else keeps the whole (sanitised) name and no
+    labels.
+    """
+    rules = DEFAULT_LABEL_RULES if label_rules is None else label_rules
+    head, dot, tail = str(name).partition(".")
+    if dot and head in rules and tail:
+        return sanitize_metric_name(head), {rules[head]: tail}
+    return sanitize_metric_name(name), {}
+
+
+def _format_value(value) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _window_quantile(payload: dict, q: float) -> float:
+    """Quantile of a histogram/rolling snapshot payload."""
+    histogram = Histogram(payload["bounds"])
+    histogram.counts = list(payload["counts"])
+    histogram.count = int(payload["count"])
+    histogram.total = float(payload["sum"])
+    return histogram.quantile(q)
+
+
+class _Family:
+    """One exposition family being assembled: type + labelled samples."""
+
+    __slots__ = ("name", "kind", "samples")
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        #: list of (labels, payload) — payload is a float for
+        #: counter/gauge, a histogram snapshot dict otherwise.
+        self.samples: list[tuple[dict, object]] = []
+
+    def _weight(self, payload) -> float:
+        if isinstance(payload, dict):
+            return float(payload["count"])
+        return float(payload)
+
+    def capped(self, max_series: int) -> list[tuple[dict, object]]:
+        """The samples after the cardinality guard.
+
+        Unlabelled families pass through. Labelled families keep the
+        ``max_series`` heaviest series (weight = value for counters and
+        gauges, observation count for histograms/summaries; name breaks
+        ties, so the cut is deterministic) and aggregate the remainder
+        into one ``_overflow`` series per label name.
+        """
+        labelled = [sample for sample in self.samples if sample[0]]
+        unlabelled = [sample for sample in self.samples if not sample[0]]
+        if len(labelled) <= max_series:
+            return sorted(self.samples, key=lambda s: sorted(s[0].items()))
+        ranked = sorted(
+            labelled,
+            key=lambda s: (-self._weight(s[1]), sorted(s[0].items())),
+        )
+        kept, spilled = ranked[:max_series], ranked[max_series:]
+        label_name = next(iter(spilled[0][0]))
+        overflow_labels = {label_name: OVERFLOW_LABEL}
+        first = spilled[0][1]
+        if isinstance(first, dict):
+            merged = {
+                "bounds": list(first["bounds"]),
+                "counts": [0] * len(first["counts"]),
+                "count": 0,
+                "sum": 0.0,
+            }
+            for _, payload in spilled:
+                for index, count in enumerate(payload["counts"]):
+                    merged["counts"][index] += count
+                merged["count"] += payload["count"]
+                merged["sum"] += payload["sum"]
+            overflow: object = merged
+        else:
+            overflow = sum(float(payload) for _, payload in spilled)
+        capped = unlabelled + kept + [(overflow_labels, overflow)]
+        return sorted(capped, key=lambda s: sorted(s[0].items()))
+
+
+def _assemble_families(
+    snapshot: dict,
+    label_rules: dict[str, str] | None,
+    namespace: str,
+) -> dict[str, _Family]:
+    prefix = f"{sanitize_metric_name(namespace)}_" if namespace else ""
+    families: dict[str, _Family] = {}
+
+    def family(raw_name: str, kind: str, suffix: str = "") -> tuple[_Family, dict]:
+        base, labels = split_labeled_name(raw_name, label_rules)
+        name = prefix + base + suffix
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = _Family(name, kind)
+        return entry, labels
+
+    for name, value in snapshot.get("counters", {}).items():
+        entry, labels = family(name, "counter", "_total")
+        entry.samples.append((labels, float(value)))
+    for name, value in snapshot.get("gauges", {}).items():
+        entry, labels = family(name, "gauge")
+        entry.samples.append((labels, float(value)))
+    for name, payload in snapshot.get("histograms", {}).items():
+        entry, labels = family(name, "histogram")
+        entry.samples.append((labels, payload))
+    for name, payload in snapshot.get("rolling", {}).items():
+        entry, labels = family(name, "summary")
+        entry.samples.append((labels, payload))
+    return families
+
+
+def render_prometheus(
+    registry_or_snapshot,
+    namespace: str = "repro",
+    label_rules: dict[str, str] | None = None,
+    max_series: int = 64,
+) -> str:
+    """Render a registry (or its snapshot) as Prometheus text exposition.
+
+    Families are emitted in sorted name order with one ``# TYPE`` line
+    each; sample order within a family is sorted by labels, so the
+    output is deterministic for a given snapshot. ``max_series`` is the
+    per-family cardinality cap (see :meth:`_Family.capped`).
+    """
+    if isinstance(registry_or_snapshot, MetricsRegistry):
+        snapshot = registry_or_snapshot.snapshot()
+    else:
+        snapshot = registry_or_snapshot
+    if max_series < 1:
+        raise ValueError(f"max_series must be at least 1, got {max_series}")
+    families = _assemble_families(snapshot, label_rules, namespace)
+    lines: list[str] = []
+    for name in sorted(families):
+        entry = families[name]
+        lines.append(f"# TYPE {name} {entry.kind}")
+        for labels, payload in entry.capped(max_series):
+            if entry.kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(payload)}"
+                )
+                continue
+            if entry.kind == "histogram":
+                cumulative = 0
+                for edge, count in zip(
+                    payload["bounds"], payload["counts"]
+                ):
+                    cumulative += count
+                    bucket_labels = {**labels, "le": _format_value(edge)}
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                cumulative += payload["counts"][-1]
+                bucket_labels = {**labels, "le": "+Inf"}
+                lines.append(
+                    f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                )
+            else:  # summary (rolling window)
+                for q in SUMMARY_QUANTILES:
+                    q_labels = {**labels, "quantile": _format_value(q)}
+                    lines.append(
+                        f"{name}{_labels_text(q_labels)} "
+                        f"{_format_value(_window_quantile(payload, q))}"
+                    )
+            lines.append(
+                f"{name}_sum{_labels_text(labels)} "
+                f"{_format_value(payload['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_labels_text(labels)} {int(payload['count'])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------- parsing
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label set; raises ValueError."""
+    labels: dict[str, str] = {}
+    position = 0
+    while position < len(text):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[position:])
+        if match is None:
+            raise ValueError(f"bad label syntax at {text[position:]!r}")
+        name = match.group(1)
+        position += match.end()
+        value_chars: list[str] = []
+        while position < len(text):
+            char = text[position]
+            if char == "\\":
+                if position + 1 >= len(text):
+                    raise ValueError("dangling escape in label value")
+                escape = text[position + 1]
+                if escape not in ('"', "\\", "n"):
+                    raise ValueError(f"bad escape \\{escape} in label value")
+                value_chars.append("\n" if escape == "n" else escape)
+                position += 2
+                continue
+            if char == '"':
+                position += 1
+                break
+            value_chars.append(char)
+            position += 1
+        else:
+            raise ValueError("unterminated label value")
+        if name in labels:
+            raise ValueError(f"duplicate label {name!r}")
+        labels[name] = "".join(value_chars)
+        if position < len(text):
+            if text[position] != ",":
+                raise ValueError(f"expected ',' at {text[position:]!r}")
+            position += 1
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_exposition(text: str) -> tuple[dict, list[str]]:
+    """Parse Prometheus text exposition; returns (families, errors).
+
+    ``families`` maps family name → ``{"type": str, "samples": [(name,
+    labels, value), ...]}``. The checks cover what a real scraper
+    enforces: TYPE syntax and uniqueness, sample grammar, label quoting
+    and escapes, float-parsable values, samples belonging to a declared
+    family, no duplicate (name, labels) series, and — for histograms —
+    an ``le`` label on every bucket, cumulative non-decreasing bucket
+    counts, a terminal ``+Inf`` bucket agreeing with ``_count``.
+    """
+    families: dict[str, dict] = {}
+    errors: list[str] = []
+
+    def family_of(sample_name: str) -> str | None:
+        if sample_name in families:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in families and families[base]["type"] in (
+                    "histogram", "summary",
+                ):
+                    return base
+        return None
+
+    for index, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        where = f"line {index}"
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"{where}: malformed TYPE comment")
+                    continue
+                _, _, name, kind = parts
+                if not _NAME_RE.match(name):
+                    errors.append(f"{where}: invalid metric name {name!r}")
+                    continue
+                if kind not in (
+                    "counter", "gauge", "histogram", "summary", "untyped",
+                ):
+                    errors.append(f"{where}: unknown TYPE {kind!r}")
+                    continue
+                if name in families:
+                    errors.append(f"{where}: duplicate TYPE for {name!r}")
+                    continue
+                families[name] = {"type": kind, "samples": []}
+            # HELP and free comments are legal and carry no structure.
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"{where}: unparsable sample {line!r}")
+            continue
+        sample_name = match.group("name")
+        try:
+            labels = (
+                _parse_labels(match.group("labels"))
+                if match.group("labels") is not None
+                else {}
+            )
+        except ValueError as exc:
+            errors.append(f"{where}: {exc}")
+            continue
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                errors.append(f"{where}: invalid label name {label_name!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"{where}: unparsable value {match.group('value')!r}"
+            )
+            continue
+        base = family_of(sample_name)
+        if base is None:
+            errors.append(
+                f"{where}: sample {sample_name!r} has no TYPE declaration"
+            )
+            continue
+        series_key = (sample_name, tuple(sorted(labels.items())))
+        seen = families[base].setdefault("_series", set())
+        if series_key in seen:
+            errors.append(
+                f"{where}: duplicate series {sample_name}{labels!r}"
+            )
+            continue
+        seen.add(series_key)
+        families[base]["samples"].append((sample_name, labels, value))
+
+    for name, entry in families.items():
+        entry.pop("_series", None)
+        if entry["type"] != "histogram":
+            continue
+        buckets: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for sample_name, labels, value in entry["samples"]:
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    errors.append(
+                        f"{name}: bucket sample missing 'le' label"
+                    )
+                    continue
+                try:
+                    edge = _parse_value(labels["le"])
+                except ValueError:
+                    errors.append(
+                        f"{name}: unparsable le {labels['le']!r}"
+                    )
+                    continue
+                key = tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le")
+                )
+                buckets.setdefault(key, []).append((edge, value))
+            elif sample_name == f"{name}_count":
+                counts[tuple(sorted(labels.items()))] = value
+        for key, series in buckets.items():
+            ordered = sorted(series)
+            cumulative = [count for _, count in ordered]
+            if cumulative != sorted(cumulative):
+                errors.append(
+                    f"{name}: bucket counts not cumulative for {dict(key)}"
+                )
+            if not ordered or not math.isinf(ordered[-1][0]):
+                errors.append(
+                    f"{name}: missing +Inf bucket for {dict(key)}"
+                )
+            elif key in counts and counts[key] != ordered[-1][1]:
+                errors.append(
+                    f"{name}: +Inf bucket != _count for {dict(key)}"
+                )
+    return families, errors
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Grammar-check exposition text; an empty list means it scrapes."""
+    if not text.strip():
+        return []
+    return parse_exposition(text)[1]
+
+
+# ---------------------------------------------------------------- query log
+
+
+class QueryLog:
+    """Structured JSONL request log with size-based rotation.
+
+    One :meth:`log` call appends one JSON object per line (sorted keys,
+    so records diff cleanly) and flushes — a crash loses at most the
+    OS buffer. When the active file would exceed ``max_bytes`` the log
+    rotates: ``path`` → ``path.1`` → … → ``path.<max_files-1>``, the
+    oldest falling off the end, so total disk use stays bounded at
+    roughly ``max_bytes * max_files``.
+    """
+
+    def __init__(
+        self,
+        path,
+        max_bytes: int = 16 * 1024 * 1024,
+        max_files: int = 4,
+    ):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_files < 1:
+            raise ValueError(f"max_files must be positive, got {max_files}")
+        self.path = str(path)
+        self.max_bytes = int(max_bytes)
+        self.max_files = int(max_files)
+        self.records = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = os.path.getsize(self.path)
+
+    def log(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=float) + "\n"
+        encoded = len(line.encode("utf-8"))
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("query log is closed")
+            if self._size and self._size + encoded > self.max_bytes:
+                self._rotate()
+            self._handle.write(line)
+            self._handle.flush()
+            self._size += encoded
+            self.records += 1
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        for index in range(self.max_files - 1, 0, -1):
+            older = f"{self.path}.{index}"
+            newer = f"{self.path}.{index + 1}"
+            if os.path.exists(older):
+                if index == self.max_files - 1:
+                    os.remove(older)
+                else:
+                    os.replace(older, newer)
+        if self.max_files > 1:
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "QueryLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.telemetry FILE`` — validate an exposition."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="validate a Prometheus text exposition file"
+    )
+    parser.add_argument("path", help="scraped /metrics output to check")
+    args = parser.parse_args(argv)
+    with open(args.path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    families, errors = parse_exposition(text)
+    if errors:
+        for error in errors:
+            print(f"{args.path}: {error}")
+        return 1
+    n_samples = sum(len(entry["samples"]) for entry in families.values())
+    print(f"{args.path}: ok ({len(families)} families, {n_samples} samples)")
+    return 0
+
+
+__all__ = [
+    "DEFAULT_LABEL_RULES",
+    "SUMMARY_QUANTILES",
+    "OVERFLOW_LABEL",
+    "QueryLog",
+    "escape_label_value",
+    "parse_exposition",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "split_labeled_name",
+    "validate_exposition",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

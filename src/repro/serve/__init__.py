@@ -3,8 +3,11 @@
 See :mod:`repro.serve.cache` for the bounded-LRU :class:`PlanCache`,
 :mod:`repro.serve.fingerprint` for the content fingerprints that key it,
 :mod:`repro.serve.server` for the admission-controlled
-:class:`JoinServer` front end, and :mod:`repro.serve.load` for the
-closed-/open-loop load generator that drives it.
+:class:`JoinServer` front end, :mod:`repro.serve.load` for the
+closed-/open-loop load generator that drives it, and
+:mod:`repro.serve.monitor` for the telemetry plane (the HTTP
+``/metrics``/``/healthz``/``/statz`` monitor, trace sampling, and
+slow-query capture).
 """
 
 from repro.serve.cache import CachedPipeline, CachedPlan, CachedStage, PlanCache
@@ -22,9 +25,21 @@ from repro.serve.load import (
     run_open_loop,
     serial_references,
 )
+from repro.serve.monitor import (
+    MonitorServer,
+    SlowQueryCapture,
+    TraceSampler,
+    scrape,
+    scrape_statz,
+)
 from repro.serve.server import JoinServer, tenant_cache_stats
 
 __all__ = [
+    "MonitorServer",
+    "SlowQueryCapture",
+    "TraceSampler",
+    "scrape",
+    "scrape_statz",
     "CachedPlan",
     "CachedStage",
     "CachedPipeline",

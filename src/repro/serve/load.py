@@ -132,6 +132,12 @@ class LoadReport:
     distinct_results_verified: int
     per_tenant: dict
     counters: dict
+    #: /metrics + /statz scrapes performed while clients were running
+    #: (0 when the run had no monitor attached).
+    scrapes: int = 0
+    #: Exposition-grammar or scrape-transport problems seen under load;
+    #: empty means every mid-run scrape parsed cleanly.
+    scrape_errors: list = dataclass_field(default_factory=list)
 
     def row(self) -> dict:
         """Flat JSON-ready dict (the BENCH artifact row shape)."""
@@ -233,6 +239,55 @@ def _build_report(
     )
 
 
+class _LoadScraper:
+    """Polls a monitor's /metrics and /statz while a load run is hot.
+
+    The point is scrape-*under*-load: the exposition must stay
+    grammatically valid and /statz decodable while every instrument it
+    reads is being hammered concurrently. Grammar violations and
+    transport failures accumulate in ``errors``; the load report
+    carries them out.
+    """
+
+    def __init__(self, monitor, interval: float = 0.05):
+        from repro.obs.telemetry import validate_exposition
+        from repro.serve.monitor import scrape, scrape_statz
+
+        self._validate = validate_exposition
+        self._scrape = scrape
+        self._scrape_statz = scrape_statz
+        self.monitor = monitor
+        self.interval = float(interval)
+        self.scrapes = 0
+        self.errors: list[str] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="load-scraper", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._once()
+
+    def _once(self) -> None:
+        try:
+            text = self._scrape(self.monitor.url)
+            self.errors.extend(self._validate(text))
+            statz = self._scrape_statz(self.monitor.url)
+            if "window" not in statz:
+                self.errors.append("/statz is missing the rolling window")
+            self.scrapes += 1
+        except Exception as exc:  # transport failure is a finding, not a crash
+            self.errors.append(f"scrape failed: {exc}")
+
+
 def run_closed_loop(
     server: JoinServer,
     mix: QueryMix,
@@ -240,8 +295,17 @@ def run_closed_loop(
     requests_per_client: int,
     references: dict[str, bytes] | None = None,
     seed: int = 0,
+    monitor=None,
+    scrape_interval: float = 0.05,
 ) -> LoadReport:
-    """N closed-loop clients, each issuing its next query on completion."""
+    """N closed-loop clients, each issuing its next query on completion.
+
+    Pass a running :class:`repro.serve.monitor.MonitorServer` as
+    ``monitor`` to scrape ``/metrics`` and ``/statz`` every
+    ``scrape_interval`` seconds *while the clients run*; the report's
+    ``scrapes``/``scrape_errors`` then certify the exposition stayed
+    valid under concurrent traffic.
+    """
     if clients < 1 or requests_per_client < 1:
         raise ValueError("need at least one client and one request each")
     before = _counter_snapshot(server.metrics)
@@ -275,20 +339,34 @@ def run_closed_loop(
         threading.Thread(target=client_loop, args=(index,), daemon=True)
         for index in range(clients)
     ]
+    scraper = (
+        _LoadScraper(monitor, scrape_interval) if monitor is not None else None
+    )
     for thread in threads:
         thread.start()
+    if scraper is not None:
+        scraper.start()
     barrier.wait()
     started = time.perf_counter()
     for thread in threads:
         thread.join()
     duration = time.perf_counter() - started
-    return _build_report(
+    if scraper is not None:
+        # One final scrape after the last completion so the run always
+        # certifies at least one full exposition, however short it was.
+        scraper._once()
+        scraper.stop()
+    report = _build_report(
         "closed", clients,
         [sample for chunk in latencies for sample in chunk],
         sum(shed), sum(errors), duration,
         [pair for chunk in collected for pair in chunk],
         references, server.metrics, before,
     )
+    if scraper is not None:
+        report.scrapes = scraper.scrapes
+        report.scrape_errors = scraper.errors
+    return report
 
 
 def run_open_loop(

@@ -1,0 +1,457 @@
+"""The serving monitor plane: /metrics endpoint, tracing, slow queries.
+
+Three pieces turn a :class:`repro.serve.server.JoinServer`'s internal
+telemetry into something an operator (or a Prometheus scraper) can see
+*while the server runs*:
+
+- :class:`MonitorServer` — a stdlib ``http.server`` thread exposing
+
+  - ``GET /metrics``  — Prometheus text exposition of the backend's
+    metrics registry (:func:`repro.obs.telemetry.render_prometheus`);
+  - ``GET /healthz``  — liveness JSON (503 once the server is closed
+    to new queries, so load balancers drain it);
+  - ``GET /statz``    — ``server.stats()`` plus the full registry
+    snapshot as JSON: admission counters, rolling-window per-tenant
+    latency quantiles, plan-cache and tenant-cache state.
+
+  The monitor serves scrapes concurrently with query traffic — every
+  instrument it reads is individually atomic, so scraping under load
+  needs no pauses.
+- :class:`TraceSampler` — head-based ``1/N`` sampling: every Nth
+  executed request records serve-plane spans (queue wait, backend
+  execution) as a Chrome trace-event object, retained in a bounded
+  ring and optionally written to a capture directory.
+- :class:`SlowQueryCapture` — any request over a latency threshold
+  dumps a loadable Chrome trace plus an explain-analyze summary
+  (per-node Eq 5-8 predicted-vs-observed) to the capture directory,
+  with bounded retention so a pathological workload cannot fill the
+  disk.
+
+This module deliberately never imports the server — it is handed one —
+so the server module can import the capture classes without a cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import urllib.request
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.telemetry import render_prometheus
+from repro.obs.trace import Tracer
+
+
+def statement_fingerprint(statement: str) -> str:
+    """Short stable fingerprint of a statement for log/capture names."""
+    return hashlib.sha1(str(statement).encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class RequestRecord:
+    """Per-request telemetry the server accumulates as a request moves.
+
+    Timestamps are raw ``perf_counter`` values: ``arrival`` at submit,
+    ``started``/``finished`` around the backend execution (absent for
+    coalesced followers, which never execute). The server fills in the
+    outcome fields when the future completes.
+    """
+
+    seq: int
+    statement: str
+    tenant: str | None
+    arrival: float
+    started: float | None = None
+    finished: float | None = None
+    coalesced: bool = False
+    sampled: bool = False
+    outcome: str = "ok"
+    latency: float = 0.0
+    fingerprint: str = ""
+    cache_status: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            self.fingerprint = statement_fingerprint(self.statement)
+
+
+def request_tracer(record: RequestRecord) -> Tracer:
+    """Serve-plane spans for one request, epoch-aligned to its arrival.
+
+    An executed request yields ``queue_wait`` (admission to dispatch)
+    and ``execute`` (backend execution) spans; a coalesced follower —
+    which never executed — yields one ``wait_shared`` span covering its
+    wait on the leader's future. The tracer's Chrome export is a
+    self-contained, loadable trace.
+    """
+    tracer = Tracer(enabled=True, epoch=record.arrival, default_lane="serve")
+    attrs = {
+        "seq": record.seq,
+        "tenant": record.tenant,
+        "statement_fingerprint": record.fingerprint,
+        "outcome": record.outcome,
+        "cache": record.cache_status,
+    }
+    if record.started is not None and record.finished is not None:
+        dispatch = record.started - record.arrival
+        tracer.add_span("queue_wait", 0.0, dispatch, lane="serve", **attrs)
+        tracer.add_span(
+            "execute",
+            dispatch,
+            record.finished - record.arrival,
+            lane="serve",
+            **{**attrs, **record.meta},
+        )
+    else:
+        tracer.add_span(
+            "wait_shared", 0.0, record.latency, lane="serve", **attrs
+        )
+    return tracer
+
+
+class _BoundedCaptureDir:
+    """Retention helper: keeps at most ``limit`` capture groups on disk.
+
+    A group is the set of files one capture wrote (trace + summary);
+    when a new group would exceed the limit, the oldest group's files
+    are deleted. Only files this process wrote are ever touched.
+    """
+
+    def __init__(self, directory: str, limit: int):
+        self.directory = str(directory)
+        self.limit = int(limit)
+        self._groups: deque[list[str]] = deque()
+        os.makedirs(self.directory, exist_ok=True)
+
+    def admit(self, paths: list[str]) -> None:
+        self._groups.append(list(paths))
+        while len(self._groups) > self.limit:
+            for path in self._groups.popleft():
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+
+
+class TraceSampler:
+    """Head-based 1-in-N request tracing with bounded retention.
+
+    ``sample=N`` samples every Nth executed request (1 = every request,
+    0 = off). Sampled traces are kept as Chrome trace objects in an
+    in-memory ring of ``limit`` entries; with a ``capture_dir`` each is
+    also written to ``trace-<seq>-<fingerprint>.trace.json``, oldest
+    files pruned past the same limit.
+    """
+
+    def __init__(
+        self,
+        sample: int,
+        capture_dir: str | None = None,
+        limit: int = 16,
+    ):
+        if sample < 0:
+            raise ValueError(f"trace_sample must be >= 0, got {sample}")
+        if limit < 1:
+            raise ValueError(f"retention limit must be positive, got {limit}")
+        self.sample = int(sample)
+        self.limit = int(limit)
+        self.traces: deque[tuple[int, dict]] = deque(maxlen=self.limit)
+        self.sampled = 0
+        self._dir = (
+            _BoundedCaptureDir(capture_dir, limit)
+            if capture_dir is not None
+            else None
+        )
+        self._lock = threading.Lock()
+
+    def should_sample(self, seq: int) -> bool:
+        return self.sample > 0 and seq % self.sample == 0
+
+    def record(self, record: RequestRecord) -> dict:
+        trace = request_tracer(record).chrome_trace()
+        with self._lock:
+            self.sampled += 1
+            self.traces.append((record.seq, trace))
+            if self._dir is not None:
+                path = os.path.join(
+                    self._dir.directory,
+                    f"trace-{record.seq:06d}-{record.fingerprint}.trace.json",
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(trace, handle)
+                    handle.write("\n")
+                self._dir.admit([path])
+        return trace
+
+
+class SlowQueryCapture:
+    """Dump trace + explain-analyze evidence for over-threshold requests.
+
+    Any request whose latency exceeds ``threshold_seconds`` writes a
+    capture group into ``capture_dir``:
+
+    - ``slow-<seq>-<fingerprint>.trace.json`` — the request's
+      serve-plane Chrome trace (queue wait vs execution), loadable in
+      Perfetto;
+    - ``slow-<seq>-<fingerprint>.explain.txt`` — the request record
+      plus, when an ``explain`` callable was provided, a fresh
+      explain-analyze of the offending statement (per-node Eq 5-8
+      predicted vs observed).
+
+    The explain re-executes the query, so captures serialise on one
+    lock and a request arriving while another capture's explain is
+    running records the trace but skips the re-execution — slow-query
+    forensics must never amplify an overload. Retention keeps the most
+    recent ``limit`` capture groups.
+    """
+
+    def __init__(
+        self,
+        threshold_seconds: float,
+        capture_dir: str,
+        limit: int = 8,
+        explain=None,
+    ):
+        if threshold_seconds < 0:
+            raise ValueError(
+                f"slow-query threshold must be >= 0, got {threshold_seconds}"
+            )
+        self.threshold_seconds = float(threshold_seconds)
+        self.captures = 0
+        self.explains = 0
+        self._explain = explain
+        self._dir = _BoundedCaptureDir(capture_dir, limit)
+        self._lock = threading.Lock()
+        self._explain_lock = threading.Lock()
+
+    @property
+    def directory(self) -> str:
+        return self._dir.directory
+
+    def consider(self, record: RequestRecord, options: dict | None = None):
+        """Capture the request if it was slow; returns the trace path."""
+        if record.latency <= self.threshold_seconds:
+            return None
+        stem = f"slow-{record.seq:06d}-{record.fingerprint}"
+        trace_path = os.path.join(self._dir.directory, f"{stem}.trace.json")
+        explain_path = os.path.join(self._dir.directory, f"{stem}.explain.txt")
+        trace = request_tracer(record).chrome_trace()
+        summary = self._explain_summary(record, options)
+        with self._lock:
+            with open(trace_path, "w", encoding="utf-8") as handle:
+                json.dump(trace, handle)
+                handle.write("\n")
+            with open(explain_path, "w", encoding="utf-8") as handle:
+                handle.write(summary)
+            self._dir.admit([trace_path, explain_path])
+            self.captures += 1
+        return trace_path
+
+    def _explain_summary(
+        self, record: RequestRecord, options: dict | None
+    ) -> str:
+        lines = [
+            f"slow query capture: seq={record.seq} "
+            f"fingerprint={record.fingerprint}",
+            f"tenant:    {record.tenant}",
+            f"statement: {record.statement}",
+            f"latency:   {record.latency:.6f}s "
+            f"(threshold {self.threshold_seconds:.6f}s)",
+            f"outcome:   {record.outcome}  cache={record.cache_status}  "
+            f"coalesced={record.coalesced}",
+        ]
+        if record.meta:
+            lines.append(
+                "meta:      "
+                + " ".join(
+                    f"{key}={record.meta[key]}" for key in sorted(record.meta)
+                )
+            )
+        if self._explain is None:
+            lines.append("(no explain backend configured)")
+            return "\n".join(lines) + "\n"
+        if not self._explain_lock.acquire(blocking=False):
+            lines.append(
+                "(explain-analyze skipped: another capture in progress)"
+            )
+            return "\n".join(lines) + "\n"
+        try:
+            report = self._explain(record.statement, **(options or {}))
+            self.explains += 1
+            lines += ["", report.describe()]
+        except Exception as exc:  # capture must never fail the request
+            lines.append(f"(explain-analyze failed: {exc})")
+        finally:
+            self._explain_lock.release()
+        return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------ HTTP monitor
+
+
+def _json_default(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class MonitorServer:
+    """A background HTTP thread exposing one JoinServer's telemetry.
+
+    Binds ``host:port`` (port 0 picks an ephemeral port — the resolved
+    one is ``monitor.port``) and answers ``/metrics``, ``/healthz``,
+    and ``/statz`` until :meth:`close`. Requests are handled on their
+    own threads (``ThreadingHTTPServer``), so a slow scraper never
+    blocks a health check.
+    """
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = "repro",
+        max_series: int = 64,
+        label_rules: dict[str, str] | None = None,
+    ):
+        self.server = server
+        self.namespace = namespace
+        self.max_series = max_series
+        self.label_rules = label_rules
+        monitor = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence stderr
+                return
+
+            def _send(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                try:
+                    path = self.path.split("?", 1)[0]
+                    if path == "/metrics":
+                        monitor._count_scrape("metrics")
+                        self._send(
+                            200,
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            monitor.render_metrics().encode("utf-8"),
+                        )
+                    elif path == "/healthz":
+                        monitor._count_scrape("healthz")
+                        payload = monitor.health()
+                        self._send(
+                            200 if payload["status"] == "ok" else 503,
+                            "application/json",
+                            json.dumps(payload).encode("utf-8"),
+                        )
+                    elif path == "/statz":
+                        monitor._count_scrape("statz")
+                        self._send(
+                            200,
+                            "application/json",
+                            json.dumps(
+                                monitor.statz(),
+                                sort_keys=True,
+                                default=_json_default,
+                            ).encode("utf-8"),
+                        )
+                    else:
+                        self._send(
+                            404, "text/plain", b"unknown endpoint\n"
+                        )
+                except BrokenPipeError:  # scraper went away mid-response
+                    pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="join-serve-monitor",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _count_scrape(self, endpoint: str) -> None:
+        self.server.metrics.counter(f"monitor_scrapes_{endpoint}").inc()
+
+    def render_metrics(self) -> str:
+        return render_prometheus(
+            self.server.metrics,
+            namespace=self.namespace,
+            label_rules=self.label_rules,
+            max_series=self.max_series,
+        )
+
+    def health(self) -> dict:
+        closed = bool(getattr(self.server, "closed", False))
+        return {
+            "status": "closing" if closed else "ok",
+            "in_flight": int(getattr(self.server, "in_flight", 0)),
+        }
+
+    def statz(self) -> dict:
+        return {
+            **self.server.stats(),
+            "metrics": self.server.metrics.snapshot(),
+        }
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MonitorServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def scrape(base_url: str, path: str = "/metrics", timeout: float = 5.0) -> str:
+    """GET one monitor endpoint; returns the response body as text."""
+    url = base_url.rstrip("/") + path
+    if not url.startswith("http"):
+        url = "http://" + url
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def scrape_statz(base_url: str, timeout: float = 5.0) -> dict:
+    """GET and decode ``/statz``."""
+    return json.loads(scrape(base_url, "/statz", timeout=timeout))
+
+
+#: Wall-clock timestamp source for query-log records; module-level so
+#: tests can monkeypatch it.
+wall_clock = time.time
+
+
+__all__ = [
+    "MonitorServer",
+    "RequestRecord",
+    "SlowQueryCapture",
+    "TraceSampler",
+    "request_tracer",
+    "scrape",
+    "scrape_statz",
+    "statement_fingerprint",
+]

@@ -45,7 +45,22 @@ Serving metrics accumulate in the backend's registry:
 ``serve_latency_seconds`` (histogram over
 :data:`repro.obs.metrics.LATENCY_BUCKETS`), the
 ``serve_queries_{admitted,completed,failed,shed,coalesced}`` counters,
-and the ``serve_in_flight`` gauge.
+the ``serve_in_flight``/``serve_queued``/``serve_running`` occupancy
+gauges (maintained with :meth:`~repro.obs.metrics.Gauge.inc`/``dec`` as
+requests move, so ``stats()`` reads them instead of recomputing), and
+rolling-window latency (``serve_latency_window`` plus cardinality-capped
+``serve_latency_window.<tenant>``) so ``/statz`` reports p50/p95/p99
+over the last ``window_seconds``, not lifetime.
+
+The telemetry plane (PR 10) rides on the same per-request path:
+``query_log=`` appends one structured JSONL record per request
+(:class:`repro.obs.telemetry.QueryLog`, size-rotated),
+``trace_sample=N`` samples every Nth executed request's serve-plane
+spans as a Chrome trace, and ``slow_query_seconds=`` +
+``capture_dir=`` dump trace + explain-analyze evidence for any request
+over the threshold (:class:`repro.serve.monitor.SlowQueryCapture`).
+:meth:`JoinServer.monitor` starts the HTTP monitor thread exposing
+``/metrics``, ``/healthz``, and ``/statz``.
 """
 
 from __future__ import annotations
@@ -57,13 +72,31 @@ from concurrent.futures import wait as futures_wait
 
 from repro.engine.parallel import available_cpus
 from repro.errors import ExecutionError, Overloaded
-from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    RollingHistogram,
+)
+from repro.obs.telemetry import QueryLog
+from repro.serve.monitor import (
+    RequestRecord,
+    SlowQueryCapture,
+    TraceSampler,
+    wall_clock,
+)
 
 #: Options JoinServer.submit refuses. ``trace`` swaps the executor's
 #: tracer for the query's duration — a per-executor mutation that would
 #: cross-attribute spans between concurrent queries; ``store_result``
 #: mutates the cluster catalog, which the serving path keeps read-only.
 REJECTED_OPTIONS = frozenset({"trace", "store_result"})
+
+#: Distinct tenants that get their own rolling latency window before the
+#: cardinality guard folds the tail into ``serve_latency_window._other``.
+WINDOW_TENANT_CAP = 32
+
+#: Report.meta fields copied into query-log records and capture traces.
+_META_FIELDS = ("kernel", "parallel_mode", "units_split", "runtime_resplits")
 
 
 class JoinServer:
@@ -76,6 +109,14 @@ class JoinServer:
     many more may wait admitted-but-unstarted; beyond that the
     ``overload`` policy applies. ``coalesce=False`` disables
     single-flight request sharing (every request then executes).
+
+    Telemetry knobs: ``query_log`` takes a :class:`QueryLog` (shared,
+    caller closes) or a path (owned, closed on shutdown);
+    ``trace_sample=N`` samples every Nth executed request;
+    ``slow_query_seconds`` + ``capture_dir`` dump trace and
+    explain-analyze evidence for over-threshold requests, keeping at
+    most ``capture_limit`` capture groups; ``window_seconds`` sizes the
+    rolling latency windows ``stats()["window"]`` reports.
     """
 
     def __init__(
@@ -86,6 +127,12 @@ class JoinServer:
         overload: str = "block",
         coalesce: bool = True,
         metrics: MetricsRegistry | None = None,
+        query_log=None,
+        trace_sample: int = 0,
+        slow_query_seconds: float | None = None,
+        capture_dir: str | None = None,
+        capture_limit: int = 8,
+        window_seconds: float = 60.0,
     ):
         if overload not in ("block", "shed"):
             raise ExecutionError(
@@ -116,6 +163,20 @@ class JoinServer:
                 if isinstance(backend_metrics, MetricsRegistry)
                 else MetricsRegistry()
             )
+        if window_seconds <= 0:
+            raise ExecutionError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        if trace_sample < 0:
+            raise ExecutionError(
+                f"trace_sample must be >= 0 (1 in N; 0 = off), "
+                f"got {trace_sample}"
+            )
+        if slow_query_seconds is not None and capture_dir is None:
+            raise ExecutionError(
+                "slow_query_seconds needs capture_dir: slow-query captures "
+                "are written to disk"
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_in_flight, thread_name_prefix="join-serve"
         )
@@ -128,8 +189,42 @@ class JoinServer:
         self._lock = threading.RLock()
         self._singleflight: dict[tuple, Future] = {}
         self._outstanding: set[Future] = set()
-        self._in_flight = 0
         self._closed = False
+        # Occupancy gauges move with inc/dec as requests are admitted,
+        # dispatched, and released; stats() reads them directly.
+        self._in_flight_gauge = self.metrics.gauge("serve_in_flight")
+        self._queued_gauge = self.metrics.gauge("serve_queued")
+        self._running_gauge = self.metrics.gauge("serve_running")
+        # Rolling latency windows: one global ring plus per-tenant rings
+        # behind a cardinality cap (the tail shares "_other").
+        self.window_seconds = float(window_seconds)
+        self._window = self.metrics.rolling_histogram(
+            "serve_latency_window", LATENCY_BUCKETS,
+            window_seconds=self.window_seconds,
+        )
+        self._tenant_windows: dict[str, RollingHistogram] = {}
+        # Telemetry plane: query log, trace sampling, slow-query capture.
+        if query_log is None or isinstance(query_log, QueryLog):
+            self._query_log = query_log
+            self._owns_query_log = False
+        else:
+            self._query_log = QueryLog(query_log)
+            self._owns_query_log = True
+        self._sampler = (
+            TraceSampler(trace_sample, capture_dir, limit=capture_limit)
+            if trace_sample > 0
+            else None
+        )
+        self._slow = (
+            SlowQueryCapture(
+                slow_query_seconds, capture_dir, limit=capture_limit,
+                explain=getattr(backend, "explain_analyze", None),
+            )
+            if slow_query_seconds is not None
+            else None
+        )
+        self._seq = 0
+        self._seq_lock = threading.Lock()
 
     # ------------------------------------------------------------- submission
 
@@ -152,16 +247,24 @@ class JoinServer:
         arrival = time.perf_counter()
         if self._closed:
             raise Overloaded("server is closed to new queries")
+        record = RequestRecord(
+            seq=self._next_seq(),
+            statement=str(statement),
+            tenant=tenant,
+            arrival=arrival,
+        )
         key = self._coalesce_key(statement, options)
         if key is not None:
             with self._lock:
                 leader = self._singleflight.get(key)
                 if leader is not None:
                     self.metrics.counter("serve_queries_coalesced").inc()
-                    self._record_on_done(leader, arrival)
+                    record.coalesced = True
+                    self._record_on_done(leader, record, options)
                     return leader
         if not self._admission.acquire(blocking=self.overload == "block"):
             self.metrics.counter("serve_queries_shed").inc()
+            self._finish_shed(record)
             raise Overloaded(
                 f"admission bound reached ({self.max_in_flight} in flight "
                 f"+ {self.queue_depth} queued); query shed"
@@ -177,35 +280,55 @@ class JoinServer:
                 if leader is not None:
                     self._admission.release()
                     self.metrics.counter("serve_queries_coalesced").inc()
-                    self._record_on_done(leader, arrival)
+                    record.coalesced = True
+                    self._record_on_done(leader, record, options)
                     return leader
+            self._queued_gauge.inc()
             try:
                 future = self._pool.submit(
-                    self._run, statement, tenant, options
+                    self._run, statement, tenant, options, record
                 )
             except RuntimeError as exc:  # pool already shut down
+                self._queued_gauge.dec()
                 self._admission.release()
                 raise Overloaded("server is closed to new queries") from exc
             self.metrics.counter("serve_queries_admitted").inc()
-            self._in_flight += 1
-            self.metrics.gauge("serve_in_flight").set(self._in_flight)
+            self._in_flight_gauge.inc()
             self._outstanding.add(future)
             if key is not None:
                 self._singleflight[key] = future
             future.add_done_callback(
                 lambda done, key=key: self._release(key, done)
             )
-        self._record_on_done(future, arrival)
+        self._record_on_done(future, record, options)
         return future
 
     def execute(self, statement: str, tenant: str | None = None, **options):
         """Blocking submit: returns the JoinResult (or raises)."""
         return self.submit(statement, tenant=tenant, **options).result()
 
-    def _run(self, statement: str, tenant: str | None, options: dict):
-        if tenant is not None:
-            options = {**options, "tenant": tenant}
-        return self.backend.execute(statement, **options)
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def _run(
+        self,
+        statement: str,
+        tenant: str | None,
+        options: dict,
+        record: RequestRecord,
+    ):
+        record.started = time.perf_counter()
+        self._queued_gauge.dec()
+        self._running_gauge.inc()
+        try:
+            if tenant is not None:
+                options = {**options, "tenant": tenant}
+            return self.backend.execute(statement, **options)
+        finally:
+            self._running_gauge.dec()
+            record.finished = time.perf_counter()
 
     def _coalesce_key(self, statement: str, options: dict) -> tuple | None:
         if not self.coalesce:
@@ -225,21 +348,92 @@ class JoinServer:
             if key is not None and self._singleflight.get(key) is future:
                 del self._singleflight[key]
             self._outstanding.discard(future)
-            self._in_flight -= 1
-            self.metrics.gauge("serve_in_flight").set(self._in_flight)
+            self._in_flight_gauge.dec()
         self._admission.release()
 
-    def _record_on_done(self, future: Future, arrival: float) -> None:
-        def record(done: Future) -> None:
-            latency = time.perf_counter() - arrival
+    def _record_on_done(
+        self, future: Future, record: RequestRecord, options: dict
+    ) -> None:
+        def finish(done: Future) -> None:
+            record.latency = time.perf_counter() - record.arrival
             self.metrics.histogram(
                 "serve_latency_seconds", LATENCY_BUCKETS
-            ).observe(latency)
+            ).observe(record.latency)
+            self._window.observe(record.latency)
+            if record.tenant is not None:
+                self._tenant_window(record.tenant).observe(record.latency)
             failed = done.cancelled() or done.exception() is not None
             name = "serve_queries_failed" if failed else "serve_queries_completed"
             self.metrics.counter(name).inc()
+            record.outcome = "error" if failed else "ok"
+            if not failed and not record.coalesced:
+                report = getattr(done.result(), "report", None)
+                if report is not None:
+                    cache = getattr(report, "cache", None) or {}
+                    record.cache_status = cache.get("status")
+                    meta = getattr(report, "meta", None) or {}
+                    record.meta = {
+                        name: meta.get(name) for name in _META_FIELDS
+                    }
+            # Coalesced followers never executed: the leader's callback
+            # samples and captures, the follower only logs its wait.
+            if not record.coalesced:
+                if self._sampler is not None and self._sampler.should_sample(
+                    record.seq
+                ):
+                    record.sampled = True
+                    self._sampler.record(record)
+                if self._slow is not None:
+                    self._slow.consider(record, options)
+            self._log_record(record)
 
-        future.add_done_callback(record)
+        future.add_done_callback(finish)
+
+    def _finish_shed(self, record: RequestRecord) -> None:
+        record.outcome = "shed"
+        record.latency = time.perf_counter() - record.arrival
+        self._log_record(record)
+
+    def _log_record(self, record: RequestRecord) -> None:
+        log = self._query_log
+        if log is None:
+            return
+        entry = {
+            "ts": wall_clock(),
+            "seq": record.seq,
+            "tenant": record.tenant,
+            "fingerprint": record.fingerprint,
+            "latency_seconds": record.latency,
+            "outcome": record.outcome,
+            "cache": record.cache_status,
+            "coalesced": record.coalesced,
+            "shed": record.outcome == "shed",
+            "sampled": record.sampled,
+        }
+        for name in _META_FIELDS:
+            entry[name] = record.meta.get(name)
+        try:
+            log.log(entry)
+        except ValueError:
+            pass  # log closed while the last futures completed
+
+    def _tenant_window(self, tenant: str) -> RollingHistogram:
+        with self._lock:
+            window = self._tenant_windows.get(tenant)
+            if window is not None:
+                return window
+            if len(self._tenant_windows) >= WINDOW_TENANT_CAP:
+                tenant = "_other"
+                window = self._tenant_windows.get(tenant)
+                if window is not None:
+                    return window
+            window = self.metrics.rolling_histogram(
+                f"serve_latency_window.{tenant}",
+                LATENCY_BUCKETS,
+                window_seconds=self.window_seconds,
+            )
+            self._tenant_windows[tenant] = window
+            return window
 
     # -------------------------------------------------------------- lifecycle
 
@@ -262,6 +456,8 @@ class JoinServer:
         if wait:
             self.drain()
         self._pool.shutdown(wait=wait)
+        if self._owns_query_log and self._query_log is not None:
+            self._query_log.close()
 
     def __enter__(self) -> "JoinServer":
         return self
@@ -278,8 +474,7 @@ class JoinServer:
     @property
     def in_flight(self) -> int:
         """Currently admitted-and-unfinished queries (running + queued)."""
-        with self._lock:
-            return self._in_flight
+        return int(self._in_flight_gauge.value)
 
     def stats(self) -> dict:
         """Serving counters, latency quantiles, and per-tenant cache rates."""
@@ -289,6 +484,8 @@ class JoinServer:
         )
         stats = {
             "in_flight": self.in_flight,
+            "queued": int(self._queued_gauge.value),
+            "running": int(self._running_gauge.value),
             "closed": self._closed,
             "max_in_flight": self.max_in_flight,
             "queue_depth": self.queue_depth,
@@ -304,11 +501,72 @@ class JoinServer:
             "latency_p99": histogram.quantile(0.99),
             "latency_mean": histogram.mean,
             "tenants": tenant_cache_stats(counters),
+            "window": self._window_stats(),
+            "telemetry": self._telemetry_stats(),
         }
         plan_cache = getattr(self.backend, "plan_cache", None)
         if plan_cache is not None:
             stats["plan_cache"] = plan_cache.stats()
         return stats
+
+    def _window_stats(self) -> dict:
+        """Rolling-window latency quantiles, global and per tenant."""
+        with self._lock:
+            tenant_windows = dict(self._tenant_windows)
+        window = {
+            "seconds": self.window_seconds,
+            "count": self._window.count,
+            "p50": self._window.quantile(0.50),
+            "p95": self._window.quantile(0.95),
+            "p99": self._window.quantile(0.99),
+            "tenants": {
+                tenant: {
+                    "count": ring.count,
+                    "p50": ring.quantile(0.50),
+                    "p95": ring.quantile(0.95),
+                    "p99": ring.quantile(0.99),
+                }
+                for tenant, ring in sorted(tenant_windows.items())
+            },
+        }
+        return window
+
+    def _telemetry_stats(self) -> dict:
+        telemetry: dict = {
+            "query_log": None,
+            "trace_sample": 0,
+            "sampled": 0,
+            "slow_query_seconds": None,
+            "slow_captures": 0,
+            "slow_explains": 0,
+        }
+        if self._query_log is not None:
+            telemetry["query_log"] = {
+                "path": self._query_log.path,
+                "records": self._query_log.records,
+                "rotations": self._query_log.rotations,
+            }
+        if self._sampler is not None:
+            telemetry["trace_sample"] = self._sampler.sample
+            telemetry["sampled"] = self._sampler.sampled
+        if self._slow is not None:
+            telemetry["slow_query_seconds"] = self._slow.threshold_seconds
+            telemetry["slow_captures"] = self._slow.captures
+            telemetry["slow_explains"] = self._slow.explains
+        return telemetry
+
+    def monitor(self, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """Start the HTTP monitor thread for this server.
+
+        Returns a running :class:`repro.serve.monitor.MonitorServer`
+        exposing ``/metrics``, ``/healthz``, and ``/statz``; ``port=0``
+        binds an ephemeral port (read it back from ``monitor.port``).
+        The caller owns the monitor's lifecycle — close it explicitly
+        or use it as a context manager.
+        """
+        from repro.serve.monitor import MonitorServer
+
+        return MonitorServer(self, host=host, port=port, **kwargs)
 
 
 def tenant_cache_stats(counters: dict) -> dict:

@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry and skew statistics."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -9,9 +11,23 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RollingHistogram,
     gini,
     skew_summary,
 )
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for rolling-window tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
 
 
 class TestCounterGauge:
@@ -30,6 +46,92 @@ class TestCounterGauge:
         gauge.set(3)
         gauge.set(1.5)
         assert gauge.value == 1.5
+
+    def test_gauge_inc_dec(self):
+        gauge = Gauge()
+        gauge.inc()
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(2.5)
+        gauge.dec(2.5)
+        assert gauge.value == pytest.approx(0.0)
+
+    def test_gauge_pickles_like_counter(self):
+        # Both carry a lock; pickling must drop it and restore a working
+        # instrument (process-mode workers ship registries back whole).
+        gauge = Gauge()
+        gauge.set(4.0)
+        revived = pickle.loads(pickle.dumps(gauge))
+        assert revived.value == 4.0
+        revived.inc()  # the restored lock must actually work
+        assert revived.value == 5.0
+        counter = Counter()
+        counter.inc(3)
+        assert pickle.loads(pickle.dumps(counter)).value == 3
+
+
+class TestRollingHistogram:
+    def test_window_forgets_old_observations(self):
+        clock = FakeClock()
+        ring = RollingHistogram(
+            bounds=(1.0, 10.0), window_seconds=60.0, slots=6, clock=clock
+        )
+        ring.observe(0.5)
+        ring.observe(5.0)
+        assert ring.count == 2
+        # Still inside the window after 30s...
+        clock.advance(30.0)
+        ring.observe(0.5)
+        assert ring.count == 3
+        # ...but the first slot expires once the window has passed it.
+        clock.advance(40.0)
+        assert ring.count == 1
+        clock.advance(120.0)
+        assert ring.count == 0
+
+    def test_quantile_reflects_recent_traffic_only(self):
+        clock = FakeClock()
+        ring = RollingHistogram(
+            bounds=(0.001, 0.01, 0.1, 1.0), window_seconds=10.0,
+            slots=5, clock=clock,
+        )
+        for _ in range(100):
+            ring.observe(0.5)  # a slow burst...
+        clock.advance(11.0)  # ...that ages out entirely
+        for _ in range(10):
+            ring.observe(0.005)
+        assert ring.quantile(0.99) <= 0.01
+
+    def test_slot_recycled_in_place_on_wraparound(self):
+        clock = FakeClock()
+        ring = RollingHistogram(
+            bounds=(1.0,), window_seconds=2.0, slots=2, clock=clock
+        )
+        ring.observe(0.5)
+        clock.advance(2.0)  # same slot index, new epoch
+        ring.observe(0.5)
+        assert ring.count == 1
+
+    def test_pickle_roundtrip(self):
+        # Uses the real monotonic clock: unpickling restores it, and
+        # CLOCK_MONOTONIC is process-independent, so slot epochs stay
+        # meaningful across the process boundary.
+        ring = RollingHistogram(bounds=(1.0,), window_seconds=3600.0)
+        ring.observe(0.5)
+        revived = pickle.loads(pickle.dumps(ring))
+        assert revived.snapshot()["count"] == 1
+        revived.observe(0.7)  # lock restored
+        assert revived.count == 2
+
+    def test_registry_merge_folds_other_window_into_current(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.rolling_histogram("lat", bounds=(1.0,)).observe(0.5)
+        right.rolling_histogram("lat", bounds=(1.0,)).observe(2.0)
+        right.rolling_histogram("lat", bounds=(1.0,)).observe(0.25)
+        left.merge(right)
+        snap = left.snapshot()["rolling"]["lat"]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(2.75)
 
 
 class TestHistogram:
@@ -100,6 +202,19 @@ class TestRegistry:
         right.histogram("busy", bounds=(2.0,)).observe(0.5)
         with pytest.raises(ValueError):
             left.merge(right)
+
+    def test_snapshot_sections_are_sorted(self):
+        # CI diffs snapshot artifacts; insertion order must not leak
+        # into the serialisation.
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.counter(name).inc()
+            registry.gauge(name).set(1.0)
+            registry.histogram(name, bounds=(1.0,)).observe(0.5)
+            registry.rolling_histogram(name, bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        for section in ("counters", "gauges", "histograms", "rolling"):
+            assert list(snap[section]) == ["alpha", "mid", "zeta"]
 
     def test_describe_mentions_every_metric(self):
         registry = MetricsRegistry()

@@ -1,0 +1,275 @@
+"""Exposition rendering/parsing and the structured query log.
+
+The renderer and the parser are tested against each other — everything
+the renderer emits must parse with zero errors — and the parser is
+additionally fed hand-broken expositions to prove it actually rejects
+what a real scraper would reject.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.telemetry import (
+    OVERFLOW_LABEL,
+    QueryLog,
+    escape_label_value,
+    main as telemetry_main,
+    parse_exposition,
+    render_prometheus,
+    sanitize_metric_name,
+    split_labeled_name,
+    validate_exposition,
+)
+
+
+class TestNameHandling:
+    def test_sanitize_replaces_invalid_chars(self):
+        assert sanitize_metric_name("serve latency.ms") == "serve_latency_ms"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("") == "_"
+        # Idempotent and identity on valid names.
+        assert sanitize_metric_name("a_valid:name") == "a_valid:name"
+        assert sanitize_metric_name(
+            sanitize_metric_name("weird-name!")
+        ) == sanitize_metric_name("weird-name!")
+
+    def test_dotted_tenant_suffix_becomes_label(self):
+        name, labels = split_labeled_name("tenant_cache_hits.acme")
+        assert name == "tenant_cache_hits"
+        assert labels == {"tenant": "acme"}
+
+    def test_unruled_dotted_name_is_sanitised_whole(self):
+        name, labels = split_labeled_name("some.other.metric")
+        assert name == "some_other_metric"
+        assert labels == {}
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestRenderer:
+    def test_empty_registry_renders_empty_and_validates(self):
+        text = render_prometheus(MetricsRegistry())
+        assert text == ""
+        assert validate_exposition(text) == []
+
+    def test_counters_gauges_histograms_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_executed").inc(3)
+        registry.gauge("serve_in_flight").set(2)
+        registry.histogram(
+            "serve_latency_seconds", LATENCY_BUCKETS
+        ).observe(0.01)
+        registry.rolling_histogram(
+            "serve_latency_window", LATENCY_BUCKETS
+        ).observe(0.01)
+        text = render_prometheus(registry)
+        families, errors = parse_exposition(text)
+        assert errors == []
+        assert families["repro_queries_executed_total"]["type"] == "counter"
+        assert families["repro_serve_in_flight"]["type"] == "gauge"
+        assert families["repro_serve_latency_seconds"]["type"] == "histogram"
+        assert families["repro_serve_latency_window"]["type"] == "summary"
+
+    def test_tenant_suffix_rendered_as_label(self):
+        registry = MetricsRegistry()
+        registry.counter("tenant_cache_hits.acme").inc(5)
+        registry.counter('tenant_cache_hits.we"ird\\t').inc(1)
+        text = render_prometheus(registry)
+        assert 'repro_tenant_cache_hits_total{tenant="acme"} 5' in text
+        families, errors = parse_exposition(text)
+        assert errors == []
+        labels = sorted(
+            labels["tenant"]
+            for _, labels, _ in families["repro_tenant_cache_hits_total"][
+                "samples"
+            ]
+        )
+        # The escaped value survives a parse round-trip intact.
+        assert labels == ["acme", 'we"ird\\t']
+
+    def test_zero_observation_histogram_is_valid(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_hist", bounds=(1.0, 2.0))
+        registry.rolling_histogram("empty_window", bounds=(1.0, 2.0))
+        text = render_prometheus(registry)
+        assert validate_exposition(text) == []
+        assert "repro_empty_hist_count 0" in text
+        assert "repro_empty_hist_sum 0" in text
+
+    def test_cardinality_cap_spills_into_overflow(self):
+        registry = MetricsRegistry()
+        for index in range(10):
+            registry.counter(f"tenant_cache_hits.t{index}").inc(index + 1)
+        text = render_prometheus(registry, max_series=4)
+        families, errors = parse_exposition(text)
+        assert errors == []
+        samples = families["repro_tenant_cache_hits_total"]["samples"]
+        assert len(samples) == 5  # 4 kept + 1 overflow
+        by_tenant = {labels["tenant"]: value for _, labels, value in samples}
+        # The heaviest series survive; the tail is aggregated, not lost.
+        assert by_tenant["t9"] == 10
+        assert by_tenant[OVERFLOW_LABEL] == sum(range(1, 7))  # t0..t5
+        assert sum(by_tenant.values()) == sum(range(1, 11))
+
+    def test_cap_never_spills_the_unlabelled_series(self):
+        # serve_latency_window (global) shares its family with the
+        # per-tenant windows; the guard must cap only the labelled ones.
+        registry = MetricsRegistry()
+        registry.rolling_histogram("serve_latency_window").observe(0.5)
+        for index in range(6):
+            registry.rolling_histogram(
+                f"serve_latency_window.t{index}"
+            ).observe(0.5)
+        text = render_prometheus(registry, max_series=2)
+        families, errors = parse_exposition(text)
+        assert errors == []
+        counts = [
+            (labels.get("tenant"), value)
+            for name, labels, value in families["repro_serve_latency_window"][
+                "samples"
+            ]
+            if name == "repro_serve_latency_window_count"
+        ]
+        tenants = {tenant for tenant, _ in counts}
+        assert None in tenants  # the global window survived
+        assert OVERFLOW_LABEL in tenants
+        assert len(tenants) == 4  # global + 2 kept + overflow
+
+    def test_output_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b_counter").inc(2)
+            registry.counter("a_counter").inc(1)
+            registry.gauge("z_gauge").set(9)
+            registry.histogram("m_hist", bounds=(1.0,)).observe(0.5)
+            return render_prometheus(registry)
+
+        assert build() == build()
+        # TYPE lines appear in sorted family order.
+        families = [
+            line.split()[2]
+            for line in build().splitlines()
+            if line.startswith("# TYPE")
+        ]
+        assert families == sorted(families)
+
+    def test_accepts_plain_snapshot_dict(self):
+        snapshot = {"counters": {"c": 1}, "gauges": {}, "histograms": {}}
+        text = render_prometheus(snapshot, namespace="")
+        assert "c_total 1" in text
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            render_prometheus(MetricsRegistry(), max_series=0)
+
+
+class TestParserRejections:
+    def test_sample_without_type_declaration(self):
+        errors = validate_exposition("orphan_metric 1\n")
+        assert any("no TYPE" in error for error in errors)
+
+    def test_malformed_type_and_unknown_kind(self):
+        errors = validate_exposition("# TYPE broken\n")
+        assert any("malformed TYPE" in error for error in errors)
+        errors = validate_exposition("# TYPE m wibble\nm 1\n")
+        assert any("unknown TYPE" in error for error in errors)
+
+    def test_duplicate_series_rejected(self):
+        text = '# TYPE m counter\nm{t="a"} 1\nm{t="a"} 2\n'
+        errors = validate_exposition(text)
+        assert any("duplicate series" in error for error in errors)
+
+    def test_bad_label_quoting_rejected(self):
+        errors = validate_exposition('# TYPE m counter\nm{t=unquoted} 1\n')
+        assert any("bad label" in error for error in errors)
+        errors = validate_exposition('# TYPE m counter\nm{t="open} 1\n')
+        assert errors
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4\n"
+            "h_count 5\n"
+        )
+        errors = validate_exposition(text)
+        assert any("not cumulative" in error for error in errors)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = '# TYPE h histogram\nh_bucket{le="1"} 1\nh_count 1\n'
+        errors = validate_exposition(text)
+        assert any("+Inf" in error for error in errors)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 4\n"
+        )
+        errors = validate_exposition(text)
+        assert any("_count" in error for error in errors)
+
+    def test_help_comments_and_blank_lines_are_legal(self):
+        text = "# HELP m something\n\n# TYPE m counter\nm 1\n"
+        assert validate_exposition(text) == []
+
+
+class TestQueryLog:
+    def test_appends_sorted_json_lines(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        with QueryLog(path) as log:
+            log.log({"b": 2, "a": 1})
+            log.log({"tenant": None, "latency": 0.5})
+        lines = path.read_text().splitlines()
+        assert lines[0] == '{"a": 1, "b": 2}'
+        assert json.loads(lines[1]) == {"tenant": None, "latency": 0.5}
+        assert log.records == 2
+
+    def test_rotation_bounds_disk_use(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        record = {"pad": "x" * 40}
+        line_bytes = len(json.dumps(record, sort_keys=True)) + 1
+        with QueryLog(path, max_bytes=3 * line_bytes, max_files=3) as log:
+            for _ in range(10):
+                log.log(record)
+        assert log.rotations > 0
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["q.jsonl", "q.jsonl.1", "q.jsonl.2"]
+        # Every surviving line is intact JSON (rotation never tears one).
+        for name in files:
+            for line in (tmp_path / name).read_text().splitlines():
+                assert json.loads(line) == record
+
+    def test_closed_log_refuses_records(self, tmp_path):
+        log = QueryLog(tmp_path / "q.jsonl")
+        log.close()
+        with pytest.raises(ValueError):
+            log.log({"a": 1})
+        log.close()  # idempotent
+
+    def test_rejects_bad_limits(self, tmp_path):
+        with pytest.raises(ValueError):
+            QueryLog(tmp_path / "q", max_bytes=0)
+        with pytest.raises(ValueError):
+            QueryLog(tmp_path / "q", max_files=0)
+
+
+class TestModuleCli:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.prom"
+        path.write_text(render_prometheus(registry))
+        assert telemetry_main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        path.write_text("orphan 1\n")
+        assert telemetry_main([str(path)]) == 1
+        assert "no TYPE" in capsys.readouterr().out

@@ -46,6 +46,24 @@ class TestCli:
         assert "abl-tabu" in content
         assert "| variant" in content
 
+    def test_monitor_scrapes_live_server(self, capsys):
+        from repro.serve import JoinServer
+        from tests.serve.test_server import FakeBackend
+
+        backend = FakeBackend()
+        backend.gate.set()
+        with JoinServer(backend) as server:
+            server.execute("Q", tenant="acme")
+            with server.monitor() as monitor:
+                assert main(["monitor", monitor.url, "--count", "2"]) == 0
+                out = capsys.readouterr().out
+                assert out.count("in_flight=") == 2
+                assert "p99=" in out
+                assert "acme" in out
+                assert main(["monitor", monitor.url, "--metrics"]) == 0
+                out = capsys.readouterr().out
+                assert "repro_serve_queries_completed_total 1" in out
+
 
 class TestReportGenerator:
     def test_registry_covers_all_artifacts(self):
